@@ -1,0 +1,61 @@
+//! Criterion micro-benches: static construction cost of the flat DHTs and
+//! their Canonical versions (n = 2048, 3-level fan-out-10 hierarchy).
+
+use canon::cacophony::build_cacophony;
+use canon::cancan::build_cancan;
+use canon::crescendo::build_crescendo;
+use canon::kandy::build_kandy;
+use canon_chord::build_chord;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::rng::Seed;
+use canon_kademlia::{build_kademlia, BucketChoice};
+use canon_pastry::{build_canonical_pastry, build_pastry, PastryParams};
+use canon_skipnet::SkipNet;
+use canon_symphony::build_symphony;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let n = 2048;
+    let h = Hierarchy::balanced(10, 3);
+    let p = Placement::zipf(&h, n, Seed(1));
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+
+    g.bench_function("chord_flat", |b| {
+        b.iter(|| black_box(build_chord(p.ids())));
+    });
+    g.bench_function("crescendo_3level", |b| {
+        b.iter(|| black_box(build_crescendo(&h, &p)));
+    });
+    g.bench_function("symphony_flat", |b| {
+        b.iter(|| black_box(build_symphony(p.ids(), Seed(2))));
+    });
+    g.bench_function("cacophony_3level", |b| {
+        b.iter(|| black_box(build_cacophony(&h, &p, Seed(2))));
+    });
+    g.bench_function("kademlia_flat", |b| {
+        b.iter(|| black_box(build_kademlia(p.ids(), BucketChoice::Closest, Seed(3))));
+    });
+    g.bench_function("kandy_3level", |b| {
+        b.iter(|| black_box(build_kandy(&h, &p, BucketChoice::Closest, Seed(3))));
+    });
+    g.bench_function("cancan_3level", |b| {
+        b.iter(|| black_box(build_cancan(&h, &p)));
+    });
+    let params = PastryParams { digit_bits: 2, leaf_half: 4 };
+    g.bench_function("pastry_flat_b2", |b| {
+        b.iter(|| black_box(build_pastry(p.ids(), params)));
+    });
+    g.bench_function("canonical_pastry_3level_b2", |b| {
+        b.iter(|| black_box(build_canonical_pastry(&h, &p, params)));
+    });
+    let names: Vec<String> = (0..n).map(|i| format!("org/h{i:05}")).collect();
+    g.bench_function("skipnet", |b| {
+        b.iter(|| black_box(SkipNet::build(names.clone(), Seed(4))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

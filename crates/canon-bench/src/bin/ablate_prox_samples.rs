@@ -1,0 +1,61 @@
+//! Ablation of §3.6's sampling parameter `s`: each group link keeps the
+//! lowest-latency of `s` sampled members. The paper cites Internet
+//! measurements that `s = 32` suffices; this sweep shows the diminishing
+//! returns directly.
+
+use canon::proximity::{build_chord_prox, ProxParams};
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_overlay::NodeIndex;
+use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
+use rand::Rng;
+
+fn main() {
+    let cfg = BenchConfig::from_args(8192, 1);
+    banner("ablate-prox-s", "chord-prox latency vs sample count s", &cfg);
+    let n = cfg.max_n;
+    let seed = cfg.trial_seed("prox-s", 0);
+    let topo =
+        TransitStubTopology::generate(TopologyParams::default(), LatencyModel::default(), seed);
+    let att = attach(topo, n, seed.derive("attach"));
+    let p = att.placement().clone();
+    let lat_fn = |a, b| att.latency(a, b);
+    let direct = att.mean_direct_latency(3000, seed.derive("direct"));
+
+    row(&["s".into(), "linkLat".into(), "routeLat".into(), "stretch".into()]);
+    for s in [1usize, 2, 4, 8, 16, 32, 64] {
+        let params = ProxParams { target_group_size: 16, samples: s };
+        let net = build_chord_prox(p.ids(), &lat_fn, params, seed.derive("net").derive_index(s as u64));
+        let g = net.graph();
+        // Mean latency of inter-group links.
+        let mut link_lat = 0.0;
+        let mut links = 0usize;
+        for (a, b) in g.edges() {
+            if net.group_of(a) != net.group_of(b) {
+                link_lat += att.latency(g.id(a), g.id(b));
+                links += 1;
+            }
+        }
+        // Mean route latency.
+        let mut rng = seed.derive("pairs").rng();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for _ in 0..500 {
+            let a = NodeIndex(rng.gen_range(0..n) as u32);
+            let b = NodeIndex(rng.gen_range(0..n) as u32);
+            if a == b {
+                continue;
+            }
+            let r = net.route(a, b).expect("prox route");
+            total += r.latency(|x, y| att.latency(g.id(x), g.id(y)));
+            count += 1;
+        }
+        let route_lat = total / count as f64;
+        row(&[
+            s.to_string(),
+            f(link_lat / links as f64),
+            f(route_lat),
+            f(route_lat / direct),
+        ]);
+    }
+    println!("# expect: strong improvement up to s~8-16, flat beyond s=32 (paper's choice)");
+}

@@ -1,0 +1,45 @@
+//! §4.3 validation (no figure in the paper): the partition-balance ratio
+//! (largest/smallest partition) of bisection ID selection vs purely random
+//! IDs.
+//!
+//! Expected shape: bisection holds a small constant (paper: ≤ 4 w.h.p.)
+//! while purely random IDs blow up (the paper quotes Θ(log² n) for the
+//! load-balance metric of its companion work; the raw max/min arc ratio
+//! measured here grows even faster, like n·ln n, since the minimum arc
+//! shrinks quadratically).
+
+use canon_balance::{partition_ratio_of, BalancedAllocator};
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_id::ring::SortedRing;
+use canon_id::rng::random_ids;
+
+fn main() {
+    let cfg = BenchConfig::from_args(16384, 3);
+    banner("balance", "partition ratio: bisection vs random IDs", &cfg);
+    row(&["n".into(), "bisection".into(), "random".into(), "n*ln(n)".into()]);
+    for n in cfg.sizes(1024) {
+        let mut bis = 0.0;
+        let mut rnd = 0.0;
+        for t in 0..cfg.seeds {
+            let mut alloc = BalancedAllocator::new();
+            let mut rng = cfg.trial_seed("balance", t).rng();
+            for _ in 0..n {
+                alloc.join(&mut rng);
+            }
+            bis += alloc.partition_ratio();
+            rnd += partition_ratio_of(&SortedRing::new(random_ids(
+                cfg.trial_seed("balance-rnd", t),
+                n,
+            )));
+        }
+        row(&[
+            n.to_string(),
+            f(bis / cfg.seeds as f64),
+            f(rnd / cfg.seeds as f64),
+            f(n as f64 * (n as f64).ln()),
+        ]);
+    }
+    println!("# expect: bisection column constant (paper: <=4 w.h.p.; <~8 with the B-bit");
+    println!("# approximation); random max/min ratio explodes (min gap shrinks as ~2^64/n^2,");
+    println!("# i.e. the ratio grows on the order of n*ln(n))");
+}

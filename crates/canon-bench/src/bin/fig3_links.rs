@@ -1,0 +1,42 @@
+//! Figure 3: average number of links (out-degree) per node vs network
+//! size, for hierarchies of 1–5 levels (fan-out 10, Zipf 1/k^1.25 leaf
+//! assignment).
+//!
+//! Expected shape (paper §5.1): ≈ log2(n) for every level count, slightly
+//! *decreasing* as the number of levels grows; Chord is the Levels=1 row.
+
+use canon::crescendo::build_crescendo;
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_overlay::stats::DegreeStats;
+
+fn main() {
+    let cfg = BenchConfig::from_args(65536, 2);
+    banner("fig3", "average links per node vs n, levels 1-5", &cfg);
+    let levels: Vec<u32> = vec![1, 2, 3, 4, 5];
+    let mut header = vec!["n".to_owned(), "log2(n)".to_owned()];
+    header.extend(levels.iter().map(|l| {
+        if *l == 1 {
+            "chord(L=1)".to_owned()
+        } else {
+            format!("levels={l}")
+        }
+    }));
+    row(&header);
+
+    for n in cfg.sizes(1024) {
+        let mut cells = vec![n.to_string(), f((n as f64).log2())];
+        for &l in &levels {
+            let h = Hierarchy::balanced(10, l);
+            let mut total = 0.0;
+            for t in 0..cfg.seeds {
+                let p = Placement::zipf(&h, n, cfg.trial_seed("fig3", t));
+                let net = build_crescendo(&h, &p);
+                total += DegreeStats::of(net.graph()).summary.mean;
+            }
+            cells.push(f(total / cfg.seeds as f64));
+        }
+        row(&cells);
+    }
+    println!("# expect: all columns ~= log2(n); deeper hierarchies slightly lower");
+}

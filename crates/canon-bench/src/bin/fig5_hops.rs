@@ -1,0 +1,44 @@
+//! Figure 5: average routing hops vs network size, levels 1–5 (fan-out
+//! 10, Zipf assignment).
+//!
+//! Expected shape (paper §5.1): ≈ 0.5·log2(n) + c, with c growing by at
+//! most ~0.7 from Levels=1 (Chord) to Levels=5.
+
+use canon::crescendo::build_crescendo;
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::metric::Clockwise;
+use canon_overlay::stats::hop_stats;
+
+fn main() {
+    let cfg = BenchConfig::from_args(65536, 2);
+    banner("fig5", "average routing hops vs n, levels 1-5", &cfg);
+    let levels: Vec<u32> = vec![1, 2, 3, 4, 5];
+    let pairs = 2000;
+    let mut header = vec!["n".to_owned(), "0.5*log2(n)".to_owned()];
+    header.extend(levels.iter().map(|l| {
+        if *l == 1 {
+            "chord(L=1)".to_owned()
+        } else {
+            format!("levels={l}")
+        }
+    }));
+    row(&header);
+
+    for n in cfg.sizes(1024) {
+        let mut cells = vec![n.to_string(), f(0.5 * (n as f64).log2())];
+        for &l in &levels {
+            let h = Hierarchy::balanced(10, l);
+            let mut total = 0.0;
+            for t in 0..cfg.seeds {
+                let p = Placement::zipf(&h, n, cfg.trial_seed("fig5", t));
+                let net = build_crescendo(&h, &p);
+                total += hop_stats(net.graph(), Clockwise, pairs, cfg.trial_seed("fig5-pairs", t))
+                    .mean;
+            }
+            cells.push(f(total / cfg.seeds as f64));
+        }
+        row(&cells);
+    }
+    println!("# expect: ~0.5*log2(n)+c; c rises with levels by at most ~0.7");
+}

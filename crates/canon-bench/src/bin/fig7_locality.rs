@@ -1,0 +1,79 @@
+//! Figure 7: query latency as a function of query locality level on a
+//! 32K-node transit-stub network.
+//!
+//! A "Level k" query's destination lies within the querier's ancestor
+//! domain at depth k (Top Level = anywhere). Systems: Chord (Prox.),
+//! Crescendo (No Prox.), Crescendo (Prox.).
+//!
+//! Expected shape (paper §5.3): Crescendo's latency collapses as locality
+//! deepens (virtually zero by level 3, the stub domain); Chord (Prox.)
+//! barely improves. Crescendo (Prox.) is best at the top level and
+//! identical to plain Crescendo at deeper levels (prox applies only to the
+//! top level).
+
+use canon::crescendo::build_crescendo;
+use canon::proximity::{build_chord_prox, build_crescendo_prox, ProxParams};
+use canon_bench::{banner, f, members_by_domain_at_depth, row, BenchConfig};
+use canon_id::metric::Clockwise;
+use canon_overlay::{route, NodeIndex};
+use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
+use rand::Rng;
+
+fn main() {
+    let cfg = BenchConfig::from_args(32768, 1);
+    banner("fig7", "latency (ms) vs query locality level at n=32768", &cfg);
+    let n = cfg.max_n;
+    let queries = 1500;
+    let seed = cfg.trial_seed("fig7", 0);
+    let topo =
+        TransitStubTopology::generate(TopologyParams::default(), LatencyModel::default(), seed);
+    let att = attach(topo, n, seed.derive("attach"));
+    let h = att.hierarchy().clone();
+    let p = att.placement().clone();
+    let lat_fn = |a, b| att.latency(a, b);
+
+    let cresc = build_crescendo(&h, &p);
+    let chord_px = build_chord_prox(p.ids(), &lat_fn, ProxParams::default(), seed.derive("cp"));
+    let cresc_px = build_crescendo_prox(&h, &p, &lat_fn, ProxParams::default(), seed.derive("xp"));
+
+    row(&[
+        "level".into(),
+        "chordProx".into(),
+        "crescendo".into(),
+        "crescProx".into(),
+    ]);
+
+    for depth in 0..=4u32 {
+        // Group nodes by their ancestor domain at `depth` (depth 0 = Top
+        // Level: one global group).
+        let groups = members_by_domain_at_depth(&h, &p, cresc.graph(), depth);
+        let mut rng = seed.derive("queries").derive_index(u64::from(depth)).rng();
+        let pools: Vec<&Vec<NodeIndex>> =
+            groups.values().filter(|v| v.len() >= 2).collect();
+        let mut sums = [0.0f64; 3];
+        let mut count = 0usize;
+        for _ in 0..queries {
+            let pool = pools[rng.gen_range(0..pools.len())];
+            let a = pool[rng.gen_range(0..pool.len())];
+            let b = pool[rng.gen_range(0..pool.len())];
+            if a == b {
+                continue;
+            }
+            count += 1;
+            let r = chord_px.route(a, b).expect("chord-prox route");
+            sums[0] += r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y)));
+            let r = route(cresc.graph(), Clockwise, a, b).expect("crescendo route");
+            sums[1] += r.latency(|x, y| att.latency(cresc.graph().id(x), cresc.graph().id(y)));
+            let r = cresc_px.route(a, b).expect("crescendo-prox route");
+            sums[2] += r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y)));
+        }
+        let label = if depth == 0 { "top".to_owned() } else { format!("level {depth}") };
+        row(&[
+            label,
+            f(sums[0] / count as f64),
+            f(sums[1] / count as f64),
+            f(sums[2] / count as f64),
+        ]);
+    }
+    println!("# expect: crescendo columns collapse toward ~2ms by level 3; chordProx stays flat");
+}

@@ -1,0 +1,99 @@
+//! Figure 8: expected hop/latency overlap fraction between the query paths
+//! of two nodes of the same domain querying the same key, as a function of
+//! the domain level (32K nodes, transit-stub topology).
+//!
+//! Expected shape (paper §5.4): near-zero overlap for Chord (Prox.) at
+//! every level; overlap rising strongly with domain level for Crescendo,
+//! with the latency fraction above the hop fraction.
+
+use canon::crescendo::build_crescendo;
+use canon::proximity::{build_chord_prox, ProxParams};
+use canon_bench::{banner, f, members_by_domain_at_depth, row, BenchConfig};
+use canon_id::metric::Clockwise;
+use canon_id::NodeId;
+use canon_overlay::paths::overlap;
+use canon_overlay::{route_to_key, NodeIndex};
+use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
+use rand::Rng;
+
+fn main() {
+    let cfg = BenchConfig::from_args(32768, 1);
+    banner("fig8", "path overlap fraction vs domain level at n=32768", &cfg);
+    let n = cfg.max_n;
+    let samples = 1200;
+    let seed = cfg.trial_seed("fig8", 0);
+    let topo =
+        TransitStubTopology::generate(TopologyParams::default(), LatencyModel::default(), seed);
+    let att = attach(topo, n, seed.derive("attach"));
+    let h = att.hierarchy().clone();
+    let p = att.placement().clone();
+    let lat_fn = |a, b| att.latency(a, b);
+
+    let cresc = build_crescendo(&h, &p);
+    let chord_px = build_chord_prox(p.ids(), &lat_fn, ProxParams::default(), seed.derive("cp"));
+
+    row(&[
+        "level".into(),
+        "cresc(hops)".into(),
+        "cresc(lat)".into(),
+        "chPx(hops)".into(),
+        "chPx(lat)".into(),
+    ]);
+
+    for depth in 0..=4u32 {
+        let groups = members_by_domain_at_depth(&h, &p, cresc.graph(), depth);
+        let pools: Vec<&Vec<NodeIndex>> = groups.values().filter(|v| v.len() >= 2).collect();
+        let mut rng = seed.derive("samples").derive_index(u64::from(depth)).rng();
+        let mut acc = [0.0f64; 4];
+        let mut count = 0usize;
+        for _ in 0..samples {
+            let pool = pools[rng.gen_range(0..pools.len())];
+            let q1 = pool[rng.gen_range(0..pool.len())];
+            let q2 = pool[rng.gen_range(0..pool.len())];
+            if q1 == q2 {
+                continue;
+            }
+            let key = NodeId::new(rng.gen());
+            count += 1;
+
+            // Crescendo: greedy clockwise routing to the key.
+            let g = cresc.graph();
+            let lat = |x: NodeIndex, y: NodeIndex| att.latency(g.id(x), g.id(y));
+            let p1 = route_to_key(g, Clockwise, q1, key).expect("route");
+            let p2 = route_to_key(g, Clockwise, q2, key).expect("route");
+            let o = overlap(&p1, &p2, lat);
+            acc[0] += o.hop_fraction;
+            acc[1] += o.latency_fraction;
+
+            // Chord (Prox.): group-aware routing to the key's responsible
+            // node.
+            let gp = chord_px.graph();
+            let dest = gp
+                .index_of(gp.ring().responsible(key).expect("nonempty"))
+                .expect("responsible node in graph");
+            let latp = |x: NodeIndex, y: NodeIndex| att.latency(gp.id(x), gp.id(y));
+            let r1 = if q1 == dest {
+                canon_overlay::Route::from_path(vec![q1])
+            } else {
+                chord_px.route(q1, dest).expect("prox route")
+            };
+            let r2 = if q2 == dest {
+                canon_overlay::Route::from_path(vec![q2])
+            } else {
+                chord_px.route(q2, dest).expect("prox route")
+            };
+            let o = overlap(&r1, &r2, latp);
+            acc[2] += o.hop_fraction;
+            acc[3] += o.latency_fraction;
+        }
+        let label = if depth == 0 { "top".to_owned() } else { format!("level {depth}") };
+        row(&[
+            label,
+            f(acc[0] / count as f64),
+            f(acc[1] / count as f64),
+            f(acc[2] / count as f64),
+            f(acc[3] / count as f64),
+        ]);
+    }
+    println!("# expect: crescendo overlap rises with level (lat > hops); chordProx stays near 0");
+}

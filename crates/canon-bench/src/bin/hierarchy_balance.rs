@@ -1,0 +1,76 @@
+//! §4.3 (hierarchical scheme, no figure in the paper): effect of
+//! hierarchically balanced identifier selection on per-domain partition
+//! balance and on Crescendo's degree variance.
+//!
+//! Expected shape: with balanced prefixes, the occupancy spread of the top
+//! `log log n` identifier bits within every domain is ≤ the number of its
+//! leaves (vs ~√n globally for random IDs), and Crescendo's degree
+//! distribution tightens (smaller standard deviation).
+
+use canon::crescendo::build_crescendo;
+use canon_balance::hierarchical_balanced_placement;
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_hierarchy::{DomainMembership, Hierarchy, Placement};
+use canon_id::NodeId;
+use canon_overlay::stats::DegreeStats;
+use rand::Rng;
+
+fn spread(ids: &[NodeId], bits: u32) -> f64 {
+    let mut counts = vec![0isize; 1 << bits];
+    for id in ids {
+        counts[id.prefix(bits) as usize] += 1;
+    }
+    (counts.iter().max().unwrap() - counts.iter().min().unwrap()) as f64
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args(8192, 1);
+    banner(
+        "hierarchy-balance",
+        "balanced vs random IDs: prefix spread per level + degree stddev",
+        &cfg,
+    );
+    let n = cfg.max_n;
+    let h = Hierarchy::balanced(8, 3);
+    let leaves = h.leaves();
+    let mut rng = cfg.trial_seed("hb-leaves", 0).rng();
+    let leaf_of: Vec<_> = (0..n).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+    let bits = ((n as f64).log2().log2().ceil() as u32).clamp(1, 8);
+
+    let balanced = hierarchical_balanced_placement(&h, &leaf_of, cfg.trial_seed("hb", 1));
+    let random = Placement::from_pairs(
+        &h,
+        canon_id::rng::random_ids(cfg.trial_seed("hb-rand", 2), n)
+            .into_iter()
+            .zip(leaf_of.iter().copied())
+            .collect(),
+    );
+
+    row(&["metric".into(), "balanced".into(), "random".into()]);
+    let mb = DomainMembership::build(&h, &balanced);
+    let mr = DomainMembership::build(&h, &random);
+    for depth in 0..=2u32 {
+        let sb: f64 = h
+            .domains_at_depth(depth)
+            .iter()
+            .map(|&d| spread(mb.ring(d).as_slice(), bits))
+            .sum::<f64>()
+            / h.domains_at_depth(depth).len() as f64;
+        let sr: f64 = h
+            .domains_at_depth(depth)
+            .iter()
+            .map(|&d| spread(mr.ring(d).as_slice(), bits))
+            .sum::<f64>()
+            / h.domains_at_depth(depth).len() as f64;
+        row(&[format!("spread@L{depth}"), f(sb), f(sr)]);
+    }
+    let db = DegreeStats::of(build_crescendo(&h, &balanced).graph()).summary;
+    let dr = DegreeStats::of(build_crescendo(&h, &random).graph()).summary;
+    row(&["degMean".into(), f(db.mean), f(dr.mean)]);
+    row(&["degStddev".into(), f(db.stddev), f(dr.stddev)]);
+    println!("# expect: balanced spreads ~constant per level (random grows ~sqrt(domain size)),");
+    println!("# giving even top-prefix partitioning at every level; mean degree unchanged.");
+    println!("# Degree stddev moves little: with only log log n balanced bits the fine-grained");
+    println!("# gap randomness (which drives degree variance) remains — the scheme's benefit");
+    println!("# is storage/routing load balance, not degree concentration.");
+}

@@ -1,0 +1,51 @@
+//! §2.3 validation (no figure in the paper): the number of messages
+//! required per node join in the maintained Crescendo network.
+//!
+//! Expected shape: O(log n) — the mean message count of the last joins
+//! grows linearly in log2(n).
+
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_hierarchy::Hierarchy;
+use canon_id::rng::random_ids;
+use canon_sim::CrescendoSim;
+use rand::Rng;
+
+fn main() {
+    let cfg = BenchConfig::from_args(4096, 2);
+    banner("join-cost", "messages per join vs n (3-level hierarchy, fan-out 10)", &cfg);
+    row(&["n".into(), "lookup".into(), "links".into(), "leafsets".into(), "total".into(), "log2(n)".into()]);
+
+    for n in cfg.sizes(512) {
+        let mut acc = [0.0f64; 4];
+        let mut count = 0usize;
+        for t in 0..cfg.seeds {
+            let h = Hierarchy::balanced(10, 3);
+            let leaves = h.leaves();
+            let mut sim = CrescendoSim::new(h, 4);
+            let ids = random_ids(cfg.trial_seed("join", t), n);
+            let mut rng = cfg.trial_seed("join-place", t).rng();
+            let window = n / 10; // measure the last 10% of joins
+            for (i, &id) in ids.iter().enumerate() {
+                let leaf = leaves[rng.gen_range(0..leaves.len())];
+                let rep = sim.join(id, leaf);
+                if i + window >= n {
+                    acc[0] += rep.lookup_messages as f64;
+                    acc[1] += rep.link_messages as f64;
+                    acc[2] += rep.leaf_set_messages as f64;
+                    acc[3] += rep.total() as f64;
+                    count += 1;
+                }
+            }
+        }
+        let c = count as f64;
+        row(&[
+            n.to_string(),
+            f(acc[0] / c),
+            f(acc[1] / c),
+            f(acc[2] / c),
+            f(acc[3] / c),
+            f((n as f64).log2()),
+        ]);
+    }
+    println!("# expect: total grows ~linearly in log2(n)");
+}

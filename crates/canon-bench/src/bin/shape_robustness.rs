@@ -1,0 +1,70 @@
+//! "Irrespective of the structure of the hierarchy" (Theorems 2/3/5):
+//! Crescendo's degree and hop count across extreme hierarchy shapes —
+//! binary vs wide fan-outs, uniform vs Zipf placement, balanced vs
+//! comb-shaped (pathologically deep, skinny) trees.
+//!
+//! Expected shape: degree ≈ log2(n) and hops ≈ 0.5·log2(n) + c with c
+//! below ~1 for every shape.
+
+use canon::crescendo::build_crescendo;
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::metric::Clockwise;
+use canon_id::rng::Seed;
+use canon_overlay::stats::{hop_stats, DegreeStats};
+
+/// A comb: each internal domain has one leaf child and one internal child,
+/// `depth` levels deep — the most unbalanced tree shape possible.
+fn comb(depth: u32) -> Hierarchy {
+    let mut h = Hierarchy::new();
+    let mut spine = h.root();
+    for i in 0..depth {
+        h.add_domain(spine, format!("tooth{i}"));
+        spine = h.add_domain(spine, format!("spine{i}"));
+    }
+    h
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args(8192, 1);
+    banner(
+        "shape-robustness",
+        "crescendo degree/hops across hierarchy shapes (paper: 'irrespective of structure')",
+        &cfg,
+    );
+    let n = cfg.max_n;
+    let logn = (n as f64).log2();
+    println!("# n = {n}: log2(n) = {logn:.2}, 0.5*log2(n) = {:.2}", logn / 2.0);
+    row(&["shape".into(), "domains".into(), "degMean".into(), "degMax".into(), "hops".into()]);
+
+    let shapes: Vec<(&str, Hierarchy, bool)> = vec![
+        ("flat", Hierarchy::balanced(1, 1), false),
+        ("binary-4-level", Hierarchy::balanced(2, 4), false),
+        ("fanout-64-2level", Hierarchy::balanced(64, 2), false),
+        ("fanout-10-5level", Hierarchy::balanced(10, 5), false),
+        ("fanout-10-5level-zipf", Hierarchy::balanced(10, 5), true),
+        ("comb-depth-10", comb(10), false),
+        ("comb-depth-30", comb(30), false),
+    ];
+
+    for (name, h, zipf) in shapes {
+        let seed = cfg.trial_seed("shape", 0).derive(name);
+        let p = if zipf {
+            Placement::zipf(&h, n, seed)
+        } else {
+            Placement::uniform(&h, n, seed)
+        };
+        let net = build_crescendo(&h, &p);
+        let deg = DegreeStats::of(net.graph()).summary;
+        let hops = hop_stats(net.graph(), Clockwise, 1000, Seed(7)).mean;
+        row(&[
+            name.to_owned(),
+            h.len().to_string(),
+            f(deg.mean),
+            format!("{}", deg.max as u64),
+            f(hops),
+        ]);
+    }
+    println!("# expect: every row has degMean <= log2(n)+1 and hops <= 0.5*log2(n)+1,");
+    println!("# including the pathological comb shapes");
+}

@@ -1,0 +1,130 @@
+//! §6 comparison: SkipNet vs Crescendo.
+//!
+//! Both provide intra-domain path locality (SkipNet via name-contiguous
+//! segments, Canon via the merge construction). The paper's point is the
+//! difference in *inter-domain path convergence*: Crescendo funnels all of
+//! a domain's queries for one key through one proxy node (enabling proxy
+//! caching), while SkipNet's paths to an outside destination converge only
+//! near the destination. We measure fig-8-style hop overlap for two
+//! same-domain queriers and the count of distinct domain exit nodes.
+
+use canon::crescendo::build_crescendo;
+use canon_bench::{banner, f, row, BenchConfig};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::metric::Clockwise;
+use canon_overlay::paths::overlap;
+use canon_overlay::{route, NodeIndex};
+use canon_skipnet::SkipNet;
+use rand::Rng;
+use std::collections::HashSet;
+
+fn main() {
+    let cfg = BenchConfig::from_args(4096, 1);
+    banner("skipnet-compare", "path convergence: SkipNet vs Crescendo", &cfg);
+    let n = cfg.max_n;
+    let sites = 64;
+    let per_site = n / sites;
+
+    // SkipNet: DNS-style names, one site per name prefix.
+    let names: Vec<String> = (0..n)
+        .map(|i| format!("org/site{:03}/host{:05}", i / per_site, i % per_site))
+        .collect();
+    let skipnet = SkipNet::build(names, cfg.trial_seed("skipnet", 0));
+
+    // Crescendo: the same two-level organization as a hierarchy.
+    let mut h = Hierarchy::new();
+    let mut leaves = Vec::new();
+    for s in 0..sites {
+        leaves.push(h.add_domain(h.root(), format!("site{s:03}")));
+    }
+    let p = Placement::uniform(&h, n, cfg.trial_seed("cresc", 0));
+    let cresc = build_crescendo(&h, &p);
+
+    let samples = 500;
+    let mut rng = cfg.trial_seed("samples", 1).rng();
+
+    // --- overlap fraction of two same-site queriers to one destination ---
+    let mut sn_overlap = 0.0;
+    let mut cr_overlap = 0.0;
+    // --- distinct exit nodes when a whole site queries one destination ---
+    let mut sn_exits = 0.0;
+    let mut cr_exits = 0.0;
+    let mut exit_trials = 0usize;
+
+    for t in 0..samples {
+        let site = rng.gen_range(0..sites);
+        // SkipNet: members of the site are a contiguous index range.
+        let sn_lo = site * per_site;
+        let q1 = sn_lo + rng.gen_range(0..per_site);
+        let q2 = sn_lo + rng.gen_range(0..per_site);
+        let dest = rng.gen_range(0..n);
+        if q1 == q2 || dest / per_site == site {
+            continue;
+        }
+        let r1 = skipnet.route_by_name(q1, dest).expect("skipnet route");
+        let r2 = skipnet.route_by_name(q2, dest).expect("skipnet route");
+        sn_overlap += overlap(&r1, &r2, |_, _| 1.0).hop_fraction;
+
+        // Crescendo: same experiment over the domain structure.
+        let members = cresc.members_of(&h, leaves[site]);
+        let a = members[rng.gen_range(0..members.len())];
+        let b = members[rng.gen_range(0..members.len())];
+        let outside: NodeIndex = loop {
+            let x = NodeIndex(rng.gen_range(0..n) as u32);
+            if cresc.leaf_of(x) != leaves[site] {
+                break x;
+            }
+        };
+        if a == b {
+            continue;
+        }
+        let c1 = route(cresc.graph(), Clockwise, a, outside).expect("crescendo route");
+        let c2 = route(cresc.graph(), Clockwise, b, outside).expect("crescendo route");
+        cr_overlap += overlap(&c1, &c2, |_, _| 1.0).hop_fraction;
+
+        // Exit-node diversity, every 25th trial (costlier).
+        if t % 25 == 0 {
+            exit_trials += 1;
+            let mut sn_set = HashSet::new();
+            let mut cr_set = HashSet::new();
+            for k in 0..per_site.min(20) {
+                let s = sn_lo + k;
+                let r = skipnet.route_by_name(s, dest).expect("skipnet route");
+                if let Some(exit) = r
+                    .path()
+                    .iter()
+                    .rev()
+                    .find(|&&v| v.index() / per_site == site)
+                {
+                    sn_set.insert(*exit);
+                }
+                let m = members[k % members.len()];
+                let r = route(cresc.graph(), Clockwise, m, outside).expect("crescendo route");
+                if let Some(exit) = r
+                    .path()
+                    .iter()
+                    .rev()
+                    .find(|&&v| cresc.leaf_of(v) == leaves[site])
+                {
+                    cr_set.insert(*exit);
+                }
+            }
+            sn_exits += sn_set.len() as f64;
+            cr_exits += cr_set.len() as f64;
+        }
+    }
+
+    row(&["metric".into(), "crescendo".into(), "skipnet".into()]);
+    row(&[
+        "overlapFrac".into(),
+        f(cr_overlap / samples as f64),
+        f(sn_overlap / samples as f64),
+    ]);
+    row(&[
+        "exitNodes".into(),
+        f(cr_exits / exit_trials as f64),
+        f(sn_exits / exit_trials as f64),
+    ]);
+    println!("# expect: crescendo overlap higher; crescendo exit nodes = 1 (convergence),");
+    println!("# skipnet exits > 1 (no single proxy; §6)");
+}

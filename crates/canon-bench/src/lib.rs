@@ -1,0 +1,148 @@
+//! Shared machinery for the figure/table experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (§5). All experiments are seeded and print their
+//! configuration first, so results are exactly reproducible. Binaries
+//! accept:
+//!
+//! * `--quick` — cap the network size for a fast smoke run;
+//! * `--max-n <N>` — explicit size cap;
+//! * `--seeds <S>` — number of trials averaged per cell;
+//! * `--seed <BASE>` — base seed (default 42).
+
+use canon_hierarchy::{DomainId, Hierarchy, Placement};
+use canon_id::rng::Seed;
+use canon_overlay::{NodeIndex, OverlayGraph};
+use std::collections::HashMap;
+
+/// Command-line configuration shared by the experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Largest network size to run.
+    pub max_n: usize,
+    /// Trials averaged per table cell.
+    pub seeds: u64,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl BenchConfig {
+    /// Parses `std::env::args`, with experiment-specific defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn from_args(default_max_n: usize, default_seeds: u64) -> BenchConfig {
+        let mut cfg =
+            BenchConfig { max_n: default_max_n, seeds: default_seeds, base_seed: 42 };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => cfg.max_n = cfg.max_n.min(4096),
+                "--max-n" => {
+                    i += 1;
+                    cfg.max_n = args[i].parse().expect("--max-n takes an integer");
+                }
+                "--seeds" => {
+                    i += 1;
+                    cfg.seeds = args[i].parse().expect("--seeds takes an integer");
+                }
+                "--seed" => {
+                    i += 1;
+                    cfg.base_seed = args[i].parse().expect("--seed takes an integer");
+                }
+                other => panic!("unknown argument {other}; try --quick/--max-n/--seeds/--seed"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// The doubling size sweep `from..=max_n`.
+    pub fn sizes(&self, from: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut n = from;
+        while n <= self.max_n {
+            out.push(n);
+            n *= 2;
+        }
+        out
+    }
+
+    /// The seed for trial `t` of experiment `label`.
+    pub fn trial_seed(&self, label: &str, t: u64) -> Seed {
+        Seed(self.base_seed).derive(label).derive_index(t)
+    }
+}
+
+/// Prints a header banner with the experiment id and configuration.
+pub fn banner(id: &str, what: &str, cfg: &BenchConfig) {
+    println!("# {id}: {what}");
+    println!(
+        "# config: max_n={} seeds={} base_seed={}",
+        cfg.max_n, cfg.seeds, cfg.base_seed
+    );
+}
+
+/// Prints one aligned table row from string cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float cell.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Groups graph node indices by their ancestor domain at `depth`.
+///
+/// Nodes whose leaf is shallower than `depth` are grouped under the leaf
+/// itself.
+pub fn members_by_domain_at_depth(
+    hierarchy: &Hierarchy,
+    placement: &Placement,
+    graph: &OverlayGraph,
+    depth: u32,
+) -> HashMap<DomainId, Vec<NodeIndex>> {
+    let mut map: HashMap<DomainId, Vec<NodeIndex>> = HashMap::new();
+    for (id, leaf) in placement.iter() {
+        let d = hierarchy.ancestor_at_depth(leaf, depth.min(hierarchy.depth(leaf)));
+        let idx = graph.index_of(id).expect("placed node in graph");
+        map.entry(d).or_default().push(idx);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_double_up_to_cap() {
+        let cfg = BenchConfig { max_n: 8192, seeds: 1, base_seed: 0 };
+        assert_eq!(cfg.sizes(1024), vec![1024, 2048, 4096, 8192]);
+        assert_eq!(cfg.sizes(10000), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn trial_seeds_differ() {
+        let cfg = BenchConfig { max_n: 0, seeds: 2, base_seed: 7 };
+        assert_ne!(cfg.trial_seed("a", 0), cfg.trial_seed("a", 1));
+        assert_ne!(cfg.trial_seed("a", 0), cfg.trial_seed("b", 0));
+        assert_eq!(cfg.trial_seed("a", 1), cfg.trial_seed("a", 1));
+    }
+
+    #[test]
+    fn member_grouping_covers_all_nodes() {
+        use canon_id::rng::Seed;
+        let h = Hierarchy::balanced(3, 3);
+        let p = Placement::uniform(&h, 90, Seed(1));
+        let net = canon::crescendo::build_crescendo(&h, &p);
+        let by1 = members_by_domain_at_depth(&h, &p, net.graph(), 1);
+        let total: usize = by1.values().map(Vec::len).sum();
+        assert_eq!(total, 90);
+        assert_eq!(by1.len(), 3);
+    }
+}

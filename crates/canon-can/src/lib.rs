@@ -1,0 +1,391 @@
+//! Flat CAN in its binary prefix-tree form (paper §3.4).
+//!
+//! The paper generalizes CAN to a logarithmic-degree network: node
+//! identifiers form a binary prefix tree (left branches 0, right branches
+//! 1); the root-to-leaf path is the node's ID, so IDs have *variable
+//! length* and correspond to *zones* — aligned binary intervals that tile
+//! the identifier space, produced by CAN's join-time zone splitting. A node
+//! with a short ID stands for several *virtual* equal-length nodes. Edges
+//! are hypercube edges (differ in exactly one bit after padding), and
+//! routing is left-to-right bit fixing — greedy under the XOR metric.
+//!
+//! This crate implements that system faithfully: sequential zone splits at
+//! random join points ([`CanNetwork::build`]), zone-based key
+//! responsibility, hypercube links and XOR-greedy routing over zone
+//! representatives. (The *Canonical* version, Can-Can, lives in the `canon`
+//! crate and uses the equal-length formulation over full-length node
+//! identifiers, which the paper notes has "almost identical" properties.)
+
+use canon_id::{rng::Seed, NodeId, ID_BITS};
+use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph};
+use rand::Rng;
+use std::fmt;
+
+/// An aligned binary zone: the identifier interval
+/// `[prefix · 2^(64-depth), (prefix + 1) · 2^(64-depth))`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Zone {
+    /// The zone's prefix, MSB-aligned (low `64 - depth` bits are zero).
+    start: u64,
+    /// Number of meaningful prefix bits (0 = the whole space).
+    depth: u32,
+}
+
+impl Zone {
+    /// The whole identifier space.
+    pub const FULL: Zone = Zone { start: 0, depth: 0 };
+
+    /// The zone's first identifier.
+    pub const fn start(self) -> NodeId {
+        NodeId::new(self.start)
+    }
+
+    /// The prefix length in bits.
+    pub const fn depth(self) -> u32 {
+        self.depth
+    }
+
+    /// The zone's size as a fraction of the space: `2^-depth`.
+    pub fn fraction(self) -> f64 {
+        (0.5f64).powi(self.depth as i32)
+    }
+
+    /// Whether `point` lies in the zone.
+    pub fn contains(self, point: NodeId) -> bool {
+        if self.depth == 0 {
+            return true;
+        }
+        (point.raw() ^ self.start) >> (ID_BITS - self.depth) == 0
+    }
+
+    /// Splits the zone into its 0-half and 1-half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone is already a single identifier (`depth == 64`).
+    pub fn split(self) -> (Zone, Zone) {
+        assert!(self.depth < ID_BITS, "cannot split a unit zone");
+        let d = self.depth + 1;
+        let one = self.start | (1u64 << (ID_BITS - d));
+        (Zone { start: self.start, depth: d }, Zone { start: one, depth: d })
+    }
+
+    /// The sibling zone across dimension `i` (the zone with prefix bit `i`
+    /// flipped), at the same depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= depth`.
+    pub fn flip(self, i: u32) -> Zone {
+        assert!(i < self.depth, "dimension {i} out of range for depth {}", self.depth);
+        Zone { start: self.start ^ (1u64 << (ID_BITS - 1 - i)), depth: self.depth }
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.depth == 0 {
+            return write!(f, "ε");
+        }
+        for i in 0..self.depth {
+            write!(f, "{}", u8::from(NodeId::new(self.start).bit(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// A flat CAN network: one zone per node, tiling the space, plus the
+/// hypercube overlay between zone owners.
+#[derive(Clone, Debug)]
+pub struct CanNetwork {
+    zones: Vec<Zone>,        // in join order
+    points: Vec<NodeId>,     // each node's join point (stays inside its zone)
+    graph: OverlayGraph,     // node ids are zone start points
+    order: Vec<usize>,       // zone indices sorted by start
+}
+
+impl CanNetwork {
+    /// Builds a CAN of `n` nodes by sequential joins at random points: each
+    /// joining node picks a uniformly random point, the owner of that point
+    /// splits its zone in half, and the newcomer takes the half containing
+    /// its point (the owner keeps the half containing its own).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n` exceeds what 64-bit zones can hold along
+    /// one split path (not reachable for realistic sizes).
+    pub fn build(n: usize, seed: Seed) -> CanNetwork {
+        assert!(n >= 1, "a CAN needs at least one node");
+        let mut rng = seed.derive("can-joins").rng();
+        let mut zones: Vec<Zone> = vec![Zone::FULL];
+        let mut points: Vec<NodeId> = vec![NodeId::new(rng.gen())];
+        for _ in 1..n {
+            let p = NodeId::new(rng.gen());
+            let owner = zones
+                .iter()
+                .position(|z| z.contains(p))
+                .expect("zones tile the space");
+            // Re-draw if the point collides with the owner's (their shared
+            // zone could no longer be split to separate them cheaply).
+            let (zero, one) = zones[owner].split();
+            let own_pt = points[owner];
+            let (owner_zone, new_zone) = if zero.contains(own_pt) == zero.contains(p) {
+                // Same half: owner keeps its half, newcomer takes the other.
+                if zero.contains(own_pt) {
+                    (zero, one)
+                } else {
+                    (one, zero)
+                }
+            } else if zero.contains(own_pt) {
+                (zero, one)
+            } else {
+                (one, zero)
+            };
+            zones[owner] = owner_zone;
+            zones.push(new_zone);
+            // Keep the newcomer's point inside its zone (re-home if needed).
+            let pt = if new_zone.contains(p) {
+                p
+            } else {
+                new_zone.start()
+            };
+            points.push(pt);
+        }
+
+        let mut order: Vec<usize> = (0..zones.len()).collect();
+        order.sort_unstable_by_key(|&i| zones[i].start);
+
+        // Hypercube links: for each dimension i of a zone, link to the
+        // owner of the bit-fixed representative point in the sibling
+        // subtree at depth i+1.
+        let ids: Vec<NodeId> = zones.iter().map(|z| z.start()).collect();
+        let mut b = GraphBuilder::with_nodes(&ids);
+        for (idx, z) in zones.iter().enumerate() {
+            for i in 0..z.depth {
+                let target = z.start().flip_bit(i);
+                let owner = owner_of(&zones, &order, target);
+                if owner != idx {
+                    b.add_link_by_index(
+                        graph_index(&ids, zones[idx].start()),
+                        graph_index(&ids, zones[owner].start()),
+                    );
+                }
+            }
+        }
+        let graph = b.build();
+        CanNetwork { zones, points, graph, order }
+    }
+
+    /// The hypercube overlay; node ids are zone start points, routable with
+    /// [`canon_id::metric::Xor`].
+    pub fn graph(&self) -> &OverlayGraph {
+        &self.graph
+    }
+
+    /// The zones in join order.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The node (join-order index) whose zone contains `point`.
+    pub fn responsible(&self, point: NodeId) -> usize {
+        owner_of(&self.zones, &self.order, point)
+    }
+
+    /// The join point of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn point(&self, i: usize) -> NodeId {
+        self.points[i]
+    }
+
+    /// The graph index of join-order node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn graph_index_of(&self, i: usize) -> NodeIndex {
+        self.graph
+            .index_of(self.zones[i].start())
+            .expect("every zone start is a graph node")
+    }
+
+    /// Number of *virtual* equal-length nodes `i` stands for after padding
+    /// all IDs to the maximum depth.
+    pub fn virtual_multiplicity(&self, i: usize) -> u64 {
+        let max_depth = self.zones.iter().map(|z| z.depth).max().unwrap_or(0);
+        1u64 << (max_depth - self.zones[i].depth)
+    }
+}
+
+/// The index of the zone containing `point`, given `order` sorting zones by
+/// start. Because zones tile the space, it is the zone with the largest
+/// start `<=` the point.
+fn owner_of(zones: &[Zone], order: &[usize], point: NodeId) -> usize {
+    let pos = order.partition_point(|&i| zones[i].start <= point.raw());
+    let idx = order[pos.saturating_sub(1)];
+    debug_assert!(zones[idx].contains(point));
+    idx
+}
+
+fn graph_index(ids: &[NodeId], id: NodeId) -> NodeIndex {
+    NodeIndex(ids.iter().position(|&x| x == id).expect("zone id present") as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::metric::Xor;
+    use canon_overlay::{route, route_to_key, stats};
+
+    #[test]
+    fn zone_split_halves() {
+        let (a, b) = Zone::FULL.split();
+        assert_eq!(a.depth(), 1);
+        assert_eq!(b.start().raw(), 1u64 << 63);
+        assert!(a.contains(NodeId::new(42)));
+        assert!(b.contains(NodeId::new(u64::MAX)));
+        assert!(!a.contains(NodeId::new(u64::MAX)));
+        assert!((a.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zone_flip_is_sibling() {
+        let (a, _) = Zone::FULL.split();
+        let (aa, ab) = a.split();
+        assert_eq!(ab.flip(1), aa);
+        assert_eq!(aa.flip(0).start().raw() >> 62, 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zone_flip_rejects_deep_dimension() {
+        let (a, _) = Zone::FULL.split();
+        a.flip(1);
+    }
+
+    #[test]
+    fn zone_display() {
+        let (a, b) = Zone::FULL.split();
+        assert_eq!(a.to_string(), "0");
+        assert_eq!(b.to_string(), "1");
+        assert_eq!(Zone::FULL.to_string(), "ε");
+    }
+
+    #[test]
+    fn zones_tile_the_space() {
+        let net = CanNetwork::build(100, Seed(1));
+        // Fractions sum to 1.
+        let total: f64 = net.zones().iter().map(|z| z.fraction()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+        // Starts are unique.
+        let mut starts: Vec<u64> = net.zones().iter().map(|z| z.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 100);
+    }
+
+    #[test]
+    fn responsibility_matches_zone_containment() {
+        let net = CanNetwork::build(64, Seed(2));
+        let mut rng = Seed(3).rng();
+        for _ in 0..200 {
+            let p = NodeId::new(rng.gen());
+            let idx = net.responsible(p);
+            assert!(net.zones()[idx].contains(p));
+        }
+    }
+
+    #[test]
+    fn points_stay_in_their_zones() {
+        let net = CanNetwork::build(128, Seed(4));
+        for i in 0..128 {
+            assert!(net.zones()[i].contains(net.point(i)), "node {i}");
+        }
+    }
+
+    #[test]
+    fn routing_reaches_every_zone_owner() {
+        let net = CanNetwork::build(128, Seed(5));
+        let g = net.graph();
+        let mut rng = Seed(6).rng();
+        for _ in 0..100 {
+            let a = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            let key = NodeId::new(rng.gen());
+            let r = route_to_key(g, Xor, a, key).unwrap();
+            let owner = net.responsible(key);
+            assert_eq!(r.target(), net.graph_index_of(owner), "key {key}");
+        }
+    }
+
+    #[test]
+    fn node_to_node_routing_is_logarithmic() {
+        let net = CanNetwork::build(1024, Seed(7));
+        let s = stats::hop_stats(net.graph(), Xor, 400, Seed(8));
+        assert!(s.mean < 9.0, "mean hops {}", s.mean);
+    }
+
+    #[test]
+    fn degree_equals_zone_depth_dimensions() {
+        let net = CanNetwork::build(256, Seed(9));
+        let d = stats::DegreeStats::of(net.graph());
+        // Each node has at most `depth` links (some dimensions may map to
+        // the same owner and deduplicate).
+        for i in 0..256 {
+            let gi = net.graph_index_of(i);
+            assert!(net.graph().degree(gi) as u32 <= net.zones()[i].depth());
+            assert!(net.graph().degree(gi) >= 1);
+        }
+        // Average ≈ log2(n) for random joins.
+        assert!(d.summary.mean > 4.0 && d.summary.mean < 14.0, "mean {}", d.summary.mean);
+    }
+
+    #[test]
+    fn virtual_multiplicity_pads_short_ids() {
+        let net = CanNetwork::build(32, Seed(10));
+        let max_depth = net.zones().iter().map(|z| z.depth()).max().unwrap();
+        for i in 0..32 {
+            let m = net.virtual_multiplicity(i);
+            assert_eq!(m, 1u64 << (max_depth - net.zones()[i].depth()));
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let net = CanNetwork::build(1, Seed(11));
+        assert_eq!(net.zones().len(), 1);
+        assert_eq!(net.zones()[0], Zone::FULL);
+        assert_eq!(net.responsible(NodeId::new(12345)), 0);
+    }
+
+    #[test]
+    fn construction_is_reproducible() {
+        let a = CanNetwork::build(50, Seed(12));
+        let b = CanNetwork::build(50, Seed(12));
+        assert_eq!(a.zones(), b.zones());
+    }
+
+    #[test]
+    fn neighbors_are_hypercube_adjacent() {
+        let net = CanNetwork::build(64, Seed(13));
+        let g = net.graph();
+        for (a, b) in g.edges() {
+            // Endpoint zones must differ in exactly the top differing bit
+            // of their starts within the source's depth.
+            let za = net.zones()[net
+                .zones()
+                .iter()
+                .position(|z| z.start() == g.id(a))
+                .unwrap()];
+            let xor = g.id(a).raw() ^ g.id(b).raw();
+            let top = 63 - xor.leading_zeros();
+            let dim = 63 - top;
+            assert!(dim < za.depth(), "edge {a}->{b} flips bit outside prefix");
+        }
+        // And routing across any single edge reduces XOR distance.
+        let r = route(g, Xor, NodeIndex(0), NodeIndex(5)).unwrap();
+        assert_eq!(r.target(), NodeIndex(5));
+    }
+}

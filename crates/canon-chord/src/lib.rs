@@ -1,0 +1,357 @@
+//! Flat Chord and nondeterministic Chord (paper §2.1, §3.2 baselines).
+//!
+//! Chord hashes nodes onto a circular identifier space; each node `m` keeps
+//! a link to the closest node at clockwise distance at least `2^k`, for each
+//! `0 ≤ k < N` — equivalently, the successor of the point `m + 2^k`.
+//! *Nondeterministic* Chord (used by CFS and analyzed by Gummadi et al.)
+//! relaxes the rule: for each `k`, `m` may link to *any* node at distance in
+//! `[2^k, 2^(k+1))`.
+//!
+//! Both rules are exposed in two forms:
+//!
+//! * whole-network constructors ([`build_chord`], [`build_nondet_chord`])
+//!   returning an [`OverlayGraph`] routable with the clockwise metric;
+//! * per-node *bounded* rule functions ([`chord_links_bounded`],
+//!   [`nondet_links_bounded`]) that also accept the own-ring distance bound
+//!   of Canon merge condition (b) — the `canon` crate builds Crescendo and
+//!   nondeterministic Crescendo from exactly these functions, mirroring how
+//!   the paper derives the hierarchical designs from the flat rules.
+//!
+//! # Example
+//!
+//! ```
+//! use canon_chord::build_chord;
+//! use canon_id::{metric::Clockwise, rng::{random_ids, Seed}};
+//! use canon_overlay::route;
+//!
+//! let ids = random_ids(Seed(1), 64);
+//! let g = build_chord(&ids);
+//! let r = route(&g, Clockwise, canon_overlay::NodeIndex(0),
+//!               canon_overlay::NodeIndex(63))?;
+//! assert!(r.hops() <= 12); // O(log n) with small constants
+//! # Ok::<(), canon_overlay::RouteError>(())
+//! ```
+
+use canon_id::{ring::SortedRing, rng::DetRng, NodeId, RingDistance, ID_BITS};
+use canon_overlay::{GraphBuilder, OverlayGraph};
+use rand::Rng;
+
+/// The deterministic Chord link rule over `ring`, restricted to links
+/// strictly shorter than `bound`.
+///
+/// For each `k` with `2^k < bound`, the successor of `me + 2^k` is a
+/// candidate; it is kept if its clockwise distance from `me` is below
+/// `bound`. With `bound == RingDistance::FULL_CIRCLE` this is exactly the
+/// flat Chord rule applied over `ring`. Returned links are deduplicated and
+/// never include `me`.
+pub fn chord_links_bounded(ring: &SortedRing, me: NodeId, bound: RingDistance) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut last: Option<NodeId> = None;
+    for k in 0..ID_BITS {
+        if (1u128 << k) >= bound.as_u128() {
+            break;
+        }
+        let Some(s) = ring.successor(me.offset(1u64 << k)) else {
+            break;
+        };
+        if s == me {
+            continue;
+        }
+        let d = me.clockwise_to(s);
+        // The successor of me + 2^k is at distance >= 2^k except when the
+        // ring wrapped all the way around past me; that case has d < 2^k
+        // and must be skipped (it would duplicate a shorter-k link anyway).
+        if (d as u128) < (1u128 << k) {
+            continue;
+        }
+        if (d as u128) < bound.as_u128() && last != Some(s) {
+            out.push(s);
+            last = Some(s);
+        }
+    }
+    out
+}
+
+/// The flat deterministic Chord rule over `ring` (no bound).
+pub fn chord_links(ring: &SortedRing, me: NodeId) -> Vec<NodeId> {
+    chord_links_bounded(ring, me, RingDistance::FULL_CIRCLE)
+}
+
+/// The nondeterministic Chord link rule over `ring`, restricted to links
+/// strictly shorter than `bound`.
+///
+/// For each `k`, one node is chosen uniformly at random among the nodes at
+/// clockwise distance in `[2^k, min(2^(k+1), bound))` from `me` (paper
+/// §3.2: when rings are merged, the nondeterministic choice may only be
+/// exercised among nodes closer than any node in `m`'s own ring). Always
+/// includes the successor of `me` when it is within `bound` (the `k = 0`
+/// band always contains it if nonempty).
+pub fn nondet_links_bounded(
+    ring: &SortedRing,
+    me: NodeId,
+    bound: RingDistance,
+    rng: &mut DetRng,
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for k in 0..ID_BITS {
+        let lo = 1u128 << k;
+        if lo >= bound.as_u128() {
+            break;
+        }
+        let hi = (1u128 << (k + 1)).min(bound.as_u128()); // exclusive
+        let chosen = choose_in_band(ring, me, lo as u64, hi, rng);
+        if let Some(c) = chosen {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Picks a uniformly random node of `ring` at clockwise distance in
+/// `[lo, hi)` from `me`, excluding `me` itself.
+fn choose_in_band(
+    ring: &SortedRing,
+    me: NodeId,
+    lo: u64,
+    hi: u128,
+    rng: &mut DetRng,
+) -> Option<NodeId> {
+    debug_assert!((lo as u128) < hi && hi <= canon_id::ID_SPACE);
+    let ids = ring.as_slice();
+    let n = ids.len();
+    if n == 0 {
+        return None;
+    }
+    // The band covers the identifier interval [me + lo, me + hi - 1]
+    // (inclusive), which may wrap past 2^64. Count members by rank so that
+    // the choice is uniform without materializing the band.
+    let start = me.offset(lo);
+    let span = hi - lo as u128; // number of identifier points in the band
+    let first = ids.partition_point(|&id| id < start);
+    let wraps = start.raw() as u128 + span > canon_id::ID_SPACE;
+    let count = if wraps {
+        let end = NodeId::new((start.raw() as u128 + span - 1 - canon_id::ID_SPACE) as u64);
+        (n - first) + ids.partition_point(|&id| id <= end)
+    } else {
+        let end = NodeId::new((start.raw() as u128 + span - 1) as u64);
+        ids.partition_point(|&id| id <= end) - first
+    };
+    if count == 0 {
+        return None;
+    }
+    let pick = rng.gen_range(0..count);
+    let cand = ids[(first + pick) % n];
+    // `me` is at distance 0 and the band starts at lo >= 1 and ends before
+    // the full circle, so it can never contain `me`.
+    debug_assert_ne!(cand, me);
+    Some(cand)
+}
+
+/// Builds a flat deterministic Chord network over `ids`.
+///
+/// Routing on the result uses the clockwise metric. Every node links to its
+/// successor (the `k = 0` rule), so greedy clockwise routing always
+/// terminates at the destination.
+pub fn build_chord(ids: &[NodeId]) -> OverlayGraph {
+    let ring = SortedRing::new(ids.to_vec());
+    let mut b = GraphBuilder::with_nodes(ring.as_slice());
+    for &me in ring.as_slice() {
+        for link in chord_links(&ring, me) {
+            b.add_link(me, link);
+        }
+    }
+    b.build()
+}
+
+/// Builds a flat nondeterministic Chord network over `ids`.
+///
+/// For each distance band `[2^k, 2^(k+1))` every node links to one
+/// uniformly random member. The successor link (band `k = 0`… the smallest
+/// nonempty band) is additionally forced so that greedy routing is always
+/// live, matching deployed nondeterministic-Chord systems.
+pub fn build_nondet_chord(ids: &[NodeId], seed: canon_id::rng::Seed) -> OverlayGraph {
+    let ring = SortedRing::new(ids.to_vec());
+    let mut b = GraphBuilder::with_nodes(ring.as_slice());
+    let mut rng = seed.derive("nondet-chord").rng();
+    for &me in ring.as_slice() {
+        for link in nondet_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng) {
+            b.add_link(me, link);
+        }
+        // Force the successor link for routing liveness.
+        if let Some(s) = ring.strict_successor(me) {
+            if s != me {
+                b.add_link(me, s);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::metric::Clockwise;
+    use canon_id::rng::{random_ids, Seed};
+    use canon_overlay::stats;
+
+    fn ring_of(raws: &[u64]) -> SortedRing {
+        SortedRing::new(raws.iter().copied().map(NodeId::new).collect())
+    }
+
+    #[test]
+    fn paper_figure2_ring_a_links() {
+        // Figure 2, ring A = {0, 5, 10, 12} in a 4-bit space. In our 64-bit
+        // space the distances 1,2,4,8 correspond to k = 0..3; links for
+        // higher k all resolve to the successor of points past every node,
+        // wrapping to node 0 — i.e. no further distinct targets for node 0.
+        let ring = ring_of(&[0, 5, 10, 12]);
+        let links = chord_links(&ring, NodeId::new(0));
+        // Successor of 1,2,4 is 5; successor of 8 is 10; successor of 16.. is 0 (self, skipped).
+        assert_eq!(links, vec![NodeId::new(5), NodeId::new(10)]);
+    }
+
+    #[test]
+    fn paper_figure2_merged_links_for_node_0() {
+        // Merged ring {0,2,3,5,8,10,12,13}; node 0's own-ring (A) bound is
+        // distance 5 (to node 5). Candidates below the bound: successor of
+        // 0+1 = 2 (distance 2 < 5), successor of 0+2 = 2 (duplicate),
+        // successor of 0+4 = 5 (distance 5, not < 5 → rejected).
+        let merged = ring_of(&[0, 2, 3, 5, 8, 10, 12, 13]);
+        let links =
+            chord_links_bounded(&merged, NodeId::new(0), RingDistance::from_u64(5));
+        assert_eq!(links, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn paper_figure2_merged_links_for_node_8() {
+        // Node 8 in ring B = {2,3,8,13}: own-ring bound = distance 5 (to 13).
+        // Over the merged ring: successor of 9 = 10 (distance 2), successor
+        // of 10 = 10 (dup), successor of 12 = 12 (distance 4), successor of
+        // 16 → wraps to 0 at distance 8 but 8 >= 5 → rejected by bound.
+        let merged = ring_of(&[0, 2, 3, 5, 8, 10, 12, 13]);
+        let links =
+            chord_links_bounded(&merged, NodeId::new(8), RingDistance::from_u64(5));
+        assert_eq!(links, vec![NodeId::new(10), NodeId::new(12)]);
+    }
+
+    #[test]
+    fn node_with_close_successor_adds_no_merge_links() {
+        // Paper: node 2 has node 3 in its own ring at distance 1, so
+        // condition (b) rules out every merge link.
+        let merged = ring_of(&[0, 2, 3, 5, 8, 10, 12, 13]);
+        let links =
+            chord_links_bounded(&merged, NodeId::new(2), RingDistance::from_u64(1));
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn singleton_ring_has_no_links() {
+        let ring = ring_of(&[7]);
+        assert!(chord_links(&ring, NodeId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn every_node_links_to_its_successor() {
+        let ids = random_ids(Seed(2), 256);
+        let ring = SortedRing::new(ids.clone());
+        for &me in ring.as_slice() {
+            let succ = ring.strict_successor(me).unwrap();
+            let links = chord_links(&ring, me);
+            assert!(links.contains(&succ), "{me} missing successor {succ}");
+        }
+    }
+
+    #[test]
+    fn chord_degree_is_logarithmic() {
+        // Theorem 1: expected degree <= log2(n-1) + 1.
+        let n = 2048;
+        let g = build_chord(&random_ids(Seed(3), n));
+        let d = stats::DegreeStats::of(&g);
+        let bound = ((n - 1) as f64).log2() + 1.0;
+        assert!(
+            d.summary.mean <= bound,
+            "mean degree {} exceeds Theorem 1 bound {bound}",
+            d.summary.mean
+        );
+        // And it should not be wildly below either (sanity: > half).
+        assert!(d.summary.mean > bound / 2.0);
+    }
+
+    #[test]
+    fn chord_routing_reaches_all_sampled_destinations() {
+        let g = build_chord(&random_ids(Seed(4), 512));
+        let s = stats::hop_stats(&g, Clockwise, 500, Seed(5));
+        // Theorem 4: expected hops <= 0.5*log2(n-1) + 0.5 = 5.0 for n = 512.
+        assert!(s.mean <= 5.0 + 0.5, "mean hops {}", s.mean);
+    }
+
+    #[test]
+    fn chord_links_are_exactly_distinct_finger_successors() {
+        // Cross-check the rule against a brute-force implementation.
+        let ids = random_ids(Seed(6), 100);
+        let ring = SortedRing::new(ids);
+        for &me in ring.as_slice().iter().take(20) {
+            let mut brute: Vec<NodeId> = Vec::new();
+            for k in 0..ID_BITS {
+                let target = me.offset(1u64 << k);
+                let s = ring.successor(target).unwrap();
+                if s != me && me.clockwise_to(s) as u128 >= (1u128 << k) && !brute.contains(&s) {
+                    brute.push(s);
+                }
+            }
+            let mut got = chord_links(&ring, me);
+            brute.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, brute);
+        }
+    }
+
+    #[test]
+    fn nondet_links_respect_bands_and_bound() {
+        let ids = random_ids(Seed(7), 300);
+        let ring = SortedRing::new(ids);
+        let me = ring.as_slice()[42];
+        let bound = RingDistance::from_u64(1u64 << 62);
+        let mut rng = Seed(8).rng();
+        let links = nondet_links_bounded(&ring, me, bound, &mut rng);
+        assert!(!links.is_empty());
+        for l in &links {
+            let d = me.clockwise_to(*l);
+            assert!((d as u128) < bound.as_u128(), "link at distance {d} violates bound");
+        }
+    }
+
+    #[test]
+    fn nondet_chord_routes_correctly() {
+        let ids = random_ids(Seed(9), 256);
+        let g = build_nondet_chord(&ids, Seed(10));
+        let s = stats::hop_stats(&g, Clockwise, 300, Seed(11));
+        assert!(s.mean < 10.0, "nondet chord mean hops {}", s.mean);
+    }
+
+    #[test]
+    fn nondet_construction_is_seed_deterministic() {
+        let ids = random_ids(Seed(12), 128);
+        let a = build_nondet_chord(&ids, Seed(1));
+        let b = build_nondet_chord(&ids, Seed(1));
+        let c = build_nondet_chord(&ids, Seed(2));
+        assert_eq!(a.link_count(), b.link_count());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+        // Different seeds should (overwhelmingly) differ.
+        let ec: Vec<_> = c.edges().collect();
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn two_node_network_is_mutually_linked() {
+        let g = build_chord(&[NodeId::new(10), NodeId::new(1 << 40)]);
+        assert_eq!(g.len(), 2);
+        for i in g.node_indices() {
+            assert_eq!(g.degree(i), 1);
+        }
+    }
+}

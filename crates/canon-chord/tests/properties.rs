@@ -1,0 +1,73 @@
+//! Property tests for the Chord link rules.
+
+use canon_chord::{chord_links, chord_links_bounded, nondet_links_bounded};
+use canon_id::{ring::SortedRing, rng::Seed, NodeId, RingDistance};
+use proptest::prelude::*;
+
+fn ring_strategy() -> impl Strategy<Value = SortedRing> {
+    proptest::collection::vec(any::<u64>(), 2..150)
+        .prop_map(|v| SortedRing::new(v.into_iter().map(NodeId::new).collect()))
+}
+
+proptest! {
+    /// Bounded links are a subset of the flat rule's links and respect the
+    /// bound.
+    #[test]
+    fn bounded_links_are_a_filtered_subset(ring in ring_strategy(), bound_exp in 1u32..64) {
+        let me = *ring.as_slice().first().expect("nonempty");
+        let bound = RingDistance::from_u64(1u64 << bound_exp);
+        let bounded = chord_links_bounded(&ring, me, bound);
+        let flat = chord_links(&ring, me);
+        for l in &bounded {
+            prop_assert!((me.clockwise_to(*l) as u128) < bound.as_u128());
+            prop_assert!(flat.contains(l), "bounded link {l} not in flat set");
+        }
+        // Everything in the flat set within the bound must also be kept.
+        for l in &flat {
+            if (me.clockwise_to(*l) as u128) < bound.as_u128() {
+                prop_assert!(bounded.contains(l));
+            }
+        }
+    }
+
+    /// Every flat link is the successor of me + 2^k for some k, at distance
+    /// >= 2^k.
+    #[test]
+    fn flat_links_satisfy_the_chord_rule(ring in ring_strategy()) {
+        for &me in ring.as_slice().iter().take(10) {
+            for l in chord_links(&ring, me) {
+                let d = me.clockwise_to(l) as u128;
+                let matches = (0..64u32).any(|k| {
+                    d >= (1u128 << k) && ring.successor(me.offset(1u64 << k)) == Some(l)
+                });
+                prop_assert!(matches, "link {l} has no justifying k");
+            }
+        }
+    }
+
+    /// The ring successor is always among the flat links (k = 0 rule).
+    #[test]
+    fn successor_always_linked(ring in ring_strategy()) {
+        for &me in ring.as_slice().iter().take(10) {
+            let succ = ring.strict_successor(me).expect("nonempty");
+            if succ != me {
+                prop_assert!(chord_links(&ring, me).contains(&succ));
+            }
+        }
+    }
+
+    /// Nondeterministic links stay within their bound and are distinct.
+    #[test]
+    fn nondet_links_respect_bound(ring in ring_strategy(), seed in any::<u64>(), bound_exp in 1u32..64) {
+        let me = *ring.as_slice().last().expect("nonempty");
+        let bound = RingDistance::from_u64(1u64 << bound_exp);
+        let mut rng = Seed(seed).rng();
+        let links = nondet_links_bounded(&ring, me, bound, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for l in links {
+            prop_assert!(l != me);
+            prop_assert!((me.clockwise_to(l) as u128) < bound.as_u128());
+            prop_assert!(seen.insert(l), "duplicate link {l}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the domain hierarchy: LCA laws, ancestor relations
+//! and membership consistency over random tree shapes.
+
+use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
+use canon_id::rng::Seed;
+use proptest::prelude::*;
+
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    // A random tree grown by attaching each new domain under a random
+    // existing one.
+    proptest::collection::vec(any::<u16>(), 0..40).prop_map(|parents| {
+        let mut h = Hierarchy::new();
+        let mut all = vec![h.root()];
+        for (i, p) in parents.into_iter().enumerate() {
+            let parent = all[p as usize % all.len()];
+            all.push(h.add_domain(parent, format!("d{i}")));
+        }
+        h
+    })
+}
+
+fn pick(h: &Hierarchy, sel: u16) -> DomainId {
+    let all: Vec<DomainId> = h.all_domains().collect();
+    all[sel as usize % all.len()]
+}
+
+proptest! {
+    /// LCA is commutative, idempotent, and an ancestor of both arguments.
+    #[test]
+    fn lca_laws(h in arb_hierarchy(), x in any::<u16>(), y in any::<u16>()) {
+        let a = pick(&h, x);
+        let b = pick(&h, y);
+        let l = h.lca(a, b);
+        prop_assert_eq!(l, h.lca(b, a));
+        prop_assert_eq!(h.lca(a, a), a);
+        prop_assert!(h.is_ancestor_or_self(l, a));
+        prop_assert!(h.is_ancestor_or_self(l, b));
+        // Deepest common ancestor: no child of l is an ancestor of both.
+        for &c in h.children(l) {
+            prop_assert!(
+                !(h.is_ancestor_or_self(c, a) && h.is_ancestor_or_self(c, b)),
+                "lca was not deepest"
+            );
+        }
+    }
+
+    /// The root-to-node path is consistent with parent pointers and depth.
+    #[test]
+    fn paths_are_consistent(h in arb_hierarchy(), x in any::<u16>()) {
+        let d = pick(&h, x);
+        let path = h.path_from_root(d);
+        prop_assert_eq!(path[0], h.root());
+        prop_assert_eq!(*path.last().expect("nonempty"), d);
+        prop_assert_eq!(path.len() as u32, h.depth(d) + 1);
+        for w in path.windows(2) {
+            prop_assert_eq!(h.parent(w[1]), Some(w[0]));
+        }
+        // ancestor_at_depth inverts the path.
+        for (i, &anc) in path.iter().enumerate() {
+            prop_assert_eq!(h.ancestor_at_depth(d, i as u32), anc);
+        }
+    }
+
+    /// Membership rings nest: a domain's ring is the disjoint union of its
+    /// children's (plus nothing else, since nodes live at leaves).
+    #[test]
+    fn membership_nests(h in arb_hierarchy(), n in 1usize..60, seed in any::<u64>()) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let m = DomainMembership::build(&h, &p);
+        for d in h.all_domains() {
+            if h.is_leaf(d) {
+                continue;
+            }
+            let child_total: usize = h.children(d).iter().map(|&c| m.size(c)).sum();
+            // Internal domains hold exactly their children's members.
+            prop_assert_eq!(m.size(d), child_total, "domain {}", d);
+            for &c in h.children(d) {
+                for &id in m.ring(c).as_slice() {
+                    prop_assert!(m.ring(d).contains(id));
+                }
+            }
+        }
+        prop_assert_eq!(m.size(h.root()), n);
+    }
+
+    /// Zipf and uniform placements agree on the total and on leaf-only
+    /// assignment.
+    #[test]
+    fn placements_only_use_leaves(h in arb_hierarchy(), n in 1usize..60, seed in any::<u64>()) {
+        for p in [Placement::uniform(&h, n, Seed(seed)), Placement::zipf(&h, n, Seed(seed))] {
+            prop_assert_eq!(p.len(), n);
+            for (_, leaf) in p.iter() {
+                prop_assert!(h.is_leaf(leaf));
+            }
+        }
+    }
+}

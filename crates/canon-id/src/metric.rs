@@ -1,0 +1,126 @@
+//! Distance metrics over the identifier space.
+//!
+//! The paper's DHT families differ in the metric their link rules and greedy
+//! routing minimize: Chord, Symphony and their Canonical versions use the
+//! *clockwise* (unidirectional ring) distance, while Kademlia, CAN (in the
+//! binary-hypercube formulation of §3.4) and their Canonical versions use the
+//! *XOR* distance. Everything else — the Canon merge rule, greedy routing,
+//! the path-analysis machinery — is generic over a [`Metric`].
+
+use crate::NodeId;
+
+/// A distance function over the 64-bit identifier space.
+///
+/// Implementations are zero-sized markers so that routing and construction
+/// code monomorphizes per metric. The trait is sealed: the paper's analysis
+/// (and our generic Canon engine) relies on properties specific to these two
+/// metrics, so downstream crates should not add their own.
+pub trait Metric: Copy + Clone + std::fmt::Debug + Send + Sync + private::Sealed {
+    /// Distance from `from` to `to`. Zero iff `from == to`.
+    fn distance(self, from: NodeId, to: NodeId) -> u64;
+
+    /// Whether the metric is symmetric (`d(a,b) == d(b,a)`).
+    ///
+    /// XOR is symmetric; clockwise distance is not.
+    fn is_symmetric(self) -> bool;
+
+    /// A human-readable name for diagnostics.
+    fn name(self) -> &'static str;
+}
+
+/// Clockwise distance on the identifier circle: `to - from (mod 2^64)`.
+///
+/// This is the metric of Chord/Crescendo and Symphony/Cacophony. It is a
+/// *unidirectional* metric: greedy routing only ever moves clockwise, which
+/// is what gives Crescendo its closest-predecessor path-convergence property
+/// (paper §2.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Clockwise;
+
+impl Metric for Clockwise {
+    #[inline]
+    fn distance(self, from: NodeId, to: NodeId) -> u64 {
+        from.clockwise_to(to)
+    }
+
+    fn is_symmetric(self) -> bool {
+        false
+    }
+
+    fn name(self) -> &'static str {
+        "clockwise"
+    }
+}
+
+/// XOR distance: `from ^ to`, interpreted as an integer.
+///
+/// This is the metric of Kademlia/Kandy and of the binary-hypercube CAN
+/// generalization (paper §3.3–§3.4). Greedy routing under XOR fixes
+/// identifier bits left to right.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Xor;
+
+impl Metric for Xor {
+    #[inline]
+    fn distance(self, from: NodeId, to: NodeId) -> u64 {
+        from.xor_to(to)
+    }
+
+    fn is_symmetric(self) -> bool {
+        true
+    }
+
+    fn name(self) -> &'static str {
+        "xor"
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::Clockwise {}
+    impl Sealed for super::Xor {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clockwise_is_unidirectional() {
+        let a = NodeId::new(100);
+        let b = NodeId::new(200);
+        assert_eq!(Clockwise.distance(a, b), 100);
+        assert_eq!(Clockwise.distance(b, a), u64::MAX - 99);
+        assert!(!Clockwise.is_symmetric());
+    }
+
+    #[test]
+    fn xor_is_symmetric_and_self_zero() {
+        let a = NodeId::new(0b1010);
+        let b = NodeId::new(0b0110);
+        assert_eq!(Xor.distance(a, b), Xor.distance(b, a));
+        assert_eq!(Xor.distance(a, a), 0);
+        assert!(Xor.is_symmetric());
+    }
+
+    #[test]
+    fn xor_satisfies_triangle_inequality_samples() {
+        // XOR distance satisfies d(a,c) <= d(a,b) ^ d(b,c) <= d(a,b) + d(b,c).
+        let ids = [0u64, 1, 0xff, 0xdead_beef, u64::MAX, 1 << 63];
+        for &a in &ids {
+            for &b in &ids {
+                for &c in &ids {
+                    let (a, b, c) = (NodeId::new(a), NodeId::new(b), NodeId::new(c));
+                    let lhs = Xor.distance(a, c) as u128;
+                    let rhs = Xor.distance(a, b) as u128 + Xor.distance(b, c) as u128;
+                    assert!(lhs <= rhs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(Clockwise.name(), Xor.name());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the identifier-space primitives.
+
+use canon_id::{
+    metric::{Clockwise, Metric, Xor},
+    ring::SortedRing,
+    rng::{random_ids, Seed},
+    NodeId, RingDistance,
+};
+use proptest::prelude::*;
+
+fn id_vec() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn clockwise_distance_is_zero_iff_equal(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        prop_assert_eq!(Clockwise.distance(a, b) == 0, a == b);
+    }
+
+    #[test]
+    fn clockwise_distances_sum_to_circle(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        let fwd = Clockwise.distance(a, b) as u128;
+        let back = Clockwise.distance(b, a) as u128;
+        prop_assert_eq!(fwd + back, canon_id::ID_SPACE);
+    }
+
+    #[test]
+    fn offset_by_distance_reaches_target(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        prop_assert_eq!(a.offset(Clockwise.distance(a, b)), b);
+    }
+
+    #[test]
+    fn xor_closest_matches_brute_force(ids in id_vec(), target in any::<u64>()) {
+        let ring = SortedRing::new(ids.iter().copied().map(NodeId::new).collect());
+        let target = NodeId::new(target);
+        let brute = ring
+            .iter()
+            .copied()
+            .min_by_key(|&i| Xor.distance(target, i))
+            .unwrap();
+        let fast = ring.xor_closest(target).unwrap();
+        prop_assert_eq!(Xor.distance(target, fast), Xor.distance(target, brute));
+    }
+
+    #[test]
+    fn xor_closest_excluding_matches_brute_force(ids in id_vec(), target in any::<u64>()) {
+        let ring = SortedRing::new(ids.iter().copied().map(NodeId::new).collect());
+        let target = NodeId::new(target);
+        let exclude = *ring.as_slice().first().unwrap();
+        let brute = ring
+            .iter()
+            .copied()
+            .filter(|&i| i != exclude)
+            .min_by_key(|&i| Xor.distance(target, i));
+        let fast = ring.xor_closest_excluding(target, exclude);
+        prop_assert_eq!(
+            fast.map(|n| Xor.distance(target, n)),
+            brute.map(|n| Xor.distance(target, n))
+        );
+    }
+
+    #[test]
+    fn responsible_covers_whole_circle(ids in id_vec(), point in any::<u64>()) {
+        let ring = SortedRing::new(ids.iter().copied().map(NodeId::new).collect());
+        let point = NodeId::new(point);
+        let resp = ring.responsible(point).unwrap();
+        // The responsible node is the one with minimal clockwise distance
+        // *from itself to the point* (it owns [resp, next)).
+        let brute = ring
+            .iter()
+            .copied()
+            .min_by_key(|&i| Clockwise.distance(i, point))
+            .unwrap();
+        prop_assert_eq!(resp, brute);
+    }
+
+    #[test]
+    fn successor_minimizes_clockwise_distance(ids in id_vec(), point in any::<u64>()) {
+        let ring = SortedRing::new(ids.iter().copied().map(NodeId::new).collect());
+        let point = NodeId::new(point);
+        let succ = ring.successor(point).unwrap();
+        let brute = ring
+            .iter()
+            .copied()
+            .min_by_key(|&i| Clockwise.distance(point, i))
+            .unwrap();
+        prop_assert_eq!(succ, brute);
+    }
+
+    #[test]
+    fn own_ring_bound_matches_brute_force(ids in id_vec()) {
+        let ring = SortedRing::new(ids.iter().copied().map(NodeId::new).collect());
+        for &me in ring.iter() {
+            for sym in [false, true] {
+                let brute: RingDistance = ring
+                    .iter()
+                    .copied()
+                    .filter(|&o| o != me)
+                    .map(|o| {
+                        RingDistance::from_u64(if sym {
+                            Xor.distance(me, o)
+                        } else {
+                            Clockwise.distance(me, o)
+                        })
+                    })
+                    .min()
+                    .unwrap_or(RingDistance::FULL_CIRCLE);
+                let fast = if sym { ring.xor_gap(me) } else { ring.clockwise_gap(me) };
+                prop_assert_eq!(fast, brute);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_ids_spread_over_circle() {
+    let ids = random_ids(Seed(99), 4096);
+    let ring = SortedRing::new(ids);
+    // Max gap for n uniform points is ~ (ln n / n) * 2^64 w.h.p.; allow 4x.
+    let max_gap = (0..ring.len())
+        .map(|i| ring.gap_after_index(i).as_u128())
+        .max()
+        .unwrap();
+    let bound = (canon_id::ID_SPACE / 4096) * 4 * 9; // 4 * ln(4096) ≈ 33
+    assert!(max_gap < bound, "max gap {max_gap} exceeds {bound}");
+}

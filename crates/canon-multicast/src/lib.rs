@@ -1,0 +1,355 @@
+//! Application-level multicast over a DHT overlay (paper §1, §5.4).
+//!
+//! The paper motivates Canon with "efficient caching and effective
+//! bandwidth usage for multicast": because all routes toward a key from
+//! inside a domain converge at the domain's proxy node, the reverse-path
+//! multicast tree for a group key crosses few inter-domain links. This
+//! crate builds that system — a Scribe-style rendezvous multicast on top of
+//! any overlay in the workspace:
+//!
+//! * the *rendezvous* node is the overlay's responsible node for the group
+//!   key;
+//! * members **subscribe** by routing toward the key and installing
+//!   forwarding state along the path, stopping at the first node already on
+//!   the tree;
+//! * data **dissemination** flows down the reversed edges; the report
+//!   counts messages, tree depth, fan-out and (with a latency oracle)
+//!   transmission cost.
+//!
+//! On a Canonical DHT, subscriptions from one domain merge at the domain
+//! proxy, so dissemination into that domain uses one inter-domain link —
+//! the effect quantified by Figure 9 and the `multicast_streaming` example.
+//!
+//! # Example
+//!
+//! ```
+//! use canon_chord::build_chord;
+//! use canon_id::{hash::hash_name, metric::Clockwise, rng::{random_ids, Seed}};
+//! use canon_multicast::MulticastGroup;
+//! use canon_overlay::NodeIndex;
+//!
+//! let g = build_chord(&random_ids(Seed(1), 64));
+//! let mut group = MulticastGroup::new(&g, Clockwise, hash_name("topic"))?;
+//! group.subscribe(&g, Clockwise, NodeIndex(3))?;
+//! group.subscribe(&g, Clockwise, NodeIndex(40))?;
+//! assert!(group.delivers_to_all_members());
+//! # Ok::<(), canon_overlay::RouteError>(())
+//! ```
+
+use canon_id::{metric::Metric, Key};
+use canon_overlay::{route_to_key, NodeIndex, OverlayGraph, RouteError};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Result of one subscription.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubscribeReport {
+    /// Hops traveled before reaching the existing tree (or the rendezvous).
+    pub hops_to_tree: usize,
+    /// Whether the member was already subscribed (no-op).
+    pub already_member: bool,
+}
+
+/// Result of one dissemination pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DisseminationReport {
+    /// Overlay messages sent (= forwarding edges used).
+    pub messages: usize,
+    /// Maximum hops from the rendezvous to any member.
+    pub depth: usize,
+    /// Largest per-node fan-out (children forwarded to by one node).
+    pub max_fanout: usize,
+    /// Total latency-weighted cost of all transmissions (0 without an
+    /// oracle).
+    pub total_latency: f64,
+}
+
+/// A multicast group anchored at the overlay's responsible node for its
+/// key.
+#[derive(Clone, Debug)]
+pub struct MulticastGroup {
+    key: Key,
+    rendezvous: NodeIndex,
+    /// Forwarding state: children per on-tree node (data flows parent →
+    /// child; queries flowed child → parent).
+    children: BTreeMap<NodeIndex, BTreeSet<NodeIndex>>,
+    /// Parent per non-rendezvous on-tree node.
+    parent: BTreeMap<NodeIndex, NodeIndex>,
+    members: BTreeSet<NodeIndex>,
+}
+
+impl MulticastGroup {
+    /// Creates the group for `key` over `graph`, locating the rendezvous by
+    /// greedy routing from node 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures (possible only on malformed graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn new<M: Metric>(graph: &OverlayGraph, metric: M, key: Key) -> Result<Self, RouteError> {
+        assert!(!graph.is_empty(), "multicast needs a nonempty overlay");
+        let probe = route_to_key(graph, metric, NodeIndex(0), key.as_point())?;
+        Ok(MulticastGroup {
+            key,
+            rendezvous: probe.target(),
+            children: BTreeMap::new(),
+            parent: BTreeMap::new(),
+            members: BTreeSet::new(),
+        })
+    }
+
+    /// The group key.
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// The rendezvous (tree root).
+    pub fn rendezvous(&self) -> NodeIndex {
+        self.rendezvous
+    }
+
+    /// Current members.
+    pub fn members(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `node` currently carries forwarding state (is on the tree).
+    pub fn on_tree(&self, node: NodeIndex) -> bool {
+        node == self.rendezvous || self.parent.contains_key(&node)
+    }
+
+    /// Subscribes `member`: routes toward the key, installing forwarding
+    /// state until the path meets the existing tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn subscribe<M: Metric>(
+        &mut self,
+        graph: &OverlayGraph,
+        metric: M,
+        member: NodeIndex,
+    ) -> Result<SubscribeReport, RouteError> {
+        if !self.members.insert(member) {
+            return Ok(SubscribeReport { hops_to_tree: 0, already_member: true });
+        }
+        if self.on_tree(member) {
+            return Ok(SubscribeReport { hops_to_tree: 0, already_member: false });
+        }
+        let r = route_to_key(graph, metric, member, self.key.as_point())?;
+        debug_assert_eq!(r.target(), self.rendezvous, "group key has one responsible node");
+        let mut hops = 0usize;
+        for (child, parent) in r.edges() {
+            hops += 1;
+            let was_on_tree = self.on_tree(parent);
+            self.children.entry(parent).or_default().insert(child);
+            self.parent.insert(child, parent);
+            if was_on_tree {
+                break;
+            }
+        }
+        Ok(SubscribeReport { hops_to_tree: hops, already_member: false })
+    }
+
+    /// Unsubscribes `member`, pruning forwarding state upward while nodes
+    /// have no children and are not members themselves.
+    ///
+    /// Returns whether the node was a member.
+    pub fn unsubscribe(&mut self, member: NodeIndex) -> bool {
+        if !self.members.remove(&member) {
+            return false;
+        }
+        let mut cur = member;
+        while cur != self.rendezvous
+            && !self.members.contains(&cur)
+            && self.children.get(&cur).is_none_or(BTreeSet::is_empty)
+        {
+            let Some(parent) = self.parent.remove(&cur) else { break };
+            if let Some(siblings) = self.children.get_mut(&parent) {
+                siblings.remove(&cur);
+            }
+            self.children.remove(&cur);
+            cur = parent;
+        }
+        true
+    }
+
+    /// Directed tree edges, parent → child (the dissemination direction).
+    pub fn tree_edges(&self) -> impl Iterator<Item = (NodeIndex, NodeIndex)> + '_ {
+        self.children
+            .iter()
+            .flat_map(|(&p, cs)| cs.iter().map(move |&c| (p, c)))
+    }
+
+    /// Number of forwarding links in the tree.
+    pub fn link_count(&self) -> usize {
+        self.children.values().map(BTreeSet::len).sum()
+    }
+
+    /// Tree links whose endpoints fall in different domains under
+    /// `domain_of`.
+    pub fn inter_domain_links<D: PartialEq, F: Fn(NodeIndex) -> D>(&self, domain_of: F) -> usize {
+        self.tree_edges().filter(|&(a, b)| domain_of(a) != domain_of(b)).count()
+    }
+
+    /// Simulates one dissemination from the rendezvous, optionally weighing
+    /// each transmission with `lat`.
+    pub fn disseminate<F: Fn(NodeIndex, NodeIndex) -> f64>(&self, lat: F) -> DisseminationReport {
+        let mut report = DisseminationReport::default();
+        let mut queue = VecDeque::new();
+        queue.push_back((self.rendezvous, 0usize));
+        while let Some((node, depth)) = queue.pop_front() {
+            report.depth = report.depth.max(depth);
+            if let Some(kids) = self.children.get(&node) {
+                report.max_fanout = report.max_fanout.max(kids.len());
+                for &c in kids {
+                    report.messages += 1;
+                    report.total_latency += lat(node, c);
+                    queue.push_back((c, depth + 1));
+                }
+            }
+        }
+        report
+    }
+
+    /// Whether every member is reachable from the rendezvous along tree
+    /// edges (an internal consistency check, used by tests and debug
+    /// assertions).
+    pub fn delivers_to_all_members(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        seen.insert(self.rendezvous);
+        let mut queue = VecDeque::from([self.rendezvous]);
+        while let Some(node) = queue.pop_front() {
+            if let Some(kids) = self.children.get(&node) {
+                for &c in kids {
+                    if seen.insert(c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        self.members.iter().all(|m| seen.contains(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::metric::Clockwise;
+    use canon_id::rng::{random_ids, Seed};
+    use canon_overlay::GraphBuilder;
+    use rand::Rng;
+
+    /// A Chord-like ring via the shared test helper: successor + doubling
+    /// fingers, enough for greedy clockwise routing.
+    fn ring_graph(n: u64) -> OverlayGraph {
+        let ids = random_ids(Seed(1), n as usize);
+        let ring = canon_id::ring::SortedRing::new(ids);
+        let mut b = GraphBuilder::with_nodes(ring.as_slice());
+        for &me in ring.as_slice() {
+            for k in 0..64u32 {
+                if let Some(s) = ring.successor(me.offset(1u64 << k)) {
+                    if s != me {
+                        b.add_link(me, s);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn subscriptions_build_a_delivering_tree() {
+        let g = ring_graph(128);
+        let mut grp = MulticastGroup::new(&g, Clockwise, Key::new(0xdead_beef)).unwrap();
+        let mut rng = Seed(2).rng();
+        for _ in 0..40 {
+            let m = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            grp.subscribe(&g, Clockwise, m).unwrap();
+        }
+        assert!(grp.delivers_to_all_members());
+        assert!(grp.member_count() <= 40);
+        let rep = grp.disseminate(|_, _| 1.0);
+        assert_eq!(rep.messages, grp.link_count());
+        assert!(rep.depth >= 1);
+        assert!((rep.total_latency - rep.messages as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn later_subscribers_join_the_existing_tree_early() {
+        let g = ring_graph(256);
+        let key = Key::new(42);
+        let mut grp = MulticastGroup::new(&g, Clockwise, key).unwrap();
+        // Subscribe a first member; its neighbor's join should terminate at
+        // the shared path rather than走 all the way to the rendezvous.
+        let first = NodeIndex(10);
+        let a = grp.subscribe(&g, Clockwise, first).unwrap();
+        let again = grp.subscribe(&g, Clockwise, first).unwrap();
+        assert!(again.already_member);
+        assert!(a.hops_to_tree >= 1);
+        // Mean join hops over many members must be below the full route
+        // length (tree sharing).
+        let mut total = 0usize;
+        let mut rng = Seed(3).rng();
+        for _ in 0..60 {
+            let m = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            total += grp.subscribe(&g, Clockwise, m).unwrap().hops_to_tree;
+        }
+        assert!(grp.delivers_to_all_members());
+        assert!(total < 60 * 6, "joins did not shortcut into the tree: {total}");
+    }
+
+    #[test]
+    fn rendezvous_member_subscribes_with_zero_hops() {
+        let g = ring_graph(64);
+        let mut grp = MulticastGroup::new(&g, Clockwise, Key::new(7)).unwrap();
+        let rv = grp.rendezvous();
+        let rep = grp.subscribe(&g, Clockwise, rv).unwrap();
+        assert_eq!(rep.hops_to_tree, 0);
+        assert!(grp.delivers_to_all_members());
+    }
+
+    #[test]
+    fn unsubscribe_prunes_exclusive_branches() {
+        let g = ring_graph(128);
+        let mut grp = MulticastGroup::new(&g, Clockwise, Key::new(9)).unwrap();
+        let m = NodeIndex(5);
+        grp.subscribe(&g, Clockwise, m).unwrap();
+        let links_with = grp.link_count();
+        assert!(links_with >= 1);
+        assert!(grp.unsubscribe(m));
+        assert_eq!(grp.link_count(), 0, "exclusive branch must be fully pruned");
+        assert!(!grp.unsubscribe(m), "double unsubscribe is a no-op");
+    }
+
+    #[test]
+    fn unsubscribe_keeps_shared_branches() {
+        let g = ring_graph(256);
+        let mut grp = MulticastGroup::new(&g, Clockwise, Key::new(99)).unwrap();
+        let mut rng = Seed(4).rng();
+        let members: Vec<NodeIndex> =
+            (0..30).map(|_| NodeIndex(rng.gen_range(0..g.len()) as u32)).collect();
+        for &m in &members {
+            grp.subscribe(&g, Clockwise, m).unwrap();
+        }
+        grp.unsubscribe(members[0]);
+        assert!(grp.delivers_to_all_members(), "remaining members must stay covered");
+    }
+
+    #[test]
+    fn key_and_rendezvous_are_stable() {
+        let g = ring_graph(64);
+        let key = Key::new(1234);
+        let a = MulticastGroup::new(&g, Clockwise, key).unwrap();
+        let b = MulticastGroup::new(&g, Clockwise, key).unwrap();
+        assert_eq!(a.rendezvous(), b.rendezvous());
+        assert_eq!(a.key(), key);
+    }
+}

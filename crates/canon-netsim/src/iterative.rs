@@ -1,0 +1,181 @@
+//! Iterative lookups: the origin drives every step.
+//!
+//! Recursive routing (the [`crate::LookupSim`] model) forwards the query
+//! hop by hop; *iterative* routing — Kademlia's deployment style — has the
+//! origin contact each intermediate node directly and learn its next hop,
+//! paying a full round trip to the origin per step. The choice interacts
+//! with hierarchy: recursive hops inside a domain are cheap under Canon,
+//! while iterative steps always pay origin-to-intermediate round trips, so
+//! locality benefits shrink. The `iterative_vs_recursive` experiment
+//! quantifies the gap.
+
+use canon_id::{metric::Metric, NodeId};
+use canon_overlay::{NodeIndex, OverlayGraph};
+
+/// Outcome of one iterative lookup.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterativeOutcome {
+    /// Whether the lookup reached the responsible node.
+    pub completed: bool,
+    /// Total wall time: per-step round trips plus timeouts.
+    pub time: f64,
+    /// Round trips performed (successful probes).
+    pub rpcs: usize,
+    /// Probes to dead nodes (each burning one timeout).
+    pub timeouts: usize,
+}
+
+/// Runs an iterative lookup for `key` from `origin`: at each step the
+/// origin probes candidates (the current node's strictly-closer neighbors,
+/// nearest first) directly, paying `2 × lat(origin, candidate)` per
+/// successful probe and `timeout` per dead one.
+///
+/// The origin itself answers its own neighbor list for free.
+pub fn iterative_lookup<M, A, L>(
+    graph: &OverlayGraph,
+    metric: M,
+    timeout: f64,
+    origin: NodeIndex,
+    key: NodeId,
+    alive: A,
+    lat: L,
+) -> IterativeOutcome
+where
+    M: Metric,
+    A: Fn(NodeIndex) -> bool,
+    L: Fn(NodeIndex, NodeIndex) -> f64,
+{
+    debug_assert!(alive(origin), "lookups start at a live node");
+    let mut out = IterativeOutcome { completed: false, time: 0.0, rpcs: 0, timeouts: 0 };
+    let mut cur = origin;
+    let mut cur_dist = metric.distance(graph.id(cur), key);
+    loop {
+        if cur_dist == 0 {
+            out.completed = true;
+            return out;
+        }
+        let mut candidates: Vec<(u64, NodeIndex)> = graph
+            .neighbors(cur)
+            .iter()
+            .map(|&nb| (metric.distance(graph.id(nb), key), nb))
+            .filter(|&(d, _)| d < cur_dist)
+            .collect();
+        if candidates.is_empty() {
+            out.completed = true; // `cur` is the responsible node
+            return out;
+        }
+        candidates.sort_unstable();
+        let mut advanced = false;
+        for (d, nb) in candidates {
+            if alive(nb) {
+                // Round trip from the origin to the probed node.
+                out.time += if nb == origin { 0.0 } else { 2.0 * lat(origin, nb) };
+                out.rpcs += 1;
+                cur = nb;
+                cur_dist = d;
+                advanced = true;
+                break;
+            }
+            out.timeouts += 1;
+            out.time += timeout;
+        }
+        if !advanced {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_chord::build_chord;
+    use canon_id::metric::Clockwise;
+    use canon_id::rng::{random_ids, Seed};
+    use canon_overlay::route_to_key;
+
+    fn graph() -> OverlayGraph {
+        build_chord(&random_ids(Seed(21), 128))
+    }
+
+    #[test]
+    fn failure_free_iterative_follows_the_greedy_path() {
+        let g = graph();
+        let origin = NodeIndex(11);
+        let key = NodeId::new(0x5555_6666_7777_8888);
+        let out =
+            iterative_lookup(&g, Clockwise, 500.0, origin, key, |_| true, |_, _| 7.0);
+        assert!(out.completed);
+        assert_eq!(out.timeouts, 0);
+        let r = route_to_key(&g, Clockwise, origin, key).unwrap();
+        assert_eq!(out.rpcs, r.hops());
+        // Every step is an origin round trip of 14.0.
+        assert!((out.time - 14.0 * r.hops() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterative_costs_more_than_recursive_on_nonuniform_latency() {
+        // With latencies that grow with index distance from the origin, the
+        // origin-centric round trips dominate the hop-to-hop path.
+        let g = graph();
+        let origin = NodeIndex(0);
+        let key = NodeId::new(0x1212_3434_5656_7878);
+        let lat = |a: NodeIndex, b: NodeIndex| 1.0 + (a.index().abs_diff(b.index())) as f64;
+        let iter = iterative_lookup(&g, Clockwise, 500.0, origin, key, |_| true, lat);
+        let mut rec = crate::LookupSim::new(&g, Clockwise, crate::SimConfig::default(), lat);
+        let id = rec.inject_lookup(0.0, origin, key);
+        rec.run();
+        let rec_out = rec.outcome(id).unwrap();
+        assert!(iter.completed && rec_out.completed());
+        // Not a theorem for every draw, but overwhelmingly true; this seed
+        // is fixed, so the assertion is deterministic.
+        assert!(
+            iter.time >= rec_out.duration().unwrap() * 0.5,
+            "iterative {} vs recursive {}",
+            iter.time,
+            rec_out.duration().unwrap()
+        );
+    }
+
+    #[test]
+    fn dead_probe_burns_timeout_and_falls_back() {
+        let g = graph();
+        let origin = NodeIndex(30);
+        let key = NodeId::new(0x9999_aaaa_bbbb_cccc);
+        let r = route_to_key(&g, Clockwise, origin, key).unwrap();
+        if r.hops() < 2 {
+            return;
+        }
+        let victim = r.path()[1];
+        let out = iterative_lookup(
+            &g,
+            Clockwise,
+            250.0,
+            origin,
+            key,
+            |n| n != victim,
+            |_, _| 1.0,
+        );
+        assert!(out.timeouts >= 1);
+        if out.completed {
+            assert!(out.time >= 250.0);
+        }
+    }
+
+    #[test]
+    fn origin_is_responsible_node() {
+        let g = graph();
+        let origin = NodeIndex(7);
+        let out = iterative_lookup(
+            &g,
+            Clockwise,
+            500.0,
+            origin,
+            g.id(origin),
+            |_| true,
+            |_, _| 1.0,
+        );
+        assert!(out.completed);
+        assert_eq!(out.rpcs, 0);
+        assert_eq!(out.time, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The event queue: a deterministic time-ordered priority queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time. Non-negative, finite; ordered totally.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, WrappedEvent<E>)>>,
+    seq: u64,
+    now: SimTime,
+}
+
+/// Events carried by the queue never need ordering themselves; the wrapper
+/// implements the comparison traits the heap requires while guaranteeing
+/// the payload is never actually compared (the `(time, seq)` prefix is
+/// always distinct).
+#[derive(Debug)]
+struct WrappedEvent<E>(E);
+
+impl<E> PartialEq for WrappedEvent<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for WrappedEvent<E> {}
+impl<E> PartialOrd for WrappedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for WrappedEvent<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current simulation time or is not
+    /// finite (events cannot be delivered into the past).
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(time.0.is_finite(), "event times must be finite");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {} < {}",
+            time.0,
+            self.now.0
+        );
+        self.heap.push(Reverse((time, self.seq, WrappedEvent(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((time, _, WrappedEvent(event))) = self.heap.pop()?;
+        self.now = time;
+        Some((time, event))
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(3.0), "c");
+        q.push(SimTime(1.0), "a");
+        q.push(SimTime(2.0), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime(1.0), "a")));
+        assert_eq!(q.pop(), Some((SimTime(2.0), "b")));
+        assert_eq!(q.now(), SimTime(2.0));
+        assert_eq!(q.pop(), Some((SimTime(3.0), "c")));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime(1.0), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((SimTime(1.0), i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5.0), ());
+        q.pop();
+        q.push(SimTime(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_times_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(SimTime(f64::INFINITY), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1.0), 1);
+        q.push(SimTime(4.0), 4);
+        assert_eq!(q.pop(), Some((SimTime(1.0), 1)));
+        q.push(SimTime(2.0), 2);
+        q.push(SimTime(3.0), 3);
+        assert_eq!(q.pop(), Some((SimTime(2.0), 2)));
+        assert_eq!(q.pop(), Some((SimTime(3.0), 3)));
+        assert_eq!(q.pop(), Some((SimTime(4.0), 4)));
+    }
+}

@@ -1,0 +1,311 @@
+//! The overlay graph: nodes, directed links and identifier lookup.
+
+use canon_id::{ring::SortedRing, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node within one [`OverlayGraph`] (dense, 0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeIndex(pub u32);
+
+impl NodeIndex {
+    /// The dense index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An immutable directed overlay graph over node identifiers.
+///
+/// Out-links model the routing state a node maintains (the paper counts
+/// *out*-degree: "the degree of a node refers to its out-degree, and does
+/// not count incoming edges", §2.1). Links are stored deduplicated and
+/// self-links are dropped, matching how real DHT routing tables behave.
+#[derive(Clone, Debug)]
+pub struct OverlayGraph {
+    ids: Vec<NodeId>,
+    index_of: HashMap<NodeId, NodeIndex>,
+    links: Vec<Vec<NodeIndex>>,
+    ring: SortedRing,
+}
+
+impl OverlayGraph {
+    /// All node identifiers, in index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The identifier of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn id(&self, i: NodeIndex) -> NodeId {
+        self.ids[i.index()]
+    }
+
+    /// The index of identifier `id`, if present.
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIndex> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// The out-neighbors of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn neighbors(&self, i: NodeIndex) -> &[NodeIndex] {
+        &self.links[i.index()]
+    }
+
+    /// Out-degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn degree(&self, i: NodeIndex) -> usize {
+        self.links[i.index()].len()
+    }
+
+    /// Total number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.iter().map(Vec::len).sum()
+    }
+
+    /// The sorted ring over all node identifiers (for responsibility and
+    /// successor queries on the whole network).
+    pub fn ring(&self) -> &SortedRing {
+        &self.ring
+    }
+
+    /// Iterates over all node indices.
+    pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
+        (0..self.ids.len() as u32).map(NodeIndex)
+    }
+
+    /// Iterates over all directed edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeIndex, NodeIndex)> + '_ {
+        self.links.iter().enumerate().flat_map(|(i, ls)| {
+            ls.iter().map(move |&t| (NodeIndex(i as u32), t))
+        })
+    }
+
+    /// Renders the graph in Graphviz DOT format, labeling each node with
+    /// `label`. Handy for debugging small overlays
+    /// (`dot -Tsvg graph.dot -o graph.svg`).
+    pub fn to_dot<F: Fn(NodeIndex) -> String>(&self, label: F) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph overlay {\n  rankdir=LR;\n");
+        for i in self.node_indices() {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", i.0, label(i));
+        }
+        for (a, b) in self.edges() {
+            let _ = writeln!(out, "  n{} -> n{};", a.0, b.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Incremental builder for [`OverlayGraph`].
+///
+/// Nodes must be added before links referencing them; duplicate links and
+/// self-links are silently dropped.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    ids: Vec<NodeId>,
+    index_of: HashMap<NodeId, NodeIndex>,
+    links: Vec<Vec<NodeIndex>>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder pre-populated with `ids` as nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains duplicates.
+    pub fn with_nodes(ids: &[NodeId]) -> Self {
+        let mut b = GraphBuilder::new();
+        for &id in ids {
+            b.add_node(id);
+        }
+        b
+    }
+
+    /// Adds a node, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was already added.
+    pub fn add_node(&mut self, id: NodeId) -> NodeIndex {
+        let idx = NodeIndex(u32::try_from(self.ids.len()).expect("too many nodes"));
+        let prev = self.index_of.insert(id, idx);
+        assert!(prev.is_none(), "duplicate node id {id}");
+        self.ids.push(id);
+        self.links.push(Vec::new());
+        idx
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no nodes were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The index of identifier `id`, if added.
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIndex> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// Adds a directed link from `from` to `to` (by identifier). Self-links
+    /// and duplicates are dropped. Returns whether a link was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either identifier has not been added as a node.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId) -> bool {
+        let f = self.index_of[&from];
+        let t = self.index_of[&to];
+        self.add_link_by_index(f, t)
+    }
+
+    /// Adds a directed link by node index. Self-links and duplicates are
+    /// dropped. Returns whether a link was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn add_link_by_index(&mut self, from: NodeIndex, to: NodeIndex) -> bool {
+        assert!(to.index() < self.ids.len(), "link target out of bounds");
+        if from == to {
+            return false;
+        }
+        let out = &mut self.links[from.index()];
+        if out.contains(&to) {
+            return false;
+        }
+        out.push(to);
+        true
+    }
+
+    /// Finalizes the graph. Neighbor lists are sorted for determinism.
+    pub fn build(self) -> OverlayGraph {
+        let ring = SortedRing::new(self.ids.clone());
+        let mut links = self.links;
+        for out in &mut links {
+            out.sort_unstable();
+        }
+        OverlayGraph { ids: self.ids, index_of: self.index_of, links, ring }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(id(10));
+        let c = b.add_node(id(20));
+        assert!(b.add_link(id(10), id(20)));
+        let g = b.build();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.id(a), id(10));
+        assert_eq!(g.index_of(id(20)), Some(c));
+        assert_eq!(g.neighbors(a), &[c]);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(c), 0);
+        assert_eq!(g.link_count(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn self_links_and_duplicates_dropped() {
+        let mut b = GraphBuilder::with_nodes(&[id(1), id(2)]);
+        assert!(!b.add_link(id(1), id(1)));
+        assert!(b.add_link(id(1), id(2)));
+        assert!(!b.add_link(id(1), id(2)));
+        let g = b.build();
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_nodes_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(id(5));
+        b.add_node(id(5));
+    }
+
+    #[test]
+    fn edges_iterator_lists_all_links() {
+        let mut b = GraphBuilder::with_nodes(&[id(1), id(2), id(3)]);
+        b.add_link(id(1), id(2));
+        b.add_link(id(2), id(3));
+        b.add_link(id(3), id(1));
+        let g = b.build();
+        assert_eq!(g.edges().count(), 3);
+        assert_eq!(g.node_indices().count(), 3);
+    }
+
+    #[test]
+    fn ring_reflects_all_ids() {
+        let b = GraphBuilder::with_nodes(&[id(30), id(10), id(20)]);
+        let g = b.build();
+        assert_eq!(g.ring().len(), 3);
+        assert_eq!(g.ring().successor(id(15)), Some(id(20)));
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let mut b = GraphBuilder::with_nodes(&[id(1), id(2)]);
+        b.add_link(id(1), id(2));
+        let g = b.build();
+        let dot = g.to_dot(|i| format!("{}", g.id(i).raw()));
+        assert!(dot.starts_with("digraph overlay {"));
+        assert!(dot.contains("n0 [label=\"1\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let mut b = GraphBuilder::with_nodes(&[id(1), id(2), id(3), id(4)]);
+        b.add_link(id(1), id(4));
+        b.add_link(id(1), id(2));
+        b.add_link(id(1), id(3));
+        let g = b.build();
+        let ns = g.neighbors(NodeIndex(0));
+        assert!(ns.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,28 @@
+//! Overlay-network substrate: graphs, greedy routing and path analysis.
+//!
+//! Every DHT in this workspace — flat or Canonical — reduces, for the
+//! purposes of the paper's evaluation (§5), to a directed *overlay graph*
+//! over node identifiers plus a *greedy routing* rule under a metric
+//! (clockwise or XOR). This crate provides that shared substrate:
+//!
+//! * [`graph::OverlayGraph`] — an immutable directed graph over
+//!   [`canon_id::NodeId`]s with O(1) neighbor access;
+//! * [`route`](mod@route) — greedy metric-decreasing routing with full path recording,
+//!   node-filtered routing (for fault-isolation experiments) and key lookup
+//!   semantics per metric;
+//! * [`stats`] — degree and hop-count statistics (Figures 3–5);
+//! * [`paths`] — path-overlap metrics (Figure 8) and latency evaluation of
+//!   routes (Figures 6–7);
+//! * [`multicast`] — reverse-path multicast trees and inter-domain link
+//!   counting (Figure 9);
+//! * [`faults`] — timeout-priced lookups under node-failure masks.
+
+pub mod faults;
+pub mod graph;
+pub mod multicast;
+pub mod paths;
+pub mod route;
+pub mod stats;
+
+pub use graph::{GraphBuilder, NodeIndex, OverlayGraph};
+pub use route::{route, route_to_key, route_with_filter, Route, RouteError};

@@ -1,0 +1,169 @@
+//! Reverse-path multicast trees (Figure 9).
+//!
+//! Paper §5.4: pick many random sources, route a query from each to one
+//! common destination; the union of the query paths forms a multicast tree
+//! rooted at the destination (data flows along the reversed edges). The
+//! figure-of-merit is the number of *inter-domain* links in the tree —
+//! links whose endpoints fall in different domains at a chosen hierarchy
+//! level — since those are the expensive, bandwidth-constrained links.
+
+use crate::graph::{NodeIndex, OverlayGraph};
+use crate::route::{route, RouteError};
+use canon_id::metric::Metric;
+use std::collections::HashSet;
+
+/// The union of query paths from many sources to one destination.
+#[derive(Clone, Debug)]
+pub struct MulticastTree {
+    destination: NodeIndex,
+    edges: HashSet<(NodeIndex, NodeIndex)>,
+    nodes: HashSet<NodeIndex>,
+}
+
+impl MulticastTree {
+    /// Builds the tree by routing from every source to `destination`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RouteError`] encountered.
+    pub fn build<M: Metric>(
+        graph: &OverlayGraph,
+        metric: M,
+        sources: &[NodeIndex],
+        destination: NodeIndex,
+    ) -> Result<Self, RouteError> {
+        let mut edges = HashSet::new();
+        let mut nodes = HashSet::new();
+        nodes.insert(destination);
+        for &s in sources {
+            let r = route(graph, metric, s, destination)?;
+            for (a, b) in r.edges() {
+                edges.insert((a, b));
+                nodes.insert(a);
+                nodes.insert(b);
+            }
+        }
+        Ok(MulticastTree { destination, edges, nodes })
+    }
+
+    /// Builds the tree from pre-computed routes (for DHTs with custom
+    /// routers, e.g. proximity-adapted networks). All routes must share the
+    /// destination `destination`.
+    pub fn from_routes<'a>(
+        destination: NodeIndex,
+        routes: impl IntoIterator<Item = &'a crate::route::Route>,
+    ) -> Self {
+        let mut edges = HashSet::new();
+        let mut nodes = HashSet::new();
+        nodes.insert(destination);
+        for r in routes {
+            for (a, b) in r.edges() {
+                edges.insert((a, b));
+                nodes.insert(a);
+                nodes.insert(b);
+            }
+        }
+        MulticastTree { destination, edges, nodes }
+    }
+
+    /// The multicast source (the query destination).
+    pub fn destination(&self) -> NodeIndex {
+        self.destination
+    }
+
+    /// Directed query-path edges (multicast flows along their reverses).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeIndex, NodeIndex)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Number of distinct links in the tree.
+    pub fn link_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct nodes touched.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Counts links whose endpoints map to different domains under
+    /// `domain_of` (e.g. the ancestor domain at a fixed hierarchy level).
+    pub fn inter_domain_links<D, F>(&self, domain_of: F) -> usize
+    where
+        D: PartialEq,
+        F: Fn(NodeIndex) -> D,
+    {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| domain_of(a) != domain_of(b))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use canon_id::{metric::Clockwise, NodeId};
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    /// Successor ring over 0..8 with a couple of shortcuts into 0.
+    fn ring_graph() -> OverlayGraph {
+        let ids: Vec<NodeId> = (0u64..8).map(id).collect();
+        let mut b = GraphBuilder::with_nodes(&ids);
+        for i in 0u64..8 {
+            b.add_link(id(i), id((i + 1) % 8));
+        }
+        b.add_link(id(4), id(0));
+        b.build()
+    }
+
+    #[test]
+    fn tree_unions_paths() {
+        let g = ring_graph();
+        let dest = g.index_of(id(0)).unwrap();
+        let sources: Vec<NodeIndex> =
+            [5u64, 6, 7].iter().map(|&s| g.index_of(id(s)).unwrap()).collect();
+        let t = MulticastTree::build(&g, Clockwise, &sources, dest).unwrap();
+        // Paths 5-6-7-0, 6-7-0, 7-0 share edges: union = {5-6, 6-7, 7-0}.
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.destination(), dest);
+    }
+
+    #[test]
+    fn shared_prefix_counted_once() {
+        let g = ring_graph();
+        let dest = g.index_of(id(0)).unwrap();
+        let s = g.index_of(id(7)).unwrap();
+        let t = MulticastTree::build(&g, Clockwise, &[s, s, s], dest).unwrap();
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    fn inter_domain_count_uses_domain_fn() {
+        let g = ring_graph();
+        let dest = g.index_of(id(0)).unwrap();
+        let sources: Vec<NodeIndex> =
+            [5u64, 6, 7].iter().map(|&s| g.index_of(id(s)).unwrap()).collect();
+        let t = MulticastTree::build(&g, Clockwise, &sources, dest).unwrap();
+        // Domain = id < 6 → edges 5-6 (cross), 6-7 (same), 7-0 (cross).
+        let crossings = t.inter_domain_links(|n| g.id(n).raw() < 6);
+        assert_eq!(crossings, 2);
+        // Everything in one domain → zero crossings.
+        assert_eq!(t.inter_domain_links(|_| 0u8), 0);
+    }
+
+    #[test]
+    fn empty_sources_give_singleton_tree() {
+        let g = ring_graph();
+        let dest = g.index_of(id(3)).unwrap();
+        let t = MulticastTree::build(&g, Clockwise, &[], dest).unwrap();
+        assert_eq!(t.link_count(), 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.edges().count(), 0);
+    }
+}

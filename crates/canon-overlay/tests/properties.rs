@@ -1,0 +1,86 @@
+//! Property tests for the routing engine: termination, optimality of the
+//! terminal node, and overlap bounds — on arbitrary graphs, not just
+//! well-formed DHTs.
+
+use canon_id::metric::{Clockwise, Metric, Xor};
+use canon_id::NodeId;
+use canon_overlay::paths::overlap;
+use canon_overlay::{route_to_key, GraphBuilder, NodeIndex, OverlayGraph};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// An arbitrary graph: distinct ids plus random edges.
+fn graph_strategy() -> impl Strategy<Value = OverlayGraph> {
+    (
+        proptest::collection::btree_set(any::<u64>(), 2..40),
+        proptest::collection::vec((any::<u16>(), any::<u16>()), 0..160),
+    )
+        .prop_map(|(ids, raw_edges)| {
+            let ids: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
+            let n = ids.len();
+            let mut b = GraphBuilder::with_nodes(&ids);
+            for (x, y) in raw_edges {
+                let a = NodeIndex((x as usize % n) as u32);
+                let c = NodeIndex((y as usize % n) as u32);
+                b.add_link_by_index(a, c);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    /// Greedy routing always terminates, and the node it stops at has no
+    /// neighbor closer to the key — a local optimum by construction.
+    #[test]
+    fn greedy_terminates_at_a_local_minimum(g in graph_strategy(), key in any::<u64>(), start in any::<u16>()) {
+        let from = NodeIndex((start as usize % g.len()) as u32);
+        let key = NodeId::new(key);
+        for sym in [false, true] {
+            let (r, dist_at): (_, Box<dyn Fn(NodeIndex) -> u64>) = if sym {
+                (route_to_key(&g, Xor, from, key), Box::new(|i| Xor.distance(g.id(i), key)))
+            } else {
+                (
+                    route_to_key(&g, Clockwise, from, key),
+                    Box::new(|i| Clockwise.distance(g.id(i), key)),
+                )
+            };
+            let r = r.expect("greedy key routing cannot fail");
+            let end = r.target();
+            for &nb in g.neighbors(end) {
+                prop_assert!(
+                    dist_at(nb) >= dist_at(end),
+                    "terminal node had a closer neighbor"
+                );
+            }
+            // Distances strictly decrease along the path.
+            let ds: Vec<u64> = r.path().iter().map(|&i| dist_at(i)).collect();
+            prop_assert!(ds.windows(2).all(|w| w[1] < w[0]));
+        }
+    }
+
+    /// Paths never repeat a node (a corollary of strict distance decrease).
+    #[test]
+    fn paths_are_simple(g in graph_strategy(), key in any::<u64>(), start in any::<u16>()) {
+        let from = NodeIndex((start as usize % g.len()) as u32);
+        let r = route_to_key(&g, Clockwise, from, NodeId::new(key)).expect("terminates");
+        let set: HashSet<NodeIndex> = r.path().iter().copied().collect();
+        prop_assert_eq!(set.len(), r.path().len());
+    }
+
+    /// Overlap fractions stay within [0, 1] and are 1 for identical routes.
+    #[test]
+    fn overlap_is_a_fraction(g in graph_strategy(), key in any::<u64>(), s1 in any::<u16>(), s2 in any::<u16>()) {
+        let a = NodeIndex((s1 as usize % g.len()) as u32);
+        let b = NodeIndex((s2 as usize % g.len()) as u32);
+        let key = NodeId::new(key);
+        let r1 = route_to_key(&g, Clockwise, a, key).expect("terminates");
+        let r2 = route_to_key(&g, Clockwise, b, key).expect("terminates");
+        let o = overlap(&r1, &r2, |_, _| 1.0);
+        prop_assert!((0.0..=1.0).contains(&o.hop_fraction));
+        prop_assert!((0.0..=1.0).contains(&o.latency_fraction));
+        let same = overlap(&r1, &r1, |_, _| 1.0);
+        if r1.hops() > 0 {
+            prop_assert_eq!(same.hop_fraction, 1.0);
+        }
+    }
+}

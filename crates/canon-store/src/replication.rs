@@ -1,0 +1,269 @@
+//! Successor replication within storage domains.
+//!
+//! The paper keeps leaf sets "to deal with node deletions" (§2.3); the
+//! storage systems built on Chord-family DHTs (CFS and successors) use the
+//! same successor lists to *replicate content*: a key-value pair lives on
+//! the responsible node and its `r − 1` ring successors, so a lookup can be
+//! served as long as one replica survives. This module adds that layer on
+//! top of the hierarchical store's placement rule — replicas are chosen
+//! **within the storage domain**, preserving Canon's guarantee that
+//! domain-scoped content never leaves the domain.
+
+use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
+use canon_id::{Key, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// A replicated, domain-scoped key-value store.
+///
+/// This intentionally models just placement and availability (the subjects
+/// of the §2.3 fault-tolerance argument); access control and caching layers
+/// live in [`crate::HierarchicalStore`].
+#[derive(Clone, Debug)]
+pub struct ReplicatedStore<V> {
+    hierarchy: Hierarchy,
+    membership: DomainMembership,
+    replication: usize,
+    /// Replica holders per (key, storage domain).
+    placements: HashMap<(Key, DomainId), Vec<NodeId>>,
+    values: HashMap<(Key, DomainId), V>,
+    dead: HashSet<NodeId>,
+}
+
+impl<V: Clone> ReplicatedStore<V> {
+    /// Creates a store replicating each item on `replication` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication == 0`.
+    pub fn new(hierarchy: Hierarchy, placement: &Placement, replication: usize) -> Self {
+        assert!(replication >= 1, "replication factor must be at least 1");
+        let membership = DomainMembership::build(&hierarchy, placement);
+        ReplicatedStore {
+            hierarchy,
+            membership,
+            replication,
+            placements: HashMap::new(),
+            values: HashMap::new(),
+            dead: HashSet::new(),
+        }
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The replica set for `key` in `domain`: the responsible node and its
+    /// ring successors *within the domain*, capped at the domain size.
+    pub fn replica_set(&self, key: Key, domain: DomainId) -> Vec<NodeId> {
+        let ring = self.membership.ring(domain);
+        let mut out = Vec::with_capacity(self.replication);
+        let Some(first) = ring.responsible(key.as_point()) else { return out };
+        let mut cur = first;
+        for _ in 0..self.replication.min(ring.len()) {
+            out.push(cur);
+            cur = ring.strict_successor(cur).expect("ring is nonempty");
+            if cur == first {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Stores `value` under `key` within `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has no members.
+    pub fn put(&mut self, key: Key, value: V, domain: DomainId) {
+        let replicas = self.replica_set(key, domain);
+        assert!(!replicas.is_empty(), "storage domain has no members");
+        self.placements.insert((key, domain), replicas);
+        self.values.insert((key, domain), value);
+    }
+
+    /// Marks `node` as crashed; items whose live replica set becomes empty
+    /// turn unavailable.
+    pub fn crash(&mut self, node: NodeId) {
+        self.dead.insert(node);
+    }
+
+    /// Fetches `key` from `domain`: succeeds iff some replica is alive,
+    /// returning the value and the serving replica.
+    pub fn get(&self, key: Key, domain: DomainId) -> Option<(V, NodeId)> {
+        let holders = self.placements.get(&(key, domain))?;
+        let server = holders.iter().copied().find(|n| !self.dead.contains(n))?;
+        Some((self.values.get(&(key, domain))?.clone(), server))
+    }
+
+    /// Fraction of stored items still reachable (≥ 1 live replica).
+    pub fn availability(&self) -> f64 {
+        if self.placements.is_empty() {
+            return 1.0;
+        }
+        let alive = self
+            .placements
+            .values()
+            .filter(|holders| holders.iter().any(|n| !self.dead.contains(n)))
+            .count();
+        alive as f64 / self.placements.len() as f64
+    }
+
+    /// Re-replicates every degraded item onto the live successors of its
+    /// storage domain (the repair that leaf-set change notifications
+    /// trigger in a live system). Returns the number of copies created.
+    pub fn re_replicate(&mut self) -> usize {
+        let mut copies = 0usize;
+        let keys: Vec<(Key, DomainId)> = self.placements.keys().copied().collect();
+        for (key, domain) in keys {
+            let holders = &self.placements[&(key, domain)];
+            if holders.iter().any(|n| self.dead.contains(n)) {
+                // Walk live members of the domain from the responsible node.
+                let ring = self.membership.ring(domain);
+                let mut fresh = Vec::with_capacity(self.replication);
+                if let Some(first) = ring.responsible(key.as_point()) {
+                    let mut cur = first;
+                    for _ in 0..ring.len() {
+                        if !self.dead.contains(&cur) {
+                            fresh.push(cur);
+                            if fresh.len() == self.replication {
+                                break;
+                            }
+                        }
+                        cur = ring.strict_successor(cur).expect("nonempty ring");
+                        if cur == first {
+                            break;
+                        }
+                    }
+                }
+                // Only items with a surviving copy can be repaired.
+                let survived = holders.iter().any(|n| !self.dead.contains(n));
+                if survived && !fresh.is_empty() {
+                    copies += fresh.iter().filter(|n| !holders.contains(n)).count();
+                    self.placements.insert((key, domain), fresh);
+                }
+            }
+        }
+        copies
+    }
+
+    /// Whether every replica of every item lies inside its storage domain
+    /// (the Canon containment invariant, checked in tests).
+    pub fn replicas_respect_domains(&self) -> bool {
+        self.placements.iter().all(|(&(_, domain), holders)| {
+            holders.iter().all(|&n| self.membership.ring(domain).contains(n))
+        })
+    }
+
+    /// The hierarchy this store spans.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::hash::hash_name;
+    use canon_id::rng::Seed;
+    use rand::Rng;
+
+    fn setup(r: usize) -> (Hierarchy, Placement, ReplicatedStore<String>) {
+        let h = Hierarchy::balanced(3, 3);
+        let p = Placement::uniform(&h, 300, Seed(71));
+        let store = ReplicatedStore::new(h.clone(), &p, r);
+        (h, p, store)
+    }
+
+    #[test]
+    fn replica_sets_are_successor_runs_inside_the_domain() {
+        let (h, _, store) = setup(3);
+        let d = h.domains_at_depth(1)[0];
+        let key = hash_name("replicated-item");
+        let rs = store.replica_set(key, d);
+        assert_eq!(rs.len(), 3);
+        let mut dedup = rs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "replicas must be distinct");
+        assert!(store.replicas_respect_domains());
+    }
+
+    #[test]
+    fn get_survives_replica_crashes_until_the_last() {
+        let (h, _, mut store) = setup(3);
+        let d = h.domains_at_depth(1)[0];
+        let key = hash_name("survivor");
+        store.put(key, "v".into(), d);
+        let rs = store.replica_set(key, d);
+        store.crash(rs[0]);
+        assert!(store.get(key, d).is_some(), "one crash must not lose the item");
+        store.crash(rs[1]);
+        let (v, server) = store.get(key, d).expect("last replica serves");
+        assert_eq!(v, "v");
+        assert_eq!(server, rs[2]);
+        store.crash(rs[2]);
+        assert!(store.get(key, d).is_none(), "all replicas dead");
+    }
+
+    #[test]
+    fn availability_grows_with_replication() {
+        let mut rng = Seed(72).rng();
+        let mut avail = Vec::new();
+        for r in [1usize, 2, 4] {
+            let (h, p, mut store) = setup(r);
+            let root = h.root();
+            for i in 0..300 {
+                store.put(hash_name(&format!("k{i}")), format!("v{i}"), root);
+            }
+            // Crash 30% of all nodes.
+            let ids = p.ids().to_vec();
+            for _ in 0..90 {
+                store.crash(ids[rng.gen_range(0..ids.len())]);
+            }
+            avail.push(store.availability());
+        }
+        assert!(avail[0] < avail[1] && avail[1] <= avail[2], "availability {avail:?}");
+        assert!(avail[2] > 0.97, "r=4 availability {}", avail[2]);
+    }
+
+    #[test]
+    fn re_replication_restores_full_strength() {
+        let (h, _, mut store) = setup(3);
+        let d = h.domains_at_depth(1)[0];
+        let key = hash_name("healed");
+        store.put(key, "v".into(), d);
+        let rs = store.replica_set(key, d);
+        store.crash(rs[0]);
+        store.crash(rs[1]);
+        let copies = store.re_replicate();
+        assert!(copies >= 1, "repair must create copies");
+        assert!(store.replicas_respect_domains());
+        // The item now survives the death of its last original holder.
+        store.crash(rs[2]);
+        assert!(store.get(key, d).is_some(), "re-replication must restore resilience");
+    }
+
+    #[test]
+    fn lost_items_stay_lost_after_repair() {
+        let (h, _, mut store) = setup(2);
+        let d = h.domains_at_depth(1)[0];
+        let key = hash_name("doomed");
+        store.put(key, "v".into(), d);
+        for n in store.replica_set(key, d) {
+            store.crash(n);
+        }
+        store.re_replicate();
+        assert!(store.get(key, d).is_none(), "repair cannot resurrect lost data");
+    }
+
+    #[test]
+    fn tiny_domains_cap_the_replica_count() {
+        let mut h = Hierarchy::new();
+        let a = h.add_domain(h.root(), "a");
+        let p = Placement::from_pairs(&h, vec![(NodeId::new(1), a), (NodeId::new(2), a)]);
+        let store: ReplicatedStore<u8> = ReplicatedStore::new(h, &p, 5);
+        let rs = store.replica_set(hash_name("x"), a);
+        assert_eq!(rs.len(), 2, "cannot place more replicas than members");
+    }
+}

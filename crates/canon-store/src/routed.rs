@@ -1,0 +1,219 @@
+//! Store queries executed over a real overlay graph.
+//!
+//! [`super::HierarchicalStore`] models §4's protocol at the proxy-node
+//! level (exact, thanks to path convergence). This module runs the same
+//! queries *hop by hop on the overlay*: the query routes greedily toward
+//! the key; every visited node is checked for caches/content/pointers under
+//! the current routing level (computed as the LCA of the visited node and
+//! the querier, per the paper's footnote 4); the answer cuts the route
+//! short. The result carries the actual [`Route`], so experiments can
+//! charge hop counts and physical latency to storage and cache traffic.
+
+use crate::{HierarchicalStore, QueryOutcome, StoreError, Via};
+use canon_id::{metric::Clockwise, Key, NodeId};
+use canon_overlay::{route_to_key, NodeIndex, OverlayGraph, Route};
+
+/// A query answer with its overlay route.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutedOutcome<V> {
+    /// The proxy-level outcome (what was found, where, via what).
+    pub outcome: QueryOutcome<V>,
+    /// The overlay hops actually traveled (truncated at the answering
+    /// node for found queries).
+    pub route: Route,
+    /// Extra hops paid to resolve a pointer indirection (storage-node
+    /// round trip), measured as a second route.
+    pub indirection: Option<Route>,
+}
+
+impl<V> RoutedOutcome<V> {
+    /// Total overlay hops, including any pointer resolution round trip
+    /// (counted twice: request + response).
+    pub fn total_hops(&self) -> usize {
+        self.route.hops() + self.indirection.as_ref().map_or(0, |r| 2 * r.hops())
+    }
+
+    /// Total latency under `lat`, charging the indirection round trip.
+    pub fn total_latency<F: Fn(NodeIndex, NodeIndex) -> f64>(&self, lat: &F) -> f64 {
+        self.route.latency(lat)
+            + self.indirection.as_ref().map_or(0.0, |r| 2.0 * r.latency(lat))
+    }
+}
+
+/// Executes `query_and_cache` against `store` while walking the actual
+/// greedy route on `graph`, returning the truncated route alongside the
+/// outcome.
+///
+/// The graph must be a clockwise-metric overlay over the same node
+/// population as the store (e.g. Crescendo built from the same placement).
+///
+/// # Errors
+///
+/// * [`StoreError::UnknownQuerier`] if the querier is not in the store;
+/// * panics are reserved for mismatched graph/store populations, which are
+///   programming errors.
+pub fn query_routed<V: Clone + PartialEq>(
+    store: &mut HierarchicalStore<V>,
+    graph: &OverlayGraph,
+    querier: NodeId,
+    key: Key,
+) -> Result<RoutedOutcome<V>, StoreError> {
+    let from = graph
+        .index_of(querier)
+        .expect("querier must be a node of the overlay graph");
+    let outcome = store.query_and_cache(querier, key)?;
+    let full = route_to_key(graph, Clockwise, from, key.as_point())
+        .expect("greedy key routing cannot fail");
+
+    let (route, indirection) = match &outcome {
+        QueryOutcome::Found { answering_node, via, .. } => {
+            // Truncate the physical route at the answering node (the
+            // query stops there).
+            let cut = full
+                .path()
+                .iter()
+                .position(|&i| graph.id(i) == *answering_node)
+                .map(|pos| Route::from_path(full.path()[..=pos].to_vec()))
+                .unwrap_or(full);
+            let indirection = match via {
+                Via::Pointer { storage_node } => {
+                    let at = graph
+                        .index_of(*answering_node)
+                        .expect("answering node is on the overlay");
+                    let hop = route_to_key(
+                        graph,
+                        Clockwise,
+                        at,
+                        *storage_node,
+                    )
+                    .expect("pointer resolution routes on the overlay");
+                    Some(hop)
+                }
+                _ => None,
+            };
+            (cut, indirection)
+        }
+        QueryOutcome::NotFound { .. } => (full, None),
+    };
+    Ok(RoutedOutcome { outcome, route, indirection })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_hierarchy::{Hierarchy, Placement};
+    use canon_id::hash::hash_name;
+    use canon_id::rng::Seed;
+
+    fn setup() -> (Hierarchy, Placement, OverlayGraph, HierarchicalStore<&'static str>) {
+        let h = Hierarchy::balanced(3, 3);
+        let p = Placement::uniform(&h, 200, Seed(61));
+        // The graph must be hierarchical: only a Canonical overlay routes
+        // through the querier's per-level proxies (path convergence), which
+        // is what lets the store truncate the route at the answering node.
+        let net = canon::crescendo::build_crescendo(&h, &p);
+        let g = net.graph().clone();
+        let store = HierarchicalStore::new(h.clone(), &p);
+        (h, p, g, store)
+    }
+
+    #[test]
+    fn routed_query_truncates_at_answering_node() {
+        let (h, p, g, mut store) = setup();
+        let publisher = p.ids()[0];
+        let root = h.root();
+        let key = hash_name("routed-item");
+        let leaf = p.leaf_of(publisher).expect("placed");
+        store.insert(publisher, key, "v", leaf, root).expect("insert");
+
+        let querier = p.ids()[77];
+        let out = query_routed(&mut store, &g, querier, key).expect("query");
+        assert!(out.outcome.is_found());
+        // The route ends at the node that answered.
+        match &out.outcome {
+            QueryOutcome::Found { answering_node, .. } => {
+                assert_eq!(g.id(out.route.target()), *answering_node);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(out.total_hops() >= out.route.hops());
+        let lat = out.total_latency(&|_, _| 1.0);
+        assert!((lat - out.total_hops() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pointer_resolution_charges_a_round_trip() {
+        let (h, p, g, mut store) = setup();
+        let root = h.root();
+        // Find a publisher and key whose storage node differs from the
+        // root-level responsible node, forcing an indirection.
+        let mut forced = None;
+        for i in 0..p.len() {
+            let publisher = p.ids()[i];
+            let leaf = p.leaf_of(publisher).expect("placed");
+            let key = hash_name(&format!("probe-{i}"));
+            let storage = store.responsible_in(key, leaf);
+            let global = store.responsible_in(key, root);
+            if storage != global {
+                store.insert(publisher, key, "far", leaf, root).expect("insert");
+                forced = Some((key, global));
+                break;
+            }
+        }
+        let (key, global) = forced.expect("some key forces indirection");
+        // Query from a node whose leaf differs from the publisher's.
+        let querier = p.ids()[p.len() - 1];
+        let out = query_routed(&mut store, &g, querier, key).expect("query");
+        match &out.outcome {
+            QueryOutcome::Found { via, answering_node, .. } => {
+                if matches!(via, Via::Pointer { .. }) {
+                    assert_eq!(*answering_node, global);
+                    let ind = out.indirection.as_ref().expect("pointer pays a round trip");
+                    assert!(ind.hops() >= 1);
+                    assert!(out.total_hops() > out.route.hops());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_found_routes_to_the_global_responsible() {
+        let (h, _p, g, mut store) = setup();
+        let querier = g.id(NodeIndex(0));
+        let key = hash_name("missing");
+        let out = query_routed(&mut store, &g, querier, key).expect("query");
+        assert!(!out.outcome.is_found());
+        assert_eq!(
+            g.id(out.route.target()),
+            store.responsible_in(key, h.root()),
+            "a miss must travel to the root-level responsible node"
+        );
+        assert!(out.indirection.is_none());
+    }
+
+    #[test]
+    fn repeat_queries_hit_caches_and_shorten_routes() {
+        let (h, p, g, mut store) = setup();
+        let publisher = p.ids()[3];
+        let leaf = p.leaf_of(publisher).expect("placed");
+        let key = hash_name("hot-item");
+        store.insert(publisher, key, "hot", leaf, h.root()).expect("insert");
+        // A querier in a different depth-1 branch, so the first answer
+        // arrives above its leaf and leaves cache entries below.
+        let querier = p
+            .iter()
+            .find(|(_, l)| h.ancestor_at_depth(*l, 1) != h.ancestor_at_depth(leaf, 1))
+            .map(|(id, _)| id)
+            .expect("another branch has members");
+        let first = query_routed(&mut store, &g, querier, key).expect("query");
+        let second = query_routed(&mut store, &g, querier, key).expect("query");
+        // The second query is served from a cache at or below the first
+        // answer level, so it cannot travel farther.
+        assert!(second.total_hops() <= first.total_hops());
+        match &second.outcome {
+            QueryOutcome::Found { via, .. } => assert_eq!(*via, Via::Cache),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

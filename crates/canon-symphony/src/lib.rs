@@ -1,0 +1,268 @@
+//! Flat Symphony (paper §3.1 baseline): a randomized small-world ring.
+//!
+//! Symphony (Manku, Bawa, Raghavan — USITS 2003) gives each node
+//! `⌊log2 n⌋` long links, each drawn independently with probability
+//! inversely proportional to clockwise distance (the *harmonic*
+//! distribution), plus a link to its immediate successor. Greedy clockwise
+//! routing takes `O(log² n / k)` hops with `k` links; with one step of
+//! *lookahead* (considering neighbors' neighbors) it achieves
+//! `O(log n / log log n)` — about 40% fewer hops in practice, a property
+//! Cacophony inherits (§3.1).
+//!
+//! As with Chord, the per-ring rule is exposed in bounded form
+//! ([`symphony_links_bounded`]) so the `canon` crate can assemble Cacophony
+//! from it.
+
+use canon_id::{
+    ring::SortedRing,
+    rng::{harmonic_distance, DetRng, Seed},
+    NodeId, RingDistance,
+};
+use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph, Route, RouteError};
+
+/// Number of long links Symphony grants a node in a ring of `n` nodes:
+/// `⌊log2 n⌋` (zero for `n < 2`).
+pub fn link_budget(n: usize) -> usize {
+    if n < 2 {
+        0
+    } else {
+        (usize::BITS - 1 - n.leading_zeros()) as usize
+    }
+}
+
+/// The Symphony link rule over `ring`, restricted to links strictly shorter
+/// than `bound`.
+///
+/// Draws [`link_budget`]`(ring.len())` harmonic distances scaled to the ring
+/// size; each candidate is the successor of `me + d` and is kept only if its
+/// clockwise distance from `me` is below `bound` (paper §3.1: at higher
+/// levels a node "retains only those links that are closer than its
+/// successor at the lower level"). The successor of `me` within `ring` is
+/// always appended when it is strictly closer than `bound`.
+pub fn symphony_links_bounded(
+    ring: &SortedRing,
+    me: NodeId,
+    bound: RingDistance,
+    rng: &mut DetRng,
+) -> Vec<NodeId> {
+    let n = ring.len();
+    let mut out = Vec::new();
+    if n >= 2 {
+        for _ in 0..link_budget(n) {
+            let d = harmonic_distance(rng, n);
+            let Some(s) = ring.successor(me.offset(d)) else { break };
+            if s == me {
+                continue;
+            }
+            let dist = me.clockwise_to(s) as u128;
+            if dist < bound.as_u128() && !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    }
+    if let Some(s) = ring.strict_successor(me) {
+        if s != me && (me.clockwise_to(s) as u128) < bound.as_u128() && !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Builds a flat Symphony network over `ids`.
+///
+/// Routable with [`canon_id::metric::Clockwise`]; see
+/// [`route_with_lookahead`] for the improved router.
+pub fn build_symphony(ids: &[NodeId], seed: Seed) -> OverlayGraph {
+    let ring = SortedRing::new(ids.to_vec());
+    let mut b = GraphBuilder::with_nodes(ring.as_slice());
+    let mut rng = seed.derive("symphony").rng();
+    for &me in ring.as_slice() {
+        for link in symphony_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng) {
+            b.add_link(me, link);
+        }
+    }
+    b.build()
+}
+
+/// Greedy clockwise routing with one step of lookahead (paper §3.1).
+///
+/// At each hop the node examines every pair (neighbor, neighbor's neighbor)
+/// and takes the first step of the pair that ends closest to the
+/// destination, provided the pair makes strict progress; it falls back to
+/// plain greedy when lookahead offers no progress.
+///
+/// # Errors
+///
+/// * [`RouteError::Stuck`] if neither lookahead nor greedy can progress.
+/// * [`RouteError::HopLimit`] on malformed graphs.
+pub fn route_with_lookahead(
+    graph: &OverlayGraph,
+    from: NodeIndex,
+    to: NodeIndex,
+) -> Result<Route, RouteError> {
+    const HOP_LIMIT: usize = 4096;
+    let target = graph.id(to);
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != to {
+        let cur_dist = graph.id(cur).clockwise_to(target);
+        // Direct neighbor hit wins immediately.
+        if graph.neighbors(cur).contains(&to) {
+            path.push(to);
+            break;
+        }
+        let mut best: Option<(u64, u64, NodeIndex)> = None; // (pair-end, first-step, via)
+        for &nb in graph.neighbors(cur) {
+            let d1 = graph.id(nb).clockwise_to(target);
+            if d1 >= cur_dist {
+                continue; // never move away from the destination
+            }
+            // Plain greedy candidate: pair end = d1 itself.
+            if best.is_none_or(|(bd, bd1, _)| d1 < bd || (d1 == bd && d1 < bd1)) {
+                best = Some((d1, d1, nb));
+            }
+            for &nb2 in graph.neighbors(nb) {
+                let d2 = graph.id(nb2).clockwise_to(target);
+                if d2 < cur_dist && d2 < d1
+                    && best.is_none_or(|(bd, bd1, _)| d2 < bd || (d2 == bd && d1 < bd1)) {
+                        best = Some((d2, d1, nb));
+                    }
+            }
+        }
+        match best {
+            Some((_, _, via)) => {
+                path.push(via);
+                cur = via;
+            }
+            None => {
+                return Err(RouteError::Stuck { at: cur, remaining: cur_dist });
+            }
+        }
+        if path.len() > HOP_LIMIT {
+            return Err(RouteError::HopLimit { limit: HOP_LIMIT });
+        }
+    }
+    Ok(route_from_path(path))
+}
+
+/// Builds a `Route` from a raw path by replaying it through the public API.
+fn route_from_path(path: Vec<NodeIndex>) -> Route {
+    Route::from_path(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::metric::Clockwise;
+    use canon_id::rng::random_ids;
+    use canon_overlay::stats;
+    use rand::Rng;
+
+    #[test]
+    fn link_budget_is_floor_log2() {
+        assert_eq!(link_budget(0), 0);
+        assert_eq!(link_budget(1), 0);
+        assert_eq!(link_budget(2), 1);
+        assert_eq!(link_budget(3), 1);
+        assert_eq!(link_budget(4), 2);
+        assert_eq!(link_budget(1024), 10);
+        assert_eq!(link_budget(1025), 10);
+    }
+
+    #[test]
+    fn links_respect_bound() {
+        let ids = random_ids(Seed(1), 512);
+        let ring = SortedRing::new(ids);
+        let me = ring.as_slice()[100];
+        let bound = RingDistance::from_u64(1u64 << 60);
+        let mut rng = Seed(2).rng();
+        let links = symphony_links_bounded(&ring, me, bound, &mut rng);
+        for l in &links {
+            assert!((me.clockwise_to(*l) as u128) < bound.as_u128());
+        }
+    }
+
+    #[test]
+    fn successor_always_linked_flat() {
+        let ids = random_ids(Seed(3), 256);
+        let ring = SortedRing::new(ids);
+        let mut rng = Seed(4).rng();
+        for &me in ring.as_slice().iter().take(30) {
+            let links = symphony_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng);
+            let succ = ring.strict_successor(me).unwrap();
+            assert!(links.contains(&succ), "{me} lacks successor link");
+        }
+    }
+
+    #[test]
+    fn singleton_and_pair_rings() {
+        let one = SortedRing::new(vec![NodeId::new(9)]);
+        let mut rng = Seed(5).rng();
+        assert!(symphony_links_bounded(&one, NodeId::new(9), RingDistance::FULL_CIRCLE, &mut rng)
+            .is_empty());
+        let two = SortedRing::new(vec![NodeId::new(9), NodeId::new(1 << 30)]);
+        let links =
+            symphony_links_bounded(&two, NodeId::new(9), RingDistance::FULL_CIRCLE, &mut rng);
+        assert_eq!(links, vec![NodeId::new(1 << 30)]);
+    }
+
+    #[test]
+    fn symphony_routes_greedily() {
+        let g = build_symphony(&random_ids(Seed(6), 512), Seed(7));
+        let s = stats::hop_stats(&g, Clockwise, 300, Seed(8));
+        // Symphony routes in O(log^2 n / log n) = O(log n)-ish hops with
+        // log n links; allow a loose ceiling.
+        assert!(s.mean < 25.0, "mean hops {}", s.mean);
+    }
+
+    #[test]
+    fn lookahead_beats_greedy_on_average() {
+        let ids = random_ids(Seed(9), 1024);
+        let g = build_symphony(&ids, Seed(10));
+        let mut greedy_total = 0usize;
+        let mut look_total = 0usize;
+        let pairs = 200;
+        let mut rng = Seed(11).rng();
+        for _ in 0..pairs {
+            let a = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            let b = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            if a == b {
+                continue;
+            }
+            let r1 = canon_overlay::route(&g, Clockwise, a, b).unwrap();
+            let r2 = route_with_lookahead(&g, a, b).unwrap();
+            greedy_total += r1.hops();
+            look_total += r2.hops();
+            assert_eq!(r2.target(), b);
+        }
+        assert!(
+            (look_total as f64) < 0.9 * greedy_total as f64,
+            "lookahead {look_total} vs greedy {greedy_total}"
+        );
+    }
+
+    #[test]
+    fn lookahead_route_to_self() {
+        let g = build_symphony(&random_ids(Seed(12), 64), Seed(13));
+        let n = NodeIndex(5);
+        let r = route_with_lookahead(&g, n, n).unwrap();
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn construction_is_reproducible() {
+        let ids = random_ids(Seed(14), 128);
+        let a = build_symphony(&ids, Seed(1));
+        let b = build_symphony(&ids, Seed(1));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_tracks_log_n() {
+        let n = 1024;
+        let g = build_symphony(&random_ids(Seed(15), n), Seed(16));
+        let d = stats::DegreeStats::of(&g);
+        // budget = 10 draws (with duplicates/collisions) + successor.
+        assert!(d.summary.mean > 5.0 && d.summary.mean < 12.0, "mean {}", d.summary.mean);
+    }
+}

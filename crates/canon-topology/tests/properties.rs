@@ -1,0 +1,64 @@
+//! Property tests for the transit-stub topology: metric laws and
+//! attachment consistency over random shapes.
+
+use canon_id::rng::Seed;
+use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = TopologyParams> {
+    (1usize..=3, 1usize..=4, 1usize..=3, 1usize..=5).prop_map(
+        |(transit_domains, transit_nodes, stub_domains, stub_nodes)| TopologyParams {
+            transit_domains,
+            transit_nodes,
+            stub_domains,
+            stub_nodes,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Shortest-path latencies form a metric: symmetric, zero on the
+    /// diagonal, triangle inequality.
+    #[test]
+    fn latencies_form_a_metric(params in arb_params(), seed in any::<u64>()) {
+        let t = TransitStubTopology::generate(params, LatencyModel::default(), Seed(seed));
+        let n = t.router_count();
+        prop_assert_eq!(n, params.router_count());
+        let step = (n / 6).max(1);
+        let probes: Vec<usize> = (0..n).step_by(step).collect();
+        for &a in &probes {
+            prop_assert_eq!(t.router_latency(a, a), 0.0);
+            for &b in &probes {
+                let ab = t.router_latency(a, b);
+                prop_assert!(ab.is_finite(), "disconnected pair");
+                prop_assert_eq!(ab, t.router_latency(b, a));
+                for &c in &probes {
+                    prop_assert!(
+                        t.router_latency(a, c) <= ab + t.router_latency(b, c) + 1e-6,
+                        "triangle violated"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Attachment yields a 5-level hierarchy whose leaf count equals the
+    /// number of stub routers, with consistent node latencies.
+    #[test]
+    fn attachment_is_consistent(params in arb_params(), n in 2usize..80, seed in any::<u64>()) {
+        let t = TransitStubTopology::generate(params, LatencyModel::default(), Seed(seed));
+        let stub_count = t.stub_routers().len();
+        let att = attach(t, n, Seed(seed ^ 1));
+        prop_assert_eq!(att.hierarchy().levels(), 5);
+        prop_assert_eq!(att.hierarchy().leaves().len(), stub_count);
+        let ids = att.placement().ids().to_vec();
+        for i in 1..ids.len().min(10) {
+            let l = att.latency(ids[0], ids[i]);
+            prop_assert!(l >= 2.0, "latency {l} below two access links");
+            prop_assert_eq!(l, att.latency(ids[i], ids[0]));
+        }
+        prop_assert_eq!(att.latency(ids[0], ids[0]), 0.0);
+    }
+}

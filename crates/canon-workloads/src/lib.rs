@@ -1,0 +1,366 @@
+//! Workload generators for DHT experiments.
+//!
+//! The paper's evaluation workloads are simple (uniform random pairs); the
+//! claims it makes about caching and locality (§4.2, §5.3) only pay off
+//! under *skewed, local* access patterns. This crate provides the seeded
+//! generators the experiment harness and examples draw those workloads
+//! from:
+//!
+//! * [`ZipfKeys`] — key popularity following a Zipf distribution (web-style
+//!   request skew);
+//! * [`LocalityQueries`] — query streams where a tunable fraction of
+//!   queries target keys "owned" by the querier's own domain at a chosen
+//!   level, the access pattern hierarchical caching exploits;
+//! * [`poisson_churn`] — exponential inter-arrival join/leave traces for
+//!   churn experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use canon_id::rng::Seed;
+//! use canon_workloads::ZipfKeys;
+//!
+//! let keys = ZipfKeys::new(1000, 1.0, Seed(1));
+//! let mut rng = Seed(2).rng();
+//! let popular = (0..100).filter(|_| keys.draw(&mut rng) == keys.key(0)).count();
+//! assert!(popular >= 5, "rank-0 key should dominate a Zipf(1.0) stream");
+//! ```
+
+use canon_hierarchy::{DomainId, Hierarchy, Placement};
+use canon_id::{
+    hash::hash_name,
+    rng::{DetRng, Seed},
+    Key, NodeId,
+};
+use rand::Rng;
+
+/// A fixed universe of keys drawn with Zipf(`s`) popularity: the `k`-th
+/// most popular key has probability proportional to `1/(k+1)^s`.
+#[derive(Clone, Debug)]
+pub struct ZipfKeys {
+    keys: Vec<Key>,
+    /// Cumulative probability per rank.
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// Creates `count` keys with exponent `s` (`s = 0` is uniform; web
+    /// workloads are typically `s ≈ 0.7–1.2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `s` is negative or not finite.
+    pub fn new(count: usize, s: f64, seed: Seed) -> Self {
+        assert!(count > 0, "a key universe needs at least one key");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and non-negative");
+        let keys = (0..count)
+            .map(|i| hash_name(&format!("zipf-{}-{i}", seed.derive("zipf").0)))
+            .collect();
+        let weights: Vec<f64> = (0..count).map(|k| ((k + 1) as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfKeys { keys, cdf }
+    }
+
+    /// Number of keys in the universe.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// A key universe is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The key at popularity rank `r` (0 = most popular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn key(&self, r: usize) -> Key {
+        self.keys[r]
+    }
+
+    /// Draws a key according to the popularity distribution.
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> Key {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.keys[idx.min(self.keys.len() - 1)]
+    }
+}
+
+/// One query of a locality stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The querying node.
+    pub querier: NodeId,
+    /// The key queried.
+    pub key: Key,
+    /// Whether the generator drew this as a domain-local query.
+    pub local: bool,
+}
+
+/// A query stream with tunable locality of access (§4.2's premise: "if
+/// nodes exhibit locality of access, it is likely that the same key queried
+/// by a node would be queried by other nodes close to it").
+///
+/// Each domain at `locality_depth` owns a slice of the key universe; a
+/// query is *local* with probability `locality`, drawing its key from the
+/// querier's own domain slice (Zipf-skewed within the slice), otherwise
+/// from a uniformly random other domain's slice.
+#[derive(Clone, Debug)]
+pub struct LocalityQueries {
+    queriers: Vec<(NodeId, usize)>, // node, domain slot
+    slices: Vec<ZipfKeys>,          // per domain slot
+    locality: f64,
+}
+
+impl LocalityQueries {
+    /// Builds the stream over `placement`: domains at `locality_depth`
+    /// define the slices; `keys_per_domain` keys per slice with Zipf
+    /// exponent `s`; a query is local with probability `locality`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locality` is outside `[0, 1]`, `keys_per_domain == 0`, or
+    /// the placement is empty.
+    pub fn new(
+        hierarchy: &Hierarchy,
+        placement: &Placement,
+        locality_depth: u32,
+        keys_per_domain: usize,
+        s: f64,
+        locality: f64,
+        seed: Seed,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&locality), "locality must be a probability");
+        assert!(!placement.is_empty(), "need at least one querier");
+        // Stable slot per distinct domain at the locality depth.
+        let mut domains: Vec<DomainId> = Vec::new();
+        let mut queriers = Vec::with_capacity(placement.len());
+        for (id, leaf) in placement.iter() {
+            let d = hierarchy.ancestor_at_depth(leaf, locality_depth.min(hierarchy.depth(leaf)));
+            let slot = match domains.iter().position(|&x| x == d) {
+                Some(i) => i,
+                None => {
+                    domains.push(d);
+                    domains.len() - 1
+                }
+            };
+            queriers.push((id, slot));
+        }
+        let slices = (0..domains.len())
+            .map(|i| ZipfKeys::new(keys_per_domain, s, seed.derive("slice").derive_index(i as u64)))
+            .collect();
+        LocalityQueries { queriers, slices, locality }
+    }
+
+    /// Number of distinct domain slices.
+    pub fn domain_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The key slice owned by domain slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn slice(&self, i: usize) -> &ZipfKeys {
+        &self.slices[i]
+    }
+
+    /// Draws the next query. Non-local queries target a uniformly random
+    /// domain's slice (cross-domain access to remote content).
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> Query {
+        let (querier, slot) = self.queriers[rng.gen_range(0..self.queriers.len())];
+        let local = rng.gen_bool(self.locality);
+        let source = if local { slot } else { rng.gen_range(0..self.slices.len()) };
+        Query { querier, key: self.slices[source].draw(rng), local }
+    }
+}
+
+/// A churn event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A new node arrives (with a fresh identifier) at `time`.
+    Join {
+        /// Event time.
+        time: f64,
+        /// The arriving node's identifier.
+        id: NodeId,
+    },
+    /// A uniformly random live node departs at `time`.
+    Leave {
+        /// Event time.
+        time: f64,
+        /// Index into the live set at generation time (the consumer maps it
+        /// to whichever bookkeeping it maintains).
+        victim_rank: usize,
+    },
+}
+
+/// A Poisson churn trace: joins at rate `lambda_join`, leaves at rate
+/// `lambda_leave` (events per time unit), generated up to `horizon`.
+///
+/// Leaves are suppressed while the (generator-tracked) population is at or
+/// below `min_population`.
+pub fn poisson_churn(
+    lambda_join: f64,
+    lambda_leave: f64,
+    horizon: f64,
+    initial_population: usize,
+    min_population: usize,
+    seed: Seed,
+) -> Vec<ChurnEvent> {
+    assert!(lambda_join >= 0.0 && lambda_leave >= 0.0, "rates must be non-negative");
+    assert!(horizon >= 0.0, "horizon must be non-negative");
+    let mut rng = seed.derive("churn").rng();
+    let mut events = Vec::new();
+    let mut t_join = sample_exp(&mut rng, lambda_join);
+    let mut t_leave = sample_exp(&mut rng, lambda_leave);
+    let mut population = initial_population;
+    let mut counter = 0u64;
+    loop {
+        let (t, is_join) = if t_join <= t_leave { (t_join, true) } else { (t_leave, false) };
+        if t > horizon {
+            break;
+        }
+        if is_join {
+            counter += 1;
+            let id = NodeId::new(canon_id::rng::splitmix64(
+                seed.derive("join-ids").0 ^ counter,
+            ));
+            events.push(ChurnEvent::Join { time: t, id });
+            population += 1;
+            t_join = t + sample_exp(&mut rng, lambda_join);
+        } else {
+            if population > min_population {
+                events.push(ChurnEvent::Leave {
+                    time: t,
+                    victim_rank: rng.gen_range(0..population),
+                });
+                population -= 1;
+            }
+            t_leave = t + sample_exp(&mut rng, lambda_leave);
+        }
+    }
+    events
+}
+
+fn sample_exp(rng: &mut DetRng, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_hierarchy::Hierarchy;
+
+    #[test]
+    fn zipf_skew_orders_popularity() {
+        let keys = ZipfKeys::new(100, 1.0, Seed(1));
+        let mut rng = Seed(2).rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let k = keys.draw(&mut rng);
+            let rank = (0..100).find(|&r| keys.key(r) == k).expect("known key");
+            counts[rank] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50], "counts {counts:?}");
+        // Rank 0 of Zipf(1.0) over 100 keys carries ~1/H(100) ≈ 19%.
+        assert!(counts[0] > 2_000, "rank-0 share too small: {}", counts[0]);
+        assert_eq!(keys.len(), 100);
+        assert!(!keys.is_empty());
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let keys = ZipfKeys::new(10, 0.0, Seed(3));
+        let mut rng = Seed(4).rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            let k = keys.draw(&mut rng);
+            let rank = (0..10).find(|&r| keys.key(r) == k).expect("known key");
+            counts[rank] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_universe_rejected() {
+        ZipfKeys::new(0, 1.0, Seed(0));
+    }
+
+    #[test]
+    fn locality_stream_respects_probability() {
+        let h = Hierarchy::balanced(4, 2);
+        let p = Placement::uniform(&h, 200, Seed(5));
+        let wl = LocalityQueries::new(&h, &p, 1, 50, 0.8, 0.9, Seed(6));
+        assert_eq!(wl.domain_count(), 4);
+        let mut rng = Seed(7).rng();
+        let local = (0..5_000).filter(|_| wl.draw(&mut rng).local).count();
+        assert!((4_200..4_800).contains(&local), "local {local}");
+    }
+
+    #[test]
+    fn local_queries_use_the_domain_slice() {
+        let h = Hierarchy::balanced(3, 2);
+        let p = Placement::uniform(&h, 90, Seed(8));
+        let wl = LocalityQueries::new(&h, &p, 1, 20, 1.0, 1.0, Seed(9));
+        let mut rng = Seed(10).rng();
+        for _ in 0..200 {
+            let q = wl.draw(&mut rng);
+            assert!(q.local);
+            // The key must be in one of the slices — specifically the
+            // querier's; membership in any slice suffices for this check.
+            let hit = (0..wl.domain_count())
+                .any(|i| (0..wl.slice(i).len()).any(|r| wl.slice(i).key(r) == q.key));
+            assert!(hit, "local key not from any slice");
+        }
+    }
+
+    #[test]
+    fn churn_trace_is_time_ordered_and_bounded() {
+        let events = poisson_churn(2.0, 1.0, 100.0, 50, 10, Seed(11));
+        assert!(!events.is_empty());
+        let times: Vec<f64> = events
+            .iter()
+            .map(|e| match e {
+                ChurnEvent::Join { time, .. } | ChurnEvent::Leave { time, .. } => *time,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "events out of order");
+        assert!(times.iter().all(|&t| t <= 100.0));
+        // Roughly lambda_join * horizon joins.
+        let joins = events.iter().filter(|e| matches!(e, ChurnEvent::Join { .. })).count();
+        assert!((120..280).contains(&joins), "{joins} joins");
+    }
+
+    #[test]
+    fn churn_respects_population_floor() {
+        let events = poisson_churn(0.0, 10.0, 50.0, 12, 10, Seed(12));
+        let leaves = events.iter().filter(|e| matches!(e, ChurnEvent::Leave { .. })).count();
+        assert_eq!(leaves, 2, "only two nodes may leave above the floor");
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let a = poisson_churn(1.0, 1.0, 20.0, 10, 2, Seed(13));
+        let b = poisson_churn(1.0, 1.0, 20.0, 10, 2, Seed(13));
+        assert_eq!(a, b);
+    }
+}

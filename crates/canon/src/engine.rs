@@ -1,0 +1,254 @@
+//! The generic Canon merge engine (paper §2.1, generalized in §3).
+//!
+//! Construction proceeds per node, walking from its leaf domain to the
+//! root. At the leaf the flat link rule applies unrestricted; at every
+//! internal domain the same rule applies over the *merged* ring but only
+//! links **strictly shorter than the distance to the closest node of the
+//! node's own (child) ring** are kept — Canon's condition (b). The bound is
+//! the full circle for a node alone in its child ring, so first nodes of a
+//! domain link freely, exactly as the paper prescribes.
+//!
+//! The engine is generic over a [`LinkRule`]; the four Canonical DHTs of
+//! the paper are rule instantiations in sibling modules.
+
+use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
+use canon_id::{metric::Metric, ring::SortedRing, NodeId, RingDistance};
+use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph};
+
+/// Where in the hierarchy a link rule is being applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelCtx {
+    /// Depth of the domain being processed (root = 0).
+    pub depth: u32,
+    /// Whether this is the node's leaf domain (the flat base ring).
+    pub is_leaf_level: bool,
+    /// Levels above the node's leaf domain (0 at the leaf).
+    pub levels_above_leaf: u32,
+}
+
+/// A flat DHT's per-ring link rule in *bounded* form.
+///
+/// `links` must return the links the rule grants `me` over `ring`,
+/// restricted to nodes at metric distance strictly below `bound`. Passing
+/// [`RingDistance::FULL_CIRCLE`] must yield the flat rule. Implementations
+/// may be randomized (hence `&mut self`); determinism across runs should
+/// come from seeded construction.
+pub trait LinkRule {
+    /// The metric the rule (and greedy routing on the result) uses.
+    type M: Metric;
+
+    /// The metric instance.
+    fn metric(&self) -> Self::M;
+
+    /// Links for `me` over `ring` at distance `< bound`.
+    fn links(
+        &mut self,
+        ctx: LevelCtx,
+        ring: &SortedRing,
+        me: NodeId,
+        bound: RingDistance,
+    ) -> Vec<NodeId>;
+}
+
+/// A constructed Canonical (or flat) network: the overlay graph plus each
+/// node's position in the hierarchy.
+#[derive(Clone, Debug)]
+pub struct CanonicalNetwork {
+    graph: OverlayGraph,
+    leaf_of: Vec<DomainId>,
+}
+
+impl CanonicalNetwork {
+    /// The overlay graph (node order: identifiers ascending).
+    pub fn graph(&self) -> &OverlayGraph {
+        &self.graph
+    }
+
+    /// The leaf domain of graph node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn leaf_of(&self, i: NodeIndex) -> DomainId {
+        self.leaf_of[i.index()]
+    }
+
+    /// The ancestor domain of graph node `i` at `depth` (clamped to the
+    /// node's leaf depth).
+    pub fn domain_at_depth(&self, hierarchy: &Hierarchy, i: NodeIndex, depth: u32) -> DomainId {
+        let leaf = self.leaf_of(i);
+        hierarchy.ancestor_at_depth(leaf, depth.min(hierarchy.depth(leaf)))
+    }
+
+    /// Graph indices of all members of domain `d` (subtree membership).
+    pub fn members_of(&self, hierarchy: &Hierarchy, d: DomainId) -> Vec<NodeIndex> {
+        self.graph
+            .node_indices()
+            .filter(|&i| hierarchy.is_ancestor_or_self(d, self.leaf_of(i)))
+            .collect()
+    }
+}
+
+/// Builds a Canonical network over `hierarchy`/`placement` with `rule`.
+///
+/// Nodes keep all links from every level (the paper: "when the two rings
+/// are merged, nodes retain all their original links"), so the returned
+/// graph is the union of per-level link sets and is routable with the
+/// rule's metric.
+///
+/// # Panics
+///
+/// Panics if `placement` is empty.
+pub fn build_canonical<R: LinkRule>(
+    hierarchy: &Hierarchy,
+    placement: &Placement,
+    rule: &mut R,
+) -> CanonicalNetwork {
+    assert!(!placement.is_empty(), "cannot build a network with no nodes");
+    let members = DomainMembership::build(hierarchy, placement);
+    let all = members.ring(hierarchy.root());
+    let mut builder = GraphBuilder::with_nodes(all.as_slice());
+
+    // leaf_of aligned with the (sorted) graph node order.
+    let mut leaf_of = vec![hierarchy.root(); all.len()];
+    for (id, leaf) in placement.iter() {
+        let idx = all.index_of(id).expect("placed node is in the root ring");
+        leaf_of[idx] = leaf;
+    }
+
+    for (id, leaf) in placement.iter() {
+        let mut bound = RingDistance::FULL_CIRCLE;
+        let path = hierarchy.path_from_root(leaf);
+        let leaf_depth = hierarchy.depth(leaf);
+        for &domain in path.iter().rev() {
+            let ring = members.ring(domain);
+            let ctx = LevelCtx {
+                depth: hierarchy.depth(domain),
+                is_leaf_level: domain == leaf,
+                levels_above_leaf: leaf_depth - hierarchy.depth(domain),
+            };
+            for link in rule.links(ctx, ring, id, bound) {
+                debug_assert_ne!(link, id, "rules must not emit self-links");
+                builder.add_link(id, link);
+            }
+            // Condition (b)'s bound for the next (parent) level: distance
+            // to the closest node of the ring just processed.
+            bound = ring.own_ring_bound(rule.metric(), id);
+        }
+    }
+
+    CanonicalNetwork { graph: builder.build(), leaf_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::metric::Clockwise;
+    use canon_id::rng::Seed;
+
+    /// A toy rule linking each node to its ring successor when within the
+    /// bound — enough to exercise the engine mechanics.
+    struct SuccessorRule;
+
+    impl LinkRule for SuccessorRule {
+        type M = Clockwise;
+
+        fn metric(&self) -> Clockwise {
+            Clockwise
+        }
+
+        fn links(
+            &mut self,
+            _ctx: LevelCtx,
+            ring: &SortedRing,
+            me: NodeId,
+            bound: RingDistance,
+        ) -> Vec<NodeId> {
+            match ring.strict_successor(me) {
+                Some(s) if s != me && (me.clockwise_to(s) as u128) < bound.as_u128() => vec![s],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_walks_levels_bottom_up() {
+        let mut h = Hierarchy::new();
+        let a = h.add_domain(h.root(), "a");
+        let b = h.add_domain(h.root(), "b");
+        let placement = Placement::from_pairs(
+            &h,
+            vec![
+                (NodeId::new(10), a),
+                (NodeId::new(30), a),
+                (NodeId::new(20), b),
+                (NodeId::new(40), b),
+            ],
+        );
+        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let g = net.graph();
+        // Leaf level: 10 -> 30 (ring a), 30 -> 10; 20 -> 40, 40 -> 20.
+        // Merge level: 10's own-ring bound is 20 (to 30); successor in the
+        // union is 20 at distance 10 < 20, so 10 -> 20 is added. 30's bound
+        // is (wrap) large; successor 40 at distance 10 → added. Node 20's
+        // bound is 20 (to 40): successor 30 at distance 10 → added. 40's
+        // bound wraps; successor 10 → added.
+        let idx = |raw: u64| g.index_of(NodeId::new(raw)).unwrap();
+        let has = |x: u64, y: u64| g.neighbors(idx(x)).contains(&idx(y));
+        assert!(has(10, 30) && has(10, 20));
+        assert!(has(20, 40) && has(20, 30));
+        assert!(has(30, 10) && has(30, 40));
+        assert!(has(40, 20) && has(40, 10));
+    }
+
+    #[test]
+    fn leaf_and_domain_metadata() {
+        let mut h = Hierarchy::new();
+        let a = h.add_domain(h.root(), "a");
+        let b = h.add_domain(h.root(), "b");
+        let placement =
+            Placement::from_pairs(&h, vec![(NodeId::new(5), a), (NodeId::new(9), b)]);
+        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let ia = net.graph().index_of(NodeId::new(5)).unwrap();
+        assert_eq!(net.leaf_of(ia), a);
+        assert_eq!(net.domain_at_depth(&h, ia, 0), h.root());
+        assert_eq!(net.domain_at_depth(&h, ia, 1), a);
+        assert_eq!(net.domain_at_depth(&h, ia, 7), a); // clamped
+        assert_eq!(net.members_of(&h, a), vec![ia]);
+        assert_eq!(net.members_of(&h, h.root()).len(), 2);
+    }
+
+    #[test]
+    fn singleton_domains_link_freely() {
+        // A node alone in its leaf keeps a full-circle bound at the merge,
+        // so it gets its successor in the merged ring.
+        let mut h = Hierarchy::new();
+        let a = h.add_domain(h.root(), "a");
+        let b = h.add_domain(h.root(), "b");
+        let placement =
+            Placement::from_pairs(&h, vec![(NodeId::new(100), a), (NodeId::new(200), b)]);
+        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let g = net.graph();
+        let i100 = g.index_of(NodeId::new(100)).unwrap();
+        let i200 = g.index_of(NodeId::new(200)).unwrap();
+        assert!(g.neighbors(i100).contains(&i200));
+        assert!(g.neighbors(i200).contains(&i100));
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_placement_rejected() {
+        let h = Hierarchy::balanced(2, 2);
+        let placement = Placement::from_pairs(&h, vec![]);
+        build_canonical(&h, &placement, &mut SuccessorRule);
+    }
+
+    #[test]
+    fn flat_hierarchy_is_single_level() {
+        let h = Hierarchy::balanced(10, 1);
+        let placement = Placement::uniform(&h, 50, Seed(1));
+        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        // Successor-only rule on a flat hierarchy: a simple cycle.
+        assert_eq!(net.graph().link_count(), 50);
+    }
+}

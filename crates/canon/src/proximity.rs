@@ -1,0 +1,451 @@
+//! Group-based adaptation to physical-network proximity (paper §3.6).
+//!
+//! Canon constructions inherit proximity from the hierarchy (nodes of a
+//! domain are usually physically close), but the *top* level of the
+//! hierarchy spans the world. The paper's fix is transparent to the DHT
+//! structure: group nodes by the top `T` bits of their identifier, apply
+//! the link rules to *group* identifiers, and let each node satisfy a
+//! group link by picking the lowest-latency node among `s` sampled members
+//! of the target group (Internet measurements put `s = 32` as sufficient).
+//! Nodes within one group connect densely (here: a complete graph). `T` is
+//! chosen so the expected group size is a constant independent of `n`.
+//!
+//! Two constructions are provided:
+//!
+//! * [`build_chord_prox`] — flat Chord over groups (the paper's
+//!   *Chord (Prox.)*);
+//! * [`build_crescendo_prox`] — Crescendo with group-based construction at
+//!   the top level only (*Crescendo (Prox.)*), lower levels built exactly
+//!   as normal.
+//!
+//! Routing is group-aware ([`ProxNetwork::route`]): greedily minimize the
+//! clockwise *group* distance first, then the clockwise identifier
+//! distance within the destination group (where the dense intra-group
+//! graph guarantees a final direct hop).
+
+use canon_chord::chord_links_bounded;
+use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
+use canon_id::{ring::SortedRing, rng::Seed, NodeId, RingDistance, ID_BITS};
+use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph, Route, RouteError};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Parameters of the group construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProxParams {
+    /// Desired expected nodes per group (paper: a small constant; we
+    /// default to 16).
+    pub target_group_size: usize,
+    /// Nodes sampled per group link, keeping the lowest-latency one
+    /// (paper cites `s = 32`).
+    pub samples: usize,
+}
+
+impl Default for ProxParams {
+    fn default() -> Self {
+        ProxParams { target_group_size: 16, samples: 32 }
+    }
+}
+
+/// The group prefix length `T` for `n` nodes: `⌊log2(n / target)⌋`,
+/// clamped to `[0, 63]`.
+pub fn group_bits(n: usize, target_group_size: usize) -> u32 {
+    let groups = (n / target_group_size.max(1)).max(1);
+    (usize::BITS - 1 - groups.leading_zeros()).min(ID_BITS - 1)
+}
+
+/// A proximity-adapted network: the overlay plus its group geometry.
+#[derive(Clone, Debug)]
+pub struct ProxNetwork {
+    graph: OverlayGraph,
+    group_bits: u32,
+    leaf_of: Vec<DomainId>,
+}
+
+impl ProxNetwork {
+    /// The overlay graph.
+    pub fn graph(&self) -> &OverlayGraph {
+        &self.graph
+    }
+
+    /// The group prefix length `T`.
+    pub fn group_bits(&self) -> u32 {
+        self.group_bits
+    }
+
+    /// The group (top-`T`-bit prefix) of node `i`.
+    pub fn group_of(&self, i: NodeIndex) -> u64 {
+        self.graph.id(i).prefix(self.group_bits)
+    }
+
+    /// The leaf domain of node `i` (the root domain for flat networks).
+    pub fn leaf_of(&self, i: NodeIndex) -> DomainId {
+        self.leaf_of[i.index()]
+    }
+
+    /// Group-aware greedy routing from `from` to `to`.
+    ///
+    /// Minimizes the pair (clockwise group distance, clockwise identifier
+    /// distance) lexicographically; both components never increase and one
+    /// strictly decreases per hop, so routes terminate.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::Stuck`] if no neighbor improves the pair (a
+    ///   structural defect).
+    /// * [`RouteError::HopLimit`] on malformed graphs.
+    pub fn route(&self, from: NodeIndex, to: NodeIndex) -> Result<Route, RouteError> {
+        const HOP_LIMIT: usize = 4096;
+        let t = self.group_bits;
+        let dest = self.graph.id(to);
+        let gdest = dest.prefix(t);
+        let key = |id: NodeId| -> (u64, u64) {
+            let gd = gdest.wrapping_sub(id.prefix(t)) & mask(t);
+            (gd, id.clockwise_to(dest))
+        };
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut cur_key = key(self.graph.id(cur));
+        while cur != to {
+            let mut best: Option<((u64, u64), NodeIndex)> = None;
+            for &nb in self.graph.neighbors(cur) {
+                let k = key(self.graph.id(nb));
+                if k < cur_key && best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, nb));
+                }
+            }
+            match best {
+                Some((k, nb)) => {
+                    path.push(nb);
+                    cur = nb;
+                    cur_key = k;
+                }
+                None => {
+                    return Err(RouteError::Stuck { at: cur, remaining: cur_key.1 });
+                }
+            }
+            if path.len() > HOP_LIMIT {
+                return Err(RouteError::HopLimit { limit: HOP_LIMIT });
+            }
+        }
+        Ok(Route::from_path(path))
+    }
+}
+
+fn mask(t: u32) -> u64 {
+    if t == 0 {
+        0
+    } else {
+        (1u64 << t) - 1
+    }
+}
+
+/// Sorted, deduplicated group prefixes plus per-group member lists.
+struct Groups {
+    prefixes: Vec<u64>,
+    members: HashMap<u64, Vec<NodeId>>,
+}
+
+impl Groups {
+    fn build(ids: &[NodeId], bits: u32) -> Groups {
+        let mut members: HashMap<u64, Vec<NodeId>> = HashMap::new();
+        for &id in ids {
+            members.entry(id.prefix(bits)).or_default().push(id);
+        }
+        let mut prefixes: Vec<u64> = members.keys().copied().collect();
+        prefixes.sort_unstable();
+        let _ = bits;
+        Groups { prefixes, members }
+    }
+
+    /// First existing group at or clockwise-after `target` on the T-bit
+    /// group circle.
+    fn successor_group(&self, target: u64) -> u64 {
+        let idx = self.prefixes.partition_point(|&p| p < target);
+        if idx == self.prefixes.len() {
+            self.prefixes[0]
+        } else {
+            self.prefixes[idx]
+        }
+    }
+
+    /// Lowest-latency member of `group` among up to `samples` random
+    /// members, judged from `from`.
+    fn pick_member<L: Fn(NodeId, NodeId) -> f64, R: Rng>(
+        &self,
+        group: u64,
+        from: NodeId,
+        lat: &L,
+        samples: usize,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let members = self.members.get(&group)?;
+        let candidates: Vec<NodeId> = if members.len() <= samples {
+            members.clone()
+        } else {
+            (0..samples).map(|_| members[rng.gen_range(0..members.len())]).collect()
+        };
+        candidates
+            .into_iter()
+            .filter(|&m| m != from)
+            .min_by(|&a, &b| {
+                lat(from, a).partial_cmp(&lat(from, b)).expect("latencies are not NaN")
+            })
+    }
+
+    /// Adds the dense intra-group structure (complete graphs).
+    fn add_intra_group_links(&self, b: &mut GraphBuilder) {
+        for members in self.members.values() {
+            for &x in members {
+                for &y in members {
+                    if x != y {
+                        b.add_link(x, y);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds *Chord (Prox.)*: the Chord rule applied to T-bit groups, each
+/// group link satisfied by the lowest-latency sampled member, plus complete
+/// intra-group graphs.
+pub fn build_chord_prox<L: Fn(NodeId, NodeId) -> f64>(
+    ids: &[NodeId],
+    lat: &L,
+    params: ProxParams,
+    seed: Seed,
+) -> ProxNetwork {
+    let ring = SortedRing::new(ids.to_vec());
+    let t = group_bits(ring.len(), params.target_group_size);
+    let groups = Groups::build(ring.as_slice(), t);
+    let mut b = GraphBuilder::with_nodes(ring.as_slice());
+    let mut rng = seed.derive("chord-prox").rng();
+
+    groups.add_intra_group_links(&mut b);
+    for &me in ring.as_slice() {
+        let gme = me.prefix(t);
+        for k in 0..t {
+            let target = (gme.wrapping_add(1u64 << k)) & mask(t);
+            let g = groups.successor_group(target);
+            if g == gme {
+                continue;
+            }
+            if let Some(m) = groups.pick_member(g, me, lat, params.samples, &mut rng) {
+                b.add_link(me, m);
+            }
+        }
+    }
+
+    let leaf_of = vec![Hierarchy::new().root(); ring.len()];
+    ProxNetwork { graph: b.build(), group_bits: t, leaf_of }
+}
+
+/// Builds *Crescendo (Prox.)*: ordinary Crescendo below the root, with the
+/// group-based construction replacing the Chord rule at the top level
+/// (paper: "we apply this group-based construction to create links at the
+/// top level of the hierarchy").
+///
+/// A top-level group link is kept only when the distance to the target
+/// group's start is below the node's own-ring bound — the group-granular
+/// reading of Canon condition (b).
+///
+/// # Panics
+///
+/// Panics if `placement` is empty.
+pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64>(
+    hierarchy: &Hierarchy,
+    placement: &Placement,
+    lat: &L,
+    params: ProxParams,
+    seed: Seed,
+) -> ProxNetwork {
+    assert!(!placement.is_empty(), "cannot build a network with no nodes");
+    let members = DomainMembership::build(hierarchy, placement);
+    let all = members.ring(hierarchy.root());
+    let t = group_bits(all.len(), params.target_group_size);
+    let groups = Groups::build(all.as_slice(), t);
+    let mut b = GraphBuilder::with_nodes(all.as_slice());
+    let mut rng = seed.derive("crescendo-prox").rng();
+
+    let mut leaf_of = vec![hierarchy.root(); all.len()];
+    for (id, leaf) in placement.iter() {
+        let idx = all.index_of(id).expect("placed node is in the root ring");
+        leaf_of[idx] = leaf;
+    }
+
+    groups.add_intra_group_links(&mut b);
+    for (id, leaf) in placement.iter() {
+        let mut bound = RingDistance::FULL_CIRCLE;
+        let path = hierarchy.path_from_root(leaf);
+        // Ordinary Crescendo below the root (deepest first, root excluded).
+        for &domain in path.iter().rev() {
+            if domain == hierarchy.root() && path.len() > 1 {
+                break;
+            }
+            let ring = members.ring(domain);
+            for link in chord_links_bounded(ring, id, bound) {
+                b.add_link(id, link);
+            }
+            bound = ring.clockwise_gap(id);
+        }
+        // Group construction at the top level.
+        let gme = id.prefix(t);
+        for k in 0..t {
+            let target = (gme.wrapping_add(1u64 << k)) & mask(t);
+            let g = groups.successor_group(target);
+            if g == gme {
+                continue;
+            }
+            let group_start = NodeId::new(g << (ID_BITS - t));
+            if (id.clockwise_to(group_start) as u128) >= bound.as_u128() {
+                continue; // condition (b) at group granularity
+            }
+            if let Some(m) = groups.pick_member(g, id, lat, params.samples, &mut rng) {
+                b.add_link(id, m);
+            }
+        }
+    }
+
+    ProxNetwork { graph: b.build(), group_bits: t, leaf_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::rng::{random_ids, splitmix64};
+
+    /// A deterministic synthetic latency: uniform in [0, 1) per ordered pair.
+    fn synth_lat(a: NodeId, b: NodeId) -> f64 {
+        let h = splitmix64(a.raw() ^ splitmix64(b.raw()));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn group_bits_targets_constant_group_size() {
+        assert_eq!(group_bits(16, 16), 0);
+        assert_eq!(group_bits(1024, 16), 6);
+        assert_eq!(group_bits(65536, 16), 12);
+        assert_eq!(group_bits(1, 16), 0);
+    }
+
+    #[test]
+    fn chord_prox_routes_all_sampled_pairs() {
+        let ids = random_ids(Seed(61), 512);
+        let net = build_chord_prox(&ids, &synth_lat, ProxParams::default(), Seed(62));
+        let g = net.graph();
+        let mut rng = Seed(63).rng();
+        let mut hops = 0usize;
+        let mut count = 0usize;
+        for _ in 0..300 {
+            let a = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            let b = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            if a == b {
+                continue;
+            }
+            let r = net.route(a, b).unwrap();
+            assert_eq!(r.target(), b);
+            hops += r.hops();
+            count += 1;
+        }
+        // Group routing ≈ log2(#groups)/2 + 1 intra hop.
+        assert!((hops as f64 / count as f64) < 8.0);
+    }
+
+    #[test]
+    fn inter_group_links_have_low_latency() {
+        let ids = random_ids(Seed(64), 1024);
+        let net = build_chord_prox(&ids, &synth_lat, ProxParams::default(), Seed(65));
+        let g = net.graph();
+        let mut inter = Vec::new();
+        for (a, b) in g.edges() {
+            if net.group_of(a) != net.group_of(b) {
+                inter.push(synth_lat(g.id(a), g.id(b)));
+            }
+        }
+        let mean: f64 = inter.iter().sum::<f64>() / inter.len() as f64;
+        // Minimum of ~16-32 uniform samples has expectation well below 0.1;
+        // group membership caps the sample count, so allow 0.2.
+        assert!(mean < 0.2, "mean inter-group link latency {mean}");
+    }
+
+    #[test]
+    fn crescendo_prox_routes_all_sampled_pairs() {
+        let h = Hierarchy::balanced(4, 3);
+        let p = Placement::zipf(&h, 500, Seed(66));
+        let net = build_crescendo_prox(&h, &p, &synth_lat, ProxParams::default(), Seed(67));
+        let g = net.graph();
+        let mut rng = Seed(68).rng();
+        for _ in 0..300 {
+            let a = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            let b = NodeIndex(rng.gen_range(0..g.len()) as u32);
+            if a == b {
+                continue;
+            }
+            let r = net.route(a, b).unwrap();
+            assert_eq!(r.target(), b);
+        }
+    }
+
+    #[test]
+    fn crescendo_prox_keeps_lower_level_structure() {
+        // Links between nodes of one depth-1 domain must match plain
+        // Crescendo's links restricted to that domain (the prox group rule
+        // only replaces the top level).
+        let h = Hierarchy::balanced(3, 3);
+        let p = Placement::uniform(&h, 240, Seed(69));
+        let prox = build_crescendo_prox(&h, &p, &synth_lat, ProxParams::default(), Seed(70));
+        let plain = crate::crescendo::build_crescendo(&h, &p);
+        let members = DomainMembership::build(&h, &p);
+        for d in h.domains_at_depth(1) {
+            let ring = members.ring(d);
+            for &a in ring.as_slice() {
+                let pa = prox.graph().index_of(a).unwrap();
+                let qa = plain.graph().index_of(a).unwrap();
+                let prox_links: std::collections::BTreeSet<NodeId> = prox
+                    .graph()
+                    .neighbors(pa)
+                    .iter()
+                    .map(|&i| prox.graph().id(i))
+                    .filter(|&x| ring.contains(x) && !same_group(&prox, a, x))
+                    .collect();
+                let plain_links: std::collections::BTreeSet<NodeId> = plain
+                    .graph()
+                    .neighbors(qa)
+                    .iter()
+                    .map(|&i| plain.graph().id(i))
+                    .filter(|&x| ring.contains(x) && !same_group(&prox, a, x))
+                    .collect();
+                assert!(
+                    prox_links.is_superset(&plain_links),
+                    "{a}: prox lost intra-domain links"
+                );
+            }
+        }
+    }
+
+    fn same_group(net: &ProxNetwork, a: NodeId, b: NodeId) -> bool {
+        a.prefix(net.group_bits()) == b.prefix(net.group_bits())
+    }
+
+    #[test]
+    fn constructions_are_reproducible() {
+        let ids = random_ids(Seed(71), 256);
+        let a = build_chord_prox(&ids, &synth_lat, ProxParams::default(), Seed(1));
+        let b = build_chord_prox(&ids, &synth_lat, ProxParams::default(), Seed(1));
+        assert_eq!(
+            a.graph().edges().collect::<Vec<_>>(),
+            b.graph().edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tiny_network_collapses_to_one_group() {
+        let ids = random_ids(Seed(72), 8);
+        let net = build_chord_prox(&ids, &synth_lat, ProxParams::default(), Seed(73));
+        assert_eq!(net.group_bits(), 0);
+        // One group: complete graph; any pair routes in one hop.
+        let r = net.route(NodeIndex(0), NodeIndex(7)).unwrap();
+        assert_eq!(r.hops(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Hierarchical caching under locality of access (paper §4.2).
+//!
+//! A popular video is published once, globally. Branch offices query it
+//! repeatedly: the first query from a region climbs to the root, every
+//! later query from the same region is served by the proxy cache at the
+//! lowest shared level — the CDN effect Canon's path convergence enables.
+//!
+//! Run with: `cargo run --release --example caching_cdn`
+
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::hash::hash_name;
+use canon_id::rng::Seed;
+use canon_store::{HierarchicalStore, QueryOutcome, Via};
+use rand::Rng;
+
+fn main() {
+    // A 3-level org: 4 regions x 5 offices.
+    let h = Hierarchy::balanced_named();
+    let placement = Placement::uniform(&h, 600, Seed(3));
+    let mut store: HierarchicalStore<&str> = HierarchicalStore::new(h.clone(), &placement);
+
+    let publisher = placement.ids()[0];
+    let publisher_leaf = placement.leaf_of(publisher).expect("placed");
+    let video = hash_name("videos/all-hands-q3.mp4");
+    store
+        .insert(publisher, video, "720p video blob", publisher_leaf, h.root())
+        .expect("publish video");
+
+    // Queries arrive with regional locality: offices in region 0 watch it.
+    let region = h.children(h.root())[0];
+    let watchers: Vec<_> = placement
+        .iter()
+        .filter(|(_, leaf)| h.is_ancestor_or_self(region, *leaf))
+        .map(|(id, _)| id)
+        .take(50)
+        .collect();
+    println!("{} watchers in region {}", watchers.len(), h.full_name(region));
+
+    let mut rng = Seed(4).rng();
+    let mut depth_histogram = std::collections::BTreeMap::new();
+    let mut cache_hits = 0usize;
+    for round in 0..200 {
+        let q = watchers[rng.gen_range(0..watchers.len())];
+        match store.query_and_cache(q, video).expect("query") {
+            QueryOutcome::Found { answered_at_depth, via, .. } => {
+                *depth_histogram.entry(answered_at_depth).or_insert(0usize) += 1;
+                if via == Via::Cache {
+                    cache_hits += 1;
+                }
+                if round == 0 {
+                    println!("first query answered at depth {answered_at_depth} (root = 0)");
+                }
+            }
+            other => panic!("video unreachable: {other:?}"),
+        }
+    }
+    println!("answer-depth histogram over 200 queries: {depth_histogram:?}");
+    println!("cache hits: {cache_hits}/200");
+    assert!(cache_hits > 150, "locality of access should be served from caches");
+}
+
+/// A tiny extension trait stand-in: builds the demo hierarchy.
+trait DemoHierarchy {
+    fn balanced_named() -> Hierarchy;
+}
+
+impl DemoHierarchy for Hierarchy {
+    fn balanced_named() -> Hierarchy {
+        let mut h = Hierarchy::new();
+        for r in 0..4 {
+            let region = h.add_domain(h.root(), format!("region{r}"));
+            for o in 0..5 {
+                h.add_domain(region, format!("office{o}"));
+            }
+        }
+        h
+    }
+}

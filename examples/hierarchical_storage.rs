@@ -1,0 +1,82 @@
+//! Hierarchical storage and access control (paper §4.1).
+//!
+//! An enterprise stores documents in the DHT: team-private documents stay
+//! within the team's domain, company-wide documents are stored locally but
+//! made discoverable everywhere via pointers — and outsiders can never
+//! reach content whose access domain excludes them.
+//!
+//! Run with: `cargo run --release --example hierarchical_storage`
+
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::hash::hash_name;
+use canon_id::rng::Seed;
+use canon_store::{HierarchicalStore, QueryOutcome, Via};
+
+fn main() {
+    // acme: engineering (storage, search) + sales.
+    let mut h = Hierarchy::new();
+    let acme = h.add_domain(h.root(), "acme");
+    let eng = h.add_domain(acme, "eng");
+    let storage_team = h.add_domain(eng, "storage");
+    let search_team = h.add_domain(eng, "search");
+    let sales = h.add_domain(acme, "sales");
+
+    let placement = Placement::uniform(&h, 200, Seed(11));
+    let mut store: HierarchicalStore<String> = HierarchicalStore::new(h.clone(), &placement);
+
+    // Pick a publisher from each team.
+    let storage_node = placement
+        .iter()
+        .find(|(_, leaf)| *leaf == storage_team)
+        .map(|(id, _)| id)
+        .expect("storage team has members");
+    let sales_node = placement
+        .iter()
+        .find(|(_, leaf)| *leaf == sales)
+        .map(|(id, _)| id)
+        .expect("sales has members");
+    let search_node = placement
+        .iter()
+        .find(|(_, leaf)| *leaf == search_team)
+        .map(|(id, _)| id)
+        .expect("search team has members");
+
+    // 1. A design doc: stored and visible only within the storage team.
+    let design = hash_name("docs/raft-replacement-design.md");
+    store
+        .insert(storage_node, design, "team-private design".into(), storage_team, storage_team)
+        .expect("insert team doc");
+
+    // 2. The engineering handbook: stored in eng, readable company-wide.
+    let handbook = hash_name("docs/eng-handbook.md");
+    let receipt = store
+        .insert(storage_node, handbook, "company handbook".into(), eng, acme)
+        .expect("insert handbook");
+    println!(
+        "handbook stored at {} with pointer at {:?}",
+        receipt.storage_node, receipt.pointer_node
+    );
+
+    // Teammates find the private doc without leaving the team domain.
+    match store.query(storage_node, design).expect("query") {
+        QueryOutcome::Found { answered_at_depth, .. } => {
+            println!("storage team finds its design doc at depth {answered_at_depth} (team level)");
+            assert_eq!(answered_at_depth, h.depth(storage_team));
+        }
+        other => panic!("design doc lost: {other:?}"),
+    }
+
+    // The search team (inside eng, outside the storage team) cannot see it.
+    let blocked = store.query(search_node, design).expect("query");
+    println!("search team sees the private design doc: {}", blocked.is_found());
+    assert!(!blocked.is_found(), "access control must hide team-private docs");
+
+    // Sales can read the handbook through the company-level pointer.
+    match store.query(sales_node, handbook).expect("query") {
+        QueryOutcome::Found { via, values, .. } => {
+            println!("sales reads the handbook via {via:?}: {:?}", values[0]);
+            assert!(matches!(via, Via::Direct | Via::Pointer { .. }));
+        }
+        other => panic!("handbook unreachable: {other:?}"),
+    }
+}

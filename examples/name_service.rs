@@ -1,0 +1,96 @@
+//! A hierarchical name service — Lampson's motivating use case from the
+//! paper's introduction ("Hierarchy is a fundamental method for
+//! accommodating growth and isolating faults"), built on the Canon store.
+//!
+//! Each organization stores its own records in its own domain (fault
+//! isolation: resolution of `*.corp-a` never depends on corp-b's machines),
+//! public records are globally resolvable via pointers, and repeated
+//! resolutions are served by proxy caches.
+//!
+//! Run with: `cargo run --release --example name_service`
+
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::hash::hash_name;
+use canon_id::rng::Seed;
+use canon_store::{HierarchicalStore, QueryOutcome, Via};
+use rand::Rng;
+
+fn main() {
+    // Two organizations, each with two sites.
+    let mut h = Hierarchy::new();
+    let corp_a = h.add_domain(h.root(), "corp-a");
+    let a_hq = h.add_domain(corp_a, "hq");
+    let a_lab = h.add_domain(corp_a, "lab");
+    let corp_b = h.add_domain(h.root(), "corp-b");
+    let b_hq = h.add_domain(corp_b, "hq");
+    h.add_domain(corp_b, "factory");
+
+    let placement = Placement::uniform(&h, 400, Seed(77));
+    let mut dns: HierarchicalStore<String> = HierarchicalStore::new(h.clone(), &placement);
+
+    let member_of = |domain| {
+        placement
+            .iter()
+            .find(|(_, l)| h.is_ancestor_or_self(domain, *l))
+            .map(|(id, _)| id)
+            .expect("domain has members")
+    };
+
+    // corp-a's internal records: resolvable only inside corp-a.
+    let internal = [
+        ("intranet.corp-a", "10.0.0.10"),
+        ("build-farm.lab.corp-a", "10.0.8.2"),
+        ("wiki.hq.corp-a", "10.0.1.7"),
+    ];
+    let registrar_a = member_of(a_hq);
+    for (name, addr) in internal {
+        dns.insert(registrar_a, hash_name(name), addr.into(), corp_a, corp_a)
+            .expect("register internal record");
+    }
+    // corp-a's public website: stored at home, resolvable globally.
+    dns.insert(registrar_a, hash_name("www.corp-a"), "203.0.113.80".into(), corp_a, h.root())
+        .expect("register public record");
+
+    // 1. Internal resolution works from any corp-a machine, at corp-a level.
+    let a_client = member_of(a_lab);
+    match dns.query(a_client, hash_name("intranet.corp-a")).expect("resolve") {
+        QueryOutcome::Found { values, answered_at_depth, .. } => {
+            println!("corp-a lab resolves intranet.corp-a -> {} (depth {answered_at_depth})", values[0]);
+            assert!(answered_at_depth >= h.depth(corp_a));
+        }
+        other => panic!("internal record unresolvable: {other:?}"),
+    }
+
+    // 2. corp-b cannot resolve corp-a internals (fault/security isolation)...
+    let b_client = member_of(b_hq);
+    let blocked = dns.query(b_client, hash_name("intranet.corp-a")).expect("resolve");
+    println!("corp-b resolves corp-a intranet: {}", blocked.is_found());
+    assert!(!blocked.is_found());
+
+    // 3. ...but resolves the public site through the global pointer.
+    match dns.query(b_client, hash_name("www.corp-a")).expect("resolve") {
+        QueryOutcome::Found { values, via, .. } => {
+            println!("corp-b resolves www.corp-a -> {} via {via:?}", values[0]);
+        }
+        other => panic!("public record unresolvable: {other:?}"),
+    }
+
+    // 4. Popular names get cached at corp-b's proxies.
+    let mut rng = Seed(78).rng();
+    let b_clients: Vec<_> = placement
+        .iter()
+        .filter(|(_, l)| h.is_ancestor_or_self(corp_b, *l))
+        .map(|(id, _)| id)
+        .collect();
+    let mut cache_hits = 0;
+    for _ in 0..100 {
+        let c = b_clients[rng.gen_range(0..b_clients.len())];
+        if let QueryOutcome::Found { via, .. } =
+            dns.query_and_cache(c, hash_name("www.corp-a")).expect("resolve")
+        {
+            cache_hits += i32::from(via == Via::Cache);
+        }
+    }
+    println!("corp-b cache hits for www.corp-a: {cache_hits}/100");
+    assert!(cache_hits > 90, "repeated resolutions should be cache-served");
+}

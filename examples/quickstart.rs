@@ -1,0 +1,72 @@
+//! Quickstart: build a hierarchical Crescendo DHT over an organizational
+//! hierarchy, route some lookups, and inspect the structural properties the
+//! paper promises.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use canon::crescendo::build_crescendo;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::hash::hash_name;
+use canon_id::metric::Clockwise;
+use canon_id::rng::Seed;
+use canon_overlay::stats::{hop_stats, DegreeStats};
+use canon_overlay::{route, route_to_key};
+
+fn main() {
+    // 1. Describe the organization: the paper's Figure 1 (Stanford).
+    let mut h = Hierarchy::new();
+    let stanford = h.add_domain(h.root(), "stanford");
+    let cs = h.add_domain(stanford, "cs");
+    let ee = h.add_domain(stanford, "ee");
+    for dept in ["db", "ds", "ai"] {
+        h.add_domain(cs, dept);
+    }
+    h.add_domain(ee, "circuits");
+    h.add_domain(ee, "systems");
+
+    // 2. Place 500 machines across the leaf departments.
+    let placement = Placement::uniform(&h, 500, Seed(2026));
+    let net = build_crescendo(&h, &placement);
+    let g = net.graph();
+
+    println!("Crescendo network over {} machines, {} domains", g.len(), h.len());
+
+    // 3. Routing state stays at flat-Chord levels (Theorem 2).
+    let deg = DegreeStats::of(g);
+    println!(
+        "links/node: mean {:.2} (log2(n) = {:.2}), max {}",
+        deg.summary.mean,
+        (g.len() as f64).log2(),
+        deg.summary.max
+    );
+
+    // 4. Routing cost stays at flat-Chord levels (Theorem 5).
+    let hops = hop_stats(g, Clockwise, 1000, Seed(7));
+    println!("routing hops: mean {:.2} over 1000 random pairs", hops.mean);
+
+    // 5. Route a lookup for a named key and show the path.
+    let key = hash_name("proceedings/icdcs-2004/canon.pdf");
+    let from = canon_overlay::NodeIndex(0);
+    let r = route_to_key(g, Clockwise, from, key.as_point()).expect("lookup");
+    println!(
+        "lookup {key} from node {} reached its home in {} hops",
+        g.id(from),
+        r.hops()
+    );
+
+    // 6. Fault isolation: routes between two CS machines never leave CS.
+    let cs_members = net.members_of(&h, cs);
+    if cs_members.len() >= 2 {
+        let (a, b) = (cs_members[0], *cs_members.last().expect("nonempty"));
+        let path = route(g, Clockwise, a, b).expect("intra-CS route");
+        let stayed = path
+            .path()
+            .iter()
+            .all(|&i| h.is_ancestor_or_self(cs, net.leaf_of(i)));
+        println!(
+            "intra-CS route: {} hops, stayed inside CS: {stayed}",
+            path.hops()
+        );
+        assert!(stayed, "Canon guarantees intra-domain path locality");
+    }
+}

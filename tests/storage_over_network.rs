@@ -1,0 +1,134 @@
+//! Integration: the store's proxy-node model agrees with real greedy
+//! routing on the Crescendo overlay — the proxies the store consults are
+//! exactly the level-switch nodes greedy routing passes through.
+
+use canon::crescendo::build_crescendo;
+use canon_hierarchy::{DomainMembership, Hierarchy, Placement};
+use canon_id::hash::hash_name;
+use canon_id::metric::Clockwise;
+use canon_id::rng::Seed;
+use canon_id::Key;
+use canon_overlay::route_to_key;
+use canon_store::{HierarchicalStore, QueryOutcome};
+use rand::Rng;
+
+fn setup() -> (Hierarchy, Placement) {
+    let h = Hierarchy::balanced(4, 3);
+    let p = Placement::zipf(&h, 400, Seed(55));
+    (h, p)
+}
+
+#[test]
+fn greedy_routes_pass_through_every_store_proxy() {
+    let (h, p) = setup();
+    let net = build_crescendo(&h, &p);
+    let g = net.graph();
+    let store: HierarchicalStore<u32> = HierarchicalStore::new(h.clone(), &p);
+    let mut rng = Seed(56).rng();
+
+    for trial in 0..50 {
+        let qi = rng.gen_range(0..p.len());
+        let querier = p.ids()[qi];
+        let key = Key::new(rng.gen());
+        let proxies = store.proxy_path(querier, key).expect("querier placed");
+        let from = g.index_of(querier).expect("querier in graph");
+        let r = route_to_key(g, Clockwise, from, key.as_point()).expect("route");
+        let path_ids: Vec<_> = r.path().iter().map(|&i| g.id(i)).collect();
+        // Each proxy (responsible node per ancestor ring) must lie on the
+        // greedy path, in leaf-to-root order. Consecutive duplicate proxies
+        // (same node responsible at several levels) collapse.
+        let mut cursor = 0usize;
+        for (domain, proxy) in proxies {
+            // The querier itself may be the proxy of its own low levels.
+            let pos = path_ids.iter().skip(cursor).position(|&x| x == proxy);
+            match pos {
+                Some(off) => cursor += off,
+                None => panic!(
+                    "trial {trial}: proxy {proxy} of {domain} not on greedy path {path_ids:?}"
+                ),
+            }
+        }
+        // And the final proxy (root responsible node) is the route target.
+        assert_eq!(*path_ids.last().expect("nonempty"), store.responsible_in(key, h.root()));
+    }
+}
+
+#[test]
+fn stored_content_is_reachable_by_real_routing() {
+    let (h, p) = setup();
+    let net = build_crescendo(&h, &p);
+    let g = net.graph();
+    let members = DomainMembership::build(&h, &p);
+    let mut store: HierarchicalStore<String> = HierarchicalStore::new(h.clone(), &p);
+
+    // Publish from ten different nodes into their depth-1 domains,
+    // globally accessible.
+    let mut published = Vec::new();
+    for i in 0..10usize {
+        let publisher = p.ids()[i * 17 % p.len()];
+        let leaf = p.leaf_of(publisher).expect("placed");
+        let storage = h.ancestor_at_depth(leaf, 1);
+        let key = hash_name(&format!("item-{i}"));
+        store
+            .insert(publisher, key, format!("value-{i}"), storage, h.root())
+            .expect("insert");
+        published.push((key, storage, format!("value-{i}")));
+    }
+
+    for (key, storage, value) in published {
+        // Every node finds it through the store protocol.
+        let querier = p.ids()[3];
+        match store.query(querier, key).expect("query") {
+            QueryOutcome::Found { values, .. } => assert!(values.contains(&value)),
+            other => panic!("lost {key}: {other:?}"),
+        }
+        // The storage node is the greedy routing target within the storage
+        // domain: route restricted to domain members ends at it.
+        let storage_node = store.responsible_in(key, storage);
+        let inside = members.ring(storage);
+        let from = g.index_of(*inside.as_slice().first().expect("nonempty")).unwrap();
+        let r = route_to_key(g, Clockwise, from, key.as_point()).expect("route");
+        // The unrestricted greedy route passes through the storage node on
+        // its way to the global responsible node (path convergence).
+        let on_path = r.path().iter().any(|&i| g.id(i) == storage_node);
+        assert!(
+            on_path || g.id(r.path()[0]) == storage_node,
+            "storage node {storage_node} not on path for {key}"
+        );
+    }
+}
+
+#[test]
+fn cache_levels_mirror_hierarchy_depths() {
+    let (h, p) = setup();
+    let mut store: HierarchicalStore<&str> = HierarchicalStore::new(h.clone(), &p);
+    let publisher = p.ids()[0];
+    let leaf = p.leaf_of(publisher).expect("placed");
+    let key = hash_name("deep-item");
+    store.insert(publisher, key, "v", leaf, h.root()).expect("insert");
+
+    // A far-away querier (different depth-1 domain if possible).
+    let far = p
+        .iter()
+        .find(|(_, l)| h.ancestor_at_depth(*l, 1) != h.ancestor_at_depth(leaf, 1))
+        .map(|(id, _)| id)
+        .expect("another region exists");
+    let first = store.query_and_cache(far, key).expect("query");
+    assert!(first.is_found());
+    // A second, co-located querier must be served strictly below the root.
+    let near_far = p
+        .iter()
+        .find(|(id, l)| {
+            *id != far
+                && h.ancestor_at_depth(*l, 1)
+                    == h.ancestor_at_depth(p.leaf_of(far).expect("placed"), 1)
+        })
+        .map(|(id, _)| id)
+        .expect("far region has another member");
+    match store.query_and_cache(near_far, key).expect("query") {
+        QueryOutcome::Found { answered_at_depth, .. } => {
+            assert!(answered_at_depth >= 1, "expected a cache hit below the root");
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
