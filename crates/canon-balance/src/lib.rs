@@ -87,17 +87,23 @@ impl BalancedAllocator {
                 Err(i) => i - 1,
             };
             let bits = self.prefix_bits();
-            let prefix = if bits == 0 { 0 } else { self.ids[pos] >> (ID_BITS - bits) };
+            let prefix = if bits == 0 {
+                0
+            } else {
+                self.ids[pos] >> (ID_BITS - bits)
+            };
             // Nodes sharing the B-bit prefix form a contiguous index range.
             let lo = if bits == 0 {
                 0
             } else {
-                self.ids.partition_point(|&x| (x >> (ID_BITS - bits)) < prefix)
+                self.ids
+                    .partition_point(|&x| (x >> (ID_BITS - bits)) < prefix)
             };
             let hi = if bits == 0 {
                 self.ids.len()
             } else {
-                self.ids.partition_point(|&x| (x >> (ID_BITS - bits)) <= prefix)
+                self.ids
+                    .partition_point(|&x| (x >> (ID_BITS - bits)) <= prefix)
             };
             // Largest partition among them; bisect it.
             let (best, size) = (lo..hi)
@@ -138,7 +144,11 @@ impl BalancedAllocator {
         let cur = self.ids[i];
         let next = self.ids[(i + 1) % self.ids.len()];
         u128::from(next.wrapping_sub(cur))
-            + if i + 1 == self.ids.len() && next == cur { ID_SPACE } else { 0 }
+            + if i + 1 == self.ids.len() && next == cur {
+                ID_SPACE
+            } else {
+                0
+            }
     }
 
     /// The ratio of the largest to the smallest partition.
@@ -163,8 +173,9 @@ impl BalancedAllocator {
 /// Panics if fewer than two identifiers are supplied.
 pub fn partition_ratio_of(ids: &SortedRing) -> f64 {
     assert!(ids.len() >= 2, "ratio needs at least two partitions");
-    let gaps: Vec<u128> =
-        (0..ids.len()).map(|i| ids.gap_after_index(i).as_u128()).collect();
+    let gaps: Vec<u128> = (0..ids.len())
+        .map(|i| ids.gap_after_index(i).as_u128())
+        .collect();
     let max = *gaps.iter().max().expect("nonempty");
     let min = *gaps.iter().min().expect("nonempty").max(&1);
     max as f64 / min as f64
@@ -181,15 +192,17 @@ pub fn partition_ratio_of(ids: &SortedRing) -> f64 {
 /// Panics if `bits` is 0 or exceeds 16 (the scheme only ever needs
 /// `log log n` bits).
 pub fn balanced_prefix(members: &[NodeId], bits: u32, rng: &mut DetRng) -> u64 {
-    assert!((1..=16).contains(&bits), "prefix length {bits} out of range");
+    assert!(
+        (1..=16).contains(&bits),
+        "prefix length {bits} out of range"
+    );
     let buckets = 1usize << bits;
     let mut counts = vec![0usize; buckets];
     for m in members {
         counts[m.prefix(bits) as usize] += 1;
     }
     let min = *counts.iter().min().expect("buckets nonempty");
-    let candidates: Vec<usize> =
-        (0..buckets).filter(|&b| counts[b] == min).collect();
+    let candidates: Vec<usize> = (0..buckets).filter(|&b| counts[b] == min).collect();
     candidates[rng.gen_range(0..candidates.len())] as u64
 }
 
@@ -368,7 +381,9 @@ mod tests {
         let h = Hierarchy::balanced(4, 2);
         let leaves = h.leaves();
         let mut rng = Seed(20).rng();
-        let leaf_of: Vec<_> = (0..512).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+        let leaf_of: Vec<_> = (0..512)
+            .map(|_| leaves[rng.gen_range(0..leaves.len())])
+            .collect();
         let p = hierarchical_balanced_placement(&h, &leaf_of, Seed(21));
         assert_eq!(p.len(), 512);
         // Within each leaf, prefix buckets differ by at most one.
@@ -396,7 +411,9 @@ mod tests {
         let leaves = h.leaves();
         let mut rng = Seed(22).rng();
         let n = 1024;
-        let leaf_of: Vec<_> = (0..n).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+        let leaf_of: Vec<_> = (0..n)
+            .map(|_| leaves[rng.gen_range(0..leaves.len())])
+            .collect();
         let bal = hierarchical_balanced_placement(&h, &leaf_of, Seed(23));
         let bits = 4u32;
         let spread = |ids: &[NodeId]| {
@@ -409,7 +426,10 @@ mod tests {
         // Global spread: every leaf is within ±1 per bucket, so the global
         // spread is at most the number of leaves.
         let bal_spread = spread(bal.ids());
-        assert!(bal_spread <= leaves.len() as isize, "global spread {bal_spread}");
+        assert!(
+            bal_spread <= leaves.len() as isize,
+            "global spread {bal_spread}"
+        );
         let rnd_spread = spread(&random_ids(Seed(24), n));
         assert!(
             bal_spread < rnd_spread,

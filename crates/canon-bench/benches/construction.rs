@@ -1,5 +1,7 @@
 //! Criterion micro-benches: static construction cost of the flat DHTs and
-//! their Canonical versions (n = 2048, 3-level fan-out-10 hierarchy).
+//! their Canonical versions (n = 2048, 3-level fan-out-10 hierarchy), plus
+//! a serial-vs-parallel comparison of the construction pipeline at
+//! n ∈ {4096, 16384} (threads pinned to 1 vs all available cores).
 
 use canon::cacophony::build_cacophony;
 use canon::cancan::build_cancan;
@@ -43,7 +45,10 @@ fn bench_construction(c: &mut Criterion) {
     g.bench_function("cancan_3level", |b| {
         b.iter(|| black_box(build_cancan(&h, &p)));
     });
-    let params = PastryParams { digit_bits: 2, leaf_half: 4 };
+    let params = PastryParams {
+        digit_bits: 2,
+        leaf_half: 4,
+    };
     g.bench_function("pastry_flat_b2", |b| {
         b.iter(|| black_box(build_pastry(p.ids(), params)));
     });
@@ -57,5 +62,25 @@ fn bench_construction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_construction);
+/// Serial (threads=1) vs parallel (threads=all cores) construction of the
+/// same Crescendo network, at the two sizes the issue tracks. The graphs
+/// are identical by construction (see `canon/tests/determinism.rs`); only
+/// the wall clock should differ.
+fn bench_parallelism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallelism");
+    g.sample_size(10);
+    for n in [4096usize, 16384] {
+        let h = Hierarchy::balanced(10, 3);
+        let p = Placement::zipf(&h, n, Seed(1));
+        g.bench_function(&format!("crescendo_n{n}_serial"), |b| {
+            b.iter(|| canon_par::with_threads(1, || black_box(build_crescendo(&h, &p))));
+        });
+        g.bench_function(&format!("crescendo_n{n}_parallel"), |b| {
+            b.iter(|| canon_par::with_threads(0, || black_box(build_crescendo(&h, &p))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_parallelism);
 criterion_main!(benches);

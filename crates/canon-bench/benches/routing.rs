@@ -8,8 +8,8 @@ use canon_hierarchy::{Hierarchy, Placement};
 use canon_id::metric::{Clockwise, Xor};
 use canon_id::rng::Seed;
 use canon_kademlia::BucketChoice;
-use canon_overlay::{route, NodeIndex};
 use canon_netsim::{LookupSim, SimConfig};
+use canon_overlay::{route, NodeIndex};
 use canon_symphony::{build_symphony, route_with_lookahead};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::Rng;

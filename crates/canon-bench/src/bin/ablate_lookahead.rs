@@ -29,7 +29,11 @@ fn measure(g: &canon_overlay::OverlayGraph, pairs: usize, seed: canon_id::rng::S
 
 fn main() {
     let cfg = BenchConfig::from_args(16384, 1);
-    banner("ablate-lookahead", "greedy vs 1-lookahead hops on Symphony/Cacophony", &cfg);
+    banner(
+        "ablate-lookahead",
+        "greedy vs 1-lookahead hops on Symphony/Cacophony",
+        &cfg,
+    );
     row(&[
         "n".into(),
         "sym-greedy".into(),

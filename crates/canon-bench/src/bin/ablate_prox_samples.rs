@@ -11,7 +11,11 @@ use rand::Rng;
 
 fn main() {
     let cfg = BenchConfig::from_args(8192, 1);
-    banner("ablate-prox-s", "chord-prox latency vs sample count s", &cfg);
+    banner(
+        "ablate-prox-s",
+        "chord-prox latency vs sample count s",
+        &cfg,
+    );
     let n = cfg.max_n;
     let seed = cfg.trial_seed("prox-s", 0);
     let topo =
@@ -21,10 +25,23 @@ fn main() {
     let lat_fn = |a, b| att.latency(a, b);
     let direct = att.mean_direct_latency(3000, seed.derive("direct"));
 
-    row(&["s".into(), "linkLat".into(), "routeLat".into(), "stretch".into()]);
+    row(&[
+        "s".into(),
+        "linkLat".into(),
+        "routeLat".into(),
+        "stretch".into(),
+    ]);
     for s in [1usize, 2, 4, 8, 16, 32, 64] {
-        let params = ProxParams { target_group_size: 16, samples: s };
-        let net = build_chord_prox(p.ids(), &lat_fn, params, seed.derive("net").derive_index(s as u64));
+        let params = ProxParams {
+            target_group_size: 16,
+            samples: s,
+        };
+        let net = build_chord_prox(
+            p.ids(),
+            &lat_fn,
+            params,
+            seed.derive("net").derive_index(s as u64),
+        );
         let g = net.graph();
         // Mean latency of inter-group links.
         let mut link_lat = 0.0;

@@ -16,7 +16,12 @@ use canon_id::rng::random_ids;
 fn main() {
     let cfg = BenchConfig::from_args(16384, 3);
     banner("balance", "partition ratio: bisection vs random IDs", &cfg);
-    row(&["n".into(), "bisection".into(), "random".into(), "n*ln(n)".into()]);
+    row(&[
+        "n".into(),
+        "bisection".into(),
+        "random".into(),
+        "n*ln(n)".into(),
+    ]);
     for n in cfg.sizes(1024) {
         let mut bis = 0.0;
         let mut rnd = 0.0;

@@ -13,7 +13,11 @@ use canon_workloads::LocalityQueries;
 
 fn main() {
     let cfg = BenchConfig::from_args(4096, 1);
-    banner("cache-hits", "proxy-cache hit rate vs locality of access", &cfg);
+    banner(
+        "cache-hits",
+        "proxy-cache hit rate vs locality of access",
+        &cfg,
+    );
     let n = cfg.max_n;
     let queries = 20_000;
     let keys_per_domain = 200;
@@ -29,8 +33,14 @@ fn main() {
         let h = Hierarchy::balanced(8, 3);
         let seed = cfg.trial_seed("cache", locality_pct as u64);
         let p = Placement::uniform(&h, n, seed);
-        let mut store: HierarchicalStore<u64> =
-            HierarchicalStore::with_policy(h.clone(), &p, CachePolicy { capacity: 128, coordinated: false });
+        let mut store: HierarchicalStore<u64> = HierarchicalStore::with_policy(
+            h.clone(),
+            &p,
+            CachePolicy {
+                capacity: 128,
+                coordinated: false,
+            },
+        );
         let wl = LocalityQueries::new(
             &h,
             &p,
@@ -65,7 +75,11 @@ fn main() {
         for _ in 0..queries {
             let q = wl.draw(&mut rng);
             match store.query_and_cache(q.querier, q.key) {
-                Ok(QueryOutcome::Found { via, answered_at_depth, .. }) => {
+                Ok(QueryOutcome::Found {
+                    via,
+                    answered_at_depth,
+                    ..
+                }) => {
                     answered += 1;
                     depth_sum += u64::from(answered_at_depth);
                     hits += usize::from(via == Via::Cache);

@@ -79,8 +79,20 @@ fn main() {
             .filter(|i| !dead.contains(i))
             .collect();
         // Node indices coincide across the two graphs (both sorted by id).
-        let sc = survival_rate(cresc.graph(), &members, &alive, 300, cfg.trial_seed("sc", kill_pct as u64));
-        let sh = survival_rate(&chord, &members, &alive, 300, cfg.trial_seed("sh", kill_pct as u64));
+        let sc = survival_rate(
+            cresc.graph(),
+            &members,
+            &alive,
+            300,
+            cfg.trial_seed("sc", kill_pct as u64),
+        );
+        let sh = survival_rate(
+            &chord,
+            &members,
+            &alive,
+            300,
+            cfg.trial_seed("sh", kill_pct as u64),
+        );
         row(&[format!("{kill_pct}%"), f(sc), f(sh)]);
     }
     println!("# expect: crescendo column constant at 1.0; chord degrades toward ~0");

@@ -31,7 +31,10 @@ fn main() {
     header.extend(levels.iter().map(|l| format!("levels={l}")));
     row(&header);
     for d in 0..maxd {
-        let cells: Vec<f64> = pdfs.iter().map(|p| p.get(d).copied().unwrap_or(0.0)).collect();
+        let cells: Vec<f64> = pdfs
+            .iter()
+            .map(|p| p.get(d).copied().unwrap_or(0.0))
+            .collect();
         if cells.iter().all(|&c| c < 0.0005) {
             continue; // suppress empty rows
         }

@@ -5,9 +5,10 @@
 //! most ~0.7 from Levels=1 (Chord) to Levels=5.
 
 use canon::crescendo::build_crescendo;
-use canon_bench::{banner, f, row, BenchConfig};
+use canon_bench::{banner, f, row, run_matrix, secs, BenchConfig};
 use canon_hierarchy::{Hierarchy, Placement};
 use canon_id::metric::Clockwise;
+use canon_id::rng::Seed;
 use canon_overlay::stats::hop_stats;
 
 fn main() {
@@ -25,20 +26,41 @@ fn main() {
     }));
     row(&header);
 
-    for n in cfg.sizes(1024) {
-        let mut cells = vec![n.to_string(), f(0.5 * (n as f64).log2())];
-        for &l in &levels {
-            let h = Hierarchy::balanced(10, l);
-            let mut total = 0.0;
-            for t in 0..cfg.seeds {
-                let p = Placement::zipf(&h, n, cfg.trial_seed("fig5", t));
-                let net = build_crescendo(&h, &p);
-                total += hop_stats(net.graph(), Clockwise, pairs, cfg.trial_seed("fig5-pairs", t))
-                    .mean;
-            }
-            cells.push(f(total / cfg.seeds as f64));
+    // One matrix cell per (n, trial); each cell builds and measures every
+    // level count so the per-level curves share placements.
+    let rows = run_matrix(&cfg, "fig5", 1024, |trial, times| {
+        levels
+            .iter()
+            .map(|&l| {
+                let h = Hierarchy::balanced(10, l);
+                let p = Placement::zipf(&h, trial.n, trial.seed);
+                let net = times.construct(|| build_crescendo(&h, &p));
+                times.measure(|| {
+                    hop_stats(
+                        net.graph(),
+                        Clockwise,
+                        pairs,
+                        Seed(trial.seed.0).derive("pairs"),
+                    )
+                    .mean
+                })
+            })
+            .collect::<Vec<f64>>()
+    });
+
+    for size_row in &rows {
+        let mut cells = vec![size_row.n.to_string(), f(0.5 * (size_row.n as f64).log2())];
+        for (i, _) in levels.iter().enumerate() {
+            cells.push(f(size_row.mean_of(|o| o.result[i])));
         }
         row(&cells);
     }
+    let construct: std::time::Duration = rows.iter().map(|r| r.construct_time()).sum();
+    let measure: std::time::Duration = rows.iter().map(|r| r.measure_time()).sum();
+    println!(
+        "# wall-clock: construction {} routing {}",
+        secs(construct),
+        secs(measure)
+    );
     println!("# expect: ~0.5*log2(n)+c; c rises with levels by at most ~0.7");
 }

@@ -17,7 +17,11 @@ use rand::Rng;
 
 fn main() {
     let cfg = BenchConfig::from_args(65536, 1);
-    banner("fig6", "latency (ms) and stretch vs n: chord/crescendo x prox/no-prox", &cfg);
+    banner(
+        "fig6",
+        "latency (ms) and stretch vs n: chord/crescendo x prox/no-prox",
+        &cfg,
+    );
     let pairs = 1000;
     row(&[
         "n".into(),

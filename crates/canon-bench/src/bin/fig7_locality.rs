@@ -21,7 +21,11 @@ use rand::Rng;
 
 fn main() {
     let cfg = BenchConfig::from_args(32768, 1);
-    banner("fig7", "latency (ms) vs query locality level at n=32768", &cfg);
+    banner(
+        "fig7",
+        "latency (ms) vs query locality level at n=32768",
+        &cfg,
+    );
     let n = cfg.max_n;
     let queries = 1500;
     let seed = cfg.trial_seed("fig7", 0);
@@ -48,8 +52,7 @@ fn main() {
         // Level: one global group).
         let groups = members_by_domain_at_depth(&h, &p, cresc.graph(), depth);
         let mut rng = seed.derive("queries").derive_index(u64::from(depth)).rng();
-        let pools: Vec<&Vec<NodeIndex>> =
-            groups.values().filter(|v| v.len() >= 2).collect();
+        let pools: Vec<&Vec<NodeIndex>> = groups.values().filter(|v| v.len() >= 2).collect();
         let mut sums = [0.0f64; 3];
         let mut count = 0usize;
         for _ in 0..queries {
@@ -61,13 +64,19 @@ fn main() {
             }
             count += 1;
             let r = chord_px.route(a, b).expect("chord-prox route");
-            sums[0] += r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y)));
+            sums[0] +=
+                r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y)));
             let r = route(cresc.graph(), Clockwise, a, b).expect("crescendo route");
             sums[1] += r.latency(|x, y| att.latency(cresc.graph().id(x), cresc.graph().id(y)));
             let r = cresc_px.route(a, b).expect("crescendo-prox route");
-            sums[2] += r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y)));
+            sums[2] +=
+                r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y)));
         }
-        let label = if depth == 0 { "top".to_owned() } else { format!("level {depth}") };
+        let label = if depth == 0 {
+            "top".to_owned()
+        } else {
+            format!("level {depth}")
+        };
         row(&[
             label,
             f(sums[0] / count as f64),

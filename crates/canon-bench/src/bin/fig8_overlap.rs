@@ -18,7 +18,11 @@ use rand::Rng;
 
 fn main() {
     let cfg = BenchConfig::from_args(32768, 1);
-    banner("fig8", "path overlap fraction vs domain level at n=32768", &cfg);
+    banner(
+        "fig8",
+        "path overlap fraction vs domain level at n=32768",
+        &cfg,
+    );
     let n = cfg.max_n;
     let samples = 1200;
     let seed = cfg.trial_seed("fig8", 0);
@@ -86,7 +90,11 @@ fn main() {
             acc[2] += o.hop_fraction;
             acc[3] += o.latency_fraction;
         }
-        let label = if depth == 0 { "top".to_owned() } else { format!("level {depth}") };
+        let label = if depth == 0 {
+            "top".to_owned()
+        } else {
+            format!("level {depth}")
+        };
         row(&[
             label,
             f(acc[0] / count as f64),

@@ -18,7 +18,11 @@ use rand::Rng;
 
 fn main() {
     let cfg = BenchConfig::from_args(32768, 3);
-    banner("fig9", "inter-domain links in a 1000-source multicast tree", &cfg);
+    banner(
+        "fig9",
+        "inter-domain links in a 1000-source multicast tree",
+        &cfg,
+    );
     let n = cfg.max_n;
     let sources = 1000;
     let seed = cfg.trial_seed("fig9", 0);
@@ -44,8 +48,8 @@ fn main() {
             .filter(|&s| s != dest)
             .collect();
 
-        let tree_c = MulticastTree::build(cresc.graph(), Clockwise, &srcs, dest)
-            .expect("crescendo routes");
+        let tree_c =
+            MulticastTree::build(cresc.graph(), Clockwise, &srcs, dest).expect("crescendo routes");
         let routes: Vec<Route> = srcs
             .iter()
             .map(|&s| chord_px.route(s, dest).expect("prox route"))
@@ -66,11 +70,18 @@ fn main() {
         }
     }
 
-    row(&["domainLevel".into(), "crescendo".into(), "chordProx".into(), "ratio".into()]);
+    row(&[
+        "domainLevel".into(),
+        "crescendo".into(),
+        "chordProx".into(),
+        "ratio".into(),
+    ]);
     for (li, depth) in (1..=3u32).enumerate() {
         let c = cresc_counts[li] / trials as f64;
         let q = chord_counts[li] / trials as f64;
         row(&[depth.to_string(), f(c), f(q), f(q / c.max(1e-9))]);
     }
-    println!("# expect: crescendo << chordProx; ratio largest at level 1 (paper: ~44x), ~6x at level 3");
+    println!(
+        "# expect: crescendo << chordProx; ratio largest at level 1 (paper: ~44x), ~6x at level 3"
+    );
 }

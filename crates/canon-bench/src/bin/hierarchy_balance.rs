@@ -34,7 +34,9 @@ fn main() {
     let h = Hierarchy::balanced(8, 3);
     let leaves = h.leaves();
     let mut rng = cfg.trial_seed("hb-leaves", 0).rng();
-    let leaf_of: Vec<_> = (0..n).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+    let leaf_of: Vec<_> = (0..n)
+        .map(|_| leaves[rng.gen_range(0..leaves.len())])
+        .collect();
     let bits = ((n as f64).log2().log2().ceil() as u32).clamp(1, 8);
 
     let balanced = hierarchical_balanced_placement(&h, &leaf_of, cfg.trial_seed("hb", 1));

@@ -29,7 +29,12 @@ fn mean_times(
     let n = g.len();
     let mut rng = seed.rng();
     let jobs: Vec<(NodeIndex, NodeId)> = (0..lookups)
-        .map(|_| (NodeIndex(rng.gen_range(0..n) as u32), NodeId::new(rng.gen())))
+        .map(|_| {
+            (
+                NodeIndex(rng.gen_range(0..n) as u32),
+                NodeId::new(rng.gen()),
+            )
+        })
         .collect();
 
     let mut sim = LookupSim::new(g, Clockwise, SimConfig::default(), |a, b| {
@@ -49,9 +54,15 @@ fn mean_times(
     let iterative = jobs
         .iter()
         .map(|&(from, key)| {
-            iterative_lookup(g, Clockwise, 500.0, from, key, |_| true, |a, b| {
-                att.latency(g.id(a), g.id(b))
-            })
+            iterative_lookup(
+                g,
+                Clockwise,
+                500.0,
+                from,
+                key,
+                |_| true,
+                |a, b| att.latency(g.id(a), g.id(b)),
+            )
             .time
         })
         .sum::<f64>()
@@ -77,11 +88,8 @@ fn main() {
     ]);
     for n in cfg.sizes(2048) {
         let seed = cfg.trial_seed("ivr", n as u64);
-        let topo = TransitStubTopology::generate(
-            TopologyParams::default(),
-            LatencyModel::default(),
-            seed,
-        );
+        let topo =
+            TransitStubTopology::generate(TopologyParams::default(), LatencyModel::default(), seed);
         let att = attach(topo, n, seed.derive("attach"));
         let h = att.hierarchy().clone();
         let p = att.placement().clone();

@@ -12,8 +12,19 @@ use rand::Rng;
 
 fn main() {
     let cfg = BenchConfig::from_args(4096, 2);
-    banner("join-cost", "messages per join vs n (3-level hierarchy, fan-out 10)", &cfg);
-    row(&["n".into(), "lookup".into(), "links".into(), "leafsets".into(), "total".into(), "log2(n)".into()]);
+    banner(
+        "join-cost",
+        "messages per join vs n (3-level hierarchy, fan-out 10)",
+        &cfg,
+    );
+    row(&[
+        "n".into(),
+        "lookup".into(),
+        "links".into(),
+        "leafsets".into(),
+        "total".into(),
+        "log2(n)".into(),
+    ]);
 
     for n in cfg.sizes(512) {
         let mut acc = [0.0f64; 4];

@@ -26,7 +26,10 @@ fn run_system(
     let mut sim = LookupSim::new(
         g,
         Clockwise,
-        SimConfig { retry_timeout: 1000.0, max_events: 5_000_000 },
+        SimConfig {
+            retry_timeout: 1000.0,
+            max_events: 5_000_000,
+        },
         |a, b| att.latency(g.id(a), g.id(b)),
     );
     let n = g.len();
@@ -51,11 +54,7 @@ fn run_system(
         injected += 1;
     }
     sim.run();
-    let done: Vec<f64> = sim
-        .outcomes()
-        .iter()
-        .filter_map(|o| o.duration())
-        .collect();
+    let done: Vec<f64> = sim.outcomes().iter().filter_map(|o| o.duration()).collect();
     let success = done.len() as f64 / lookups as f64;
     let mean = done.iter().sum::<f64>() / done.len().max(1) as f64;
     let retries: usize = sim.outcomes().iter().map(|o| o.retries).sum();

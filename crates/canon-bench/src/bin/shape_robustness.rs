@@ -34,8 +34,17 @@ fn main() {
     );
     let n = cfg.max_n;
     let logn = (n as f64).log2();
-    println!("# n = {n}: log2(n) = {logn:.2}, 0.5*log2(n) = {:.2}", logn / 2.0);
-    row(&["shape".into(), "domains".into(), "degMean".into(), "degMax".into(), "hops".into()]);
+    println!(
+        "# n = {n}: log2(n) = {logn:.2}, 0.5*log2(n) = {:.2}",
+        logn / 2.0
+    );
+    row(&[
+        "shape".into(),
+        "domains".into(),
+        "degMean".into(),
+        "degMax".into(),
+        "hops".into(),
+    ]);
 
     let shapes: Vec<(&str, Hierarchy, bool)> = vec![
         ("flat", Hierarchy::balanced(1, 1), false),

@@ -20,7 +20,11 @@ use std::collections::HashSet;
 
 fn main() {
     let cfg = BenchConfig::from_args(4096, 1);
-    banner("skipnet-compare", "path convergence: SkipNet vs Crescendo", &cfg);
+    banner(
+        "skipnet-compare",
+        "path convergence: SkipNet vs Crescendo",
+        &cfg,
+    );
     let n = cfg.max_n;
     let sites = 64;
     let per_site = n / sites;

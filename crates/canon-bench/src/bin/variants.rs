@@ -22,12 +22,19 @@ use canon_symphony::build_symphony;
 
 fn main() {
     let cfg = BenchConfig::from_args(4096, 1);
-    banner("variants", "degree & hops: every flat DHT vs its Canonical version", &cfg);
+    banner(
+        "variants",
+        "degree & hops: every flat DHT vs its Canonical version",
+        &cfg,
+    );
     let n = cfg.max_n;
     let h = Hierarchy::balanced(10, 3);
     let seed = cfg.trial_seed("variants", 0);
     let p = Placement::zipf(&h, n, seed);
-    let pastry_params = PastryParams { digit_bits: 2, leaf_half: 4 };
+    let pastry_params = PastryParams {
+        digit_bits: 2,
+        leaf_half: 4,
+    };
 
     let show = |name: &str, g: &OverlayGraph, clockwise: bool| {
         let deg = DegreeStats::of(g).summary;
@@ -44,17 +51,34 @@ fn main() {
         ]);
     };
 
-    row(&["system".into(), "degMean".into(), "degMax".into(), "hops".into()]);
+    row(&[
+        "system".into(),
+        "degMean".into(),
+        "degMax".into(),
+        "hops".into(),
+    ]);
     show("chord", &build_chord(p.ids()), true);
     show("crescendo", build_crescendo(&h, &p).graph(), true);
-    show("nondetChord", &build_nondet_chord(p.ids(), seed.derive("nc")), true);
+    show(
+        "nondetChord",
+        &build_nondet_chord(p.ids(), seed.derive("nc")),
+        true,
+    );
     show(
         "nondetCrescendo",
         build_nondet_crescendo(&h, &p, seed.derive("ncr")).graph(),
         true,
     );
-    show("symphony", &build_symphony(p.ids(), seed.derive("sym")), true);
-    show("cacophony", build_cacophony(&h, &p, seed.derive("cac")).graph(), true);
+    show(
+        "symphony",
+        &build_symphony(p.ids(), seed.derive("sym")),
+        true,
+    );
+    show(
+        "cacophony",
+        build_cacophony(&h, &p, seed.derive("cac")).graph(),
+        true,
+    );
     show(
         "kademlia",
         &build_kademlia(p.ids(), BucketChoice::Closest, seed.derive("kad")),

@@ -8,12 +8,31 @@
 //! * `--quick` — cap the network size for a fast smoke run;
 //! * `--max-n <N>` — explicit size cap;
 //! * `--seeds <S>` — number of trials averaged per cell;
-//! * `--seed <BASE>` — base seed (default 42).
+//! * `--seed <BASE>` — base seed (default 42);
+//! * `--threads <T>` — worker threads for parallel construction and the
+//!   trial matrix (default: all cores; `0` also means all cores).
+//!
+//! `--threads` is wired straight into [`canon_par::set_global_threads`],
+//! which both the construction pipeline (`canon::engine::build_canonical`,
+//! the flat whole-network constructors) and the trial runner
+//! ([`run_matrix`]) consult. Every experiment is deterministic for a fixed
+//! seed *regardless* of the thread count: per-node randomness is derived
+//! from `(seed, node)` and per-trial randomness from `(seed, label,
+//! trial)`, never from scheduling.
+//!
+//! # The trial runner
+//!
+//! [`run_matrix`] executes one closure per `(size, trial)` cell of the
+//! experiment matrix, in parallel, and hands each invocation a
+//! [`PhaseTimer`] so binaries can report construction and
+//! measurement/routing wall-clock separately. Results come back grouped by
+//! size, in deterministic (size-major, trial-minor) order.
 
 use canon_hierarchy::{DomainId, Hierarchy, Placement};
 use canon_id::rng::Seed;
 use canon_overlay::{NodeIndex, OverlayGraph};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Command-line configuration shared by the experiment binaries.
 #[derive(Clone, Copy, Debug)]
@@ -24,38 +43,58 @@ pub struct BenchConfig {
     pub seeds: u64,
     /// Base seed.
     pub base_seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
 }
 
 impl BenchConfig {
-    /// Parses `std::env::args`, with experiment-specific defaults.
+    /// Parses `std::env::args`, with experiment-specific defaults, and
+    /// applies `--threads` to the global [`canon_par`] thread pool.
     ///
     /// # Panics
     ///
     /// Panics (with a usage message) on malformed arguments.
     pub fn from_args(default_max_n: usize, default_seeds: u64) -> BenchConfig {
-        let mut cfg =
-            BenchConfig { max_n: default_max_n, seeds: default_seeds, base_seed: 42 };
+        let mut cfg = BenchConfig {
+            max_n: default_max_n,
+            seeds: default_seeds,
+            base_seed: 42,
+            threads: 0,
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
+        fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+            args.get(i)
+                .unwrap_or_else(|| panic!("{flag} takes an integer value"))
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} takes an integer value"))
+        }
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => cfg.max_n = cfg.max_n.min(4096),
                 "--max-n" => {
                     i += 1;
-                    cfg.max_n = args[i].parse().expect("--max-n takes an integer");
+                    cfg.max_n = value(&args, i, "--max-n");
                 }
                 "--seeds" => {
                     i += 1;
-                    cfg.seeds = args[i].parse().expect("--seeds takes an integer");
+                    cfg.seeds = value(&args, i, "--seeds");
                 }
                 "--seed" => {
                     i += 1;
-                    cfg.base_seed = args[i].parse().expect("--seed takes an integer");
+                    cfg.base_seed = value(&args, i, "--seed");
                 }
-                other => panic!("unknown argument {other}; try --quick/--max-n/--seeds/--seed"),
+                "--threads" => {
+                    i += 1;
+                    cfg.threads = value(&args, i, "--threads");
+                }
+                other => {
+                    panic!("unknown argument {other}; try --quick/--max-n/--seeds/--seed/--threads")
+                }
             }
             i += 1;
         }
+        canon_par::set_global_threads(cfg.threads);
         cfg
     }
 
@@ -76,12 +115,148 @@ impl BenchConfig {
     }
 }
 
+/// One cell of the `(size, trial)` experiment matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct Trial {
+    /// Network size of this cell.
+    pub n: usize,
+    /// Trial number within the size, `0..cfg.seeds`.
+    pub index: u64,
+    /// The trial's seed (shared across sizes so curves over `n` use common
+    /// random numbers, as the pre-existing binaries did).
+    pub seed: Seed,
+}
+
+/// Accumulates per-phase wall-clock for one trial.
+///
+/// Binaries wrap their work in [`PhaseTimer::construct`] /
+/// [`PhaseTimer::measure`]; the runner returns the totals alongside each
+/// trial's result.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimer {
+    /// Time spent building networks.
+    pub construct: Duration,
+    /// Time spent measuring them (routing, statistics).
+    pub measure: Duration,
+}
+
+impl PhaseTimer {
+    /// Runs `f`, attributing its wall-clock to the construction phase.
+    pub fn construct<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.construct += start.elapsed();
+        r
+    }
+
+    /// Runs `f`, attributing its wall-clock to the measurement phase.
+    pub fn measure<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.measure += start.elapsed();
+        r
+    }
+}
+
+/// One completed trial: its cell, result, and per-phase timing.
+#[derive(Clone, Debug)]
+pub struct TrialOutcome<T> {
+    /// The matrix cell that produced this outcome.
+    pub trial: Trial,
+    /// The closure's result.
+    pub result: T,
+    /// Per-phase wall-clock accumulated by the closure.
+    pub times: PhaseTimer,
+}
+
+/// All trials of one network size, in trial order.
+#[derive(Clone, Debug)]
+pub struct SizeRow<T> {
+    /// The network size.
+    pub n: usize,
+    /// One outcome per trial, `0..cfg.seeds`.
+    pub outcomes: Vec<TrialOutcome<T>>,
+}
+
+impl<T> SizeRow<T> {
+    /// Averages a per-trial metric over the row.
+    pub fn mean_of(&self, metric: impl Fn(&TrialOutcome<T>) -> f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(metric).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Total construction time across the row's trials.
+    pub fn construct_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.times.construct).sum()
+    }
+
+    /// Total measurement time across the row's trials.
+    pub fn measure_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.times.measure).sum()
+    }
+}
+
+/// Runs `run` for every `(size, trial)` cell of the experiment matrix in
+/// parallel (thread count from [`canon_par`]; `--threads` via
+/// [`BenchConfig::from_args`]), returning rows grouped by size.
+///
+/// Cells execute independently — `run` must derive all randomness from the
+/// trial's seed — so the outcome is deterministic and identical for every
+/// thread count. Construction inside a cell (e.g. `build_crescendo`) runs
+/// serially within that cell's worker; the matrix itself provides the
+/// parallelism. Single-size experiments get the degenerate one-row matrix
+/// by passing `from == cfg.max_n`.
+pub fn run_matrix<T: Send>(
+    cfg: &BenchConfig,
+    label: &str,
+    from: usize,
+    run: impl Fn(&Trial, &mut PhaseTimer) -> T + Sync,
+) -> Vec<SizeRow<T>> {
+    let mut cells = Vec::new();
+    for &n in &cfg.sizes(from) {
+        for t in 0..cfg.seeds {
+            cells.push(Trial {
+                n,
+                index: t,
+                seed: cfg.trial_seed(label, t),
+            });
+        }
+    }
+    let mut outcomes = canon_par::par_map(&cells, |_, trial| {
+        let mut times = PhaseTimer::default();
+        let result = run(trial, &mut times);
+        TrialOutcome {
+            trial: *trial,
+            result,
+            times,
+        }
+    })
+    .into_iter();
+    // par_map preserves input order, so outcomes arrive size-major,
+    // trial-minor; regroup them by size.
+    let mut rows: Vec<SizeRow<T>> = Vec::new();
+    for n in cfg.sizes(from) {
+        let outcomes: Vec<TrialOutcome<T>> = outcomes.by_ref().take(cfg.seeds as usize).collect();
+        rows.push(SizeRow { n, outcomes });
+    }
+    rows
+}
+
 /// Prints a header banner with the experiment id and configuration.
 pub fn banner(id: &str, what: &str, cfg: &BenchConfig) {
     println!("# {id}: {what}");
     println!(
-        "# config: max_n={} seeds={} base_seed={}",
-        cfg.max_n, cfg.seeds, cfg.base_seed
+        "# config: max_n={} seeds={} base_seed={} threads={}",
+        cfg.max_n,
+        cfg.seeds,
+        cfg.base_seed,
+        if cfg.threads == 0 {
+            canon_par::available_cores()
+        } else {
+            cfg.threads
+        }
     );
 }
 
@@ -94,6 +269,11 @@ pub fn row(cells: &[String]) {
 /// Formats a float cell.
 pub fn f(v: f64) -> String {
     format!("{v:.3}")
+}
+
+/// Formats a duration cell in seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
 }
 
 /// Groups graph node indices by their ancestor domain at `depth`.
@@ -119,16 +299,25 @@ pub fn members_by_domain_at_depth(
 mod tests {
     use super::*;
 
+    fn cfg(max_n: usize, seeds: u64) -> BenchConfig {
+        BenchConfig {
+            max_n,
+            seeds,
+            base_seed: 7,
+            threads: 0,
+        }
+    }
+
     #[test]
     fn sizes_double_up_to_cap() {
-        let cfg = BenchConfig { max_n: 8192, seeds: 1, base_seed: 0 };
+        let cfg = cfg(8192, 1);
         assert_eq!(cfg.sizes(1024), vec![1024, 2048, 4096, 8192]);
         assert_eq!(cfg.sizes(10000), Vec::<usize>::new());
     }
 
     #[test]
     fn trial_seeds_differ() {
-        let cfg = BenchConfig { max_n: 0, seeds: 2, base_seed: 7 };
+        let cfg = cfg(0, 2);
         assert_ne!(cfg.trial_seed("a", 0), cfg.trial_seed("a", 1));
         assert_ne!(cfg.trial_seed("a", 0), cfg.trial_seed("b", 0));
         assert_eq!(cfg.trial_seed("a", 1), cfg.trial_seed("a", 1));
@@ -144,5 +333,76 @@ mod tests {
         let total: usize = by1.values().map(Vec::len).sum();
         assert_eq!(total, 90);
         assert_eq!(by1.len(), 3);
+    }
+
+    #[test]
+    fn run_matrix_covers_every_cell_in_order() {
+        let cfg = cfg(4096, 3);
+        let rows = run_matrix(&cfg, "t", 1024, |trial, _| (trial.n, trial.index));
+        assert_eq!(rows.len(), 3);
+        for (row, expect_n) in rows.iter().zip([1024, 2048, 4096]) {
+            assert_eq!(row.n, expect_n);
+            let got: Vec<(usize, u64)> = row.outcomes.iter().map(|o| o.result).collect();
+            assert_eq!(got, vec![(expect_n, 0), (expect_n, 1), (expect_n, 2)]);
+        }
+    }
+
+    #[test]
+    fn run_matrix_is_thread_count_independent() {
+        let cfg = cfg(2048, 2);
+        let work = |trial: &Trial, times: &mut PhaseTimer| {
+            let ids = times.construct(|| canon_id::rng::random_ids(trial.seed, trial.n.min(64)));
+            times.measure(|| ids.iter().map(|i| i.raw() as u128).sum::<u128>())
+        };
+        let serial = canon_par::with_threads(1, || run_matrix(&cfg, "t", 1024, work));
+        let parallel = canon_par::with_threads(4, || run_matrix(&cfg, "t", 1024, work));
+        let flat = |rows: &[SizeRow<u128>]| -> Vec<u128> {
+            rows.iter()
+                .flat_map(|r| r.outcomes.iter().map(|o| o.result))
+                .collect()
+        };
+        assert_eq!(flat(&serial), flat(&parallel));
+    }
+
+    #[test]
+    fn phase_timer_attributes_both_phases() {
+        let cfg = cfg(1024, 1);
+        let rows = run_matrix(&cfg, "t", 1024, |_, times| {
+            times.construct(|| std::thread::sleep(Duration::from_millis(2)));
+            times.measure(|| std::thread::sleep(Duration::from_millis(1)));
+        });
+        let times = rows[0].outcomes[0].times;
+        assert!(times.construct >= Duration::from_millis(2));
+        assert!(times.measure >= Duration::from_millis(1));
+        assert_eq!(rows[0].construct_time(), times.construct);
+        assert_eq!(rows[0].measure_time(), times.measure);
+    }
+
+    #[test]
+    fn size_row_mean_averages_results() {
+        let row = SizeRow {
+            n: 8,
+            outcomes: vec![
+                TrialOutcome {
+                    trial: Trial {
+                        n: 8,
+                        index: 0,
+                        seed: Seed(0),
+                    },
+                    result: 1.0,
+                    times: PhaseTimer::default(),
+                },
+                TrialOutcome {
+                    trial: Trial {
+                        n: 8,
+                        index: 1,
+                        seed: Seed(0),
+                    },
+                    result: 3.0,
+                    times: PhaseTimer::default(),
+                },
+            ],
+        };
+        assert_eq!(row.mean_of(|o| o.result), 2.0);
     }
 }

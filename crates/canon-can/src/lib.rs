@@ -67,7 +67,16 @@ impl Zone {
         assert!(self.depth < ID_BITS, "cannot split a unit zone");
         let d = self.depth + 1;
         let one = self.start | (1u64 << (ID_BITS - d));
-        (Zone { start: self.start, depth: d }, Zone { start: one, depth: d })
+        (
+            Zone {
+                start: self.start,
+                depth: d,
+            },
+            Zone {
+                start: one,
+                depth: d,
+            },
+        )
     }
 
     /// The sibling zone across dimension `i` (the zone with prefix bit `i`
@@ -77,8 +86,15 @@ impl Zone {
     ///
     /// Panics if `i >= depth`.
     pub fn flip(self, i: u32) -> Zone {
-        assert!(i < self.depth, "dimension {i} out of range for depth {}", self.depth);
-        Zone { start: self.start ^ (1u64 << (ID_BITS - 1 - i)), depth: self.depth }
+        assert!(
+            i < self.depth,
+            "dimension {i} out of range for depth {}",
+            self.depth
+        );
+        Zone {
+            start: self.start ^ (1u64 << (ID_BITS - 1 - i)),
+            depth: self.depth,
+        }
     }
 }
 
@@ -98,10 +114,10 @@ impl fmt::Display for Zone {
 /// hypercube overlay between zone owners.
 #[derive(Clone, Debug)]
 pub struct CanNetwork {
-    zones: Vec<Zone>,        // in join order
-    points: Vec<NodeId>,     // each node's join point (stays inside its zone)
-    graph: OverlayGraph,     // node ids are zone start points
-    order: Vec<usize>,       // zone indices sorted by start
+    zones: Vec<Zone>,    // in join order
+    points: Vec<NodeId>, // each node's join point (stays inside its zone)
+    graph: OverlayGraph, // node ids are zone start points
+    order: Vec<usize>,   // zone indices sorted by start
 }
 
 impl CanNetwork {
@@ -173,7 +189,12 @@ impl CanNetwork {
             }
         }
         let graph = b.build();
-        CanNetwork { zones, points, graph, order }
+        CanNetwork {
+            zones,
+            points,
+            graph,
+            order,
+        }
     }
 
     /// The hypercube overlay; node ids are zone start points, routable with
@@ -339,7 +360,11 @@ mod tests {
             assert!(net.graph().degree(gi) >= 1);
         }
         // Average ≈ log2(n) for random joins.
-        assert!(d.summary.mean > 4.0 && d.summary.mean < 14.0, "mean {}", d.summary.mean);
+        assert!(
+            d.summary.mean > 4.0 && d.summary.mean < 14.0,
+            "mean {}",
+            d.summary.mean
+        );
     }
 
     #[test]

@@ -153,16 +153,12 @@ fn choose_in_band(
 ///
 /// Routing on the result uses the clockwise metric. Every node links to its
 /// successor (the `k = 0` rule), so greedy clockwise routing always
-/// terminates at the destination.
+/// terminates at the destination. Per-node link sets are computed in
+/// parallel (thread count from `canon_par`) and merged in ring order.
 pub fn build_chord(ids: &[NodeId]) -> OverlayGraph {
     let ring = SortedRing::new(ids.to_vec());
-    let mut b = GraphBuilder::with_nodes(ring.as_slice());
-    for &me in ring.as_slice() {
-        for link in chord_links(&ring, me) {
-            b.add_link(me, link);
-        }
-    }
-    b.build()
+    let per_node = canon_par::par_map(ring.as_slice(), |_, &me| chord_links(&ring, me));
+    GraphBuilder::from_per_node_links(ring.as_slice(), &per_node)
 }
 
 /// Builds a flat nondeterministic Chord network over `ids`.
@@ -171,22 +167,25 @@ pub fn build_chord(ids: &[NodeId]) -> OverlayGraph {
 /// uniformly random member. The successor link (band `k = 0`… the smallest
 /// nonempty band) is additionally forced so that greedy routing is always
 /// live, matching deployed nondeterministic-Chord systems.
+///
+/// Each node draws from an RNG seeded by `(seed, node)` alone
+/// ([`canon_id::rng::Seed::derive_node`]), so the graph is a pure function
+/// of `(ids, seed)` no matter how many threads compute it.
 pub fn build_nondet_chord(ids: &[NodeId], seed: canon_id::rng::Seed) -> OverlayGraph {
     let ring = SortedRing::new(ids.to_vec());
-    let mut b = GraphBuilder::with_nodes(ring.as_slice());
-    let mut rng = seed.derive("nondet-chord").rng();
-    for &me in ring.as_slice() {
-        for link in nondet_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng) {
-            b.add_link(me, link);
-        }
+    let base = seed.derive("nondet-chord");
+    let per_node = canon_par::par_map(ring.as_slice(), |_, &me| {
+        let mut rng = base.derive_node(me).rng();
+        let mut links = nondet_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng);
         // Force the successor link for routing liveness.
         if let Some(s) = ring.strict_successor(me) {
-            if s != me {
-                b.add_link(me, s);
+            if s != me && !links.contains(&s) {
+                links.push(s);
             }
         }
-    }
-    b.build()
+        links
+    });
+    GraphBuilder::from_per_node_links(ring.as_slice(), &per_node)
 }
 
 #[cfg(test)]
@@ -219,8 +218,7 @@ mod tests {
         // 0+1 = 2 (distance 2 < 5), successor of 0+2 = 2 (duplicate),
         // successor of 0+4 = 5 (distance 5, not < 5 → rejected).
         let merged = ring_of(&[0, 2, 3, 5, 8, 10, 12, 13]);
-        let links =
-            chord_links_bounded(&merged, NodeId::new(0), RingDistance::from_u64(5));
+        let links = chord_links_bounded(&merged, NodeId::new(0), RingDistance::from_u64(5));
         assert_eq!(links, vec![NodeId::new(2)]);
     }
 
@@ -231,8 +229,7 @@ mod tests {
         // of 10 = 10 (dup), successor of 12 = 12 (distance 4), successor of
         // 16 → wraps to 0 at distance 8 but 8 >= 5 → rejected by bound.
         let merged = ring_of(&[0, 2, 3, 5, 8, 10, 12, 13]);
-        let links =
-            chord_links_bounded(&merged, NodeId::new(8), RingDistance::from_u64(5));
+        let links = chord_links_bounded(&merged, NodeId::new(8), RingDistance::from_u64(5));
         assert_eq!(links, vec![NodeId::new(10), NodeId::new(12)]);
     }
 
@@ -241,8 +238,7 @@ mod tests {
         // Paper: node 2 has node 3 in its own ring at distance 1, so
         // condition (b) rules out every merge link.
         let merged = ring_of(&[0, 2, 3, 5, 8, 10, 12, 13]);
-        let links =
-            chord_links_bounded(&merged, NodeId::new(2), RingDistance::from_u64(1));
+        let links = chord_links_bounded(&merged, NodeId::new(2), RingDistance::from_u64(1));
         assert!(links.is_empty());
     }
 
@@ -319,7 +315,10 @@ mod tests {
         assert!(!links.is_empty());
         for l in &links {
             let d = me.clockwise_to(*l);
-            assert!((d as u128) < bound.as_u128(), "link at distance {d} violates bound");
+            assert!(
+                (d as u128) < bound.as_u128(),
+                "link at distance {d} violates bound"
+            );
         }
     }
 

@@ -184,7 +184,9 @@ impl Hierarchy {
 
     /// Domains at exactly `depth`.
     pub fn domains_at_depth(&self, depth: u32) -> Vec<DomainId> {
-        self.all_domains().filter(|&d| self.depth(d) == depth).collect()
+        self.all_domains()
+            .filter(|&d| self.depth(d) == depth)
+            .collect()
     }
 
     /// The root-to-`id` path (root first, `id` last).
@@ -201,7 +203,10 @@ impl Hierarchy {
 
     /// Iterates over `id` and its ancestors, leaf-to-root.
     pub fn ancestors(&self, id: DomainId) -> Ancestors<'_> {
-        Ancestors { hierarchy: self, next: Some(id) }
+        Ancestors {
+            hierarchy: self,
+            next: Some(id),
+        }
     }
 
     /// Whether `anc` is `id` or an ancestor of `id`.
@@ -332,7 +337,9 @@ impl Placement {
         let ids = random_ids(seed.derive("ids"), n);
         let leaves = hierarchy.leaves();
         let mut rng = seed.derive("uniform-placement").rng();
-        let leaf_of = (0..n).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+        let leaf_of = (0..n)
+            .map(|_| leaves[rng.gen_range(0..leaves.len())])
+            .collect();
         Placement { ids, leaf_of }
     }
 
@@ -359,7 +366,11 @@ impl Placement {
         }
         let weights: Vec<Vec<f64>> = branch_order
             .iter()
-            .map(|kids| (1..=kids.len()).map(|k| (k as f64).powf(-EXPONENT)).collect())
+            .map(|kids| {
+                (1..=kids.len())
+                    .map(|k| (k as f64).powf(-EXPONENT))
+                    .collect()
+            })
             .collect();
         let totals: Vec<f64> = weights.iter().map(|w| w.iter().sum()).collect();
 
@@ -418,7 +429,10 @@ impl Placement {
     /// The leaf domain of a node id, if placed (linear scan; use
     /// [`Placement::leaf_of_index`] in hot paths).
     pub fn leaf_of(&self, id: NodeId) -> Option<DomainId> {
-        self.ids.iter().position(|&i| i == id).map(|i| self.leaf_of[i])
+        self.ids
+            .iter()
+            .position(|&i| i == id)
+            .map(|i| self.leaf_of[i])
     }
 }
 

@@ -39,8 +39,9 @@ mod tests {
 
     #[test]
     fn distinct_inputs_rarely_collide() {
-        let keys: std::collections::HashSet<u64> =
-            (0..50_000u32).map(|i| hash_name(&format!("key-{i}")).raw()).collect();
+        let keys: std::collections::HashSet<u64> = (0..50_000u32)
+            .map(|i| hash_name(&format!("key-{i}")).raw())
+            .collect();
         assert_eq!(keys.len(), 50_000);
     }
 

@@ -35,7 +35,10 @@ impl SortedRing {
     ///
     /// Panics in debug builds if the input is not strictly increasing.
     pub fn from_sorted(ids: Vec<NodeId>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not strictly sorted");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids not strictly sorted"
+        );
         SortedRing { ids }
     }
 
@@ -114,7 +117,11 @@ impl SortedRing {
             return None;
         }
         let idx = self.ids.partition_point(|&id| id <= point);
-        Some(if idx == 0 { *self.ids.last().expect("nonempty") } else { self.ids[idx - 1] })
+        Some(if idx == 0 {
+            *self.ids.last().expect("nonempty")
+        } else {
+            self.ids[idx - 1]
+        })
     }
 
     /// The node with the largest identifier strictly counterclockwise of
@@ -124,7 +131,11 @@ impl SortedRing {
             return None;
         }
         let idx = self.ids.partition_point(|&id| id < point);
-        Some(if idx == 0 { *self.ids.last().expect("nonempty") } else { self.ids[idx - 1] })
+        Some(if idx == 0 {
+            *self.ids.last().expect("nonempty")
+        } else {
+            self.ids[idx - 1]
+        })
     }
 
     /// Clockwise distance from `id` to the nearest *other* node on the ring,
@@ -244,7 +255,11 @@ fn xor_best(slice: &[NodeId], bit: u32, target: NodeId, exclude: Option<NodeId>)
     }
     let split = slice.partition_point(|&x| !x.bit(bit));
     let (zeros, ones) = slice.split_at(split);
-    let (preferred, alternative) = if target.bit(bit) { (ones, zeros) } else { (zeros, ones) };
+    let (preferred, alternative) = if target.bit(bit) {
+        (ones, zeros)
+    } else {
+        (zeros, ones)
+    };
     xor_best(preferred, bit + 1, target, exclude)
         .or_else(|| xor_best(alternative, bit + 1, target, exclude))
 }
@@ -347,7 +362,10 @@ mod tests {
     fn xor_closest_finds_longest_common_prefix() {
         let r = ring(&[0b0000, 0b0110, 0b1000, 0b1110]);
         let t = NodeId::new(0b0111);
-        assert_eq!(r.xor_closest_excluding(t, NodeId::new(u64::MAX)), Some(NodeId::new(0b0110)));
+        assert_eq!(
+            r.xor_closest_excluding(t, NodeId::new(u64::MAX)),
+            Some(NodeId::new(0b0110))
+        );
         // Excluding the best forces the next-best.
         assert_eq!(
             r.xor_closest_excluding(t, NodeId::new(0b0110)),
@@ -407,7 +425,9 @@ mod tests {
 
     #[test]
     fn xor_bucket_closest_matches_brute_force() {
-        let ids: Vec<u64> = (1..200u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let ids: Vec<u64> = (1..200u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
         let r = ring(&ids);
         let me = NodeId::new(ids[7]);
         for k in 0..ID_BITS {
@@ -417,7 +437,11 @@ mod tests {
                 .iter()
                 .copied()
                 .min_by_key(|&b| me.xor_to(b));
-            assert_eq!(fast.map(|n| me.xor_to(n)), brute.map(|n| me.xor_to(n)), "bucket {k}");
+            assert_eq!(
+                fast.map(|n| me.xor_to(n)),
+                brute.map(|n| me.xor_to(n)),
+                "bucket {k}"
+            );
         }
     }
 
@@ -439,7 +463,12 @@ mod tests {
         let m = SortedRing::merged([&a, &b]);
         assert_eq!(
             m.as_slice(),
-            &[NodeId::new(1), NodeId::new(3), NodeId::new(5), NodeId::new(9)]
+            &[
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(5),
+                NodeId::new(9)
+            ]
         );
     }
 

@@ -29,7 +29,19 @@ impl Seed {
     /// Derives a sub-seed from an index (e.g. a trial number).
     #[must_use]
     pub fn derive_index(self, index: u64) -> Seed {
-        Seed(splitmix64(self.0 ^ splitmix64(index.wrapping_add(0xa076_1d64_78bd_642f))))
+        Seed(splitmix64(
+            self.0 ^ splitmix64(index.wrapping_add(0xa076_1d64_78bd_642f)),
+        ))
+    }
+
+    /// Derives a per-node sub-seed, making a node's random stream a pure
+    /// function of `(seed, node)` — independent of the order (or thread)
+    /// in which nodes are processed during construction.
+    #[must_use]
+    pub fn derive_node(self, node: NodeId) -> Seed {
+        Seed(splitmix64(
+            self.0 ^ splitmix64(node.raw().wrapping_add(0x2545_f491_4f6c_dd1d)),
+        ))
     }
 
     /// Creates a deterministic RNG from this seed.
@@ -111,6 +123,18 @@ mod tests {
         let s = Seed(7);
         assert_ne!(s.derive_index(0), s.derive_index(1));
         assert_eq!(s.derive_index(5), s.derive_index(5));
+    }
+
+    #[test]
+    fn derive_node_is_a_pure_function_of_seed_and_node() {
+        let s = Seed(7);
+        let a = NodeId::new(123);
+        let b = NodeId::new(456);
+        assert_eq!(s.derive_node(a), s.derive_node(a));
+        assert_ne!(s.derive_node(a), s.derive_node(b));
+        assert_ne!(s.derive_node(a), Seed(8).derive_node(a));
+        // Decorrelated from the index stream even at equal raw values.
+        assert_ne!(s.derive_node(NodeId::new(3)), s.derive_index(3));
     }
 
     #[test]

@@ -55,11 +55,10 @@ pub fn kademlia_links_bounded(
                 .filter(|&c| (me.xor_to(c) as u128) < bound.as_u128()),
             BucketChoice::Random => {
                 let bucket = ring.xor_bucket(me, k);
-                pick_random_in_bucket(bucket, me, bound, rng)
-                    .or_else(|| {
-                        ring.xor_bucket_closest(me, k)
-                            .filter(|&c| (me.xor_to(c) as u128) < bound.as_u128())
-                    })
+                pick_random_in_bucket(bucket, me, bound, rng).or_else(|| {
+                    ring.xor_bucket_closest(me, k)
+                        .filter(|&c| (me.xor_to(c) as u128) < bound.as_u128())
+                })
             }
         };
         if let Some(c) = picked {
@@ -94,17 +93,22 @@ fn pick_random_in_bucket(
 ///
 /// Routable with [`canon_id::metric::Xor`]; greedy routing reaches the
 /// exact destination because every non-empty bucket holds a link.
-pub fn build_kademlia(ids: &[NodeId], choice: BucketChoice, seed: canon_id::rng::Seed) -> OverlayGraph {
+///
+/// Each node's bucket sampling draws from an RNG seeded by `(seed, node)`
+/// alone ([`canon_id::rng::Seed::derive_node`]), so the graph is a pure
+/// function of `(ids, choice, seed)` no matter how many threads compute it.
+pub fn build_kademlia(
+    ids: &[NodeId],
+    choice: BucketChoice,
+    seed: canon_id::rng::Seed,
+) -> OverlayGraph {
     let ring = SortedRing::new(ids.to_vec());
-    let mut b = GraphBuilder::with_nodes(ring.as_slice());
-    let mut rng = seed.derive("kademlia").rng();
-    for &me in ring.as_slice() {
-        for link in kademlia_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, choice, &mut rng)
-        {
-            b.add_link(me, link);
-        }
-    }
-    b.build()
+    let base = seed.derive("kademlia");
+    let per_node = canon_par::par_map(ring.as_slice(), |_, &me| {
+        let mut rng = base.derive_node(me).rng();
+        kademlia_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, choice, &mut rng)
+    });
+    GraphBuilder::from_per_node_links(ring.as_slice(), &per_node)
 }
 
 #[cfg(test)]
@@ -223,7 +227,11 @@ mod tests {
         let g = build_kademlia(&random_ids(Seed(15), n), BucketChoice::Closest, Seed(16));
         let d = stats::DegreeStats::of(&g);
         // Roughly log2(n) non-empty buckets per node.
-        assert!(d.summary.mean > 7.0 && d.summary.mean < 14.0, "mean {}", d.summary.mean);
+        assert!(
+            d.summary.mean > 7.0 && d.summary.mean < 14.0,
+            "mean {}",
+            d.summary.mean
+        );
     }
 
     #[test]

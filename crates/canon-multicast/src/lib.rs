@@ -138,13 +138,23 @@ impl MulticastGroup {
         member: NodeIndex,
     ) -> Result<SubscribeReport, RouteError> {
         if !self.members.insert(member) {
-            return Ok(SubscribeReport { hops_to_tree: 0, already_member: true });
+            return Ok(SubscribeReport {
+                hops_to_tree: 0,
+                already_member: true,
+            });
         }
         if self.on_tree(member) {
-            return Ok(SubscribeReport { hops_to_tree: 0, already_member: false });
+            return Ok(SubscribeReport {
+                hops_to_tree: 0,
+                already_member: false,
+            });
         }
         let r = route_to_key(graph, metric, member, self.key.as_point())?;
-        debug_assert_eq!(r.target(), self.rendezvous, "group key has one responsible node");
+        debug_assert_eq!(
+            r.target(),
+            self.rendezvous,
+            "group key has one responsible node"
+        );
         let mut hops = 0usize;
         for (child, parent) in r.edges() {
             hops += 1;
@@ -155,7 +165,10 @@ impl MulticastGroup {
                 break;
             }
         }
-        Ok(SubscribeReport { hops_to_tree: hops, already_member: false })
+        Ok(SubscribeReport {
+            hops_to_tree: hops,
+            already_member: false,
+        })
     }
 
     /// Unsubscribes `member`, pruning forwarding state upward while nodes
@@ -171,7 +184,9 @@ impl MulticastGroup {
             && !self.members.contains(&cur)
             && self.children.get(&cur).is_none_or(BTreeSet::is_empty)
         {
-            let Some(parent) = self.parent.remove(&cur) else { break };
+            let Some(parent) = self.parent.remove(&cur) else {
+                break;
+            };
             if let Some(siblings) = self.children.get_mut(&parent) {
                 siblings.remove(&cur);
             }
@@ -196,7 +211,26 @@ impl MulticastGroup {
     /// Tree links whose endpoints fall in different domains under
     /// `domain_of`.
     pub fn inter_domain_links<D: PartialEq, F: Fn(NodeIndex) -> D>(&self, domain_of: F) -> usize {
-        self.tree_edges().filter(|&(a, b)| domain_of(a) != domain_of(b)).count()
+        self.tree_edges()
+            .filter(|&(a, b)| domain_of(a) != domain_of(b))
+            .count()
+    }
+
+    /// Tree links carrying traffic into the domain `target`: dissemination
+    /// edges whose child endpoint is in `target` but whose parent is not.
+    ///
+    /// Canon's convergence property bounds this at one for a subscriber
+    /// set drawn from a single domain (the proxy link), whereas
+    /// [`Self::inter_domain_links`] also counts crossings between
+    /// unrelated transit domains on the way to the rendezvous.
+    pub fn links_entering<D: PartialEq, F: Fn(NodeIndex) -> D>(
+        &self,
+        target: &D,
+        domain_of: F,
+    ) -> usize {
+        self.tree_edges()
+            .filter(|&(p, c)| domain_of(c) == *target && domain_of(p) != *target)
+            .count()
     }
 
     /// Simulates one dissemination from the rendezvous, optionally weighing
@@ -303,7 +337,10 @@ mod tests {
             total += grp.subscribe(&g, Clockwise, m).unwrap().hops_to_tree;
         }
         assert!(grp.delivers_to_all_members());
-        assert!(total < 60 * 6, "joins did not shortcut into the tree: {total}");
+        assert!(
+            total < 60 * 6,
+            "joins did not shortcut into the tree: {total}"
+        );
     }
 
     #[test]
@@ -334,13 +371,17 @@ mod tests {
         let g = ring_graph(256);
         let mut grp = MulticastGroup::new(&g, Clockwise, Key::new(99)).unwrap();
         let mut rng = Seed(4).rng();
-        let members: Vec<NodeIndex> =
-            (0..30).map(|_| NodeIndex(rng.gen_range(0..g.len()) as u32)).collect();
+        let members: Vec<NodeIndex> = (0..30)
+            .map(|_| NodeIndex(rng.gen_range(0..g.len()) as u32))
+            .collect();
         for &m in &members {
             grp.subscribe(&g, Clockwise, m).unwrap();
         }
         grp.unsubscribe(members[0]);
-        assert!(grp.delivers_to_all_members(), "remaining members must stay covered");
+        assert!(
+            grp.delivers_to_all_members(),
+            "remaining members must stay covered"
+        );
     }
 
     #[test]

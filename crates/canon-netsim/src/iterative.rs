@@ -46,7 +46,12 @@ where
     L: Fn(NodeIndex, NodeIndex) -> f64,
 {
     debug_assert!(alive(origin), "lookups start at a live node");
-    let mut out = IterativeOutcome { completed: false, time: 0.0, rpcs: 0, timeouts: 0 };
+    let mut out = IterativeOutcome {
+        completed: false,
+        time: 0.0,
+        rpcs: 0,
+        timeouts: 0,
+    };
     let mut cur = origin;
     let mut cur_dist = metric.distance(graph.id(cur), key);
     loop {
@@ -69,7 +74,11 @@ where
         for (d, nb) in candidates {
             if alive(nb) {
                 // Round trip from the origin to the probed node.
-                out.time += if nb == origin { 0.0 } else { 2.0 * lat(origin, nb) };
+                out.time += if nb == origin {
+                    0.0
+                } else {
+                    2.0 * lat(origin, nb)
+                };
                 out.rpcs += 1;
                 cur = nb;
                 cur_dist = d;
@@ -102,8 +111,7 @@ mod tests {
         let g = graph();
         let origin = NodeIndex(11);
         let key = NodeId::new(0x5555_6666_7777_8888);
-        let out =
-            iterative_lookup(&g, Clockwise, 500.0, origin, key, |_| true, |_, _| 7.0);
+        let out = iterative_lookup(&g, Clockwise, 500.0, origin, key, |_| true, |_, _| 7.0);
         assert!(out.completed);
         assert_eq!(out.timeouts, 0);
         let r = route_to_key(&g, Clockwise, origin, key).unwrap();

@@ -50,7 +50,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { retry_timeout: 500.0, max_events: 1_000_000 }
+        SimConfig {
+            retry_timeout: 500.0,
+            max_events: 1_000_000,
+        }
     }
 }
 
@@ -97,11 +100,20 @@ enum Event {
     /// A lookup enters the network at its origin.
     Inject { id: LookupId },
     /// A hop message arrives at `node` (forwarding continues there).
-    Hop { id: LookupId, node: NodeIndex, from: Option<NodeIndex>, attempt: u64 },
+    Hop {
+        id: LookupId,
+        node: NodeIndex,
+        from: Option<NodeIndex>,
+        attempt: u64,
+    },
     /// An ack for `attempt` arrives back at the waiting sender.
     Ack { id: LookupId, node: NodeIndex },
     /// The retransmission timer for `attempt` fires at `node`.
-    Timeout { id: LookupId, node: NodeIndex, attempt: u64 },
+    Timeout {
+        id: LookupId,
+        node: NodeIndex,
+        attempt: u64,
+    },
     /// The answer arrives back at the origin.
     Done { id: LookupId, terminal: NodeIndex },
 }
@@ -230,7 +242,12 @@ where
                 self.seen.insert((id, origin));
                 self.forward_from(now, id, origin, None, 0);
             }
-            Event::Hop { id, node, from, attempt } => {
+            Event::Hop {
+                id,
+                node,
+                from,
+                attempt,
+            } => {
                 if !self.alive[node.index()] {
                     return; // the message vanishes; the sender will time out
                 }
@@ -239,7 +256,8 @@ where
                 let _ = attempt; // attempts matter to timers, not to acks
                 if let Some(from) = from {
                     let rtt = self.lat(node, from);
-                    self.queue.push(SimTime(now.0 + rtt), Event::Ack { id, node: from });
+                    self.queue
+                        .push(SimTime(now.0 + rtt), Event::Ack { id, node: from });
                 }
                 if !self.seen.insert((id, node)) {
                     return; // duplicate delivery: this node already handled it
@@ -256,7 +274,9 @@ where
                 }
             }
             Event::Timeout { id, node, attempt } => {
-                let Some(st) = self.forwarding.get(&(id, node)) else { return };
+                let Some(st) = self.forwarding.get(&(id, node)) else {
+                    return;
+                };
                 if st.acked || st.attempt != attempt {
                     return; // superseded or already acknowledged
                 }
@@ -297,8 +317,13 @@ where
         if candidates.is_empty() {
             // `node` is the responsible node: report back to the origin.
             let origin = self.outcomes[id.0 as usize].origin;
-            let delay = if origin == node { 0.0 } else { self.lat(node, origin) };
-            self.queue.push(SimTime(now.0 + delay), Event::Done { id, terminal: node });
+            let delay = if origin == node {
+                0.0
+            } else {
+                self.lat(node, origin)
+            };
+            self.queue
+                .push(SimTime(now.0 + delay), Event::Done { id, terminal: node });
             return;
         }
         candidates.sort_unstable();
@@ -319,7 +344,9 @@ where
     fn try_next_candidate(&mut self, now: SimTime, id: LookupId, node: NodeIndex) {
         self.attempt_counter += 1;
         let attempt = self.attempt_counter;
-        let Some(st) = self.forwarding.get_mut(&(id, node)) else { return };
+        let Some(st) = self.forwarding.get_mut(&(id, node)) else {
+            return;
+        };
         if st.next >= st.candidates.len() {
             self.outcomes[id.0 as usize].failed = true;
             return;
@@ -329,8 +356,15 @@ where
         st.acked = false;
         st.attempt = attempt;
         let delay = self.lat(node, target);
-        self.queue
-            .push(SimTime(now.0 + delay), Event::Hop { id, node: target, from: Some(node), attempt });
+        self.queue.push(
+            SimTime(now.0 + delay),
+            Event::Hop {
+                id,
+                node: target,
+                from: Some(node),
+                attempt,
+            },
+        );
         self.queue.push(
             SimTime(now.0 + self.config.retry_timeout),
             Event::Timeout { id, node, attempt },
@@ -367,7 +401,11 @@ mod tests {
         assert_eq!(out.hops, static_route.hops());
         assert_eq!(out.terminal, Some(static_route.target()));
         // Time = per-hop latencies + final report to the origin.
-        let report = if static_route.target() == from { 0.0 } else { 3.0 };
+        let report = if static_route.target() == from {
+            0.0
+        } else {
+            3.0
+        };
         let expect = 3.0 * static_route.hops() as f64 + report;
         assert!((out.duration().unwrap() - expect).abs() < 1e-9);
     }
@@ -398,13 +436,23 @@ mod tests {
         }
         let first_hop = static_route.path()[1];
         let timeout = 100.0;
-        let mut sim =
-            LookupSim::new(&g, Clockwise, SimConfig { retry_timeout: timeout, max_events: 100_000 }, |_, _| 1.0);
+        let mut sim = LookupSim::new(
+            &g,
+            Clockwise,
+            SimConfig {
+                retry_timeout: timeout,
+                max_events: 100_000,
+            },
+            |_, _| 1.0,
+        );
         sim.kill(first_hop);
         let id = sim.inject_lookup(0.0, from, key);
         sim.run();
         let out = sim.outcome(id).unwrap();
-        assert!(out.completed(), "fallback candidates should rescue the lookup");
+        assert!(
+            out.completed(),
+            "fallback candidates should rescue the lookup"
+        );
         assert!(out.retries >= 1);
         assert!(out.duration().unwrap() >= timeout, "timeout not charged");
     }
@@ -473,7 +521,10 @@ mod tests {
         let mut sim = LookupSim::new(
             &g,
             Clockwise,
-            SimConfig { retry_timeout: 50.0, max_events: 100_000 },
+            SimConfig {
+                retry_timeout: 50.0,
+                max_events: 100_000,
+            },
             |_, _| 10.0,
         );
         sim.kill(victim);
@@ -493,7 +544,10 @@ mod tests {
         let mut sim = LookupSim::new(
             &g,
             Clockwise,
-            SimConfig { retry_timeout: 1.0, max_events: 3 },
+            SimConfig {
+                retry_timeout: 1.0,
+                max_events: 3,
+            },
             |_, _| 1.0,
         );
         for i in 0..4 {

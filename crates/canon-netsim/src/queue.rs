@@ -61,7 +61,11 @@ impl<E> Ord for WrappedEvent<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Schedules `event` at `time`.
@@ -78,7 +82,8 @@ impl<E> EventQueue<E> {
             time.0,
             self.now.0
         );
-        self.heap.push(Reverse((time, self.seq, WrappedEvent(event))));
+        self.heap
+            .push(Reverse((time, self.seq, WrappedEvent(event))));
         self.seq += 1;
     }
 

@@ -61,7 +61,12 @@ where
     L: Fn(NodeIndex, NodeIndex) -> f64,
 {
     debug_assert!(alive(from), "lookups start at a live node");
-    let mut out = FaultyLookup { completed: false, time: 0.0, hops: 0, timeouts: 0 };
+    let mut out = FaultyLookup {
+        completed: false,
+        time: 0.0,
+        hops: 0,
+        timeouts: 0,
+    };
     let mut cur = from;
     let mut cur_dist = metric.distance(graph.id(cur), target);
     loop {

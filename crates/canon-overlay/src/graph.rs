@@ -101,9 +101,10 @@ impl OverlayGraph {
 
     /// Iterates over all directed edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeIndex, NodeIndex)> + '_ {
-        self.links.iter().enumerate().flat_map(|(i, ls)| {
-            ls.iter().map(move |&t| (NodeIndex(i as u32), t))
-        })
+        self.links
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ls)| ls.iter().map(move |&t| (NodeIndex(i as u32), t)))
     }
 
     /// Renders the graph in Graphviz DOT format, labeling each node with
@@ -213,6 +214,40 @@ impl GraphBuilder {
         true
     }
 
+    /// Adds a batch of directed links out of `from`, as produced by one
+    /// node's link computation. Self-links and duplicates (within the batch
+    /// or against earlier links) are dropped. Returns the number of links
+    /// actually added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` or any target has not been added as a node.
+    pub fn add_links_batch(&mut self, from: NodeId, links: &[NodeId]) -> usize {
+        links.iter().filter(|&&to| self.add_link(from, to)).count()
+    }
+
+    /// Builds a graph directly from per-node link sets, one `Vec` per node
+    /// of `ids` in order — the merge step of a parallel construction. The
+    /// result is identical to adding each node's links serially in `ids`
+    /// order, so it is independent of how the per-node sets were computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` and `per_node` differ in length, `ids` contains
+    /// duplicates, or a link targets an identifier not in `ids`.
+    pub fn from_per_node_links(ids: &[NodeId], per_node: &[Vec<NodeId>]) -> OverlayGraph {
+        assert_eq!(
+            ids.len(),
+            per_node.len(),
+            "one link set per node is required"
+        );
+        let mut b = GraphBuilder::with_nodes(ids);
+        for (&from, links) in ids.iter().zip(per_node) {
+            b.add_links_batch(from, links);
+        }
+        b.build()
+    }
+
     /// Finalizes the graph. Neighbor lists are sorted for determinism.
     pub fn build(self) -> OverlayGraph {
         let ring = SortedRing::new(self.ids.clone());
@@ -220,7 +255,12 @@ impl GraphBuilder {
         for out in &mut links {
             out.sort_unstable();
         }
-        OverlayGraph { ids: self.ids, index_of: self.index_of, links, ring }
+        OverlayGraph {
+            ids: self.ids,
+            index_of: self.index_of,
+            links,
+            ring,
+        }
     }
 }
 
@@ -296,6 +336,36 @@ mod tests {
         assert!(dot.contains("n0 [label=\"1\"]"));
         assert!(dot.contains("n0 -> n1;"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn batch_add_filters_self_links_and_duplicates() {
+        let mut b = GraphBuilder::with_nodes(&[id(1), id(2), id(3)]);
+        let added = b.add_links_batch(id(1), &[id(2), id(1), id(3), id(2)]);
+        assert_eq!(added, 2);
+        let g = b.build();
+        assert_eq!(g.neighbors(NodeIndex(0)), &[NodeIndex(1), NodeIndex(2)]);
+    }
+
+    #[test]
+    fn per_node_links_match_serial_insertion() {
+        let ids = [id(5), id(1), id(9)];
+        let per_node = vec![vec![id(1), id(9)], vec![id(9)], vec![id(5), id(5)]];
+        let g = GraphBuilder::from_per_node_links(&ids, &per_node);
+        let mut b = GraphBuilder::with_nodes(&ids);
+        for (&from, links) in ids.iter().zip(&per_node) {
+            for &to in links {
+                b.add_link(from, to);
+            }
+        }
+        let h = b.build();
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "one link set per node")]
+    fn per_node_links_require_matching_lengths() {
+        GraphBuilder::from_per_node_links(&[id(1)], &[]);
     }
 
     #[test]

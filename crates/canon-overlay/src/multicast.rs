@@ -43,7 +43,11 @@ impl MulticastTree {
                 nodes.insert(b);
             }
         }
-        Ok(MulticastTree { destination, edges, nodes })
+        Ok(MulticastTree {
+            destination,
+            edges,
+            nodes,
+        })
     }
 
     /// Builds the tree from pre-computed routes (for DHTs with custom
@@ -63,7 +67,11 @@ impl MulticastTree {
                 nodes.insert(b);
             }
         }
-        MulticastTree { destination, edges, nodes }
+        MulticastTree {
+            destination,
+            edges,
+            nodes,
+        }
     }
 
     /// The multicast source (the query destination).
@@ -125,8 +133,10 @@ mod tests {
     fn tree_unions_paths() {
         let g = ring_graph();
         let dest = g.index_of(id(0)).unwrap();
-        let sources: Vec<NodeIndex> =
-            [5u64, 6, 7].iter().map(|&s| g.index_of(id(s)).unwrap()).collect();
+        let sources: Vec<NodeIndex> = [5u64, 6, 7]
+            .iter()
+            .map(|&s| g.index_of(id(s)).unwrap())
+            .collect();
         let t = MulticastTree::build(&g, Clockwise, &sources, dest).unwrap();
         // Paths 5-6-7-0, 6-7-0, 7-0 share edges: union = {5-6, 6-7, 7-0}.
         assert_eq!(t.link_count(), 3);
@@ -147,8 +157,10 @@ mod tests {
     fn inter_domain_count_uses_domain_fn() {
         let g = ring_graph();
         let dest = g.index_of(id(0)).unwrap();
-        let sources: Vec<NodeIndex> =
-            [5u64, 6, 7].iter().map(|&s| g.index_of(id(s)).unwrap()).collect();
+        let sources: Vec<NodeIndex> = [5u64, 6, 7]
+            .iter()
+            .map(|&s| g.index_of(id(s)).unwrap())
+            .collect();
         let t = MulticastTree::build(&g, Clockwise, &sources, dest).unwrap();
         // Domain = id < 6 → edges 5-6 (cross), 6-7 (same), 7-0 (cross).
         let crossings = t.inter_domain_links(|n| g.id(n).raw() < 6);

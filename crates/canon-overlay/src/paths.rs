@@ -50,8 +50,16 @@ pub fn overlap<F: Fn(NodeIndex, NodeIndex) -> f64>(
         }
     }
     Overlap {
-        hop_fraction: if total_hops == 0 { 0.0 } else { shared_hops as f64 / total_hops as f64 },
-        latency_fraction: if total_lat == 0.0 { 0.0 } else { shared_lat / total_lat },
+        hop_fraction: if total_hops == 0 {
+            0.0
+        } else {
+            shared_hops as f64 / total_hops as f64
+        },
+        latency_fraction: if total_lat == 0.0 {
+            0.0
+        } else {
+            shared_lat / total_lat
+        },
     }
 }
 
@@ -82,8 +90,13 @@ mod tests {
     #[test]
     fn full_overlap_for_identical_routes() {
         let g = chain();
-        let r = route(&g, Clockwise, g.index_of(id(0)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap();
+        let r = route(
+            &g,
+            Clockwise,
+            g.index_of(id(0)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap();
         let o = overlap(&r, &r, |_, _| 1.0);
         assert_eq!(o.hop_fraction, 1.0);
         assert_eq!(o.latency_fraction, 1.0);
@@ -92,10 +105,20 @@ mod tests {
     #[test]
     fn partial_overlap_for_converging_routes() {
         let g = chain();
-        let first = route(&g, Clockwise, g.index_of(id(0)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap(); // 0-1-2-3
-        let second = route(&g, Clockwise, g.index_of(id(4)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap(); // 4-2-3
+        let first = route(
+            &g,
+            Clockwise,
+            g.index_of(id(0)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap(); // 0-1-2-3
+        let second = route(
+            &g,
+            Clockwise,
+            g.index_of(id(4)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap(); // 4-2-3
         let o = overlap(&first, &second, |_, _| 1.0);
         assert!((o.hop_fraction - 0.5).abs() < 1e-12);
     }
@@ -103,10 +126,20 @@ mod tests {
     #[test]
     fn latency_weighting_differs_from_hops() {
         let g = chain();
-        let first = route(&g, Clockwise, g.index_of(id(0)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap();
-        let second = route(&g, Clockwise, g.index_of(id(4)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap();
+        let first = route(
+            &g,
+            Clockwise,
+            g.index_of(id(0)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap();
+        let second = route(
+            &g,
+            Clockwise,
+            g.index_of(id(4)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap();
         // Shared edge (2,3) is expensive; private edge (4,2) is cheap.
         let lat = |a: NodeIndex, b: NodeIndex| {
             if (g.id(a), g.id(b)) == (id(2), id(3)) {
@@ -124,8 +157,13 @@ mod tests {
     fn zero_hop_second_route_has_zero_overlap() {
         let g = chain();
         let n = g.index_of(id(2)).unwrap();
-        let first = route(&g, Clockwise, g.index_of(id(0)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap();
+        let first = route(
+            &g,
+            Clockwise,
+            g.index_of(id(0)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap();
         let second = route(&g, Clockwise, n, n).unwrap();
         let o = overlap(&first, &second, |_, _| 1.0);
         assert_eq!(o, Overlap::default());
@@ -134,10 +172,20 @@ mod tests {
     #[test]
     fn disjoint_routes_have_zero_overlap() {
         let g = chain();
-        let first = route(&g, Clockwise, g.index_of(id(0)).unwrap(), g.index_of(id(1)).unwrap())
-            .unwrap(); // 0-1
-        let second = route(&g, Clockwise, g.index_of(id(2)).unwrap(), g.index_of(id(3)).unwrap())
-            .unwrap(); // 2-3
+        let first = route(
+            &g,
+            Clockwise,
+            g.index_of(id(0)).unwrap(),
+            g.index_of(id(1)).unwrap(),
+        )
+        .unwrap(); // 0-1
+        let second = route(
+            &g,
+            Clockwise,
+            g.index_of(id(2)).unwrap(),
+            g.index_of(id(3)).unwrap(),
+        )
+        .unwrap(); // 2-3
         let o = overlap(&first, &second, |_, _| 1.0);
         assert_eq!(o.hop_fraction, 0.0);
         assert_eq!(o.latency_fraction, 0.0);

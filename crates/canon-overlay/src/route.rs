@@ -85,7 +85,10 @@ impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RouteError::Stuck { at, remaining } => {
-                write!(f, "routing stuck at {at} with distance {remaining} remaining")
+                write!(
+                    f,
+                    "routing stuck at {at} with distance {remaining} remaining"
+                )
             }
             RouteError::HopLimit { limit } => write!(f, "hop limit {limit} exceeded"),
             RouteError::UnknownNode { id } => write!(f, "node {id} not in overlay"),
@@ -231,7 +234,10 @@ mod tests {
 
     /// The merged example ring from Figure 2 of the paper: ids 0,2,3,5,8,10,12,13.
     fn figure2_graph() -> OverlayGraph {
-        let ids: Vec<NodeId> = [0u64, 2, 3, 5, 8, 10, 12, 13].iter().map(|&r| id(r)).collect();
+        let ids: Vec<NodeId> = [0u64, 2, 3, 5, 8, 10, 12, 13]
+            .iter()
+            .map(|&r| id(r))
+            .collect();
         let mut b = GraphBuilder::with_nodes(&ids);
         // Ring A = {0, 5, 10, 12}; Ring B = {2, 3, 8, 13}. 4-bit space in the
         // paper; links below follow the paper's worked example, scaled to our

@@ -45,7 +45,13 @@ impl Summary {
         } else {
             0.0
         };
-        Summary { count, mean, min, max, stddev: var.sqrt() }
+        Summary {
+            count,
+            mean,
+            min,
+            max,
+            stddev: var.sqrt(),
+        }
     }
 }
 
@@ -89,12 +95,7 @@ impl DegreeStats {
 ///
 /// Panics if the graph has fewer than two nodes, or if any sampled route
 /// fails (a structural defect worth failing loudly on in experiments).
-pub fn hop_stats<M: Metric>(
-    graph: &OverlayGraph,
-    metric: M,
-    pairs: usize,
-    seed: Seed,
-) -> Summary {
+pub fn hop_stats<M: Metric>(graph: &OverlayGraph, metric: M, pairs: usize, seed: Seed) -> Summary {
     assert!(graph.len() >= 2, "hop sampling needs at least two nodes");
     let mut rng = seed.rng();
     let n = graph.len();

@@ -1,0 +1,220 @@
+//! Deterministic data-parallel execution for the construction pipeline.
+//!
+//! This crate is the workspace's stand-in for rayon (unavailable in the
+//! offline build environment): a scoped-thread fork/join map over slices
+//! with three properties the construction pipeline depends on:
+//!
+//! 1. **Determinism** — [`par_map`] splits the input into contiguous
+//!    chunks, one per worker, and concatenates the per-chunk outputs in
+//!    chunk order. The result is element-for-element identical to the
+//!    serial `items.iter().map(f).collect()` for any thread count, so a
+//!    pure `f` makes parallel construction bit-for-bit reproducible.
+//! 2. **Scoped configuration** — the worker count is a process-wide
+//!    default ([`set_global_threads`]) that can be overridden for a region
+//!    with [`with_threads`], which benches use to compare serial vs.
+//!    parallel runs in one process.
+//! 3. **No nested fan-out** — workers run their chunk with the thread
+//!    override pinned to 1, so a parallel constructor calling another
+//!    parallel helper cannot multiply threads.
+//!
+//! ```
+//! let squares = canon_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count; 0 means "use all available cores".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; 0 means "fall back to the global default".
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Sets the process-wide default worker count. `0` restores the default of
+/// one worker per available core.
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] would use right now (always ≥ 1): the
+/// innermost [`with_threads`] override, else the global default, else the
+/// number of available cores.
+pub fn current_threads() -> usize {
+    let local = LOCAL_THREADS.with(Cell::get);
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    available_cores()
+}
+
+/// The number of cores the OS reports as available to this process.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread (and any
+/// [`par_map`] it calls). `0` means "all available cores".
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    LOCAL_THREADS.with(|cell| {
+        let prev = cell.get();
+        cell.set(if n == 0 { available_cores() } else { n });
+        let result = f();
+        cell.set(prev);
+        result
+    })
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// `f` receives each element's index and a reference to it. The output is
+/// identical to `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()`
+/// regardless of the worker count; only the wall-clock changes. Workers
+/// run with the thread override pinned to 1, so nested [`par_map`] calls
+/// inside `f` degrade gracefully to serial loops instead of oversubscribing.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (scoped threads re-raise on
+/// join).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = current_threads().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Contiguous chunks, sized so every worker gets within one item of the
+    // same load; chunk order equals input order.
+    let len = items.len();
+    let base = len / threads;
+    let extra = len % threads;
+    let mut bounds = Vec::with_capacity(threads + 1);
+    let mut at = 0;
+    bounds.push(0);
+    for w in 0..threads {
+        at += base + usize::from(w < extra);
+        bounds.push(at);
+    }
+
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .map(|w| {
+                let (start, end) = (w[0], w[1]);
+                let chunk = &items[start..end];
+                let f = &f;
+                scope.spawn(move || {
+                    with_threads(1, || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(i, x)| f(start + i, x))
+                            .collect::<Vec<U>>()
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(chunk) => out.push(chunk),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Maps `f` over the index range `0..n` in parallel, preserving order.
+///
+/// Convenience wrapper over [`par_map`] for loops that index into shared
+/// state instead of iterating a slice.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for t in [1, 2, 3, 4, 8, 300] {
+            let got = with_threads(t, || par_map(&items, |_, &x| x * 3 + 1));
+            assert_eq!(got, expect, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = with_threads(2, || par_map(&items, |i, &s| format!("{i}{s}")));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(4, || {
+            assert_eq!(current_threads(), 4);
+            with_threads(2, || assert_eq!(current_threads(), 2));
+            assert_eq!(current_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn workers_do_not_fan_out_recursively() {
+        let outer: Vec<usize> = (0..8).collect();
+        let nested_counts = with_threads(4, || par_map(&outer, |_, _| current_threads()));
+        // Inside a parallel region every worker sees a pinned count of 1
+        // (unless the whole map ran serially on a 1-core host, where the
+        // outer override of 4 is still in force — but then min(len) > 1
+        // workers were spawned anyway since 4 > 1).
+        assert!(nested_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn range_map_matches_loop() {
+        let got = with_threads(3, || par_map_range(10, |i| i * i));
+        let expect: Vec<usize> = (0..10).map(|i| i * i).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |_, &x| {
+                    assert!(x != 40, "boom");
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

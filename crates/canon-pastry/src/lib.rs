@@ -46,7 +46,10 @@ pub struct PastryParams {
 
 impl Default for PastryParams {
     fn default() -> Self {
-        PastryParams { digit_bits: 4, leaf_half: 8 }
+        PastryParams {
+            digit_bits: 4,
+            leaf_half: 8,
+        }
     }
 }
 
@@ -67,8 +70,14 @@ impl PastryParams {
             "digit_bits must be between 1 and 4, got {}",
             self.digit_bits
         );
-        assert!(ID_BITS.is_multiple_of(self.digit_bits), "digit_bits must divide 64");
-        assert!(self.leaf_half >= 1, "leaf sets need at least one entry per side");
+        assert!(
+            ID_BITS.is_multiple_of(self.digit_bits),
+            "digit_bits must divide 64"
+        );
+        assert!(
+            self.leaf_half >= 1,
+            "leaf sets need at least one entry per side"
+        );
     }
 }
 
@@ -81,7 +90,11 @@ pub fn digit(id: NodeId, row: u32, b: u32) -> u64 {
 /// the canonical representative of the routing-table cell `(row, d)`.
 fn cell_floor(id: NodeId, row: u32, d: u64, b: u32) -> u64 {
     let shift = ID_BITS - (row + 1) * b;
-    let prefix_mask = if row == 0 { 0 } else { !0u64 << (ID_BITS - row * b) };
+    let prefix_mask = if row == 0 {
+        0
+    } else {
+        !0u64 << (ID_BITS - row * b)
+    };
     (id.raw() & prefix_mask) | (d << shift)
 }
 
@@ -119,7 +132,9 @@ pub fn routing_table_links(
             // XOR-closest within the cell to `me` = closest to the
             // bit-fixed target (me with row digit replaced by d).
             let target = NodeId::new(lo | (me.raw() & (span - 1)));
-            let Some(pick) = xor_best_in(cell, target) else { continue };
+            let Some(pick) = xor_best_in(cell, target) else {
+                continue;
+            };
             out.push((row, d, pick));
             if let Some(unc) = uncovered.as_deref_mut() {
                 unc.remove(&(row, d));
@@ -222,7 +237,10 @@ pub fn build_canonical_pastry(
     params: PastryParams,
 ) -> CanonicalPastry {
     params.validate();
-    assert!(!placement.is_empty(), "cannot build a network with no nodes");
+    assert!(
+        !placement.is_empty(),
+        "cannot build a network with no nodes"
+    );
     let members = DomainMembership::build(hierarchy, placement);
     let all = members.ring(hierarchy.root());
     let mut b = GraphBuilder::with_nodes(all.as_slice());
@@ -249,7 +267,10 @@ pub fn build_canonical_pastry(
         }
     }
 
-    CanonicalPastry { graph: b.build(), leaf_of }
+    CanonicalPastry {
+        graph: b.build(),
+        leaf_of,
+    }
 }
 
 /// The node responsible for `key` under Pastry semantics: the numerically
@@ -309,7 +330,10 @@ mod tests {
         let ids = random_ids(Seed(2), 200);
         let ring = SortedRing::new(ids.clone());
         let me = ring.as_slice()[0];
-        let params = PastryParams { digit_bits: 2, leaf_half: 4 };
+        let params = PastryParams {
+            digit_bits: 2,
+            leaf_half: 4,
+        };
         let links = routing_table_links(&ring, me, params, None);
         // Brute force: a cell is non-empty iff some id shares the prefix
         // with the substituted digit.
@@ -319,8 +343,7 @@ mod tests {
                     continue;
                 }
                 let expect = ids.iter().any(|&x| {
-                    (0..row).all(|r| digit(x, r, 2) == digit(me, r, 2))
-                        && digit(x, row, 2) == d
+                    (0..row).all(|r| digit(x, r, 2) == digit(me, r, 2)) && digit(x, row, 2) == d
                 });
                 let got = links.iter().any(|&(r, dd, _)| r == row && dd == d);
                 assert_eq!(expect, got, "cell ({row},{d})");
@@ -366,18 +389,47 @@ mod tests {
     fn hop_count_scales_with_digit_size() {
         // Larger digits fix more bits per hop: b=4 must beat b=1.
         let ids = random_ids(Seed(6), 512);
-        let g1 = build_pastry(&ids, PastryParams { digit_bits: 1, leaf_half: 4 });
-        let g4 = build_pastry(&ids, PastryParams { digit_bits: 4, leaf_half: 4 });
+        let g1 = build_pastry(
+            &ids,
+            PastryParams {
+                digit_bits: 1,
+                leaf_half: 4,
+            },
+        );
+        let g4 = build_pastry(
+            &ids,
+            PastryParams {
+                digit_bits: 4,
+                leaf_half: 4,
+            },
+        );
         let s1 = stats::hop_stats(&g1, Xor, 300, Seed(7));
         let s4 = stats::hop_stats(&g4, Xor, 300, Seed(7));
-        assert!(s4.mean < s1.mean, "b=4 mean {} vs b=1 mean {}", s4.mean, s1.mean);
+        assert!(
+            s4.mean < s1.mean,
+            "b=4 mean {} vs b=1 mean {}",
+            s4.mean,
+            s1.mean
+        );
     }
 
     #[test]
     fn degree_grows_with_radix() {
         let ids = random_ids(Seed(8), 512);
-        let g1 = build_pastry(&ids, PastryParams { digit_bits: 1, leaf_half: 4 });
-        let g4 = build_pastry(&ids, PastryParams { digit_bits: 4, leaf_half: 4 });
+        let g1 = build_pastry(
+            &ids,
+            PastryParams {
+                digit_bits: 1,
+                leaf_half: 4,
+            },
+        );
+        let g4 = build_pastry(
+            &ids,
+            PastryParams {
+                digit_bits: 4,
+                leaf_half: 4,
+            },
+        );
         let d1 = stats::DegreeStats::of(&g1).summary.mean;
         let d4 = stats::DegreeStats::of(&g4).summary.mean;
         // b=4 keeps ~15 entries per populated row vs 1 for b=1.
@@ -388,7 +440,14 @@ mod tests {
     fn canonical_pastry_routes_and_stays_local() {
         let h = Hierarchy::balanced(4, 3);
         let p = Placement::zipf(&h, 400, Seed(9));
-        let net = build_canonical_pastry(&h, &p, PastryParams { digit_bits: 2, leaf_half: 4 });
+        let net = build_canonical_pastry(
+            &h,
+            &p,
+            PastryParams {
+                digit_bits: 2,
+                leaf_half: 4,
+            },
+        );
         let g = net.graph();
         let mut rng = Seed(10).rng();
         // Global routing.
@@ -428,7 +487,10 @@ mod tests {
     fn one_level_canonical_equals_flat() {
         let h = Hierarchy::balanced(4, 1);
         let p = Placement::uniform(&h, 200, Seed(11));
-        let params = PastryParams { digit_bits: 2, leaf_half: 4 };
+        let params = PastryParams {
+            digit_bits: 2,
+            leaf_half: 4,
+        };
         let canonical = build_canonical_pastry(&h, &p, params);
         let flat = build_pastry(p.ids(), params);
         assert_eq!(
@@ -440,15 +502,33 @@ mod tests {
     #[test]
     fn responsible_is_numerically_closest() {
         let ring = SortedRing::new(vec![NodeId::new(10), NodeId::new(20), NodeId::new(100)]);
-        assert_eq!(responsible(&ring, NodeId::new(14)).unwrap(), NodeId::new(10));
-        assert_eq!(responsible(&ring, NodeId::new(16)).unwrap(), NodeId::new(20));
-        assert_eq!(responsible(&ring, NodeId::new(15)).unwrap(), NodeId::new(10)); // tie → lower
-        assert_eq!(responsible(&ring, NodeId::new(100)).unwrap(), NodeId::new(100));
+        assert_eq!(
+            responsible(&ring, NodeId::new(14)).unwrap(),
+            NodeId::new(10)
+        );
+        assert_eq!(
+            responsible(&ring, NodeId::new(16)).unwrap(),
+            NodeId::new(20)
+        );
+        assert_eq!(
+            responsible(&ring, NodeId::new(15)).unwrap(),
+            NodeId::new(10)
+        ); // tie → lower
+        assert_eq!(
+            responsible(&ring, NodeId::new(100)).unwrap(),
+            NodeId::new(100)
+        );
     }
 
     #[test]
     #[should_panic(expected = "digit_bits")]
     fn invalid_digit_bits_rejected() {
-        build_pastry(&[NodeId::new(1)], PastryParams { digit_bits: 5, leaf_half: 2 });
+        build_pastry(
+            &[NodeId::new(1)],
+            PastryParams {
+                digit_bits: 5,
+                leaf_half: 2,
+            },
+        );
     }
 }

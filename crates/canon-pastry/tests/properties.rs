@@ -1,8 +1,8 @@
 //! Property tests for Pastry's digit machinery.
 
 use canon_id::{metric::Xor, ring::SortedRing, NodeId};
-use canon_pastry::{build_pastry, digit, leaf_set, routing_table_links, PastryParams};
 use canon_overlay::{route, NodeIndex};
+use canon_pastry::{build_pastry, digit, leaf_set, routing_table_links, PastryParams};
 use proptest::prelude::*;
 
 fn ids_strategy() -> impl Strategy<Value = Vec<NodeId>> {

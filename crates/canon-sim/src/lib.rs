@@ -65,7 +65,10 @@ impl SimNode {
 
     /// The node's leaf set at `domain`, if it is an ancestor of the node.
     pub fn leaf_set(&self, domain: DomainId) -> Option<&[NodeId]> {
-        self.leaf_sets.iter().find(|(d, _)| *d == domain).map(|(_, v)| v.as_slice())
+        self.leaf_sets
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, v)| v.as_slice())
     }
 }
 
@@ -109,7 +112,12 @@ impl CrescendoSim {
     pub fn new(hierarchy: Hierarchy, leaf_set_size: usize) -> Self {
         assert!(leaf_set_size > 0, "leaf sets need at least one successor");
         let members = vec![BTreeSet::new(); hierarchy.len()];
-        CrescendoSim { hierarchy, members, nodes: HashMap::new(), leaf_set_size }
+        CrescendoSim {
+            hierarchy,
+            members,
+            nodes: HashMap::new(),
+            leaf_set_size,
+        }
     }
 
     /// The hierarchy this network lives on.
@@ -134,7 +142,9 @@ impl CrescendoSim {
 
     /// Live identifiers in ascending order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.members[self.hierarchy.root().index()].iter().map(|&r| NodeId::new(r))
+        self.members[self.hierarchy.root().index()]
+            .iter()
+            .map(|&r| NodeId::new(r))
     }
 
     // ----- ring queries over a domain's member set -----
@@ -179,7 +189,9 @@ impl CrescendoSim {
                 if (1u128 << k) >= bound.as_u128() {
                     break;
                 }
-                let Some(s) = self.succ_in(d, id.offset(1u64 << k)) else { break };
+                let Some(s) = self.succ_in(d, id.offset(1u64 << k)) else {
+                    break;
+                };
                 if s == id {
                     continue;
                 }
@@ -249,7 +261,9 @@ impl CrescendoSim {
     fn affected_by(&self, id: NodeId, path: &[DomainId]) -> BTreeSet<NodeId> {
         let mut affected = BTreeSet::new();
         for &d in path {
-            let Some(pred) = self.pred_in(d, id) else { continue };
+            let Some(pred) = self.pred_in(d, id) else {
+                continue;
+            };
             if pred != id {
                 affected.insert(pred);
             }
@@ -319,7 +333,14 @@ impl CrescendoSim {
         report.link_messages += links.len() as u64;
         let leaf_sets = self.compute_leaf_sets(id, leaf);
         report.leaf_set_messages += path.len() as u64; // successor notification per level
-        self.nodes.insert(id, SimNode { leaf, links, leaf_sets });
+        self.nodes.insert(
+            id,
+            SimNode {
+                leaf,
+                links,
+                leaf_sets,
+            },
+        );
 
         // 5. Repair neighbors: recompute state of affected nodes, paying
         // one message per changed link and one per leaf-set refresh.
@@ -337,7 +358,10 @@ impl CrescendoSim {
     ///
     /// Panics if `id` is not live.
     pub fn leave(&mut self, id: NodeId) -> OpReport {
-        let node = self.nodes.remove(&id).unwrap_or_else(|| panic!("node {id} not live"));
+        let node = self
+            .nodes
+            .remove(&id)
+            .unwrap_or_else(|| panic!("node {id} not live"));
         let mut report = OpReport::default();
         let path = self.hierarchy.path_from_root(node.leaf);
 
@@ -388,12 +412,16 @@ impl CrescendoSim {
     ) -> (Vec<DomainId>, OpReport) {
         assert!(self.hierarchy.is_leaf(leaf), "{leaf} is not a leaf domain");
         assert!(!names.is_empty(), "a split needs at least one child domain");
-        let children: Vec<DomainId> =
-            names.iter().map(|n| self.hierarchy.add_domain(leaf, *n)).collect();
+        let children: Vec<DomainId> = names
+            .iter()
+            .map(|n| self.hierarchy.add_domain(leaf, *n))
+            .collect();
         self.members.resize(self.hierarchy.len(), BTreeSet::new());
 
-        let moved: Vec<NodeId> =
-            self.members[leaf.index()].iter().map(|&r| NodeId::new(r)).collect();
+        let moved: Vec<NodeId> = self.members[leaf.index()]
+            .iter()
+            .map(|&r| NodeId::new(r))
+            .collect();
         for &id in &moved {
             let c = children[child_of(id)];
             self.members[c.index()].insert(id.raw());
@@ -403,7 +431,10 @@ impl CrescendoSim {
         // Only the moved nodes gain a level; everyone else's rings are
         // untouched, so recomputing the moved nodes suffices for the
         // structure to equal the static construction on the new hierarchy.
-        let mut report = OpReport { nodes_touched: moved.len(), ..OpReport::default() };
+        let mut report = OpReport {
+            nodes_touched: moved.len(),
+            ..OpReport::default()
+        };
         for id in moved {
             report.link_messages += self.refresh_links(id);
             report.leaf_set_messages += self.refresh_leaf_sets(id);
@@ -421,7 +452,10 @@ impl CrescendoSim {
     ///
     /// Panics if `id` is not live.
     pub fn crash(&mut self, id: NodeId) {
-        let node = self.nodes.remove(&id).unwrap_or_else(|| panic!("node {id} not live"));
+        let node = self
+            .nodes
+            .remove(&id)
+            .unwrap_or_else(|| panic!("node {id} not live"));
         for &d in &self.hierarchy.path_from_root(node.leaf) {
             self.members[d.index()].remove(&id.raw());
         }
@@ -585,7 +619,9 @@ mod tests {
     use rand::Rng;
 
     fn edges_of(g: &OverlayGraph) -> BTreeSet<(u64, u64)> {
-        g.edges().map(|(a, b)| (g.id(a).raw(), g.id(b).raw())).collect()
+        g.edges()
+            .map(|(a, b)| (g.id(a).raw(), g.id(b).raw()))
+            .collect()
     }
 
     /// The central invariant: incremental joins reproduce the static

@@ -61,7 +61,10 @@ impl SkipNet {
     pub fn build(mut names: Vec<String>, seed: Seed) -> Self {
         assert!(!names.is_empty(), "a SkipNet needs at least one node");
         names.sort();
-        assert!(names.windows(2).all(|w| w[0] != w[1]), "node names must be unique");
+        assert!(
+            names.windows(2).all(|w| w[0] != w[1]),
+            "node names must be unique"
+        );
         let n = names.len();
         let mut rng = seed.derive("skipnet-numeric").rng();
         let numerics: Vec<NodeId> = (0..n).map(|_| NodeId::new(rng.gen())).collect();
@@ -93,7 +96,12 @@ impl SkipNet {
             }
         }
 
-        SkipNet { names, numerics, succ, levels: level }
+        SkipNet {
+            names,
+            numerics,
+            succ,
+            levels: level,
+        }
     }
 
     /// Number of nodes.
@@ -232,7 +240,9 @@ mod tests {
     use canon_id::hash::hash_name;
 
     fn names(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("org/site{:03}/host{:03}", i / 10, i % 10)).collect()
+        (0..n)
+            .map(|i| format!("org/site{:03}/host{:03}", i / 10, i % 10))
+            .collect()
     }
 
     #[test]
@@ -240,7 +250,11 @@ mod tests {
         let net = SkipNet::build(names(200), Seed(1));
         assert_eq!(net.len(), 200);
         assert!(net.name(0) < net.name(199));
-        assert!(net.levels() >= 6 && net.levels() <= 24, "levels {}", net.levels());
+        assert!(
+            net.levels() >= 6 && net.levels() <= 24,
+            "levels {}",
+            net.levels()
+        );
         assert!(!net.is_empty());
         assert_eq!(net.index_of("org/site000/host000"), Some(0));
         assert_eq!(net.index_of("zzz"), None);
@@ -310,8 +324,9 @@ mod tests {
     fn intra_domain_routes_stay_in_the_name_prefix() {
         let net = SkipNet::build(names(300), Seed(7));
         let site = "org/site003/";
-        let members: Vec<usize> =
-            (0..net.len()).filter(|&i| net.name(i).starts_with(site)).collect();
+        let members: Vec<usize> = (0..net.len())
+            .filter(|&i| net.name(i).starts_with(site))
+            .collect();
         assert!(members.len() >= 2);
         let r = net
             .route_by_name(members[0], *members.last().expect("nonempty"))
@@ -342,7 +357,9 @@ mod tests {
             let holder = net.clb_responsible("org/site007/", h).unwrap();
             assert!(net.name(holder).starts_with("org/site007/"));
         }
-        assert!(net.clb_responsible("org/nonexistent/", NodeId::new(1)).is_none());
+        assert!(net
+            .clb_responsible("org/nonexistent/", NodeId::new(1))
+            .is_none());
     }
 
     #[test]

@@ -166,7 +166,10 @@ pub struct CachePolicy {
 
 impl Default for CachePolicy {
     fn default() -> Self {
-        CachePolicy { capacity: 64, coordinated: false }
+        CachePolicy {
+            capacity: 64,
+            coordinated: false,
+        }
     }
 }
 
@@ -226,7 +229,12 @@ impl<V: Clone> NodeCache<V> {
                 .expect("cache nonempty at capacity");
             self.entries.swap_remove(victim);
         }
-        self.entries.push(CacheEntry { key, value, level, last_used: clock });
+        self.entries.push(CacheEntry {
+            key,
+            value,
+            level,
+            last_used: clock,
+        });
     }
 }
 
@@ -257,11 +265,7 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
     }
 
     /// Creates a store with an explicit cache policy.
-    pub fn with_policy(
-        hierarchy: Hierarchy,
-        placement: &Placement,
-        policy: CachePolicy,
-    ) -> Self {
+    pub fn with_policy(hierarchy: Hierarchy, placement: &Placement, policy: CachePolicy) -> Self {
         let membership = DomainMembership::build(&hierarchy, placement);
         let leaf_of = placement.iter().collect();
         HierarchicalStore {
@@ -307,20 +311,29 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
         storage_domain: DomainId,
         access_domain: DomainId,
     ) -> Result<InsertReceipt, StoreError> {
-        let leaf = *self.leaf_of.get(&publisher).ok_or(StoreError::UnknownPublisher)?;
+        let leaf = *self
+            .leaf_of
+            .get(&publisher)
+            .ok_or(StoreError::UnknownPublisher)?;
         if !self.hierarchy.is_ancestor_or_self(storage_domain, leaf) {
             return Err(StoreError::PublisherOutsideStorageDomain);
         }
-        if !self.hierarchy.is_ancestor_or_self(access_domain, storage_domain) {
+        if !self
+            .hierarchy
+            .is_ancestor_or_self(access_domain, storage_domain)
+        {
             return Err(StoreError::AccessDoesNotContainStorage);
         }
         let storage_node = self.responsible_in(key, storage_domain);
-        self.content.entry(storage_node).or_default().push(StoredItem {
-            key,
-            value,
-            storage_domain,
-            access_domain,
-        });
+        self.content
+            .entry(storage_node)
+            .or_default()
+            .push(StoredItem {
+                key,
+                value,
+                storage_domain,
+                access_domain,
+            });
         let pointer_node = if access_domain != storage_domain {
             let pn = self.responsible_in(key, access_domain);
             self.pointers.entry(pn).or_default().push(Pointer {
@@ -332,7 +345,10 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
         } else {
             None
         };
-        Ok(InsertReceipt { storage_node, pointer_node })
+        Ok(InsertReceipt {
+            storage_node,
+            pointer_node,
+        })
     }
 
     /// The proxy-node path a query for `key` from `querier` visits: the
@@ -341,8 +357,15 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
     /// # Errors
     ///
     /// Returns [`StoreError::UnknownQuerier`] if `querier` is not placed.
-    pub fn proxy_path(&self, querier: NodeId, key: Key) -> Result<Vec<(DomainId, NodeId)>, StoreError> {
-        let leaf = *self.leaf_of.get(&querier).ok_or(StoreError::UnknownQuerier)?;
+    pub fn proxy_path(
+        &self,
+        querier: NodeId,
+        key: Key,
+    ) -> Result<Vec<(DomainId, NodeId)>, StoreError> {
+        let leaf = *self
+            .leaf_of
+            .get(&querier)
+            .ok_or(StoreError::UnknownQuerier)?;
         Ok(self
             .hierarchy
             .ancestors(leaf)
@@ -440,8 +463,14 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
                         })
                         .unwrap_or_default();
                     if !values.is_empty() {
-                        answer =
-                            Some((values, depth, *proxy, Via::Pointer { storage_node: p.storage_node }));
+                        answer = Some((
+                            values,
+                            depth,
+                            *proxy,
+                            Via::Pointer {
+                                storage_node: p.storage_node,
+                            },
+                        ));
                         break;
                     }
                 }
@@ -480,7 +509,11 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
                 } else {
                     Vec::new()
                 };
-                self.caches.entry(*proxy).or_insert_with(|| NodeCache { entries: Vec::new() })
+                self.caches
+                    .entry(*proxy)
+                    .or_insert_with(|| NodeCache {
+                        entries: Vec::new(),
+                    })
                     .insert(key, first.clone(), d, clock, self.policy, &covered_above);
             }
         }
@@ -525,8 +558,12 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
                         break;
                     }
                     if it.key == key
-                        && self.hierarchy.is_ancestor_or_self(it.access_domain, *domain)
-                        && self.hierarchy.is_ancestor_or_self(*domain, it.storage_domain)
+                        && self
+                            .hierarchy
+                            .is_ancestor_or_self(it.access_domain, *domain)
+                        && self
+                            .hierarchy
+                            .is_ancestor_or_self(*domain, it.storage_domain)
                         && !out.contains(&it.value)
                     {
                         out.push(it.value.clone());
@@ -616,10 +653,16 @@ mod tests {
     fn local_query_never_needs_upper_levels() {
         let (h, p, _, db, _, _) = setup();
         let mut s = HierarchicalStore::new(h, &p);
-        s.insert(NodeId::new(100), Key::new(150), "db-data", db, db).unwrap();
+        s.insert(NodeId::new(100), Key::new(150), "db-data", db, db)
+            .unwrap();
         let out = s.query(NodeId::new(200), Key::new(150)).unwrap();
         match out {
-            QueryOutcome::Found { answered_at_depth, values, via, .. } => {
+            QueryOutcome::Found {
+                answered_at_depth,
+                values,
+                via,
+                ..
+            } => {
                 assert_eq!(answered_at_depth, 2, "answered inside db");
                 assert_eq!(values, vec!["db-data"]);
                 assert_eq!(via, Via::Direct);
@@ -633,7 +676,8 @@ mod tests {
         let (h, p, cs, db, _, _) = setup();
         let mut s = HierarchicalStore::new(h, &p);
         // Stored in db, accessible only within cs.
-        s.insert(NodeId::new(100), Key::new(150), "cs-only", db, cs).unwrap();
+        s.insert(NodeId::new(100), Key::new(150), "cs-only", db, cs)
+            .unwrap();
         // ai node (inside cs) finds it...
         assert!(s.query(NodeId::new(300), Key::new(150)).unwrap().is_found());
         // ...but the ee node (outside cs) must not.
@@ -648,10 +692,16 @@ mod tests {
         // Key 350: responsible in db's ring {100,200} is 200 (storage),
         // responsible in the root ring {100,200,300,400} is 300 (pointer) —
         // distinct nodes, so resolution goes through the indirection.
-        s.insert(NodeId::new(100), Key::new(350), "global", db, root).unwrap();
+        s.insert(NodeId::new(100), Key::new(350), "global", db, root)
+            .unwrap();
         let out = s.query(NodeId::new(400), Key::new(350)).unwrap();
         match out {
-            QueryOutcome::Found { via, values, answered_at_depth, .. } => {
+            QueryOutcome::Found {
+                via,
+                values,
+                answered_at_depth,
+                ..
+            } => {
                 assert_eq!(values, vec!["global"]);
                 assert_eq!(answered_at_depth, 0);
                 assert!(matches!(via, Via::Pointer { .. }));
@@ -666,25 +716,32 @@ mod tests {
         let mut s: HierarchicalStore<&str> = HierarchicalStore::new(h, &p);
         // Publisher 400 (ee) cannot store into db.
         assert_eq!(
-            s.insert(NodeId::new(400), Key::new(1), "x", db, cs).unwrap_err(),
+            s.insert(NodeId::new(400), Key::new(1), "x", db, cs)
+                .unwrap_err(),
             StoreError::PublisherOutsideStorageDomain
         );
         // Access domain must contain storage domain.
         assert_eq!(
-            s.insert(NodeId::new(100), Key::new(1), "x", db, ai).unwrap_err(),
+            s.insert(NodeId::new(100), Key::new(1), "x", db, ai)
+                .unwrap_err(),
             StoreError::AccessDoesNotContainStorage
         );
         assert_eq!(
-            s.insert(NodeId::new(100), Key::new(1), "x", db, ee).unwrap_err(),
+            s.insert(NodeId::new(100), Key::new(1), "x", db, ee)
+                .unwrap_err(),
             StoreError::AccessDoesNotContainStorage
         );
         // Unknown publisher.
         assert_eq!(
-            s.insert(NodeId::new(9), Key::new(1), "x", db, cs).unwrap_err(),
+            s.insert(NodeId::new(9), Key::new(1), "x", db, cs)
+                .unwrap_err(),
             StoreError::UnknownPublisher
         );
         // Unknown querier.
-        assert_eq!(s.query(NodeId::new(9), Key::new(1)).unwrap_err(), StoreError::UnknownQuerier);
+        assert_eq!(
+            s.query(NodeId::new(9), Key::new(1)).unwrap_err(),
+            StoreError::UnknownQuerier
+        );
     }
 
     #[test]
@@ -692,14 +749,19 @@ mod tests {
         let (h, p, _, db, _, _) = setup();
         let root = h.root();
         let mut s = HierarchicalStore::new(h, &p);
-        s.insert(NodeId::new(100), Key::new(150), "data", db, root).unwrap();
+        s.insert(NodeId::new(100), Key::new(150), "data", db, root)
+            .unwrap();
         // ee's query crosses its leaf (ee) and resolves at the root pointer.
         let first = s.query_and_cache(NodeId::new(400), Key::new(150)).unwrap();
         assert!(first.is_found());
         // Second query from ee hits the cache at ee's proxy (node 400).
         let second = s.query_and_cache(NodeId::new(400), Key::new(150)).unwrap();
         match second {
-            QueryOutcome::Found { via, answered_at_depth, .. } => {
+            QueryOutcome::Found {
+                via,
+                answered_at_depth,
+                ..
+            } => {
                 assert_eq!(via, Via::Cache);
                 assert!(answered_at_depth >= 1, "cache hit below the root");
             }
@@ -711,15 +773,24 @@ mod tests {
     fn cache_eviction_prefers_larger_levels() {
         let (h, p, _, db, _, _) = setup();
         let root = h.root();
-        let mut s = HierarchicalStore::with_policy(h, &p, CachePolicy { capacity: 2, coordinated: false });
+        let mut s = HierarchicalStore::with_policy(
+            h,
+            &p,
+            CachePolicy {
+                capacity: 2,
+                coordinated: false,
+            },
+        );
         // Publish three keys from db, globally accessible.
         for k in [1u64, 2, 3] {
-            s.insert(NodeId::new(100), Key::new(1000 + k), "v", db, root).unwrap();
+            s.insert(NodeId::new(100), Key::new(1000 + k), "v", db, root)
+                .unwrap();
         }
         // Query all three from node 400 (ee): each answer caches at the ee
         // proxy (node 400) with level = depth(ee) = 1.
         for k in [1u64, 2, 3] {
-            s.query_and_cache(NodeId::new(400), Key::new(1000 + k)).unwrap();
+            s.query_and_cache(NodeId::new(400), Key::new(1000 + k))
+                .unwrap();
         }
         // Capacity 2: one key was evicted.
         assert_eq!(s.cache_len(NodeId::new(400)), 2);
@@ -745,7 +816,10 @@ mod tests {
         let mut s = HierarchicalStore::with_policy(
             h.clone(),
             &p,
-            CachePolicy { capacity: 2, coordinated: true },
+            CachePolicy {
+                capacity: 2,
+                coordinated: true,
+            },
         );
 
         // The querier and its domains.
@@ -768,21 +842,29 @@ mod tests {
         let local_leaf = p.leaf_of(local_pub).expect("placed");
 
         // Find keys sharing the same leaf proxy X at the querier, with the
-        // right publication shapes.
+        // right publication shapes. Candidates are strided by large odd
+        // constants so they cover the whole id circle — a narrow candidate
+        // window would make one node responsible for every candidate and
+        // the search's success a coin flip on the placement seed.
         let mut found = None;
         'search: for a_raw in 0..4000u64 {
-            let key_a = Key::new(0xA000_0000 + a_raw * 7919);
+            let key_a =
+                Key::new(0xA000_0000u64.wrapping_add(a_raw.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
             let x = s.responsible_in(key_a, leaf);
             if s.responsible_in(key_a, mid) == x {
                 continue; // A must be cached at a *distinct* mid proxy
             }
             for b_raw in 0..4000u64 {
-                let key_b = Key::new(0xB000_0000 + b_raw * 104729);
+                let key_b = Key::new(
+                    0xB000_0000u64.wrapping_add(b_raw.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)),
+                );
                 if s.responsible_in(key_b, leaf) != x || s.responsible_in(key_b, mid) == x {
                     continue;
                 }
                 for c_raw in 0..4000u64 {
-                    let key_c = Key::new(0xC000_0000 + c_raw * 1299709);
+                    let key_c = Key::new(
+                        0xC000_0000u64.wrapping_add(c_raw.wrapping_mul(0x1656_67B1_9E37_79F9)),
+                    );
                     if s.responsible_in(key_c, leaf) == x && key_c != key_a && key_c != key_b {
                         found = Some((key_a, key_b, key_c, x));
                         break 'search;
@@ -815,7 +897,11 @@ mod tests {
         }
         // And A is still served — one level up, from the mid proxy's cache.
         match s.query_and_cache(querier, key_a).unwrap() {
-            QueryOutcome::Found { via, answered_at_depth, .. } => {
+            QueryOutcome::Found {
+                via,
+                answered_at_depth,
+                ..
+            } => {
                 assert_eq!(via, Via::Cache);
                 assert_eq!(answered_at_depth, 1, "A now comes from the parent proxy");
             }
@@ -827,8 +913,10 @@ mod tests {
     fn multiple_values_returned_together() {
         let (h, p, _, db, _, _) = setup();
         let mut s = HierarchicalStore::new(h, &p);
-        s.insert(NodeId::new(100), Key::new(150), "a", db, db).unwrap();
-        s.insert(NodeId::new(200), Key::new(150), "b", db, db).unwrap();
+        s.insert(NodeId::new(100), Key::new(150), "a", db, db)
+            .unwrap();
+        s.insert(NodeId::new(200), Key::new(150), "b", db, db)
+            .unwrap();
         let out = s.query(NodeId::new(100), Key::new(150)).unwrap();
         match out {
             QueryOutcome::Found { mut values, .. } => {
@@ -858,11 +946,16 @@ mod tests {
         let root = h.root();
         let mut s = HierarchicalStore::new(h, &p);
         // Same key at three scopes: db-local, cs-wide and global.
-        s.insert(NodeId::new(100), Key::new(150), "db-copy", db, db).unwrap();
-        s.insert(NodeId::new(100), Key::new(150), "cs-copy", db, cs).unwrap();
-        s.insert(NodeId::new(300), Key::new(150), "global-copy", ai, root).unwrap();
+        s.insert(NodeId::new(100), Key::new(150), "db-copy", db, db)
+            .unwrap();
+        s.insert(NodeId::new(100), Key::new(150), "cs-copy", db, cs)
+            .unwrap();
+        s.insert(NodeId::new(300), Key::new(150), "global-copy", ai, root)
+            .unwrap();
         // A db querier sees all three, most local first.
-        let got = s.query_collect(NodeId::new(200), Key::new(150), 10).unwrap();
+        let got = s
+            .query_collect(NodeId::new(200), Key::new(150), 10)
+            .unwrap();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0], "db-copy");
         assert!(got.contains(&"cs-copy") && got.contains(&"global-copy"));
@@ -870,7 +963,9 @@ mod tests {
         let got = s.query_collect(NodeId::new(200), Key::new(150), 1).unwrap();
         assert_eq!(got, vec!["db-copy"]);
         // An outsider (ee) only sees the global copy.
-        let got = s.query_collect(NodeId::new(400), Key::new(150), 10).unwrap();
+        let got = s
+            .query_collect(NodeId::new(400), Key::new(150), 10)
+            .unwrap();
         assert_eq!(got, vec!["global-copy"]);
     }
 
@@ -881,8 +976,11 @@ mod tests {
         let mut s = HierarchicalStore::new(h, &p);
         // One item, stored in db and pointed to at the root: a db querier
         // encounters it directly and again via the root pointer.
-        s.insert(NodeId::new(100), Key::new(350), "once", db, root).unwrap();
-        let got = s.query_collect(NodeId::new(100), Key::new(350), 10).unwrap();
+        s.insert(NodeId::new(100), Key::new(350), "once", db, root)
+            .unwrap();
+        let got = s
+            .query_collect(NodeId::new(100), Key::new(350), 10)
+            .unwrap();
         assert_eq!(got, vec!["once"]);
     }
 

@@ -58,7 +58,9 @@ impl<V: Clone> ReplicatedStore<V> {
     pub fn replica_set(&self, key: Key, domain: DomainId) -> Vec<NodeId> {
         let ring = self.membership.ring(domain);
         let mut out = Vec::with_capacity(self.replication);
-        let Some(first) = ring.responsible(key.as_point()) else { return out };
+        let Some(first) = ring.responsible(key.as_point()) else {
+            return out;
+        };
         let mut cur = first;
         for _ in 0..self.replication.min(ring.len()) {
             out.push(cur);
@@ -151,7 +153,9 @@ impl<V: Clone> ReplicatedStore<V> {
     /// (the Canon containment invariant, checked in tests).
     pub fn replicas_respect_domains(&self) -> bool {
         self.placements.iter().all(|(&(_, domain), holders)| {
-            holders.iter().all(|&n| self.membership.ring(domain).contains(n))
+            holders
+                .iter()
+                .all(|&n| self.membership.ring(domain).contains(n))
         })
     }
 
@@ -197,7 +201,10 @@ mod tests {
         store.put(key, "v".into(), d);
         let rs = store.replica_set(key, d);
         store.crash(rs[0]);
-        assert!(store.get(key, d).is_some(), "one crash must not lose the item");
+        assert!(
+            store.get(key, d).is_some(),
+            "one crash must not lose the item"
+        );
         store.crash(rs[1]);
         let (v, server) = store.get(key, d).expect("last replica serves");
         assert_eq!(v, "v");
@@ -223,7 +230,10 @@ mod tests {
             }
             avail.push(store.availability());
         }
-        assert!(avail[0] < avail[1] && avail[1] <= avail[2], "availability {avail:?}");
+        assert!(
+            avail[0] < avail[1] && avail[1] <= avail[2],
+            "availability {avail:?}"
+        );
         assert!(avail[2] > 0.97, "r=4 availability {}", avail[2]);
     }
 
@@ -241,7 +251,10 @@ mod tests {
         assert!(store.replicas_respect_domains());
         // The item now survives the death of its last original holder.
         store.crash(rs[2]);
-        assert!(store.get(key, d).is_some(), "re-replication must restore resilience");
+        assert!(
+            store.get(key, d).is_some(),
+            "re-replication must restore resilience"
+        );
     }
 
     #[test]
@@ -254,7 +267,10 @@ mod tests {
             store.crash(n);
         }
         store.re_replicate();
-        assert!(store.get(key, d).is_none(), "repair cannot resurrect lost data");
+        assert!(
+            store.get(key, d).is_none(),
+            "repair cannot resurrect lost data"
+        );
     }
 
     #[test]

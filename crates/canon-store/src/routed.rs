@@ -36,7 +36,10 @@ impl<V> RoutedOutcome<V> {
     /// Total latency under `lat`, charging the indirection round trip.
     pub fn total_latency<F: Fn(NodeIndex, NodeIndex) -> f64>(&self, lat: &F) -> f64 {
         self.route.latency(lat)
-            + self.indirection.as_ref().map_or(0.0, |r| 2.0 * r.latency(lat))
+            + self
+                .indirection
+                .as_ref()
+                .map_or(0.0, |r| 2.0 * r.latency(lat))
     }
 }
 
@@ -66,7 +69,11 @@ pub fn query_routed<V: Clone + PartialEq>(
         .expect("greedy key routing cannot fail");
 
     let (route, indirection) = match &outcome {
-        QueryOutcome::Found { answering_node, via, .. } => {
+        QueryOutcome::Found {
+            answering_node,
+            via,
+            ..
+        } => {
             // Truncate the physical route at the answering node (the
             // query stops there).
             let cut = full
@@ -80,13 +87,8 @@ pub fn query_routed<V: Clone + PartialEq>(
                     let at = graph
                         .index_of(*answering_node)
                         .expect("answering node is on the overlay");
-                    let hop = route_to_key(
-                        graph,
-                        Clockwise,
-                        at,
-                        *storage_node,
-                    )
-                    .expect("pointer resolution routes on the overlay");
+                    let hop = route_to_key(graph, Clockwise, at, *storage_node)
+                        .expect("pointer resolution routes on the overlay");
                     Some(hop)
                 }
                 _ => None,
@@ -95,7 +97,11 @@ pub fn query_routed<V: Clone + PartialEq>(
         }
         QueryOutcome::NotFound { .. } => (full, None),
     };
-    Ok(RoutedOutcome { outcome, route, indirection })
+    Ok(RoutedOutcome {
+        outcome,
+        route,
+        indirection,
+    })
 }
 
 #[cfg(test)]
@@ -105,7 +111,12 @@ mod tests {
     use canon_id::hash::hash_name;
     use canon_id::rng::Seed;
 
-    fn setup() -> (Hierarchy, Placement, OverlayGraph, HierarchicalStore<&'static str>) {
+    fn setup() -> (
+        Hierarchy,
+        Placement,
+        OverlayGraph,
+        HierarchicalStore<&'static str>,
+    ) {
         let h = Hierarchy::balanced(3, 3);
         let p = Placement::uniform(&h, 200, Seed(61));
         // The graph must be hierarchical: only a Canonical overlay routes
@@ -124,7 +135,9 @@ mod tests {
         let root = h.root();
         let key = hash_name("routed-item");
         let leaf = p.leaf_of(publisher).expect("placed");
-        store.insert(publisher, key, "v", leaf, root).expect("insert");
+        store
+            .insert(publisher, key, "v", leaf, root)
+            .expect("insert");
 
         let querier = p.ids()[77];
         let out = query_routed(&mut store, &g, querier, key).expect("query");
@@ -155,7 +168,9 @@ mod tests {
             let storage = store.responsible_in(key, leaf);
             let global = store.responsible_in(key, root);
             if storage != global {
-                store.insert(publisher, key, "far", leaf, root).expect("insert");
+                store
+                    .insert(publisher, key, "far", leaf, root)
+                    .expect("insert");
                 forced = Some((key, global));
                 break;
             }
@@ -165,7 +180,11 @@ mod tests {
         let querier = p.ids()[p.len() - 1];
         let out = query_routed(&mut store, &g, querier, key).expect("query");
         match &out.outcome {
-            QueryOutcome::Found { via, answering_node, .. } => {
+            QueryOutcome::Found {
+                via,
+                answering_node,
+                ..
+            } => {
                 if matches!(via, Via::Pointer { .. }) {
                     assert_eq!(*answering_node, global);
                     let ind = out.indirection.as_ref().expect("pointer pays a round trip");
@@ -198,7 +217,9 @@ mod tests {
         let publisher = p.ids()[3];
         let leaf = p.leaf_of(publisher).expect("placed");
         let key = hash_name("hot-item");
-        store.insert(publisher, key, "hot", leaf, h.root()).expect("insert");
+        store
+            .insert(publisher, key, "hot", leaf, h.root())
+            .expect("insert");
         // A querier in a different depth-1 branch, so the first answer
         // arrives above its leaf and leaves cache entries below.
         let querier = p

@@ -50,7 +50,9 @@ pub fn symphony_links_bounded(
     if n >= 2 {
         for _ in 0..link_budget(n) {
             let d = harmonic_distance(rng, n);
-            let Some(s) = ring.successor(me.offset(d)) else { break };
+            let Some(s) = ring.successor(me.offset(d)) else {
+                break;
+            };
             if s == me {
                 continue;
             }
@@ -72,16 +74,18 @@ pub fn symphony_links_bounded(
 ///
 /// Routable with [`canon_id::metric::Clockwise`]; see
 /// [`route_with_lookahead`] for the improved router.
+///
+/// Each node's harmonic draws come from an RNG seeded by `(seed, node)`
+/// alone ([`Seed::derive_node`]), so the graph is a pure function of
+/// `(ids, seed)` no matter how many threads compute it.
 pub fn build_symphony(ids: &[NodeId], seed: Seed) -> OverlayGraph {
     let ring = SortedRing::new(ids.to_vec());
-    let mut b = GraphBuilder::with_nodes(ring.as_slice());
-    let mut rng = seed.derive("symphony").rng();
-    for &me in ring.as_slice() {
-        for link in symphony_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng) {
-            b.add_link(me, link);
-        }
-    }
-    b.build()
+    let base = seed.derive("symphony");
+    let per_node = canon_par::par_map(ring.as_slice(), |_, &me| {
+        let mut rng = base.derive_node(me).rng();
+        symphony_links_bounded(&ring, me, RingDistance::FULL_CIRCLE, &mut rng)
+    });
+    GraphBuilder::from_per_node_links(ring.as_slice(), &per_node)
 }
 
 /// Greedy clockwise routing with one step of lookahead (paper §3.1).
@@ -123,10 +127,12 @@ pub fn route_with_lookahead(
             }
             for &nb2 in graph.neighbors(nb) {
                 let d2 = graph.id(nb2).clockwise_to(target);
-                if d2 < cur_dist && d2 < d1
-                    && best.is_none_or(|(bd, bd1, _)| d2 < bd || (d2 == bd && d1 < bd1)) {
-                        best = Some((d2, d1, nb));
-                    }
+                if d2 < cur_dist
+                    && d2 < d1
+                    && best.is_none_or(|(bd, bd1, _)| d2 < bd || (d2 == bd && d1 < bd1))
+                {
+                    best = Some((d2, d1, nb));
+                }
             }
         }
         match best {
@@ -135,7 +141,10 @@ pub fn route_with_lookahead(
                 cur = via;
             }
             None => {
-                return Err(RouteError::Stuck { at: cur, remaining: cur_dist });
+                return Err(RouteError::Stuck {
+                    at: cur,
+                    remaining: cur_dist,
+                });
             }
         }
         if path.len() > HOP_LIMIT {
@@ -198,8 +207,10 @@ mod tests {
     fn singleton_and_pair_rings() {
         let one = SortedRing::new(vec![NodeId::new(9)]);
         let mut rng = Seed(5).rng();
-        assert!(symphony_links_bounded(&one, NodeId::new(9), RingDistance::FULL_CIRCLE, &mut rng)
-            .is_empty());
+        assert!(
+            symphony_links_bounded(&one, NodeId::new(9), RingDistance::FULL_CIRCLE, &mut rng)
+                .is_empty()
+        );
         let two = SortedRing::new(vec![NodeId::new(9), NodeId::new(1 << 30)]);
         let links =
             symphony_links_bounded(&two, NodeId::new(9), RingDistance::FULL_CIRCLE, &mut rng);
@@ -263,6 +274,10 @@ mod tests {
         let g = build_symphony(&random_ids(Seed(15), n), Seed(16));
         let d = stats::DegreeStats::of(&g);
         // budget = 10 draws (with duplicates/collisions) + successor.
-        assert!(d.summary.mean > 5.0 && d.summary.mean < 12.0, "mean {}", d.summary.mean);
+        assert!(
+            d.summary.mean > 5.0 && d.summary.mean < 12.0,
+            "mean {}",
+            d.summary.mean
+        );
     }
 }

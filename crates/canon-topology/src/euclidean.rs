@@ -71,8 +71,9 @@ impl EuclideanWorld {
             .collect();
 
         let mut h = Hierarchy::new();
-        let leaves: Vec<_> =
-            (0..params.clusters).map(|c| h.add_domain(h.root(), format!("cluster{c}"))).collect();
+        let leaves: Vec<_> = (0..params.clusters)
+            .map(|c| h.add_domain(h.root(), format!("cluster{c}")))
+            .collect();
 
         let ids = random_ids(seed.derive("ids"), n);
         let mut position_of = HashMap::with_capacity(n);
@@ -83,12 +84,20 @@ impl EuclideanWorld {
             // Box-Muller for a Gaussian offset.
             let (u1, u2): (f64, f64) = (rng.gen_range(f64::MIN_POSITIVE..1.0), rng.gen());
             let r = params.cluster_spread * (-2.0 * u1.ln()).sqrt();
-            let (dx, dy) = (r * (std::f64::consts::TAU * u2).cos(), r * (std::f64::consts::TAU * u2).sin());
+            let (dx, dy) = (
+                r * (std::f64::consts::TAU * u2).cos(),
+                r * (std::f64::consts::TAU * u2).sin(),
+            );
             position_of.insert(id, (cx + dx, cy + dy));
             pairs.push((id, leaves[c]));
         }
         let placement = Placement::from_pairs(&h, pairs);
-        EuclideanWorld { params, hierarchy: h, placement, position_of }
+        EuclideanWorld {
+            params,
+            hierarchy: h,
+            placement,
+            position_of,
+        }
     }
 
     /// The induced two-level hierarchy.

@@ -82,7 +82,12 @@ pub struct TopologyParams {
 
 impl Default for TopologyParams {
     fn default() -> Self {
-        TopologyParams { transit_domains: 4, transit_nodes: 10, stub_domains: 5, stub_nodes: 10 }
+        TopologyParams {
+            transit_domains: 4,
+            transit_nodes: 10,
+            stub_domains: 5,
+            stub_nodes: 10,
+        }
     }
 }
 
@@ -96,7 +101,12 @@ impl TopologyParams {
     /// A small topology for fast tests (2 × 3 transit, 2 × 4 stub = 54
     /// routers).
     pub fn small() -> Self {
-        TopologyParams { transit_domains: 2, transit_nodes: 3, stub_domains: 2, stub_nodes: 4 }
+        TopologyParams {
+            transit_domains: 2,
+            transit_nodes: 3,
+            stub_domains: 2,
+            stub_nodes: 4,
+        }
     }
 }
 
@@ -153,11 +163,21 @@ impl TransitStubTopology {
             let t = params.transit_nodes;
             for i in 0..t {
                 if t > 1 {
-                    add_edge(&mut adj, transit_of(dom, i), transit_of(dom, (i + 1) % t), model.transit_transit);
+                    add_edge(
+                        &mut adj,
+                        transit_of(dom, i),
+                        transit_of(dom, (i + 1) % t),
+                        model.transit_transit,
+                    );
                 }
                 if t > 2 && rng.gen_bool(0.5) {
                     let j = rng.gen_range(0..t);
-                    add_edge(&mut adj, transit_of(dom, i), transit_of(dom, j), model.transit_transit);
+                    add_edge(
+                        &mut adj,
+                        transit_of(dom, i),
+                        transit_of(dom, j),
+                        model.transit_transit,
+                    );
                 }
             }
         }
@@ -166,7 +186,12 @@ impl TransitStubTopology {
             for b in (a + 1)..params.transit_domains {
                 let i = rng.gen_range(0..params.transit_nodes);
                 let j = rng.gen_range(0..params.transit_nodes);
-                add_edge(&mut adj, transit_of(a, i), transit_of(b, j), model.transit_transit);
+                add_edge(
+                    &mut adj,
+                    transit_of(a, i),
+                    transit_of(b, j),
+                    model.transit_transit,
+                );
             }
         }
 
@@ -269,7 +294,10 @@ impl TransitStubTopology {
     ///
     /// Panics if either router id is out of range.
     pub fn router_latency(&self, a: RouterId, b: RouterId) -> f64 {
-        assert!(a < self.n_routers && b < self.n_routers, "router id out of range");
+        assert!(
+            a < self.n_routers && b < self.n_routers,
+            "router id out of range"
+        );
         f64::from(self.dist[a * self.n_routers + b])
     }
 
@@ -340,7 +368,13 @@ pub fn attach(topology: TransitStubTopology, n: usize, seed: Seed) -> Attachment
         router_of_id.insert(id, router);
     }
     let placement = Placement::from_pairs(&h, pairs);
-    Attachment { topology, hierarchy: h, placement, stub_router_of, router_of_id }
+    Attachment {
+        topology,
+        hierarchy: h,
+        placement,
+        stub_router_of,
+        router_of_id,
+    }
 }
 
 impl Attachment {
@@ -455,8 +489,11 @@ mod tests {
         let a = small();
         let b = small();
         assert_eq!(a.router_latency(0, 53), b.router_latency(0, 53));
-        let c =
-            TransitStubTopology::generate(TopologyParams::small(), LatencyModel::default(), Seed(2));
+        let c = TransitStubTopology::generate(
+            TopologyParams::small(),
+            LatencyModel::default(),
+            Seed(2),
+        );
         // Different seeds: different wiring (latency between far routers
         // almost surely differs). Compare a row fingerprint.
         let fa: f64 = (0..a.router_count()).map(|i| a.router_latency(0, i)).sum();
@@ -471,7 +508,10 @@ mod tests {
         assert_eq!(h.levels(), 5);
         let p = TopologyParams::small();
         assert_eq!(h.domains_at_depth(1).len(), p.transit_domains);
-        assert_eq!(h.domains_at_depth(2).len(), p.transit_domains * p.transit_nodes);
+        assert_eq!(
+            h.domains_at_depth(2).len(),
+            p.transit_domains * p.transit_nodes
+        );
         assert_eq!(
             h.domains_at_depth(4).len(),
             p.transit_domains * p.transit_nodes * p.stub_domains * p.stub_nodes
@@ -520,7 +560,10 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_params_rejected() {
         TransitStubTopology::generate(
-            TopologyParams { transit_domains: 0, ..TopologyParams::small() },
+            TopologyParams {
+                transit_domains: 0,
+                ..TopologyParams::small()
+            },
             LatencyModel::default(),
             Seed(0),
         );

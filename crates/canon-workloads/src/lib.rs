@@ -52,7 +52,10 @@ impl ZipfKeys {
     /// Panics if `count == 0` or `s` is negative or not finite.
     pub fn new(count: usize, s: f64, seed: Seed) -> Self {
         assert!(count > 0, "a key universe needs at least one key");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and non-negative"
+        );
         let keys = (0..count)
             .map(|i| hash_name(&format!("zipf-{}-{i}", seed.derive("zipf").0)))
             .collect();
@@ -140,7 +143,10 @@ impl LocalityQueries {
         locality: f64,
         seed: Seed,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&locality), "locality must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&locality),
+            "locality must be a probability"
+        );
         assert!(!placement.is_empty(), "need at least one querier");
         // Stable slot per distinct domain at the locality depth.
         let mut domains: Vec<DomainId> = Vec::new();
@@ -157,9 +163,19 @@ impl LocalityQueries {
             queriers.push((id, slot));
         }
         let slices = (0..domains.len())
-            .map(|i| ZipfKeys::new(keys_per_domain, s, seed.derive("slice").derive_index(i as u64)))
+            .map(|i| {
+                ZipfKeys::new(
+                    keys_per_domain,
+                    s,
+                    seed.derive("slice").derive_index(i as u64),
+                )
+            })
             .collect();
-        LocalityQueries { queriers, slices, locality }
+        LocalityQueries {
+            queriers,
+            slices,
+            locality,
+        }
     }
 
     /// Number of distinct domain slices.
@@ -181,8 +197,16 @@ impl LocalityQueries {
     pub fn draw<R: Rng>(&self, rng: &mut R) -> Query {
         let (querier, slot) = self.queriers[rng.gen_range(0..self.queriers.len())];
         let local = rng.gen_bool(self.locality);
-        let source = if local { slot } else { rng.gen_range(0..self.slices.len()) };
-        Query { querier, key: self.slices[source].draw(rng), local }
+        let source = if local {
+            slot
+        } else {
+            rng.gen_range(0..self.slices.len())
+        };
+        Query {
+            querier,
+            key: self.slices[source].draw(rng),
+            local,
+        }
     }
 }
 
@@ -219,7 +243,10 @@ pub fn poisson_churn(
     min_population: usize,
     seed: Seed,
 ) -> Vec<ChurnEvent> {
-    assert!(lambda_join >= 0.0 && lambda_leave >= 0.0, "rates must be non-negative");
+    assert!(
+        lambda_join >= 0.0 && lambda_leave >= 0.0,
+        "rates must be non-negative"
+    );
     assert!(horizon >= 0.0, "horizon must be non-negative");
     let mut rng = seed.derive("churn").rng();
     let mut events = Vec::new();
@@ -228,7 +255,11 @@ pub fn poisson_churn(
     let mut population = initial_population;
     let mut counter = 0u64;
     loop {
-        let (t, is_join) = if t_join <= t_leave { (t_join, true) } else { (t_leave, false) };
+        let (t, is_join) = if t_join <= t_leave {
+            (t_join, true)
+        } else {
+            (t_leave, false)
+        };
         if t > horizon {
             break;
         }
@@ -277,7 +308,10 @@ mod tests {
             let rank = (0..100).find(|&r| keys.key(r) == k).expect("known key");
             counts[rank] += 1;
         }
-        assert!(counts[0] > counts[10] && counts[10] > counts[50], "counts {counts:?}");
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[50],
+            "counts {counts:?}"
+        );
         // Rank 0 of Zipf(1.0) over 100 keys carries ~1/H(100) ≈ 19%.
         assert!(counts[0] > 2_000, "rank-0 share too small: {}", counts[0]);
         assert_eq!(keys.len(), 100);
@@ -343,17 +377,26 @@ mod tests {
                 ChurnEvent::Join { time, .. } | ChurnEvent::Leave { time, .. } => *time,
             })
             .collect();
-        assert!(times.windows(2).all(|w| w[0] <= w[1]), "events out of order");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "events out of order"
+        );
         assert!(times.iter().all(|&t| t <= 100.0));
         // Roughly lambda_join * horizon joins.
-        let joins = events.iter().filter(|e| matches!(e, ChurnEvent::Join { .. })).count();
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Join { .. }))
+            .count();
         assert!((120..280).contains(&joins), "{joins} joins");
     }
 
     #[test]
     fn churn_respects_population_floor() {
         let events = poisson_churn(0.0, 10.0, 50.0, 12, 10, Seed(12));
-        let leaves = events.iter().filter(|e| matches!(e, ChurnEvent::Leave { .. })).count();
+        let leaves = events
+            .iter()
+            .filter(|e| matches!(e, ChurnEvent::Leave { .. }))
+            .count();
         assert_eq!(leaves, 2, "only two nodes may leave above the floor");
     }
 

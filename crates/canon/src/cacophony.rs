@@ -18,33 +18,28 @@ use canon_id::{
 use canon_symphony::symphony_links_bounded;
 
 /// The Cacophony link rule: Symphony's harmonic rule in bounded form.
-#[derive(Debug)]
-pub struct CacophonyRule {
-    rng: DetRng,
-}
-
-impl CacophonyRule {
-    /// Creates the rule with a deterministic seed.
-    pub fn new(seed: Seed) -> Self {
-        CacophonyRule { rng: seed.derive("cacophony").rng() }
-    }
-}
+/// Harmonic draws come from the per-node RNG the engine supplies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacophonyRule;
 
 impl LinkRule for CacophonyRule {
     type M = Clockwise;
+    type NodeState = ();
 
     fn metric(&self) -> Clockwise {
         Clockwise
     }
 
     fn links(
-        &mut self,
+        &self,
         _ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         bound: RingDistance,
+        rng: &mut DetRng,
+        _state: &mut (),
     ) -> Vec<NodeId> {
-        symphony_links_bounded(ring, me, bound, &mut self.rng)
+        symphony_links_bounded(ring, me, bound, rng)
     }
 }
 
@@ -58,7 +53,12 @@ pub fn build_cacophony(
     placement: &Placement,
     seed: Seed,
 ) -> CanonicalNetwork {
-    build_canonical(hierarchy, placement, &mut CacophonyRule::new(seed))
+    build_canonical(
+        hierarchy,
+        placement,
+        &CacophonyRule,
+        seed.derive("cacophony"),
+    )
 }
 
 #[cfg(test)]

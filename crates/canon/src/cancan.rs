@@ -26,54 +26,62 @@
 
 use crate::engine::{build_canonical, CanonicalNetwork, LevelCtx, LinkRule};
 use canon_hierarchy::{Hierarchy, Placement};
-use canon_id::{metric::Xor, ring::SortedRing, NodeId, RingDistance, ID_BITS};
+use canon_id::{
+    metric::Xor,
+    ring::SortedRing,
+    rng::{DetRng, Seed},
+    NodeId, RingDistance, ID_BITS,
+};
 
 /// The Can-Can link rule: per-dimension, lowest-level-first hypercube
-/// edges.
+/// edges. The dimensions covered at lower levels live in the per-node
+/// `NodeState` bitmap (fresh — all zeros — at each node's leaf).
 #[derive(Clone, Copy, Debug, Default)]
-pub struct CanCanRule {
-    covered: u64,
-}
+pub struct CanCanRule;
 
 impl LinkRule for CanCanRule {
     type M = Xor;
+    /// Bitmap of dimensions already covered at lower levels.
+    type NodeState = u64;
 
     fn metric(&self) -> Xor {
         Xor
     }
 
     fn links(
-        &mut self,
-        ctx: LevelCtx,
+        &self,
+        _ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         _bound: RingDistance,
+        _rng: &mut DetRng,
+        covered: &mut u64,
     ) -> Vec<NodeId> {
-        if ctx.is_leaf_level {
-            self.covered = 0;
-        }
         let mut out = Vec::new();
         for i in 0..ID_BITS {
-            if self.covered & (1u64 << i) != 0 {
+            if *covered & (1u64 << i) != 0 {
                 continue;
             }
             let target = me.flip_bit(i);
-            let Some(owner) = ring.xor_closest_excluding(target, me) else { continue };
+            let Some(owner) = ring.xor_closest_excluding(target, me) else {
+                continue;
+            };
             // A valid CAN edge for dimension i lands in the sibling subtree:
             // the owner's top differing bit with `me` must be exactly i.
             if me.xor_to(owner).leading_zeros() != i {
                 continue; // sibling subtree empty at this level
             }
             out.push(owner);
-            self.covered |= 1u64 << i;
+            *covered |= 1u64 << i;
         }
         out
     }
 }
 
-/// Builds Can-Can over `hierarchy`/`placement`.
+/// Builds Can-Can over `hierarchy`/`placement`. The rule is deterministic,
+/// so no seed is taken.
 pub fn build_cancan(hierarchy: &Hierarchy, placement: &Placement) -> CanonicalNetwork {
-    build_canonical(hierarchy, placement, &mut CanCanRule::default())
+    build_canonical(hierarchy, placement, &CanCanRule, Seed(0))
 }
 
 #[cfg(test)]

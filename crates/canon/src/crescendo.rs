@@ -22,17 +22,20 @@ pub struct CrescendoRule;
 
 impl LinkRule for CrescendoRule {
     type M = Clockwise;
+    type NodeState = ();
 
     fn metric(&self) -> Clockwise {
         Clockwise
     }
 
     fn links(
-        &mut self,
+        &self,
         _ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         bound: RingDistance,
+        _rng: &mut DetRng,
+        _state: &mut (),
     ) -> Vec<NodeId> {
         chord_links_bounded(ring, me, bound)
     }
@@ -42,42 +45,36 @@ impl LinkRule for CrescendoRule {
 ///
 /// With a one-level hierarchy the result is exactly flat Chord. Routing
 /// uses [`Clockwise`] greedy routing; paths are hierarchical automatically
-/// (§2.2).
+/// (§2.2). The rule is deterministic, so no seed is taken.
 pub fn build_crescendo(hierarchy: &Hierarchy, placement: &Placement) -> CanonicalNetwork {
-    build_canonical(hierarchy, placement, &mut CrescendoRule)
+    build_canonical(hierarchy, placement, &CrescendoRule, Seed(0))
 }
 
 /// The nondeterministic Crescendo rule (§3.2): for each `k` a uniformly
 /// random node at distance in `[2^k, min(2^(k+1), bound))` — the paper's
 /// point that the nondeterministic choice "may only be exercised among
 /// nodes closer than any node in its own ring".
-#[derive(Debug)]
-pub struct NondetCrescendoRule {
-    rng: DetRng,
-}
-
-impl NondetCrescendoRule {
-    /// Creates the rule with a deterministic seed.
-    pub fn new(seed: Seed) -> Self {
-        NondetCrescendoRule { rng: seed.derive("nondet-crescendo").rng() }
-    }
-}
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NondetCrescendoRule;
 
 impl LinkRule for NondetCrescendoRule {
     type M = Clockwise;
+    type NodeState = ();
 
     fn metric(&self) -> Clockwise {
         Clockwise
     }
 
     fn links(
-        &mut self,
+        &self,
         _ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         bound: RingDistance,
+        rng: &mut DetRng,
+        _state: &mut (),
     ) -> Vec<NodeId> {
-        let mut links = nondet_links_bounded(ring, me, bound, &mut self.rng);
+        let mut links = nondet_links_bounded(ring, me, bound, rng);
         // Force the in-ring successor (when within the bound) so greedy
         // clockwise routing stays live at every level.
         if let Some(s) = ring.strict_successor(me) {
@@ -95,7 +92,12 @@ pub fn build_nondet_crescendo(
     placement: &Placement,
     seed: Seed,
 ) -> CanonicalNetwork {
-    build_canonical(hierarchy, placement, &mut NondetCrescendoRule::new(seed))
+    build_canonical(
+        hierarchy,
+        placement,
+        &NondetCrescendoRule,
+        seed.derive("nondet-crescendo"),
+    )
 }
 
 #[cfg(test)]
@@ -103,7 +105,7 @@ mod tests {
     use super::*;
     use canon_chord::build_chord;
     use canon_hierarchy::DomainMembership;
-    
+
     use canon_overlay::{route, route_with_filter, stats, NodeIndex};
     use rand::Rng;
 
@@ -173,7 +175,10 @@ mod tests {
             .map(|&i| g.id(i).raw())
             .filter(|r| [0u64, 5, 10, 12].contains(r))
             .collect();
-        assert!(cross2.is_empty(), "node 2 must add no merge links, got {cross2:?}");
+        assert!(
+            cross2.is_empty(),
+            "node 2 must add no merge links, got {cross2:?}"
+        );
     }
 
     #[test]
@@ -230,7 +235,11 @@ mod tests {
         let d = stats::DegreeStats::of(net.graph());
         let l = f64::from(h.levels());
         let bound = (599f64).log2() + l.min((600f64).log2());
-        assert!(d.summary.mean <= bound, "mean degree {} > {bound}", d.summary.mean);
+        assert!(
+            d.summary.mean <= bound,
+            "mean degree {} > {bound}",
+            d.summary.mean
+        );
     }
 
     #[test]
@@ -336,12 +345,16 @@ mod tests {
         let flat = {
             let h = Hierarchy::balanced(10, 1);
             let p = Placement::zipf(&h, n, Seed(13));
-            stats::DegreeStats::of(build_crescendo(&h, &p).graph()).summary.mean
+            stats::DegreeStats::of(build_crescendo(&h, &p).graph())
+                .summary
+                .mean
         };
         let deep = {
             let h = Hierarchy::balanced(10, 4);
             let p = Placement::zipf(&h, n, Seed(13));
-            stats::DegreeStats::of(build_crescendo(&h, &p).graph()).summary.mean
+            stats::DegreeStats::of(build_crescendo(&h, &p).graph())
+                .summary
+                .mean
         };
         assert!(
             deep <= flat + 0.2,

@@ -10,9 +10,28 @@
 //!
 //! The engine is generic over a [`LinkRule`]; the four Canonical DHTs of
 //! the paper are rule instantiations in sibling modules.
+//!
+//! # Parallel construction
+//!
+//! Because the walk is independent per node, the engine computes every
+//! node's link sets in parallel (over [`canon_par`]) and then merges them
+//! into the graph serially in placement order. Determinism is preserved by
+//! construction:
+//!
+//! * a node's random stream comes from [`Seed::derive_node`] — a pure
+//!   function of `(seed, node)`, never of scheduling;
+//! * a node's mutable scratch ([`LinkRule::NodeState`]) is created fresh
+//!   per node and threaded only through that node's own leaf-to-root walk;
+//! * the merge adds batches in placement order, so the built graph is
+//!   bit-identical for any thread count (including 1).
 
 use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
-use canon_id::{metric::Metric, ring::SortedRing, NodeId, RingDistance};
+use canon_id::{
+    metric::Metric,
+    ring::SortedRing,
+    rng::{DetRng, Seed},
+    NodeId, RingDistance,
+};
 use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph};
 
 /// Where in the hierarchy a link rule is being applied.
@@ -30,23 +49,33 @@ pub struct LevelCtx {
 ///
 /// `links` must return the links the rule grants `me` over `ring`,
 /// restricted to nodes at metric distance strictly below `bound`. Passing
-/// [`RingDistance::FULL_CIRCLE`] must yield the flat rule. Implementations
-/// may be randomized (hence `&mut self`); determinism across runs should
-/// come from seeded construction.
-pub trait LinkRule {
+/// [`RingDistance::FULL_CIRCLE`] must yield the flat rule.
+///
+/// Rules are shared across worker threads (`&self`, `Sync`); all per-node
+/// mutability lives in the explicit `rng` (seeded per node by the engine)
+/// and `state` (a fresh [`LinkRule::NodeState`] per node, threaded through
+/// that node's leaf-to-root walk) parameters.
+pub trait LinkRule: Sync {
     /// The metric the rule (and greedy routing on the result) uses.
     type M: Metric;
+
+    /// Per-node scratch carried across the levels of one node's walk
+    /// (e.g. the buckets already covered at lower levels). `()` for
+    /// stateless rules.
+    type NodeState: Default;
 
     /// The metric instance.
     fn metric(&self) -> Self::M;
 
     /// Links for `me` over `ring` at distance `< bound`.
     fn links(
-        &mut self,
+        &self,
         ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         bound: RingDistance,
+        rng: &mut DetRng,
+        state: &mut Self::NodeState,
     ) -> Vec<NodeId>;
 }
 
@@ -56,6 +85,7 @@ pub trait LinkRule {
 pub struct CanonicalNetwork {
     graph: OverlayGraph,
     leaf_of: Vec<DomainId>,
+    links_per_level: Vec<usize>,
 }
 
 impl CanonicalNetwork {
@@ -87,6 +117,14 @@ impl CanonicalNetwork {
             .filter(|&i| hierarchy.is_ancestor_or_self(d, self.leaf_of(i)))
             .collect()
     }
+
+    /// How many links the construction added at each hierarchy depth
+    /// (index = domain depth; root = 0). A link granted at several depths
+    /// is counted at the deepest one, where the node first acquired it —
+    /// the per-level state breakdown behind the paper's Figure 3.
+    pub fn links_per_level(&self) -> &[usize] {
+        &self.links_per_level
+    }
 }
 
 /// Builds a Canonical network over `hierarchy`/`placement` with `rule`.
@@ -96,15 +134,24 @@ impl CanonicalNetwork {
 /// graph is the union of per-level link sets and is routable with the
 /// rule's metric.
 ///
+/// Per-node link sets are computed in parallel (thread count from
+/// [`canon_par`]); the result is identical for every thread count because
+/// each node's randomness is derived from `(seed, node)` alone and the
+/// merge is performed in placement order.
+///
 /// # Panics
 ///
 /// Panics if `placement` is empty.
 pub fn build_canonical<R: LinkRule>(
     hierarchy: &Hierarchy,
     placement: &Placement,
-    rule: &mut R,
+    rule: &R,
+    seed: Seed,
 ) -> CanonicalNetwork {
-    assert!(!placement.is_empty(), "cannot build a network with no nodes");
+    assert!(
+        !placement.is_empty(),
+        "cannot build a network with no nodes"
+    );
     let members = DomainMembership::build(hierarchy, placement);
     let all = members.ring(hierarchy.root());
     let mut builder = GraphBuilder::with_nodes(all.as_slice());
@@ -116,28 +163,59 @@ pub fn build_canonical<R: LinkRule>(
         leaf_of[idx] = leaf;
     }
 
-    for (id, leaf) in placement.iter() {
+    // Phase 1 (parallel): each node's links, tagged with the depth they
+    // were created at. Pure per node — nothing here observes other nodes'
+    // work or the iteration order.
+    let pairs: Vec<(NodeId, DomainId)> = placement.iter().collect();
+    let per_node: Vec<Vec<(u32, Vec<NodeId>)>> = canon_par::par_map(&pairs, |_, &(id, leaf)| {
+        let mut rng = seed.derive_node(id).rng();
+        let mut state = R::NodeState::default();
         let mut bound = RingDistance::FULL_CIRCLE;
         let path = hierarchy.path_from_root(leaf);
         let leaf_depth = hierarchy.depth(leaf);
+        let mut out = Vec::with_capacity(path.len());
         for &domain in path.iter().rev() {
             let ring = members.ring(domain);
+            let depth = hierarchy.depth(domain);
             let ctx = LevelCtx {
-                depth: hierarchy.depth(domain),
+                depth,
                 is_leaf_level: domain == leaf,
-                levels_above_leaf: leaf_depth - hierarchy.depth(domain),
+                levels_above_leaf: leaf_depth - depth,
             };
-            for link in rule.links(ctx, ring, id, bound) {
-                debug_assert_ne!(link, id, "rules must not emit self-links");
-                builder.add_link(id, link);
-            }
-            // Condition (b)'s bound for the next (parent) level: distance
-            // to the closest node of the ring just processed.
+            out.push((
+                depth,
+                rule.links(ctx, ring, id, bound, &mut rng, &mut state),
+            ));
+            // Condition (b)'s bound for the next (parent) level:
+            // distance to the closest node of the ring just processed.
             bound = ring.own_ring_bound(rule.metric(), id);
+        }
+        out
+    });
+
+    // Phase 2 (serial): merge in placement order. Duplicate links are
+    // counted at the level that first produced them (the deepest, since
+    // walks run leaf to root).
+    let mut links_per_level = Vec::new();
+    for ((id, _), levels) in pairs.iter().zip(&per_node) {
+        for (depth, links) in levels {
+            for &link in links {
+                debug_assert_ne!(link, *id, "rules must not emit self-links");
+            }
+            let added = builder.add_links_batch(*id, links);
+            let d = *depth as usize;
+            if d >= links_per_level.len() {
+                links_per_level.resize(d + 1, 0);
+            }
+            links_per_level[d] += added;
         }
     }
 
-    CanonicalNetwork { graph: builder.build(), leaf_of }
+    CanonicalNetwork {
+        graph: builder.build(),
+        leaf_of,
+        links_per_level,
+    }
 }
 
 #[cfg(test)]
@@ -152,17 +230,20 @@ mod tests {
 
     impl LinkRule for SuccessorRule {
         type M = Clockwise;
+        type NodeState = ();
 
         fn metric(&self) -> Clockwise {
             Clockwise
         }
 
         fn links(
-            &mut self,
+            &self,
             _ctx: LevelCtx,
             ring: &SortedRing,
             me: NodeId,
             bound: RingDistance,
+            _rng: &mut DetRng,
+            _state: &mut (),
         ) -> Vec<NodeId> {
             match ring.strict_successor(me) {
                 Some(s) if s != me && (me.clockwise_to(s) as u128) < bound.as_u128() => vec![s],
@@ -185,7 +266,7 @@ mod tests {
                 (NodeId::new(40), b),
             ],
         );
-        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let net = build_canonical(&h, &placement, &SuccessorRule, Seed(0));
         let g = net.graph();
         // Leaf level: 10 -> 30 (ring a), 30 -> 10; 20 -> 40, 40 -> 20.
         // Merge level: 10's own-ring bound is 20 (to 30); successor in the
@@ -199,6 +280,8 @@ mod tests {
         assert!(has(20, 40) && has(20, 30));
         assert!(has(30, 10) && has(30, 40));
         assert!(has(40, 20) && has(40, 10));
+        // Instrumentation: 4 leaf links (depth 1), 4 merge links (depth 0).
+        assert_eq!(net.links_per_level(), &[4, 4]);
     }
 
     #[test]
@@ -206,9 +289,8 @@ mod tests {
         let mut h = Hierarchy::new();
         let a = h.add_domain(h.root(), "a");
         let b = h.add_domain(h.root(), "b");
-        let placement =
-            Placement::from_pairs(&h, vec![(NodeId::new(5), a), (NodeId::new(9), b)]);
-        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let placement = Placement::from_pairs(&h, vec![(NodeId::new(5), a), (NodeId::new(9), b)]);
+        let net = build_canonical(&h, &placement, &SuccessorRule, Seed(0));
         let ia = net.graph().index_of(NodeId::new(5)).unwrap();
         assert_eq!(net.leaf_of(ia), a);
         assert_eq!(net.domain_at_depth(&h, ia, 0), h.root());
@@ -227,7 +309,7 @@ mod tests {
         let b = h.add_domain(h.root(), "b");
         let placement =
             Placement::from_pairs(&h, vec![(NodeId::new(100), a), (NodeId::new(200), b)]);
-        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let net = build_canonical(&h, &placement, &SuccessorRule, Seed(0));
         let g = net.graph();
         let i100 = g.index_of(NodeId::new(100)).unwrap();
         let i200 = g.index_of(NodeId::new(200)).unwrap();
@@ -240,15 +322,43 @@ mod tests {
     fn empty_placement_rejected() {
         let h = Hierarchy::balanced(2, 2);
         let placement = Placement::from_pairs(&h, vec![]);
-        build_canonical(&h, &placement, &mut SuccessorRule);
+        build_canonical(&h, &placement, &SuccessorRule, Seed(0));
     }
 
     #[test]
     fn flat_hierarchy_is_single_level() {
         let h = Hierarchy::balanced(10, 1);
         let placement = Placement::uniform(&h, 50, Seed(1));
-        let net = build_canonical(&h, &placement, &mut SuccessorRule);
+        let net = build_canonical(&h, &placement, &SuccessorRule, Seed(0));
         // Successor-only rule on a flat hierarchy: a simple cycle.
         assert_eq!(net.graph().link_count(), 50);
+        // All 50 links live at the single (leaf = root) level, depth 0.
+        assert_eq!(net.links_per_level(), &[50]);
+    }
+
+    #[test]
+    fn link_counts_sum_to_graph_links() {
+        let h = Hierarchy::balanced(3, 3);
+        let placement = Placement::uniform(&h, 80, Seed(2));
+        let net = build_canonical(&h, &placement, &SuccessorRule, Seed(0));
+        let total: usize = net.links_per_level().iter().sum();
+        assert_eq!(total, net.graph().link_count());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_graph() {
+        let h = Hierarchy::balanced(4, 3);
+        let placement = Placement::uniform(&h, 200, Seed(3));
+        let serial = canon_par::with_threads(1, || {
+            build_canonical(&h, &placement, &SuccessorRule, Seed(9))
+        });
+        let parallel = canon_par::with_threads(4, || {
+            build_canonical(&h, &placement, &SuccessorRule, Seed(9))
+        });
+        assert_eq!(
+            serial.graph().edges().collect::<Vec<_>>(),
+            parallel.graph().edges().collect::<Vec<_>>()
+        );
+        assert_eq!(serial.links_per_level(), parallel.links_per_level());
     }
 }

@@ -37,43 +37,44 @@ use canon_kademlia::BucketChoice;
 use rand::Rng;
 
 /// The Kandy link rule: per-bucket, lowest-level-first Kademlia links.
-#[derive(Debug)]
+///
+/// The buckets a node already filled at lower levels live in the per-node
+/// [`LinkRule::NodeState`] bitmap the engine threads through each node's
+/// leaf-to-root walk (fresh — all zeros — at the leaf).
+#[derive(Clone, Copy, Debug)]
 pub struct KandyRule {
     choice: BucketChoice,
-    rng: DetRng,
-    /// Buckets already covered for the node currently being processed
-    /// (reset at each node's leaf level).
-    covered: u64,
 }
 
 impl KandyRule {
     /// Creates the rule; `choice` selects deterministic (closest-in-bucket)
     /// or randomized bucket members.
-    pub fn new(choice: BucketChoice, seed: Seed) -> Self {
-        KandyRule { choice, rng: seed.derive("kandy").rng(), covered: 0 }
+    pub fn new(choice: BucketChoice) -> Self {
+        KandyRule { choice }
     }
 }
 
 impl LinkRule for KandyRule {
     type M = Xor;
+    /// Bitmap of buckets already filled at lower levels.
+    type NodeState = u64;
 
     fn metric(&self) -> Xor {
         Xor
     }
 
     fn links(
-        &mut self,
-        ctx: LevelCtx,
+        &self,
+        _ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         _bound: RingDistance,
+        rng: &mut DetRng,
+        covered: &mut u64,
     ) -> Vec<NodeId> {
-        if ctx.is_leaf_level {
-            self.covered = 0;
-        }
         let mut out = Vec::new();
         for k in 0..ID_BITS {
-            if self.covered & (1u64 << k) != 0 {
+            if *covered & (1u64 << k) != 0 {
                 continue; // a lower level already filled this bucket
             }
             let picked = match self.choice {
@@ -83,14 +84,14 @@ impl LinkRule for KandyRule {
                     if bucket.is_empty() {
                         None
                     } else {
-                        Some(bucket[self.rng.gen_range(0..bucket.len())])
+                        Some(bucket[rng.gen_range(0..bucket.len())])
                     }
                 }
             };
             if let Some(c) = picked {
                 debug_assert_ne!(c, me);
                 out.push(c);
-                self.covered |= 1u64 << k;
+                *covered |= 1u64 << k;
             }
         }
         out
@@ -104,7 +105,12 @@ pub fn build_kandy(
     choice: BucketChoice,
     seed: Seed,
 ) -> CanonicalNetwork {
-    build_canonical(hierarchy, placement, &mut KandyRule::new(choice, seed))
+    build_canonical(
+        hierarchy,
+        placement,
+        &KandyRule::new(choice),
+        seed.derive("kandy"),
+    )
 }
 
 #[cfg(test)]

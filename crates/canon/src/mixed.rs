@@ -14,7 +14,11 @@
 use crate::crescendo::CrescendoRule;
 use crate::engine::{build_canonical, CanonicalNetwork, LevelCtx, LinkRule};
 use canon_hierarchy::{Hierarchy, Placement};
-use canon_id::{ring::SortedRing, NodeId, RingDistance};
+use canon_id::{
+    ring::SortedRing,
+    rng::{DetRng, Seed},
+    NodeId, RingDistance,
+};
 
 /// A rule that connects leaf domains as complete graphs and delegates every
 /// higher level to `inner`.
@@ -33,22 +37,25 @@ impl<R> LanRule<R> {
 
 impl<R: LinkRule> LinkRule for LanRule<R> {
     type M = R::M;
+    type NodeState = R::NodeState;
 
     fn metric(&self) -> R::M {
         self.inner.metric()
     }
 
     fn links(
-        &mut self,
+        &self,
         ctx: LevelCtx,
         ring: &SortedRing,
         me: NodeId,
         bound: RingDistance,
+        rng: &mut DetRng,
+        state: &mut R::NodeState,
     ) -> Vec<NodeId> {
         if ctx.is_leaf_level {
             ring.iter().copied().filter(|&other| other != me).collect()
         } else {
-            self.inner.links(ctx, ring, me, bound)
+            self.inner.links(ctx, ring, me, bound, rng, state)
         }
     }
 }
@@ -56,7 +63,7 @@ impl<R: LinkRule> LinkRule for LanRule<R> {
 /// Builds the paper's LAN example: complete graphs per leaf domain, merged
 /// upward with the Crescendo rule.
 pub fn build_lan_crescendo(hierarchy: &Hierarchy, placement: &Placement) -> CanonicalNetwork {
-    build_canonical(hierarchy, placement, &mut LanRule::new(CrescendoRule))
+    build_canonical(hierarchy, placement, &LanRule::new(CrescendoRule), Seed(0))
 }
 
 #[cfg(test)]
@@ -154,11 +161,7 @@ mod tests {
         let members = DomainMembership::build(&h, &p);
         let g = net.graph();
         let d = stats::DegreeStats::of(g);
-        let mean_lan = h
-            .leaves()
-            .iter()
-            .map(|&l| members.size(l))
-            .sum::<usize>() as f64
+        let mean_lan = h.leaves().iter().map(|&l| members.size(l)).sum::<usize>() as f64
             / h.leaves().len() as f64;
         // Expect roughly (LAN size - 1) + O(log n) merge links.
         assert!(d.summary.mean >= mean_lan - 1.0, "mean {}", d.summary.mean);

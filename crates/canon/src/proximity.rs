@@ -43,7 +43,10 @@ pub struct ProxParams {
 
 impl Default for ProxParams {
     fn default() -> Self {
-        ProxParams { target_group_size: 16, samples: 32 }
+        ProxParams {
+            target_group_size: 16,
+            samples: 32,
+        }
     }
 }
 
@@ -121,7 +124,10 @@ impl ProxNetwork {
                     cur_key = k;
                 }
                 None => {
-                    return Err(RouteError::Stuck { at: cur, remaining: cur_key.1 });
+                    return Err(RouteError::Stuck {
+                        at: cur,
+                        remaining: cur_key.1,
+                    });
                 }
             }
             if path.len() > HOP_LIMIT {
@@ -183,13 +189,17 @@ impl Groups {
         let candidates: Vec<NodeId> = if members.len() <= samples {
             members.clone()
         } else {
-            (0..samples).map(|_| members[rng.gen_range(0..members.len())]).collect()
+            (0..samples)
+                .map(|_| members[rng.gen_range(0..members.len())])
+                .collect()
         };
         candidates
             .into_iter()
             .filter(|&m| m != from)
             .min_by(|&a, &b| {
-                lat(from, a).partial_cmp(&lat(from, b)).expect("latencies are not NaN")
+                lat(from, a)
+                    .partial_cmp(&lat(from, b))
+                    .expect("latencies are not NaN")
             })
     }
 
@@ -210,7 +220,7 @@ impl Groups {
 /// Builds *Chord (Prox.)*: the Chord rule applied to T-bit groups, each
 /// group link satisfied by the lowest-latency sampled member, plus complete
 /// intra-group graphs.
-pub fn build_chord_prox<L: Fn(NodeId, NodeId) -> f64>(
+pub fn build_chord_prox<L: Fn(NodeId, NodeId) -> f64 + Sync>(
     ids: &[NodeId],
     lat: &L,
     params: ProxParams,
@@ -220,11 +230,13 @@ pub fn build_chord_prox<L: Fn(NodeId, NodeId) -> f64>(
     let t = group_bits(ring.len(), params.target_group_size);
     let groups = Groups::build(ring.as_slice(), t);
     let mut b = GraphBuilder::with_nodes(ring.as_slice());
-    let mut rng = seed.derive("chord-prox").rng();
+    let base = seed.derive("chord-prox");
 
     groups.add_intra_group_links(&mut b);
-    for &me in ring.as_slice() {
+    let per_node = canon_par::par_map(ring.as_slice(), |_, &me| {
+        let mut rng = base.derive_node(me).rng();
         let gme = me.prefix(t);
+        let mut links = Vec::new();
         for k in 0..t {
             let target = (gme.wrapping_add(1u64 << k)) & mask(t);
             let g = groups.successor_group(target);
@@ -232,13 +244,21 @@ pub fn build_chord_prox<L: Fn(NodeId, NodeId) -> f64>(
                 continue;
             }
             if let Some(m) = groups.pick_member(g, me, lat, params.samples, &mut rng) {
-                b.add_link(me, m);
+                links.push(m);
             }
         }
+        links
+    });
+    for (&me, links) in ring.as_slice().iter().zip(&per_node) {
+        b.add_links_batch(me, links);
     }
 
     let leaf_of = vec![Hierarchy::new().root(); ring.len()];
-    ProxNetwork { graph: b.build(), group_bits: t, leaf_of }
+    ProxNetwork {
+        graph: b.build(),
+        group_bits: t,
+        leaf_of,
+    }
 }
 
 /// Builds *Crescendo (Prox.)*: ordinary Crescendo below the root, with the
@@ -253,20 +273,23 @@ pub fn build_chord_prox<L: Fn(NodeId, NodeId) -> f64>(
 /// # Panics
 ///
 /// Panics if `placement` is empty.
-pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64>(
+pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64 + Sync>(
     hierarchy: &Hierarchy,
     placement: &Placement,
     lat: &L,
     params: ProxParams,
     seed: Seed,
 ) -> ProxNetwork {
-    assert!(!placement.is_empty(), "cannot build a network with no nodes");
+    assert!(
+        !placement.is_empty(),
+        "cannot build a network with no nodes"
+    );
     let members = DomainMembership::build(hierarchy, placement);
     let all = members.ring(hierarchy.root());
     let t = group_bits(all.len(), params.target_group_size);
     let groups = Groups::build(all.as_slice(), t);
     let mut b = GraphBuilder::with_nodes(all.as_slice());
-    let mut rng = seed.derive("crescendo-prox").rng();
+    let base = seed.derive("crescendo-prox");
 
     let mut leaf_of = vec![hierarchy.root(); all.len()];
     for (id, leaf) in placement.iter() {
@@ -275,7 +298,10 @@ pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64>(
     }
 
     groups.add_intra_group_links(&mut b);
-    for (id, leaf) in placement.iter() {
+    let pairs: Vec<(NodeId, DomainId)> = placement.iter().collect();
+    let per_node = canon_par::par_map(&pairs, |_, &(id, leaf)| {
+        let mut rng = base.derive_node(id).rng();
+        let mut links = Vec::new();
         let mut bound = RingDistance::FULL_CIRCLE;
         let path = hierarchy.path_from_root(leaf);
         // Ordinary Crescendo below the root (deepest first, root excluded).
@@ -284,9 +310,7 @@ pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64>(
                 break;
             }
             let ring = members.ring(domain);
-            for link in chord_links_bounded(ring, id, bound) {
-                b.add_link(id, link);
-            }
+            links.extend(chord_links_bounded(ring, id, bound));
             bound = ring.clockwise_gap(id);
         }
         // Group construction at the top level.
@@ -302,12 +326,20 @@ pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64>(
                 continue; // condition (b) at group granularity
             }
             if let Some(m) = groups.pick_member(g, id, lat, params.samples, &mut rng) {
-                b.add_link(id, m);
+                links.push(m);
             }
         }
+        links
+    });
+    for (&(id, _), links) in pairs.iter().zip(&per_node) {
+        b.add_links_batch(id, links);
     }
 
-    ProxNetwork { graph: b.build(), group_bits: t, leaf_of }
+    ProxNetwork {
+        graph: b.build(),
+        group_bits: t,
+        leaf_of,
+    }
 }
 
 #[cfg(test)]

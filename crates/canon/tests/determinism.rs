@@ -1,0 +1,111 @@
+//! Regression tests for the parallel construction pipeline: the graph a
+//! rule produces must be bit-identical for every thread count, and must
+//! match an independent single-threaded re-implementation of the engine's
+//! per-node walk (same per-node seeding, plain serial loop).
+
+use canon::cacophony::{build_cacophony, CacophonyRule};
+use canon::crescendo::{build_crescendo, CrescendoRule};
+use canon::engine::{CanonicalNetwork, LevelCtx, LinkRule};
+use canon::kandy::{build_kandy, KandyRule};
+use canon_hierarchy::{DomainMembership, Hierarchy, Placement};
+use canon_id::rng::Seed;
+use canon_id::RingDistance;
+use canon_kademlia::BucketChoice;
+use canon_overlay::{GraphBuilder, OverlayGraph};
+
+/// A plain serial reference for `build_canonical`: one loop, no batching,
+/// no `canon_par` — only the public `LinkRule` contract.
+fn reference_build<R: LinkRule>(
+    hierarchy: &Hierarchy,
+    placement: &Placement,
+    rule: &R,
+    seed: Seed,
+) -> OverlayGraph {
+    let members = DomainMembership::build(hierarchy, placement);
+    let all = members.ring(hierarchy.root());
+    let mut builder = GraphBuilder::with_nodes(all.as_slice());
+    for (id, leaf) in placement.iter() {
+        let mut rng = seed.derive_node(id).rng();
+        let mut state = R::NodeState::default();
+        let mut bound = RingDistance::FULL_CIRCLE;
+        let path = hierarchy.path_from_root(leaf);
+        let leaf_depth = hierarchy.depth(leaf);
+        for &domain in path.iter().rev() {
+            let ring = members.ring(domain);
+            let ctx = LevelCtx {
+                depth: hierarchy.depth(domain),
+                is_leaf_level: domain == leaf,
+                levels_above_leaf: leaf_depth - hierarchy.depth(domain),
+            };
+            for link in rule.links(ctx, ring, id, bound, &mut rng, &mut state) {
+                builder.add_link(id, link);
+            }
+            bound = ring.own_ring_bound(rule.metric(), id);
+        }
+    }
+    builder.build()
+}
+
+fn world(seed: u64) -> (Hierarchy, Placement) {
+    let h = Hierarchy::balanced(4, 3);
+    let p = Placement::zipf(&h, 600, Seed(seed));
+    (h, p)
+}
+
+fn edges(net: &CanonicalNetwork) -> Vec<(canon_overlay::NodeIndex, canon_overlay::NodeIndex)> {
+    net.graph().edges().collect()
+}
+
+fn assert_thread_counts_agree(build: impl Fn() -> CanonicalNetwork) -> CanonicalNetwork {
+    let serial = canon_par::with_threads(1, &build);
+    let four = canon_par::with_threads(4, &build);
+    let many = canon_par::with_threads(13, &build);
+    assert_eq!(edges(&serial), edges(&four), "threads=1 vs threads=4");
+    assert_eq!(edges(&serial), edges(&many), "threads=1 vs threads=13");
+    assert_eq!(
+        serial.links_per_level(),
+        four.links_per_level(),
+        "per-level instrumentation must not depend on threads"
+    );
+    serial
+}
+
+#[test]
+fn crescendo_is_identical_across_thread_counts_and_reference() {
+    let (h, p) = world(1);
+    let net = assert_thread_counts_agree(|| build_crescendo(&h, &p));
+    let reference = reference_build(&h, &p, &CrescendoRule, Seed(0));
+    assert_eq!(edges(&net), reference.edges().collect::<Vec<_>>());
+}
+
+#[test]
+fn cacophony_is_identical_across_thread_counts_and_reference() {
+    let (h, p) = world(2);
+    let net = assert_thread_counts_agree(|| build_cacophony(&h, &p, Seed(77)));
+    // build_cacophony derives the "cacophony" stream from the user seed.
+    let reference = reference_build(&h, &p, &CacophonyRule, Seed(77).derive("cacophony"));
+    assert_eq!(edges(&net), reference.edges().collect::<Vec<_>>());
+}
+
+#[test]
+fn kandy_is_identical_across_thread_counts_and_reference() {
+    for choice in [BucketChoice::Closest, BucketChoice::Random] {
+        let (h, p) = world(3);
+        let net = assert_thread_counts_agree(|| build_kandy(&h, &p, choice, Seed(88)));
+        let reference = reference_build(&h, &p, &KandyRule::new(choice), Seed(88).derive("kandy"));
+        assert_eq!(
+            edges(&net),
+            reference.edges().collect::<Vec<_>>(),
+            "{choice:?}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_still_differ() {
+    // Determinism must not collapse the randomized rules to one graph.
+    let (h, p) = world(4);
+    let a = build_cacophony(&h, &p, Seed(1));
+    let b = build_cacophony(&h, &p, Seed(2));
+    assert_ne!(edges(&a), edges(&b));
+}

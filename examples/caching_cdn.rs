@@ -23,7 +23,13 @@ fn main() {
     let publisher_leaf = placement.leaf_of(publisher).expect("placed");
     let video = hash_name("videos/all-hands-q3.mp4");
     store
-        .insert(publisher, video, "720p video blob", publisher_leaf, h.root())
+        .insert(
+            publisher,
+            video,
+            "720p video blob",
+            publisher_leaf,
+            h.root(),
+        )
         .expect("publish video");
 
     // Queries arrive with regional locality: offices in region 0 watch it.
@@ -34,7 +40,11 @@ fn main() {
         .map(|(id, _)| id)
         .take(50)
         .collect();
-    println!("{} watchers in region {}", watchers.len(), h.full_name(region));
+    println!(
+        "{} watchers in region {}",
+        watchers.len(),
+        h.full_name(region)
+    );
 
     let mut rng = Seed(4).rng();
     let mut depth_histogram = std::collections::BTreeMap::new();
@@ -42,7 +52,11 @@ fn main() {
     for round in 0..200 {
         let q = watchers[rng.gen_range(0..watchers.len())];
         match store.query_and_cache(q, video).expect("query") {
-            QueryOutcome::Found { answered_at_depth, via, .. } => {
+            QueryOutcome::Found {
+                answered_at_depth,
+                via,
+                ..
+            } => {
                 *depth_histogram.entry(answered_at_depth).or_insert(0usize) += 1;
                 if via == Via::Cache {
                     cache_hits += 1;
@@ -56,7 +70,10 @@ fn main() {
     }
     println!("answer-depth histogram over 200 queries: {depth_histogram:?}");
     println!("cache hits: {cache_hits}/200");
-    assert!(cache_hits > 150, "locality of access should be served from caches");
+    assert!(
+        cache_hits > 150,
+        "locality of access should be served from caches"
+    );
 }
 
 /// A tiny extension trait stand-in: builds the demo hierarchy.

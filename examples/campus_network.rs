@@ -71,8 +71,10 @@ fn main() {
         .collect();
     report("Crescendo (No Prox.)", mean_of(crescendo.graph(), routes));
 
-    let routes: Vec<_> =
-        pairs.iter().map(|&(a, b)| chord_prox.route(a, b).expect("chord prox")).collect();
+    let routes: Vec<_> = pairs
+        .iter()
+        .map(|&(a, b)| chord_prox.route(a, b).expect("chord prox"))
+        .collect();
     report("Chord (Prox.)", mean_of(chord_prox.graph(), routes));
 
     let routes: Vec<_> = pairs

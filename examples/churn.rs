@@ -44,18 +44,25 @@ fn main() {
     // The punchline: the maintained overlay is bit-for-bit the static one.
     let maintained: BTreeSet<(u64, u64)> = {
         let g = sim.snapshot();
-        g.edges().map(|(a, b)| (g.id(a).raw(), g.id(b).raw())).collect()
+        g.edges()
+            .map(|(a, b)| (g.id(a).raw(), g.id(b).raw()))
+            .collect()
     };
     let statically_built: BTreeSet<(u64, u64)> = {
         let net = build_crescendo(&h, &sim.placement());
         let g = net.graph();
-        g.edges().map(|(a, b)| (g.id(a).raw(), g.id(b).raw())).collect()
+        g.edges()
+            .map(|(a, b)| (g.id(a).raw(), g.id(b).raw()))
+            .collect()
     };
     println!(
         "maintained links: {}, statically rebuilt links: {}",
         maintained.len(),
         statically_built.len()
     );
-    assert_eq!(maintained, statically_built, "churn must preserve the exact structure");
+    assert_eq!(
+        maintained, statically_built,
+        "churn must preserve the exact structure"
+    );
     println!("maintained structure == static construction: true");
 }

@@ -44,7 +44,13 @@ fn main() {
     // 1. A design doc: stored and visible only within the storage team.
     let design = hash_name("docs/raft-replacement-design.md");
     store
-        .insert(storage_node, design, "team-private design".into(), storage_team, storage_team)
+        .insert(
+            storage_node,
+            design,
+            "team-private design".into(),
+            storage_team,
+            storage_team,
+        )
         .expect("insert team doc");
 
     // 2. The engineering handbook: stored in eng, readable company-wide.
@@ -59,7 +65,9 @@ fn main() {
 
     // Teammates find the private doc without leaving the team domain.
     match store.query(storage_node, design).expect("query") {
-        QueryOutcome::Found { answered_at_depth, .. } => {
+        QueryOutcome::Found {
+            answered_at_depth, ..
+        } => {
             println!("storage team finds its design doc at depth {answered_at_depth} (team level)");
             assert_eq!(answered_at_depth, h.depth(storage_team));
         }
@@ -68,8 +76,14 @@ fn main() {
 
     // The search team (inside eng, outside the storage team) cannot see it.
     let blocked = store.query(search_node, design).expect("query");
-    println!("search team sees the private design doc: {}", blocked.is_found());
-    assert!(!blocked.is_found(), "access control must hide team-private docs");
+    println!(
+        "search team sees the private design doc: {}",
+        blocked.is_found()
+    );
+    assert!(
+        !blocked.is_found(),
+        "access control must hide team-private docs"
+    );
 
     // Sales can read the handbook through the company-level pointer.
     match store.query(sales_node, handbook).expect("query") {

@@ -40,11 +40,13 @@ fn main() {
         let mut group = MulticastGroup::new(graph, Clockwise, key).expect("group");
         let mut join_hops = 0usize;
         for &m in &members {
-            join_hops += group.subscribe(graph, Clockwise, m).expect("subscribe").hops_to_tree;
+            join_hops += group
+                .subscribe(graph, Clockwise, m)
+                .expect("subscribe")
+                .hops_to_tree;
         }
         assert!(group.delivers_to_all_members());
-        let report =
-            group.disseminate(|a, b| att.latency(graph.id(a), graph.id(b)));
+        let report = group.disseminate(|a, b| att.latency(graph.id(a), graph.id(b)));
         // Inter-domain links at the transit-domain level (depth 1).
         let crossings = group.inter_domain_links(|x| {
             let id = graph.id(x);
@@ -52,9 +54,19 @@ fn main() {
             cresc.domain_at_depth(&h, idx, 1)
         });
         println!("{name}:");
-        println!("  members {}   tree links {}", group.member_count(), group.link_count());
-        println!("  mean join hops      {:.2}", join_hops as f64 / members.len() as f64);
-        println!("  dissemination: {} msgs, depth {}, max fanout {}", report.messages, report.depth, report.max_fanout);
+        println!(
+            "  members {}   tree links {}",
+            group.member_count(),
+            group.link_count()
+        );
+        println!(
+            "  mean join hops      {:.2}",
+            join_hops as f64 / members.len() as f64
+        );
+        println!(
+            "  dissemination: {} msgs, depth {}, max fanout {}",
+            report.messages, report.depth, report.max_fanout
+        );
         println!("  total latency cost  {:.0} ms-units", report.total_latency);
         println!("  inter-domain links  {crossings}\n");
     }

@@ -48,14 +48,30 @@ fn main() {
             .expect("register internal record");
     }
     // corp-a's public website: stored at home, resolvable globally.
-    dns.insert(registrar_a, hash_name("www.corp-a"), "203.0.113.80".into(), corp_a, h.root())
-        .expect("register public record");
+    dns.insert(
+        registrar_a,
+        hash_name("www.corp-a"),
+        "203.0.113.80".into(),
+        corp_a,
+        h.root(),
+    )
+    .expect("register public record");
 
     // 1. Internal resolution works from any corp-a machine, at corp-a level.
     let a_client = member_of(a_lab);
-    match dns.query(a_client, hash_name("intranet.corp-a")).expect("resolve") {
-        QueryOutcome::Found { values, answered_at_depth, .. } => {
-            println!("corp-a lab resolves intranet.corp-a -> {} (depth {answered_at_depth})", values[0]);
+    match dns
+        .query(a_client, hash_name("intranet.corp-a"))
+        .expect("resolve")
+    {
+        QueryOutcome::Found {
+            values,
+            answered_at_depth,
+            ..
+        } => {
+            println!(
+                "corp-a lab resolves intranet.corp-a -> {} (depth {answered_at_depth})",
+                values[0]
+            );
             assert!(answered_at_depth >= h.depth(corp_a));
         }
         other => panic!("internal record unresolvable: {other:?}"),
@@ -63,12 +79,17 @@ fn main() {
 
     // 2. corp-b cannot resolve corp-a internals (fault/security isolation)...
     let b_client = member_of(b_hq);
-    let blocked = dns.query(b_client, hash_name("intranet.corp-a")).expect("resolve");
+    let blocked = dns
+        .query(b_client, hash_name("intranet.corp-a"))
+        .expect("resolve");
     println!("corp-b resolves corp-a intranet: {}", blocked.is_found());
     assert!(!blocked.is_found());
 
     // 3. ...but resolves the public site through the global pointer.
-    match dns.query(b_client, hash_name("www.corp-a")).expect("resolve") {
+    match dns
+        .query(b_client, hash_name("www.corp-a"))
+        .expect("resolve")
+    {
         QueryOutcome::Found { values, via, .. } => {
             println!("corp-b resolves www.corp-a -> {} via {via:?}", values[0]);
         }
@@ -85,12 +106,16 @@ fn main() {
     let mut cache_hits = 0;
     for _ in 0..100 {
         let c = b_clients[rng.gen_range(0..b_clients.len())];
-        if let QueryOutcome::Found { via, .. } =
-            dns.query_and_cache(c, hash_name("www.corp-a")).expect("resolve")
+        if let QueryOutcome::Found { via, .. } = dns
+            .query_and_cache(c, hash_name("www.corp-a"))
+            .expect("resolve")
         {
             cache_hits += i32::from(via == Via::Cache);
         }
     }
     println!("corp-b cache hits for www.corp-a: {cache_hits}/100");
-    assert!(cache_hits > 90, "repeated resolutions should be cache-served");
+    assert!(
+        cache_hits > 90,
+        "repeated resolutions should be cache-served"
+    );
 }

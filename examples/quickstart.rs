@@ -29,7 +29,11 @@ fn main() {
     let net = build_crescendo(&h, &placement);
     let g = net.graph();
 
-    println!("Crescendo network over {} machines, {} domains", g.len(), h.len());
+    println!(
+        "Crescendo network over {} machines, {} domains",
+        g.len(),
+        h.len()
+    );
 
     // 3. Routing state stays at flat-Chord levels (Theorem 2).
     let deg = DegreeStats::of(g);

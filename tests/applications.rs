@@ -16,10 +16,21 @@ use rand::Rng;
 fn canonical_pastry_matches_crescendo_scaling() {
     let h = Hierarchy::balanced(4, 3);
     let p = Placement::zipf(&h, 500, Seed(1));
-    let pastry = build_canonical_pastry(&h, &p, PastryParams { digit_bits: 2, leaf_half: 4 });
+    let pastry = build_canonical_pastry(
+        &h,
+        &p,
+        PastryParams {
+            digit_bits: 2,
+            leaf_half: 4,
+        },
+    );
     let cresc = build_crescendo(&h, &p);
-    let dp = canon_overlay::stats::DegreeStats::of(pastry.graph()).summary.mean;
-    let dc = canon_overlay::stats::DegreeStats::of(cresc.graph()).summary.mean;
+    let dp = canon_overlay::stats::DegreeStats::of(pastry.graph())
+        .summary
+        .mean;
+    let dc = canon_overlay::stats::DegreeStats::of(cresc.graph())
+        .summary
+        .mean;
     // Same asymptotics, different constants (radix-4 tables + leaf sets).
     assert!(dp < 5.0 * dc, "pastry degree {dp} vs crescendo {dc}");
     let hp = canon_overlay::stats::hop_stats(pastry.graph(), Xor, 300, Seed(2)).mean;
@@ -49,11 +60,14 @@ fn multicast_over_crescendo_exploits_convergence() {
 
     // The rendezvous is outside the domain in general; all traffic into the
     // domain must cross exactly one inter-domain tree link (the proxy).
-    let crossings = group.inter_domain_links(|x| net.domain_at_depth(&h, x, 1));
+    // Transit hops between *other* domains on the way to the rendezvous are
+    // placement-dependent, so only links entering the subscriber domain are
+    // pinned down by the convergence property.
+    let entering = group.links_entering(&domain, |x| net.domain_at_depth(&h, x, 1));
     let rendezvous_inside = h.is_ancestor_or_self(domain, net.leaf_of(group.rendezvous()));
     if !rendezvous_inside {
         assert_eq!(
-            crossings, 1,
+            entering, 1,
             "a single-domain subscriber set must enter through one proxy link"
         );
     }
@@ -86,23 +100,29 @@ fn skipnet_and_crescendo_agree_on_locality_but_not_convergence() {
     let skip = SkipNet::build(names, Seed(6));
 
     let mut h = Hierarchy::new();
-    let leaves: Vec<_> = (0..sites).map(|s| h.add_domain(h.root(), format!("s{s:02}"))).collect();
+    let leaves: Vec<_> = (0..sites)
+        .map(|s| h.add_domain(h.root(), format!("s{s:02}")))
+        .collect();
     let p = Placement::uniform(&h, n, Seed(7));
     let cresc = build_crescendo(&h, &p);
 
     // (a) both systems keep intra-site routes inside the site.
     let site = 4usize;
     let lo = site * per_site;
-    let r = skip.route_by_name(lo, lo + per_site - 1).expect("skipnet route");
+    let r = skip
+        .route_by_name(lo, lo + per_site - 1)
+        .expect("skipnet route");
     assert!(r.path().iter().all(|&i| i.index() / per_site == site));
 
     let members = cresc.members_of(&h, leaves[site]);
-    let rr = route(cresc.graph(), Clockwise, members[0], members[members.len() - 1])
-        .expect("crescendo route");
-    assert!(rr
-        .path()
-        .iter()
-        .all(|&i| cresc.leaf_of(i) == leaves[site]));
+    let rr = route(
+        cresc.graph(),
+        Clockwise,
+        members[0],
+        members[members.len() - 1],
+    )
+    .expect("crescendo route");
+    assert!(rr.path().iter().all(|&i| cresc.leaf_of(i) == leaves[site]));
 
     // (b) only Crescendo funnels the site's outbound queries for one
     // destination through a single exit node.

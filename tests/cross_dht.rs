@@ -26,7 +26,11 @@ fn all_canonical(h: &Hierarchy, p: &Placement) -> Vec<(&'static str, CanonicalNe
     vec![
         ("crescendo", build_crescendo(h, p), true),
         ("cacophony", build_cacophony(h, p, Seed(5)), true),
-        ("kandy", build_kandy(h, p, BucketChoice::Closest, Seed(5)), false),
+        (
+            "kandy",
+            build_kandy(h, p, BucketChoice::Closest, Seed(5)),
+            false,
+        ),
         ("cancan", build_cancan(h, p), false),
     ]
 }
@@ -42,7 +46,11 @@ fn every_canonical_dht_has_logarithmic_degree() {
             "{name}: mean degree {} too large vs log2(n) = {logn}",
             deg.mean
         );
-        assert!(deg.mean > 0.4 * logn, "{name}: mean degree {} too small", deg.mean);
+        assert!(
+            deg.mean > 0.4 * logn,
+            "{name}: mean degree {} too small",
+            deg.mean
+        );
     }
 }
 
@@ -56,7 +64,11 @@ fn every_canonical_dht_routes_in_logarithmic_hops() {
         } else {
             hop_stats(net.graph(), Xor, 400, Seed(9))
         };
-        assert!(s.mean < 1.5 * logn, "{name}: mean hops {} vs log2(n) = {logn}", s.mean);
+        assert!(
+            s.mean < 1.5 * logn,
+            "{name}: mean hops {} vs log2(n) = {logn}",
+            s.mean
+        );
     }
 }
 

@@ -63,7 +63,10 @@ fn locality_collapse_also_holds_on_the_plane() {
     // Intra-cluster queries vs global queries.
     let mut by_cluster: std::collections::HashMap<_, Vec<NodeIndex>> = Default::default();
     for (id, leaf) in p.iter() {
-        by_cluster.entry(leaf).or_default().push(g.index_of(id).expect("in graph"));
+        by_cluster
+            .entry(leaf)
+            .or_default()
+            .push(g.index_of(id).expect("in graph"));
     }
     let pools: Vec<&Vec<NodeIndex>> = by_cluster.values().filter(|v| v.len() >= 2).collect();
 

@@ -49,7 +49,10 @@ fn greedy_routes_pass_through_every_store_proxy() {
             }
         }
         // And the final proxy (root responsible node) is the route target.
-        assert_eq!(*path_ids.last().expect("nonempty"), store.responsible_in(key, h.root()));
+        assert_eq!(
+            *path_ids.last().expect("nonempty"),
+            store.responsible_in(key, h.root())
+        );
     }
 }
 
@@ -86,7 +89,9 @@ fn stored_content_is_reachable_by_real_routing() {
         // domain: route restricted to domain members ends at it.
         let storage_node = store.responsible_in(key, storage);
         let inside = members.ring(storage);
-        let from = g.index_of(*inside.as_slice().first().expect("nonempty")).unwrap();
+        let from = g
+            .index_of(*inside.as_slice().first().expect("nonempty"))
+            .unwrap();
         let r = route_to_key(g, Clockwise, from, key.as_point()).expect("route");
         // The unrestricted greedy route passes through the storage node on
         // its way to the global responsible node (path convergence).
@@ -105,7 +110,9 @@ fn cache_levels_mirror_hierarchy_depths() {
     let publisher = p.ids()[0];
     let leaf = p.leaf_of(publisher).expect("placed");
     let key = hash_name("deep-item");
-    store.insert(publisher, key, "v", leaf, h.root()).expect("insert");
+    store
+        .insert(publisher, key, "v", leaf, h.root())
+        .expect("insert");
 
     // A far-away querier (different depth-1 domain if possible).
     let far = p
@@ -126,8 +133,13 @@ fn cache_levels_mirror_hierarchy_depths() {
         .map(|(id, _)| id)
         .expect("far region has another member");
     match store.query_and_cache(near_far, key).expect("query") {
-        QueryOutcome::Found { answered_at_depth, .. } => {
-            assert!(answered_at_depth >= 1, "expected a cache hit below the root");
+        QueryOutcome::Found {
+            answered_at_depth, ..
+        } => {
+            assert!(
+                answered_at_depth >= 1,
+                "expected a cache hit below the root"
+            );
         }
         other => panic!("unexpected outcome {other:?}"),
     }

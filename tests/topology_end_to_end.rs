@@ -13,7 +13,12 @@ use rand::Rng;
 
 fn small_attachment(n: usize) -> Attachment {
     let topo = TransitStubTopology::generate(
-        TopologyParams { transit_domains: 3, transit_nodes: 4, stub_domains: 3, stub_nodes: 5 },
+        TopologyParams {
+            transit_domains: 3,
+            transit_nodes: 4,
+            stub_domains: 3,
+            stub_nodes: 5,
+        },
         LatencyModel::default(),
         Seed(7),
     );
@@ -54,33 +59,53 @@ fn crescendo_beats_chord_on_latency_and_prox_helps_both() {
     let chord_px = build_chord_prox(p.ids(), &lat, ProxParams::default(), Seed(10));
     let cresc_px = build_crescendo_prox(&h, &p, &lat, ProxParams::default(), Seed(11));
 
-    let m_chord = mean_latency(&att, |a, b| {
-        route(&chord, Clockwise, a, b)
-            .ok()
-            .map(|r| r.latency(|x, y| att.latency(chord.id(x), chord.id(y))))
-    }, 300);
-    let m_cresc = mean_latency(&att, |a, b| {
-        route(cresc.graph(), Clockwise, a, b)
-            .ok()
-            .map(|r| r.latency(|x, y| att.latency(cresc.graph().id(x), cresc.graph().id(y))))
-    }, 300);
-    let m_cresc_px = mean_latency(&att, |a, b| {
-        cresc_px
-            .route(a, b)
-            .ok()
-            .map(|r| r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y))))
-    }, 300);
-    let m_chord_px = mean_latency(&att, |a, b| {
-        chord_px
-            .route(a, b)
-            .ok()
-            .map(|r| r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y))))
-    }, 300);
+    let m_chord = mean_latency(
+        &att,
+        |a, b| {
+            route(&chord, Clockwise, a, b)
+                .ok()
+                .map(|r| r.latency(|x, y| att.latency(chord.id(x), chord.id(y))))
+        },
+        300,
+    );
+    let m_cresc = mean_latency(
+        &att,
+        |a, b| {
+            route(cresc.graph(), Clockwise, a, b)
+                .ok()
+                .map(|r| r.latency(|x, y| att.latency(cresc.graph().id(x), cresc.graph().id(y))))
+        },
+        300,
+    );
+    let m_cresc_px = mean_latency(
+        &att,
+        |a, b| {
+            cresc_px.route(a, b).ok().map(|r| {
+                r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y)))
+            })
+        },
+        300,
+    );
+    let m_chord_px = mean_latency(
+        &att,
+        |a, b| {
+            chord_px.route(a, b).ok().map(|r| {
+                r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y)))
+            })
+        },
+        300,
+    );
 
     // Figure 6's ordering (with slack): hierarchy-aware construction beats
     // flat; proximity adaptation improves each family.
-    assert!(m_cresc < 0.8 * m_chord, "crescendo {m_cresc} vs chord {m_chord}");
-    assert!(m_chord_px < 0.8 * m_chord, "chord prox {m_chord_px} vs chord {m_chord}");
+    assert!(
+        m_cresc < 0.8 * m_chord,
+        "crescendo {m_cresc} vs chord {m_chord}"
+    );
+    assert!(
+        m_chord_px < 0.8 * m_chord,
+        "chord prox {m_chord_px} vs chord {m_chord}"
+    );
     assert!(
         m_cresc_px < 1.05 * m_cresc,
         "crescendo prox {m_cresc_px} should not regress vs {m_cresc}"
@@ -105,7 +130,10 @@ fn locality_collapses_latency_for_crescendo_only() {
     let mut by_domain: std::collections::HashMap<_, Vec<NodeIndex>> = Default::default();
     for (id, leaf) in p.iter() {
         let d3 = h.ancestor_at_depth(leaf, 3);
-        by_domain.entry(d3).or_default().push(g.index_of(id).expect("in graph"));
+        by_domain
+            .entry(d3)
+            .or_default()
+            .push(g.index_of(id).expect("in graph"));
     }
     let pools: Vec<&Vec<NodeIndex>> = by_domain.values().filter(|v| v.len() >= 2).collect();
 
@@ -166,8 +194,7 @@ fn multicast_crosses_far_fewer_domains_on_crescendo() {
         .filter(|&s| s != dest)
         .collect();
 
-    let tree_c =
-        MulticastTree::build(cresc.graph(), Clockwise, &sources, dest).expect("routes");
+    let tree_c = MulticastTree::build(cresc.graph(), Clockwise, &sources, dest).expect("routes");
     let routes: Vec<_> = sources
         .iter()
         .map(|&s| chord_px.route(s, dest).expect("prox route"))
