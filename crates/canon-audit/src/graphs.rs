@@ -1,0 +1,167 @@
+//! The graph-invariant audit driver: builds the figure-experiment network
+//! families at smoke sizes and runs [`canon::audit::verify_canonical`] over
+//! each — Canon conditions (a)/(b) on every merged link, per-domain ring
+//! completeness, and `links_per_level` accounting (see `canon::audit` for
+//! the exact checks).
+//!
+//! The hierarchy shapes and placements mirror the `canon-bench` figure
+//! binaries (balanced fanout-10 hierarchies of 1–5 levels with uniform and
+//! Zipf placements, plus the deep fanout-4 shape), so a clean pass here
+//! means the invariants hold on the same graph families the experiments
+//! measure — just at CI-friendly sizes.
+
+use canon::audit::{verify_canonical, AuditReport};
+use canon::cacophony::CacophonyRule;
+use canon::cancan::CanCanRule;
+use canon::crescendo::{CrescendoRule, NondetCrescendoRule};
+use canon::kandy::KandyRule;
+use canon::mixed::LanRule;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::rng::Seed;
+use canon_kademlia::BucketChoice;
+
+/// One verified network: which family/shape it was, and the audit report.
+#[derive(Clone, Debug)]
+pub struct VerifiedGraph {
+    /// Human-readable description, e.g. `crescendo fanout=10 levels=3 n=256
+    /// placement=uniform`.
+    pub label: String,
+    /// What the audit covered.
+    pub report: AuditReport,
+}
+
+/// A failed verification: the graph label and the rendered violations.
+#[derive(Clone, Debug)]
+pub struct VerifyFailure {
+    /// The graph that failed.
+    pub label: String,
+    /// Rendered violation messages.
+    pub violations: Vec<String>,
+}
+
+/// Builds and audits every figure-family network at size `n` per
+/// configuration. Returns one [`VerifiedGraph`] per clean network.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyFailure`] encountered.
+pub fn verify_figure_graphs(
+    n: usize,
+    base_seed: Seed,
+) -> Result<Vec<VerifiedGraph>, VerifyFailure> {
+    let mut out = Vec::new();
+
+    // The figure shapes: fanout 10 at 1–5 levels (Figures 3–5), the deeper
+    // fanout-4 3-level shape used by the locality/convergence figures, and
+    // both placements of the robustness ablation.
+    let shapes: Vec<(usize, u32)> = vec![(10, 1), (10, 2), (10, 3), (10, 5), (4, 3)];
+    for &(fanout, levels) in &shapes {
+        let h = Hierarchy::balanced(fanout, levels);
+        for placement_kind in ["uniform", "zipf"] {
+            let p = match placement_kind {
+                "uniform" => Placement::uniform(&h, n, base_seed.derive("audit-uniform")),
+                _ => Placement::zipf(&h, n, base_seed.derive("audit-zipf")),
+            };
+            let ctx = format!("fanout={fanout} levels={levels} n={n} placement={placement_kind}");
+            verify_family(&h, &p, base_seed, &ctx, &mut out)?;
+        }
+    }
+
+    Ok(out)
+}
+
+/// Audits all five Canonical builders over one (hierarchy, placement).
+fn verify_family(
+    h: &Hierarchy,
+    p: &Placement,
+    seed: Seed,
+    ctx: &str,
+    out: &mut Vec<VerifiedGraph>,
+) -> Result<(), VerifyFailure> {
+    // Each entry: (label, build + verify closure). The seeds mirror the
+    // `build_*` constructors (see their sources): the deterministic
+    // builders fix Seed(0), the randomized ones derive a labeled seed.
+    record(out, ctx, "crescendo", || {
+        let net = canon::crescendo::build_crescendo(h, p);
+        verify_canonical(h, p, &CrescendoRule, Seed(0), &net)
+    })?;
+    record(out, ctx, "nondet-crescendo", || {
+        let net = canon::crescendo::build_nondet_crescendo(h, p, seed);
+        verify_canonical(
+            h,
+            p,
+            &NondetCrescendoRule,
+            seed.derive("nondet-crescendo"),
+            &net,
+        )
+    })?;
+    record(out, ctx, "cacophony", || {
+        let net = canon::cacophony::build_cacophony(h, p, seed);
+        verify_canonical(h, p, &CacophonyRule, seed.derive("cacophony"), &net)
+    })?;
+    record(out, ctx, "kandy-closest", || {
+        let net = canon::kandy::build_kandy(h, p, BucketChoice::Closest, seed);
+        verify_canonical(
+            h,
+            p,
+            &KandyRule::new(BucketChoice::Closest),
+            seed.derive("kandy"),
+            &net,
+        )
+    })?;
+    record(out, ctx, "kandy-random", || {
+        let net = canon::kandy::build_kandy(h, p, BucketChoice::Random, seed);
+        verify_canonical(
+            h,
+            p,
+            &KandyRule::new(BucketChoice::Random),
+            seed.derive("kandy"),
+            &net,
+        )
+    })?;
+    record(out, ctx, "cancan", || {
+        let net = canon::cancan::build_cancan(h, p);
+        verify_canonical(h, p, &CanCanRule, Seed(0), &net)
+    })?;
+    record(out, ctx, "lan-crescendo", || {
+        let net = canon::mixed::build_lan_crescendo(h, p);
+        verify_canonical(h, p, &LanRule::new(CrescendoRule), Seed(0), &net)
+    })?;
+    Ok(())
+}
+
+fn record(
+    out: &mut Vec<VerifiedGraph>,
+    ctx: &str,
+    family: &str,
+    build_and_verify: impl FnOnce() -> Result<AuditReport, Vec<canon::audit::Violation>>,
+) -> Result<(), VerifyFailure> {
+    let label = format!("{family} {ctx}");
+    match build_and_verify() {
+        Ok(report) => {
+            out.push(VerifiedGraph { label, report });
+            Ok(())
+        }
+        Err(violations) => Err(VerifyFailure {
+            label,
+            violations: violations.iter().map(ToString::to_string).collect(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_figure_graphs_verify() {
+        // Small n keeps the debug-build double verification fast.
+        let reports = verify_figure_graphs(60, Seed(42))
+            .unwrap_or_else(|f| panic!("{} failed:\n{}", f.label, f.violations.join("\n")));
+        // 5 shapes × 2 placements × 7 families.
+        assert_eq!(reports.len(), 70);
+        assert!(reports.iter().all(|r| r.report.recomputed));
+        // Multi-level shapes must actually exercise the merge checks.
+        assert!(reports.iter().any(|r| r.report.merged_links_checked > 0));
+    }
+}

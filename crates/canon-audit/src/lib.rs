@@ -1,0 +1,19 @@
+//! Static analysis for the Canon workspace: a dependency-free source lint
+//! pass ([`lint`]), an exhaustive `par_map` schedule-exploration harness
+//! ([`loom`]), and the figure-graph invariant audit driver ([`graphs`],
+//! wrapping [`canon::audit`]).
+//!
+//! The `canon-audit` binary wires all three into one CI entry point:
+//!
+//! ```text
+//! cargo run -p canon-audit -- --ci
+//! ```
+//!
+//! See each module's docs for the rules and checks; `DESIGN.md` ("Static
+//! analysis & invariants") documents the policy rationale.
+
+#![forbid(unsafe_code)]
+
+pub mod graphs;
+pub mod lint;
+pub mod loom;

@@ -1,0 +1,988 @@
+//! The source lint pass: a token-level analyzer over workspace `.rs` files.
+//!
+//! Like the workspace's `rand-shim`/`proptest-shim`, this is a dependency-free
+//! in-tree stand-in for an external tool (here: custom clippy lints/dylint).
+//! It does not parse Rust; it masks comments and string literals, delimits
+//! `#[cfg(test)]` items by brace matching, and then pattern-matches tokens.
+//! That is deliberately conservative: the rules below are bright-line repo
+//! policies where the occasional manual `// audit: allow(...)` annotation is
+//! cheaper than an AST-accurate analyzer.
+//!
+//! # Rules
+//!
+//! * **`hash-iteration`** — in graph-construction crates, `HashMap`/`HashSet`
+//!   iteration order is a determinism hazard (seeded runs must be
+//!   bit-reproducible), so every `HashMap`/`HashSet` binding or field must
+//!   carry a `// audit: membership-only` annotation asserting it is only used
+//!   for membership/lookup — and any iteration-style call (`.iter()`,
+//!   `.keys()`, `.values()`, `.drain()`, `for _ in set`, …) on such a binding
+//!   is flagged regardless of annotation. Code that needs to iterate must use
+//!   `BTreeMap`/`BTreeSet`.
+//! * **`wall-clock`** — `Instant`, `SystemTime` and `thread_rng` must not
+//!   appear in result-affecting crates: results must be pure functions of
+//!   seeds. Only the bench harness (`canon-bench`, `criterion-shim`) may
+//!   read clocks.
+//! * **`panic-site`** — `.unwrap()`, `.expect(` and `panic!` are banned in
+//!   non-test code of the core library crates; fallible APIs return
+//!   `Result`/`Option` instead. (`assert!`/`debug_assert!` stay allowed:
+//!   stating invariants is policy, swallowing errors is not.)
+//! * **`forbid-unsafe`** — every library crate except `canon-par` must carry
+//!   `#![forbid(unsafe_code)]`; `canon-par` must carry
+//!   `#![deny(unsafe_op_in_unsafe_fn)]`, and any `unsafe` token outside
+//!   `canon-par` is flagged directly.
+//!
+//! # Annotations
+//!
+//! An annotation comment applies to its own line and the line below it:
+//!
+//! * `// audit: membership-only` — this `HashMap`/`HashSet` is only used for
+//!   membership tests and key lookups, never iterated;
+//! * `// audit: allow(<rule>)` — suppress `<rule>` findings here (used for
+//!   provably unreachable panic sites and similar).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose construction paths must be iteration-order deterministic.
+pub const CONSTRUCTION_CRATES: &[&str] = &[
+    "canon",
+    "canon-overlay",
+    "canon-id",
+    "canon-hierarchy",
+    "canon-par",
+    "canon-chord",
+    "canon-symphony",
+    "canon-kademlia",
+    "canon-can",
+    "canon-pastry",
+    "canon-skipnet",
+    "canon-topology",
+    "canon-balance",
+];
+
+/// Crates allowed to read wall clocks (the timing harness itself).
+pub const CLOCK_EXEMPT_CRATES: &[&str] = &["canon-bench", "criterion-shim"];
+
+/// Core crates under the no-panic policy.
+pub const PANIC_POLICY_CRATES: &[&str] = &["canon", "canon-overlay", "canon-id", "canon-par"];
+
+/// The one crate allowed to contain `unsafe` code.
+pub const UNSAFE_EXEMPT_CRATES: &[&str] = &["canon-par"];
+
+/// One lint finding, printable as `file:line: [rule] message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`hash-iteration`, `wall-clock`, `panic-site`,
+    /// `forbid-unsafe`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// The finding as a JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":{},"line":{},"rule":{},"message":{}}}"#,
+            json_string(&self.file),
+            self.line,
+            json_string(self.rule),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Renders findings as a JSON array.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings.iter().map(Finding::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A source file presented to the linter: the crate it belongs to, its
+/// workspace-relative path, and its content. Tests feed synthetic files;
+/// [`lint_workspace`] feeds real ones.
+pub struct SourceFile<'a> {
+    /// Cargo package name (e.g. `canon-overlay`), `canon-suite` for the
+    /// workspace root sources.
+    pub crate_name: &'a str,
+    /// Workspace-relative path, used in findings.
+    pub path: &'a str,
+    /// Full file content.
+    pub content: &'a str,
+}
+
+/// Lints every `src/**/*.rs` file of every workspace crate under `root`
+/// (plus the root package's `src/`), returning all findings sorted by file
+/// and line.
+///
+/// # Errors
+///
+/// Returns an error if the workspace layout cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, std::io::Error> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new(); // (crate, file)
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        let crate_dir = entry.path();
+        if !crate_dir.is_dir() {
+            continue;
+        }
+        let crate_name = entry.file_name().to_string_lossy().into_owned();
+        collect_rs(&crate_dir.join("src"), &mut |p| {
+            files.push((crate_name.clone(), p));
+        })?;
+    }
+    collect_rs(&root.join("src"), &mut |p| {
+        files.push(("canon-suite".to_owned(), p));
+    })?;
+
+    let mut findings = Vec::new();
+    for (crate_name, path) in &files {
+        let content = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&SourceFile {
+            crate_name,
+            path: &rel,
+            content: &content,
+        }));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, sink: &mut impl FnMut(PathBuf)) -> Result<(), std::io::Error> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, sink)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            sink(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source file against every rule in scope for its crate.
+pub fn lint_file(file: &SourceFile<'_>) -> Vec<Finding> {
+    let pre = Preprocessed::new(file.content);
+    let mut findings = Vec::new();
+
+    if CONSTRUCTION_CRATES.contains(&file.crate_name) {
+        check_hash_iteration(file, &pre, &mut findings);
+    }
+    if !CLOCK_EXEMPT_CRATES.contains(&file.crate_name) {
+        check_wall_clock(file, &pre, &mut findings);
+    }
+    if PANIC_POLICY_CRATES.contains(&file.crate_name) {
+        check_panic_sites(file, &pre, &mut findings);
+    }
+    check_unsafe(file, &pre, &mut findings);
+
+    findings
+}
+
+/// A source file after comment/string masking, with annotation and
+/// test-region metadata. Line numbers are 1-based throughout.
+struct Preprocessed {
+    /// Lines with comments and string/char literal *contents* blanked out
+    /// (delimiters kept), so token scans cannot match inside either.
+    masked: Vec<String>,
+    /// `// audit: membership-only` annotation lines.
+    membership_only: Vec<usize>,
+    /// `// audit: allow(rule)` annotations as (line, rule).
+    allows: Vec<(usize, String)>,
+    /// Whether each line falls inside a `#[cfg(test)]` item.
+    in_test: Vec<bool>,
+}
+
+impl Preprocessed {
+    fn new(content: &str) -> Self {
+        let raw_lines: Vec<&str> = content.lines().collect();
+
+        let mut membership_only = Vec::new();
+        let mut allows = Vec::new();
+        for (i, line) in raw_lines.iter().enumerate() {
+            if let Some(pos) = line.find("// audit:") {
+                let directive = line[pos + "// audit:".len()..].trim();
+                if directive.starts_with("membership-only") {
+                    membership_only.push(i + 1);
+                } else if let Some(rest) = directive.strip_prefix("allow(") {
+                    if let Some(end) = rest.find(')') {
+                        allows.push((i + 1, rest[..end].trim().to_owned()));
+                    }
+                }
+            }
+        }
+
+        let masked_text = mask_comments_and_strings(content);
+        let masked: Vec<String> = masked_text.lines().map(str::to_owned).collect();
+        let in_test = mark_test_regions(&masked);
+
+        Preprocessed {
+            masked,
+            membership_only,
+            allows,
+            in_test,
+        }
+    }
+
+    fn is_membership_annotated(&self, line: usize) -> bool {
+        // An annotation covers its own line and the one below it.
+        self.membership_only
+            .iter()
+            .any(|&l| l == line || l + 1 == line)
+    }
+
+    fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| (*l == line || *l + 1 == line) && r == rule)
+    }
+
+    fn in_test(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Blanks out comment bodies and string/char literal contents, preserving
+/// line structure so line numbers survive. Handles line comments, nested
+/// block comments, escapes, raw strings (`r"…"`, `r#"…"#`, …), and
+/// distinguishes char literals from lifetimes.
+fn mask_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"…" or r#…#"…"#…#.
+        if c == 'r' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') {
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' {
+                for _ in i..=j {
+                    out.push(' ');
+                }
+                i = j + 1;
+                // Scan for closing quote + hashes.
+                'raw: while i < b.len() {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut h = 0;
+                        while k < b.len() && b[k] == '#' && h < hashes {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            for _ in i..k {
+                                out.push(' ');
+                            }
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: a quote is a char literal if it closes
+        // within a couple of characters (possibly escaped).
+        if c == '\'' {
+            let close = if i + 2 < b.len() && b[i + 1] == '\\' {
+                // Escaped char: find the closing quote within a short span
+                // ('\n', '\x7f', '\u{1F600}').
+                (i + 2..(i + 12).min(b.len())).find(|&k| b[k] == '\'')
+            } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                Some(i + 2)
+            } else {
+                None
+            };
+            if let Some(k) = close {
+                out.push('\'');
+                for _ in i + 1..k {
+                    out.push(' ');
+                }
+                out.push('\'');
+                i = k + 1;
+                continue;
+            }
+            // A lifetime: emit as-is.
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Marks the line ranges of `#[cfg(test)]` items by brace matching on the
+/// masked source.
+fn mark_test_regions(masked: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; masked.len()];
+    let mut i = 0;
+    while i < masked.len() {
+        if masked[i].contains("#[cfg(test)]") {
+            // Find the opening brace of the annotated item (skipping further
+            // attribute lines), then match braces to its close.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            while j < masked.len() {
+                for ch in masked[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                in_test[j] = true;
+                if opened && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Whether `text[pos]` starts token `tok` at a word boundary.
+fn is_word_at(text: &str, pos: usize, tok: &str) -> bool {
+    let before_ok = pos == 0
+        || !text[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = pos + tok.len();
+    let after_ok = after >= text.len()
+        || !text[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// All word-boundary occurrences of `tok` in `line`.
+fn word_positions(line: &str, tok: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = line[from..].find(tok) {
+        let pos = from + p;
+        if is_word_at(line, pos, tok) {
+            out.push(pos);
+        }
+        from = pos + tok.len().max(1);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+// ---------------------------------------------------------------------------
+
+const CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime", "thread_rng"];
+
+fn check_wall_clock(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+    for (idx, line) in pre.masked.iter().enumerate() {
+        let lineno = idx + 1;
+        if pre.in_test(lineno) || pre.is_allowed(lineno, "wall-clock") {
+            continue;
+        }
+        for tok in CLOCK_TOKENS {
+            for _pos in word_positions(line, tok) {
+                findings.push(Finding {
+                    file: file.path.to_owned(),
+                    line: lineno,
+                    rule: "wall-clock",
+                    message: format!(
+                        "`{tok}` in result-affecting crate `{}`: results must be pure \
+                         functions of seeds, never of wall-clock or OS entropy",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: panic-site
+// ---------------------------------------------------------------------------
+
+fn check_panic_sites(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+    for (idx, line) in pre.masked.iter().enumerate() {
+        let lineno = idx + 1;
+        if pre.in_test(lineno) || pre.is_allowed(lineno, "panic-site") {
+            continue;
+        }
+        for (tok, what) in [
+            (".unwrap()", "`.unwrap()`"),
+            (".expect(", "`.expect(..)`"),
+            ("panic!", "`panic!`"),
+        ] {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(tok) {
+                let pos = from + p;
+                // `panic!` must be a word on its own (not `debug_panic!` or
+                // similar); method tokens are already anchored by the dot.
+                let word_ok = !tok.starts_with("panic") || is_word_at(line, pos, "panic");
+                if word_ok {
+                    findings.push(Finding {
+                        file: file.path.to_owned(),
+                        line: lineno,
+                        rule: "panic-site",
+                        message: format!(
+                            "{what} in non-test code of core crate `{}`: return \
+                             Result/Option (or state the invariant with assert!)",
+                            file.crate_name
+                        ),
+                    });
+                    break; // one finding per token kind per line
+                }
+                from = pos + tok.len();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hash-iteration
+// ---------------------------------------------------------------------------
+
+/// Method calls on a hash collection that observe iteration order.
+const ITERATION_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+fn check_hash_iteration(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+    // Pass 1: find bindings/fields typed as HashMap/HashSet and check the
+    // declaration is annotated. Applies to test code too — a nondeterministic
+    // iteration in a test makes the test flaky.
+    let mut tracked: Vec<String> = Vec::new();
+    for (idx, line) in pre.masked.iter().enumerate() {
+        let lineno = idx + 1;
+        let has_hash = !word_positions(line, "HashMap").is_empty()
+            || !word_positions(line, "HashSet").is_empty();
+        if !has_hash {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue; // imports alone are fine
+        }
+        if let Some(name) = bound_identifier(line) {
+            if !tracked.contains(&name) {
+                tracked.push(name);
+            }
+            if !pre.is_membership_annotated(lineno) && !pre.is_allowed(lineno, "hash-iteration") {
+                findings.push(Finding {
+                    file: file.path.to_owned(),
+                    line: lineno,
+                    rule: "hash-iteration",
+                    message: format!(
+                        "HashMap/HashSet binding in construction crate `{}` without a \
+                         `// audit: membership-only` annotation; if it is ever iterated, \
+                         use BTreeMap/BTreeSet instead",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Pass 2: iteration-style calls on tracked bindings are violations even
+    // when the binding is annotated (the annotation is an assertion, and
+    // this is its checker).
+    for (idx, line) in pre.masked.iter().enumerate() {
+        let lineno = idx + 1;
+        if pre.is_allowed(lineno, "hash-iteration") {
+            continue;
+        }
+        for name in &tracked {
+            for pos in word_positions(line, name) {
+                let rest = &line[pos + name.len()..];
+                if let Some(m) = ITERATION_METHODS.iter().find(|m| rest.starts_with(**m)) {
+                    findings.push(Finding {
+                        file: file.path.to_owned(),
+                        line: lineno,
+                        rule: "hash-iteration",
+                        message: format!(
+                            "`{name}{m}` iterates a HashMap/HashSet in construction \
+                             crate `{}`: iteration order is nondeterministic; use \
+                             BTreeMap/BTreeSet",
+                            file.crate_name
+                        ),
+                    });
+                }
+            }
+            // `for x in map` / `for x in &map` / `for x in &mut s.map`.
+            if let Some(p) = line.find(" in ") {
+                let expr = line[p + 4..]
+                    .split('{')
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .trim_start_matches("&mut ")
+                    .trim_start_matches('&');
+                let for_loop = line.trim_start().starts_with("for ")
+                    || !word_positions(&line[..p], "for").is_empty();
+                if for_loop && (expr == name || expr.ends_with(&format!(".{name}"))) {
+                    findings.push(Finding {
+                        file: file.path.to_owned(),
+                        line: lineno,
+                        rule: "hash-iteration",
+                        message: format!(
+                            "`for … in {name}` iterates a HashMap/HashSet in construction \
+                             crate `{}`: iteration order is nondeterministic; use \
+                             BTreeMap/BTreeSet",
+                            file.crate_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The identifier a `HashMap`/`HashSet`-typed line binds: `let [mut] x`,
+/// a struct field `x: HashMap<…>`, or an fn param `x: &mut HashSet<…>`.
+fn bound_identifier(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    if let Some(rest) = t.strip_prefix("let ") {
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        return (!name.is_empty()).then_some(name);
+    }
+    // Field or parameter: `name: …HashMap<` / `name: …HashSet<` — take the
+    // identifier immediately before the first ':' (skip `pub`).
+    let colon = t.find(':')?;
+    let after = &t[colon..];
+    if !(after.contains("HashMap") || after.contains("HashSet")) {
+        return None;
+    }
+    let before = t[..colon].trim_end();
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_numeric())).then_some(name)
+}
+
+// ---------------------------------------------------------------------------
+// Rule: forbid-unsafe
+// ---------------------------------------------------------------------------
+
+fn check_unsafe(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+    let exempt = UNSAFE_EXEMPT_CRATES.contains(&file.crate_name);
+    let is_lib_root = file.path.ends_with("src/lib.rs");
+
+    if is_lib_root {
+        let joined = pre.masked.join("\n");
+        if exempt {
+            if !joined.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+                findings.push(Finding {
+                    file: file.path.to_owned(),
+                    line: 1,
+                    rule: "forbid-unsafe",
+                    message: format!(
+                        "crate `{}` is unsafe-exempt but must carry \
+                         `#![deny(unsafe_op_in_unsafe_fn)]`",
+                        file.crate_name
+                    ),
+                });
+            }
+        } else if !joined.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                file: file.path.to_owned(),
+                line: 1,
+                rule: "forbid-unsafe",
+                message: format!(
+                    "crate `{}` is missing `#![forbid(unsafe_code)]`",
+                    file.crate_name
+                ),
+            });
+        }
+    }
+
+    if !exempt {
+        for (idx, line) in pre.masked.iter().enumerate() {
+            let lineno = idx + 1;
+            // `forbid(unsafe_code)` attribute lines mention the word.
+            if line.contains("forbid(unsafe_code)") || pre.is_allowed(lineno, "forbid-unsafe") {
+                continue;
+            }
+            if !word_positions(line, "unsafe").is_empty() {
+                findings.push(Finding {
+                    file: file.path.to_owned(),
+                    line: lineno,
+                    rule: "forbid-unsafe",
+                    message: format!(
+                        "`unsafe` outside the exempt crate(s) {UNSAFE_EXEMPT_CRATES:?} \
+                         (crate `{}`)",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lints `content` as a non-root source file (so the lib.rs-only
+    /// attribute-presence check stays out of the way of the other rules).
+    fn lint(crate_name: &str, content: &str) -> Vec<Finding> {
+        lint_file(&SourceFile {
+            crate_name,
+            path: "crates/x/src/part.rs",
+            content,
+        })
+    }
+
+    /// Lints `content` as a crate's `src/lib.rs`.
+    fn lint_lib(crate_name: &str, content: &str) -> Vec<Finding> {
+        lint_file(&SourceFile {
+            crate_name,
+            path: "crates/x/src/lib.rs",
+            content,
+        })
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- wall-clock -------------------------------------------------------
+
+    #[test]
+    fn wall_clock_flags_instant_in_result_affecting_crate() {
+        let f = lint("canon", "fn t() { let s = std::time::Instant::now(); }\n");
+        assert!(rules(&f).contains(&"wall-clock"), "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn wall_clock_flags_thread_rng_and_system_time() {
+        let src =
+            "fn a() { let r = rand::thread_rng(); }\nfn b() -> SystemTime { SystemTime::now() }\n";
+        let f = lint("canon-sim", src);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "wall-clock").count(),
+            3,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_exempts_bench_crates_tests_and_annotations() {
+        assert!(lint("canon-bench", "use std::time::Instant;\n").is_empty());
+        assert!(lint("criterion-shim", "use std::time::Instant;\n").is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n";
+        assert!(lint("canon", in_test).is_empty(), "test code is exempt");
+        let annotated = "// audit: allow(wall-clock)\nuse std::time::Instant;\n";
+        assert!(lint("canon-netsim", annotated).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_ignores_comments_and_strings() {
+        let src = "// Instant is banned\nfn f() -> &'static str { \"SystemTime\" }\n";
+        assert!(lint("canon", src).is_empty());
+    }
+
+    // ---- panic-site -------------------------------------------------------
+
+    #[test]
+    fn panic_site_flags_unwrap_expect_panic() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"msg\");\n    if a == b { panic!(\"boom\") }\n    a\n}\n";
+        let f = lint("canon-overlay", src);
+        assert_eq!(rules(&f), vec!["panic-site", "panic-site", "panic-site"]);
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn panic_site_out_of_scope_crates_and_tests_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint("canon-bench", src).is_empty(), "bench not in policy");
+        assert!(lint("canon-sim", src).is_empty(), "sim not in policy");
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint("canon", test_src).is_empty());
+    }
+
+    #[test]
+    fn panic_site_allows_unwrap_or_and_assert() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    assert!(true);\n    x.unwrap_or_default()\n}\n";
+        assert!(lint("canon-id", src).is_empty());
+    }
+
+    #[test]
+    fn panic_site_annotation_suppresses() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 {\n    // audit: allow(panic-site)\n    x.unwrap()\n}\n";
+        assert!(lint("canon-par", src).is_empty());
+    }
+
+    #[test]
+    fn panic_site_ignores_doc_examples() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n";
+        assert!(lint("canon", src).is_empty());
+    }
+
+    // ---- hash-iteration ---------------------------------------------------
+
+    #[test]
+    fn hash_iteration_flags_unannotated_binding() {
+        let src = "fn f() {\n    let m: std::collections::HashMap<u8, u8> = Default::default();\n    let _ = m.get(&0);\n}\n";
+        let f = lint("canon", src);
+        assert_eq!(rules(&f), vec!["hash-iteration"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn hash_iteration_annotated_membership_binding_is_clean() {
+        let src = "fn f() {\n    // audit: membership-only\n    let m: std::collections::HashMap<u8, u8> = Default::default();\n    let _ = m.contains_key(&0);\n}\n";
+        assert!(lint("canon", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_flags_iteration_even_when_annotated() {
+        let src = "fn f() {\n    // audit: membership-only\n    let m: std::collections::HashMap<u8, u8> = Default::default();\n    for (k, v) in m.iter() { let _ = (k, v); }\n}\n";
+        let f = lint("canon-overlay", src);
+        assert_eq!(rules(&f), vec!["hash-iteration"], "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn hash_iteration_flags_for_loop_and_values() {
+        let src = "struct S {\n    // audit: membership-only\n    groups: std::collections::HashSet<u64>,\n}\nfn f(s: &S) {\n    for g in &s.groups { let _ = g; }\n    let v: Vec<_> = s.groups.values().collect();\n}\n";
+        let f = lint("canon-skipnet", src);
+        assert_eq!(rules(&f), vec!["hash-iteration", "hash-iteration"], "{f:?}");
+    }
+
+    #[test]
+    fn hash_iteration_out_of_scope_crate_is_clean() {
+        let src = "fn f() { let m: std::collections::HashMap<u8, u8> = Default::default(); let _ = m.iter(); }\n";
+        assert!(lint("canon-bench", src).is_empty());
+        assert!(
+            lint("canon-store", src).is_empty(),
+            "not a construction crate"
+        );
+    }
+
+    #[test]
+    fn hash_iteration_ignores_bare_imports_and_btree() {
+        let src = "use std::collections::HashMap;\nuse std::collections::BTreeMap;\nfn f() {\n    let m: BTreeMap<u8, u8> = BTreeMap::new();\n    for (k, _) in m.iter() { let _ = k; }\n}\n";
+        assert!(lint("canon", src).is_empty());
+    }
+
+    // ---- forbid-unsafe ----------------------------------------------------
+
+    #[test]
+    fn forbid_unsafe_requires_attribute_in_lib_root() {
+        let f = lint_lib("canon-store", "pub fn f() {}\n");
+        assert_eq!(rules(&f), vec!["forbid-unsafe"]);
+        assert!(lint_lib("canon-store", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_flags_unsafe_token_outside_exempt_crate() {
+        let src = "#![forbid(unsafe_code)]\npub fn f() { let p = 0u8; let _ = unsafe { *(&p as *const u8) }; }\n";
+        let f = lint_lib("canon-store", src);
+        assert_eq!(rules(&f), vec!["forbid-unsafe"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn forbid_unsafe_exempt_crate_needs_deny_attr() {
+        let f = lint_lib("canon-par", "pub fn f() {}\n");
+        assert_eq!(rules(&f), vec!["forbid-unsafe"]);
+        assert!(lint_lib(
+            "canon-par",
+            "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() { unsafe { } }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn non_lib_files_skip_attribute_check() {
+        let f = lint_file(&SourceFile {
+            crate_name: "canon-store",
+            path: "crates/canon-store/src/other.rs",
+            content: "pub fn f() {}\n",
+        });
+        assert!(f.is_empty());
+    }
+
+    // ---- infrastructure ---------------------------------------------------
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let masked = mask_comments_and_strings(
+            "let a = r#\"panic!(\"x\")\"#;\nlet c = 'x';\nlet lt: &'static str = \"y\";\n",
+        );
+        assert!(!masked.contains("panic"));
+        assert!(masked.contains("'static"), "{masked}");
+        assert_eq!(masked.lines().count(), 3);
+    }
+
+    #[test]
+    fn nested_test_mod_braces_matched() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { { } }\n    #[test]\n    fn t() {}\n}\nfn b(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let f = lint("canon", src);
+        // Only the unwrap *after* the test mod is flagged.
+        assert_eq!(rules(&f), vec!["panic-site"]);
+        assert_eq!(f[0].line, 8);
+    }
+
+    #[test]
+    fn json_escapes_and_round_trips_shape() {
+        let f = Finding {
+            file: "a \"b\"\\c.rs".to_owned(),
+            line: 3,
+            rule: "wall-clock",
+            message: "tab\there".to_owned(),
+        };
+        let j = f.to_json();
+        assert!(j.contains(r#""line":3"#));
+        assert!(j.contains(r#"\""#));
+        assert!(j.contains(r"\t"));
+        assert_eq!(findings_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn display_format_is_file_line_rule_message() {
+        let f = Finding {
+            file: "crates/canon/src/engine.rs".to_owned(),
+            line: 12,
+            rule: "panic-site",
+            message: "m".to_owned(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/canon/src/engine.rs:12: [panic-site] m"
+        );
+    }
+}

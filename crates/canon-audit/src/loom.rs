@@ -1,0 +1,389 @@
+//! Mini-loom: exhaustive schedule exploration for `canon_par::par_map`.
+//!
+//! The regression tests in `canon-par` compare outputs for a handful of
+//! thread counts — they *sample* schedules the OS happens to produce. This
+//! harness instead **enumerates every interleaving** of the fork/join
+//! structure over small inputs (the loom idea, scaled down to the one
+//! concurrency primitive this workspace has) and checks that:
+//!
+//! * every schedule writes every output slot exactly once (workers own
+//!   disjoint chunks — the structural reason `par_map` is race-free);
+//! * every schedule produces the same output as the serial map;
+//! * each worker's side effects appear in its program order within the
+//!   global effect log.
+//!
+//! The model shares its chunking with the real executor by calling
+//! [`canon_par::chunk_bounds`], so what is explored is the implementation's
+//! actual fork/join shape, not a re-derivation of it. A second entry point,
+//! [`explore_shared`], lets the checked function read and write state shared
+//! *across* workers — the kind of bug the checker exists to catch — and the
+//! unit tests prove a schedule-dependent function is reported.
+//!
+//! The number of interleavings of chunks of sizes `c1..ck` is the
+//! multinomial `(c1+…+ck)! / (c1!·…·ck!)`; [`Exploration::schedules`]
+//! reports how many were run and [`interleaving_count`] the closed form, so
+//! callers can assert exhaustiveness.
+
+use std::fmt;
+
+/// Summary of one exhaustive exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exploration {
+    /// Input length.
+    pub len: usize,
+    /// Worker count (chunks from `canon_par::chunk_bounds`).
+    pub threads: usize,
+    /// Number of distinct interleavings executed.
+    pub schedules: usize,
+}
+
+/// A determinism violation found by schedule exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoomViolation {
+    /// An output slot was written by more than one op (chunk overlap).
+    SlotClobbered {
+        /// The slot index written twice.
+        index: usize,
+    },
+    /// An output slot was never written (chunk gap).
+    SlotUnwritten {
+        /// The slot index left empty.
+        index: usize,
+    },
+    /// A schedule produced output different from the serial reference.
+    NondeterministicResult {
+        /// The schedule as the worker id executed at each step.
+        schedule: Vec<usize>,
+        /// The serial (reference) output.
+        expected: Vec<u64>,
+        /// What this schedule produced.
+        got: Vec<u64>,
+    },
+    /// A worker's effects appeared out of its program order.
+    EffectOrderBroken {
+        /// The worker whose op order was violated.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for LoomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoomViolation::SlotClobbered { index } => {
+                write!(f, "slot {index} written by more than one op")
+            }
+            LoomViolation::SlotUnwritten { index } => {
+                write!(f, "slot {index} never written")
+            }
+            LoomViolation::NondeterministicResult {
+                schedule,
+                expected,
+                got,
+            } => write!(
+                f,
+                "schedule {schedule:?} produced {got:?}, serial reference is {expected:?}"
+            ),
+            LoomViolation::EffectOrderBroken { worker } => {
+                write!(f, "worker {worker}'s effects appeared out of program order")
+            }
+        }
+    }
+}
+
+/// The number of interleavings of chunks with the given sizes: the
+/// multinomial coefficient `(Σsizes)! / Π(sizes!)`.
+pub fn interleaving_count(sizes: &[usize]) -> u128 {
+    // Build incrementally as Π C(prefix_total, size) to stay in range.
+    let mut total = 0u128;
+    let mut count = 1u128;
+    for &s in sizes {
+        for k in 1..=s as u128 {
+            total += 1;
+            count = count * total / k; // exact: product of consecutive / k! stepwise
+        }
+    }
+    count
+}
+
+/// Exhaustively explores every interleaving of `par_map`'s fork/join
+/// structure for `len` items on `threads` workers, applying the pure
+/// function `f` to each index.
+///
+/// # Errors
+///
+/// Returns the first violation found (see [`LoomViolation`]).
+pub fn explore(
+    len: usize,
+    threads: usize,
+    f: impl Fn(usize) -> u64,
+) -> Result<Exploration, LoomViolation> {
+    explore_shared(len, threads, |_, i| f(i))
+}
+
+/// Like [`explore`], but `f` also receives a `u64` cell shared across all
+/// workers *within one schedule* (reset to 0 per schedule). A function that
+/// reads or writes the cell models a data race on shared state; the
+/// exploration will report the resulting schedule-dependence.
+///
+/// # Errors
+///
+/// Returns the first violation found (see [`LoomViolation`]).
+pub fn explore_shared(
+    len: usize,
+    threads: usize,
+    f: impl Fn(&mut u64, usize) -> u64,
+) -> Result<Exploration, LoomViolation> {
+    let bounds = canon_par::chunk_bounds(len, threads.max(1));
+    let chunks: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+
+    // Serial reference: the in-order schedule, which is what par_map's
+    // chunk-ordered join promises to reproduce.
+    let mut shared = 0u64;
+    let reference: Vec<u64> = (0..len).map(|i| f(&mut shared, i)).collect();
+
+    // Depth-first enumeration of all interleavings: at each step pick any
+    // worker with ops remaining.
+    let mut positions = vec![0usize; chunks.len()];
+    let mut schedule: Vec<usize> = Vec::with_capacity(len);
+    let mut schedules = 0usize;
+    let mut stack: Vec<Vec<usize>> = vec![ready_workers(&chunks, &positions)];
+
+    // Iterative DFS so deep interleavings cannot overflow the call stack.
+    while let Some(choices) = stack.last_mut() {
+        if let Some(w) = choices.pop() {
+            positions[w] += 1;
+            schedule.push(w);
+            if schedule.len() == len {
+                schedules += 1;
+                check_schedule(&chunks, &schedule, &reference, &f)?;
+                // Backtrack this completed leaf immediately.
+                let last = schedule.pop().unwrap_or_default();
+                positions[last] -= 1;
+            } else {
+                stack.push(ready_workers(&chunks, &positions));
+            }
+        } else {
+            stack.pop();
+            if let Some(w) = schedule.pop() {
+                positions[w] -= 1;
+            }
+        }
+    }
+
+    // len == 0: the single empty schedule.
+    if len == 0 {
+        schedules = 1;
+    }
+
+    Ok(Exploration {
+        len,
+        threads: chunks.len(),
+        schedules,
+    })
+}
+
+fn ready_workers(chunks: &[(usize, usize)], positions: &[usize]) -> Vec<usize> {
+    (0..chunks.len())
+        .filter(|&w| positions[w] < chunks[w].1 - chunks[w].0)
+        .collect()
+}
+
+/// Executes one complete schedule against the model and checks the
+/// exactly-once / determinism / effect-order properties.
+fn check_schedule(
+    chunks: &[(usize, usize)],
+    schedule: &[usize],
+    reference: &[u64],
+    f: &impl Fn(&mut u64, usize) -> u64,
+) -> Result<(), LoomViolation> {
+    let len = reference.len();
+    let mut slots: Vec<Option<u64>> = vec![None; len];
+    let mut positions = vec![0usize; chunks.len()];
+    let mut effect_log: Vec<(usize, usize)> = Vec::with_capacity(len); // (worker, index)
+    let mut shared = 0u64;
+
+    for &w in schedule {
+        let index = chunks[w].0 + positions[w];
+        positions[w] += 1;
+        let value = f(&mut shared, index);
+        if slots[index].is_some() {
+            return Err(LoomViolation::SlotClobbered { index });
+        }
+        slots[index] = Some(value);
+        effect_log.push((w, index));
+    }
+
+    // Join phase: collect in chunk order (slot order — identical because
+    // chunks are contiguous and ordered).
+    let mut got = Vec::with_capacity(len);
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(v) => got.push(v),
+            None => return Err(LoomViolation::SlotUnwritten { index }),
+        }
+    }
+
+    if got != reference {
+        return Err(LoomViolation::NondeterministicResult {
+            schedule: schedule.to_vec(),
+            expected: reference.to_vec(),
+            got,
+        });
+    }
+
+    // Each worker's effect subsequence must equal its chunk in order.
+    for (w, &(start, end)) in chunks.iter().enumerate() {
+        let seen: Vec<usize> = effect_log
+            .iter()
+            .filter(|&&(ew, _)| ew == w)
+            .map(|&(_, i)| i)
+            .collect();
+        if seen != (start..end).collect::<Vec<usize>>() {
+            return Err(LoomViolation::EffectOrderBroken { worker: w });
+        }
+    }
+
+    Ok(())
+}
+
+/// The standard exploration suite: every `(len, threads)` with
+/// `len <= max_len` and `threads <= max_threads`, a pure per-index function,
+/// plus a cross-check of the *real* `par_map` against the serial map for
+/// every thread count. Returns one [`Exploration`] per configuration.
+///
+/// # Errors
+///
+/// Returns `(len, threads, violation)` for the first failing configuration.
+pub fn run_suite(
+    max_len: usize,
+    max_threads: usize,
+) -> Result<Vec<Exploration>, (usize, usize, LoomViolation)> {
+    let mut reports = Vec::new();
+    for len in 0..=max_len {
+        for threads in 1..=max_threads {
+            // A nonlinear pure function so misplaced indices change results.
+            let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9) ^ 0xc2b2_ae35;
+            let report = explore(len, threads, f).map_err(|v| (len, threads, v))?;
+
+            // Exhaustiveness: the model must have executed exactly the
+            // multinomial number of interleavings.
+            let bounds = canon_par::chunk_bounds(len, threads);
+            let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+            let expected = interleaving_count(&sizes);
+            if report.schedules as u128 != expected {
+                return Err((
+                    len,
+                    threads,
+                    LoomViolation::NondeterministicResult {
+                        schedule: Vec::new(),
+                        expected: vec![expected as u64],
+                        got: vec![report.schedules as u64],
+                    },
+                ));
+            }
+
+            // Cross-check the real executor on the same shape.
+            let items: Vec<u64> = (0..len as u64).collect();
+            let serial: Vec<u64> = items.iter().enumerate().map(|(i, _)| f(i)).collect();
+            let parallel =
+                canon_par::with_threads(threads, || canon_par::par_map(&items, |i, _| f(i)));
+            if parallel != serial {
+                return Err((
+                    len,
+                    threads,
+                    LoomViolation::NondeterministicResult {
+                        schedule: Vec::new(),
+                        expected: serial,
+                        got: parallel,
+                    },
+                ));
+            }
+
+            reports.push(report);
+        }
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explores_all_interleavings_at_width_4() {
+        // len 8 over 4 workers: chunks 2/2/2/2 → 8!/(2!^4) = 2520 schedules.
+        let r = explore(8, 4, |i| i as u64).unwrap();
+        assert_eq!(r.schedules, 2520);
+        assert_eq!(r.threads, 4);
+    }
+
+    #[test]
+    fn schedule_counts_match_multinomials() {
+        assert_eq!(interleaving_count(&[]), 1);
+        assert_eq!(interleaving_count(&[5]), 1);
+        assert_eq!(interleaving_count(&[1, 1, 1]), 6);
+        assert_eq!(interleaving_count(&[2, 2]), 6);
+        assert_eq!(interleaving_count(&[2, 2, 1, 1]), 180);
+        assert_eq!(interleaving_count(&[2, 2, 2, 2]), 2520);
+        for (len, threads) in [(0, 3), (1, 1), (4, 2), (5, 3), (6, 4), (7, 3)] {
+            let bounds = canon_par::chunk_bounds(len, threads);
+            let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+            let r = explore(len, threads, |i| i as u64).unwrap();
+            assert_eq!(
+                r.schedules as u128,
+                interleaving_count(&sizes),
+                "len={len} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_functions_pass_for_all_small_widths() {
+        for len in 0..=6 {
+            for threads in 1..=4 {
+                explore(len, threads, |i| (i as u64) * 31 + 7)
+                    .unwrap_or_else(|v| panic!("len={len} threads={threads}: {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_state_race_is_detected() {
+        // f reads a cross-worker shared counter: the value each index gets
+        // depends on global execution order → schedule-dependent output.
+        let result = explore_shared(4, 2, |shared, i| {
+            *shared += 1;
+            *shared * 100 + i as u64
+        });
+        match result {
+            Err(LoomViolation::NondeterministicResult { schedule, .. }) => {
+                assert!(!schedule.is_empty());
+            }
+            other => panic!("race not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_local_state_is_not_a_race() {
+        // Shared cell used read-only (never written) stays deterministic.
+        let r = explore_shared(5, 3, |shared, i| *shared + (i as u64) * 3).unwrap();
+        assert_eq!(r.len, 5);
+    }
+
+    #[test]
+    fn suite_runs_clean_at_width_4() {
+        let reports = run_suite(6, 4)
+            .unwrap_or_else(|(l, t, v)| panic!("suite failed at len={l} threads={t}: {v}"));
+        // 7 lengths × 4 widths.
+        assert_eq!(reports.len(), 28);
+        assert!(reports.iter().all(|r| r.schedules >= 1));
+    }
+
+    #[test]
+    fn violations_render() {
+        let v = LoomViolation::SlotUnwritten { index: 3 };
+        assert!(v.to_string().contains("slot 3"));
+        let v = LoomViolation::EffectOrderBroken { worker: 1 };
+        assert!(v.to_string().contains("worker 1"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the graph invariant auditor: the Canon merge
+//! invariants hold on randomly shaped hierarchies for every builder family,
+//! and construction is byte-identical across worker-thread counts.
+
+use canon::audit::verify_canonical;
+use canon::cacophony::{build_cacophony, CacophonyRule};
+use canon::crescendo::{build_crescendo, CrescendoRule};
+use canon::kandy::{build_kandy, KandyRule};
+use canon::CanonicalNetwork;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::rng::Seed;
+use canon_id::NodeId;
+use canon_kademlia::BucketChoice;
+use proptest::prelude::*;
+
+/// A random tree grown by attaching each new domain under a random
+/// existing one (same shape distribution as the hierarchy crate's own
+/// property tests).
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    proptest::collection::vec(any::<u16>(), 0..24).prop_map(|parents| {
+        let mut h = Hierarchy::new();
+        let mut all = vec![h.root()];
+        for (i, p) in parents.into_iter().enumerate() {
+            let parent = all[p as usize % all.len()];
+            all.push(h.add_domain(parent, format!("d{i}")));
+        }
+        h
+    })
+}
+
+/// Everything that makes a built network observable: sorted ids, each
+/// node's (sorted) neighbor list, the per-level link counts, and each
+/// node's leaf domain.
+fn fingerprint(net: &CanonicalNetwork) -> (Vec<NodeId>, Vec<Vec<NodeId>>, Vec<usize>, Vec<u32>) {
+    let g = net.graph();
+    let ids = g.ids().to_vec();
+    let neighbors = g
+        .node_indices()
+        .map(|i| g.neighbors(i).iter().map(|&j| g.id(j)).collect())
+        .collect();
+    let leaves = g
+        .node_indices()
+        .map(|i| net.leaf_of(i).index() as u32)
+        .collect();
+    (ids, neighbors, net.links_per_level().to_vec(), leaves)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crescendo satisfies conditions (a)/(b), ring completeness, and level
+    /// accounting on arbitrary hierarchy shapes and placements.
+    #[test]
+    fn crescendo_verifies_on_random_hierarchies(
+        h in arb_hierarchy(),
+        n in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_crescendo(&h, &p);
+        let report = verify_canonical(&h, &p, &CrescendoRule, Seed(0), &net)
+            .map_err(|v| TestCaseError::fail(format!("{v:?}")))?;
+        prop_assert!(report.recomputed);
+        prop_assert_eq!(report.nodes, n);
+    }
+
+    /// Cacophony (randomized flat rule under the Canon transform) verifies
+    /// for arbitrary construction seeds.
+    #[test]
+    fn cacophony_verifies_on_random_hierarchies(
+        h in arb_hierarchy(),
+        n in 1usize..48,
+        pseed in any::<u64>(),
+        bseed in any::<u64>(),
+    ) {
+        let p = Placement::zipf(&h, n, Seed(pseed));
+        let net = build_cacophony(&h, &p, Seed(bseed));
+        let report =
+            verify_canonical(&h, &p, &CacophonyRule, Seed(bseed).derive("cacophony"), &net)
+                .map_err(|v| TestCaseError::fail(format!("{v:?}")))?;
+        prop_assert!(report.recomputed);
+    }
+
+    /// Kandy (XOR metric, per-bucket condition (b)) verifies for both
+    /// bucket-choice policies.
+    #[test]
+    fn kandy_verifies_on_random_hierarchies(
+        h in arb_hierarchy(),
+        n in 1usize..48,
+        seed in any::<u64>(),
+        closest in any::<bool>(),
+    ) {
+        let choice = if closest { BucketChoice::Closest } else { BucketChoice::Random };
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_kandy(&h, &p, choice, Seed(seed));
+        let report =
+            verify_canonical(&h, &p, &KandyRule::new(choice), Seed(seed).derive("kandy"), &net)
+                .map_err(|v| TestCaseError::fail(format!("{v:?}")))?;
+        prop_assert!(report.recomputed);
+    }
+
+    /// Rebuilding with the same seed under different worker-thread counts
+    /// yields byte-identical networks (the determinism the mini-loom
+    /// harness checks at the scheduler level, here end to end).
+    #[test]
+    fn same_seed_is_identical_across_thread_counts(
+        h in arb_hierarchy(),
+        n in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let reference =
+            canon_par::with_threads(1, || fingerprint(&build_cacophony(&h, &p, Seed(seed))));
+        for threads in [2usize, 3, 4] {
+            let rebuilt = canon_par::with_threads(threads, || {
+                fingerprint(&build_cacophony(&h, &p, Seed(seed)))
+            });
+            prop_assert_eq!(&rebuilt, &reference, "threads = {}", threads);
+        }
+    }
+}

@@ -63,8 +63,12 @@ fn main() {
         let nob_net = build_canonical(&h, &p, &UnboundedRule, Seed(0));
         let dc = DegreeStats::of(canon_net.graph()).summary.mean;
         let dn = DegreeStats::of(nob_net.graph()).summary.mean;
-        let hc = hop_stats(canon_net.graph(), Clockwise, 500, cfg.trial_seed("hb", 0)).mean;
-        let hn = hop_stats(nob_net.graph(), Clockwise, 500, cfg.trial_seed("hb", 0)).mean;
+        let hc = hop_stats(canon_net.graph(), Clockwise, 500, cfg.trial_seed("hb", 0))
+            .expect("routing failed on a well-formed graph")
+            .mean;
+        let hn = hop_stats(nob_net.graph(), Clockwise, 500, cfg.trial_seed("hb", 0))
+            .expect("routing failed on a well-formed graph")
+            .mean;
         row(&[levels.to_string(), f(dc), f(dn), f(hc), f(hn)]);
     }
     println!("# expect: deg(no-b) ~= levels * log2(n) (state blow-up) for ~the same hops;");

@@ -42,6 +42,7 @@ fn main() {
                         pairs,
                         Seed(trial.seed.0).derive("pairs"),
                     )
+                    .expect("routing failed on a well-formed graph")
                     .mean
                 })
             })

@@ -65,7 +65,9 @@ fn main() {
         };
         let net = build_crescendo(&h, &p);
         let deg = DegreeStats::of(net.graph()).summary;
-        let hops = hop_stats(net.graph(), Clockwise, 1000, Seed(7)).mean;
+        let hops = hop_stats(net.graph(), Clockwise, 1000, Seed(7))
+            .expect("routing failed on a well-formed graph")
+            .mean;
         row(&[
             name.to_owned(),
             h.len().to_string(),

@@ -42,7 +42,8 @@ fn main() {
             hop_stats(g, Clockwise, 500, seed.derive("pairs"))
         } else {
             hop_stats(g, Xor, 500, seed.derive("pairs"))
-        };
+        }
+        .expect("routing failed on a well-formed graph");
         row(&[
             name.to_owned(),
             f(deg.mean),

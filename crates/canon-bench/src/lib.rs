@@ -28,6 +28,8 @@
 //! measurement/routing wall-clock separately. Results come back grouped by
 //! size, in deterministic (size-major, trial-minor) order.
 
+#![forbid(unsafe_code)]
+
 use canon_hierarchy::{DomainId, Hierarchy, Placement};
 use canon_id::rng::Seed;
 use canon_overlay::{NodeIndex, OverlayGraph};

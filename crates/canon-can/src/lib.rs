@@ -16,6 +16,8 @@
 //! crate and uses the equal-length formulation over full-length node
 //! identifiers, which the paper notes has "almost identical" properties.)
 
+#![forbid(unsafe_code)]
+
 use canon_id::{rng::Seed, NodeId, ID_BITS};
 use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph};
 use rand::Rng;
@@ -344,7 +346,7 @@ mod tests {
     #[test]
     fn node_to_node_routing_is_logarithmic() {
         let net = CanNetwork::build(1024, Seed(7));
-        let s = stats::hop_stats(net.graph(), Xor, 400, Seed(8));
+        let s = stats::hop_stats(net.graph(), Xor, 400, Seed(8)).unwrap();
         assert!(s.mean < 9.0, "mean hops {}", s.mean);
     }
 

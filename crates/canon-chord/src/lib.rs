@@ -32,6 +32,8 @@
 //! # Ok::<(), canon_overlay::RouteError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_id::{ring::SortedRing, rng::DetRng, NodeId, RingDistance, ID_BITS};
 use canon_overlay::{GraphBuilder, OverlayGraph};
 use rand::Rng;
@@ -251,7 +253,7 @@ mod tests {
     #[test]
     fn every_node_links_to_its_successor() {
         let ids = random_ids(Seed(2), 256);
-        let ring = SortedRing::new(ids.clone());
+        let ring = SortedRing::new(ids);
         for &me in ring.as_slice() {
             let succ = ring.strict_successor(me).unwrap();
             let links = chord_links(&ring, me);
@@ -278,7 +280,7 @@ mod tests {
     #[test]
     fn chord_routing_reaches_all_sampled_destinations() {
         let g = build_chord(&random_ids(Seed(4), 512));
-        let s = stats::hop_stats(&g, Clockwise, 500, Seed(5));
+        let s = stats::hop_stats(&g, Clockwise, 500, Seed(5)).unwrap();
         // Theorem 4: expected hops <= 0.5*log2(n-1) + 0.5 = 5.0 for n = 512.
         assert!(s.mean <= 5.0 + 0.5, "mean hops {}", s.mean);
     }
@@ -326,7 +328,7 @@ mod tests {
     fn nondet_chord_routes_correctly() {
         let ids = random_ids(Seed(9), 256);
         let g = build_nondet_chord(&ids, Seed(10));
-        let s = stats::hop_stats(&g, Clockwise, 300, Seed(11));
+        let s = stats::hop_stats(&g, Clockwise, 300, Seed(11)).unwrap();
         assert!(s.mean < 10.0, "nondet chord mean hops {}", s.mean);
     }
 

@@ -33,6 +33,8 @@
 //! assert_eq!(members.ring(h.root()).len(), 100);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_id::{
     ring::SortedRing,
     rng::{random_ids, Seed},
@@ -322,6 +324,7 @@ impl Placement {
     /// Panics if any referenced domain is not a leaf of `hierarchy`, or if
     /// identifiers repeat.
     pub fn from_pairs(hierarchy: &Hierarchy, pairs: Vec<(NodeId, DomainId)>) -> Self {
+        // audit: membership-only
         let mut seen = std::collections::HashSet::with_capacity(pairs.len());
         for &(id, leaf) in &pairs {
             assert!(hierarchy.is_leaf(leaf), "{leaf} is not a leaf domain");

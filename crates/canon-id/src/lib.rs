@@ -30,6 +30,8 @@
 //! assert_eq!(Clockwise.distance(b, a), 7);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod metric;
 pub mod ring;

@@ -113,29 +113,17 @@ impl SortedRing {
     /// (footnote 3): the node with the largest identifier `<= point`,
     /// wrapping counterclockwise past zero.
     pub fn responsible(&self, point: NodeId) -> Option<NodeId> {
-        if self.ids.is_empty() {
-            return None;
-        }
+        let last = *self.ids.last()?;
         let idx = self.ids.partition_point(|&id| id <= point);
-        Some(if idx == 0 {
-            *self.ids.last().expect("nonempty")
-        } else {
-            self.ids[idx - 1]
-        })
+        Some(if idx == 0 { last } else { self.ids[idx - 1] })
     }
 
     /// The node with the largest identifier strictly counterclockwise of
     /// `point` (its ring predecessor when `point` is on the ring).
     pub fn strict_predecessor(&self, point: NodeId) -> Option<NodeId> {
-        if self.ids.is_empty() {
-            return None;
-        }
+        let last = *self.ids.last()?;
         let idx = self.ids.partition_point(|&id| id < point);
-        Some(if idx == 0 {
-            *self.ids.last().expect("nonempty")
-        } else {
-            self.ids[idx - 1]
-        })
+        Some(if idx == 0 { last } else { self.ids[idx - 1] })
     }
 
     /// Clockwise distance from `id` to the nearest *other* node on the ring,
@@ -476,8 +464,7 @@ mod tests {
     fn from_iterator_collects() {
         let r: SortedRing = [NodeId::new(9), NodeId::new(2)].into_iter().collect();
         assert_eq!(r.as_slice(), &[NodeId::new(2), NodeId::new(9)]);
-        let back: Vec<NodeId> = (&r).into_iter().copied().collect();
-        assert_eq!(back.len(), 2);
+        assert_eq!((&r).into_iter().copied().count(), 2);
     }
 
     #[test]

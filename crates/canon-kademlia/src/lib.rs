@@ -13,6 +13,8 @@
 //! node "throws away any candidate whose distance is larger than the
 //! shortest distance link it possesses at the lower level" (§3.3).
 
+#![forbid(unsafe_code)]
+
 use canon_id::{ring::SortedRing, rng::DetRng, NodeId, RingDistance, ID_BITS};
 use canon_overlay::{GraphBuilder, OverlayGraph};
 use rand::Rng;
@@ -206,7 +208,7 @@ mod tests {
     fn random_choice_also_routes() {
         let ids = random_ids(Seed(9), 256);
         let g = build_kademlia(&ids, BucketChoice::Random, Seed(10));
-        let s = stats::hop_stats(&g, Xor, 300, Seed(11));
+        let s = stats::hop_stats(&g, Xor, 300, Seed(11)).unwrap();
         assert!(s.mean < 10.0, "mean hops {}", s.mean);
     }
 
@@ -214,7 +216,7 @@ mod tests {
     fn hop_count_is_logarithmic() {
         let ids = random_ids(Seed(12), 1024);
         let g = build_kademlia(&ids, BucketChoice::Closest, Seed(13));
-        let s = stats::hop_stats(&g, Xor, 500, Seed(14));
+        let s = stats::hop_stats(&g, Xor, 500, Seed(14)).unwrap();
         // Expected hops ≈ half the log of n (each hop fixes one of the
         // log2(n) significant prefix bits, often more).
         assert!(s.mean < 8.0, "mean hops {}", s.mean);

@@ -36,6 +36,8 @@
 //! # Ok::<(), canon_overlay::RouteError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_id::{metric::Metric, Key};
 use canon_overlay::{route_to_key, NodeIndex, OverlayGraph, RouteError};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};

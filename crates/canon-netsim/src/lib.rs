@@ -30,6 +30,8 @@
 //! assert!(outcome.completion_time.unwrap() >= 5.0); // at least one 5 ms hop
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod iterative;
 pub mod queue;
 

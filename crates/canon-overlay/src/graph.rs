@@ -30,6 +30,7 @@ impl fmt::Display for NodeIndex {
 #[derive(Clone, Debug)]
 pub struct OverlayGraph {
     ids: Vec<NodeId>,
+    // audit: membership-only
     index_of: HashMap<NodeId, NodeIndex>,
     links: Vec<Vec<NodeIndex>>,
     ring: SortedRing,
@@ -131,6 +132,7 @@ impl OverlayGraph {
 #[derive(Clone, Debug, Default)]
 pub struct GraphBuilder {
     ids: Vec<NodeId>,
+    // audit: membership-only
     index_of: HashMap<NodeId, NodeIndex>,
     links: Vec<Vec<NodeIndex>>,
 }
@@ -160,7 +162,8 @@ impl GraphBuilder {
     ///
     /// Panics if `id` was already added.
     pub fn add_node(&mut self, id: NodeId) -> NodeIndex {
-        let idx = NodeIndex(u32::try_from(self.ids.len()).expect("too many nodes"));
+        assert!(self.ids.len() < u32::MAX as usize, "too many nodes");
+        let idx = NodeIndex(self.ids.len() as u32);
         let prev = self.index_of.insert(id, idx);
         assert!(prev.is_none(), "duplicate node id {id}");
         self.ids.push(id);

@@ -17,6 +17,8 @@
 //!   counting (Figure 9);
 //! * [`faults`] — timeout-priced lookups under node-failure masks.
 
+#![forbid(unsafe_code)]
+
 pub mod faults;
 pub mod graph;
 pub mod multicast;

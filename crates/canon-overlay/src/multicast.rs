@@ -10,14 +10,14 @@
 use crate::graph::{NodeIndex, OverlayGraph};
 use crate::route::{route, RouteError};
 use canon_id::metric::Metric;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The union of query paths from many sources to one destination.
 #[derive(Clone, Debug)]
 pub struct MulticastTree {
     destination: NodeIndex,
-    edges: HashSet<(NodeIndex, NodeIndex)>,
-    nodes: HashSet<NodeIndex>,
+    edges: BTreeSet<(NodeIndex, NodeIndex)>,
+    nodes: BTreeSet<NodeIndex>,
 }
 
 impl MulticastTree {
@@ -32,8 +32,8 @@ impl MulticastTree {
         sources: &[NodeIndex],
         destination: NodeIndex,
     ) -> Result<Self, RouteError> {
-        let mut edges = HashSet::new();
-        let mut nodes = HashSet::new();
+        let mut edges = BTreeSet::new();
+        let mut nodes = BTreeSet::new();
         nodes.insert(destination);
         for &s in sources {
             let r = route(graph, metric, s, destination)?;
@@ -57,8 +57,8 @@ impl MulticastTree {
         destination: NodeIndex,
         routes: impl IntoIterator<Item = &'a crate::route::Route>,
     ) -> Self {
-        let mut edges = HashSet::new();
-        let mut nodes = HashSet::new();
+        let mut edges = BTreeSet::new();
+        let mut nodes = BTreeSet::new();
         nodes.insert(destination);
         for r in routes {
             for (a, b) in r.edges() {

@@ -55,7 +55,7 @@ impl Route {
 
     /// The node the route terminated at.
     pub fn target(&self) -> NodeIndex {
-        *self.path.last().expect("route has at least one node")
+        self.path[self.path.len() - 1]
     }
 
     /// Iterates over the directed edges of the route.

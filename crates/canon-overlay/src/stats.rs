@@ -1,7 +1,7 @@
 //! Degree and hop-count statistics (the measurements behind Figures 3–5).
 
 use crate::graph::OverlayGraph;
-use crate::route;
+use crate::route::{self, RouteError};
 use canon_id::{metric::Metric, rng::Seed};
 use rand::Rng;
 
@@ -91,15 +91,25 @@ impl DegreeStats {
 /// Samples `pairs` random ordered pairs of distinct nodes, routes greedily,
 /// and summarizes hop counts.
 ///
+/// # Errors
+///
+/// Returns the first [`RouteError`] if a sampled route fails — a structural
+/// defect in the graph that experiments should fail loudly on.
+///
 /// # Panics
 ///
-/// Panics if the graph has fewer than two nodes, or if any sampled route
-/// fails (a structural defect worth failing loudly on in experiments).
-pub fn hop_stats<M: Metric>(graph: &OverlayGraph, metric: M, pairs: usize, seed: Seed) -> Summary {
+/// Panics if the graph has fewer than two nodes.
+pub fn hop_stats<M: Metric>(
+    graph: &OverlayGraph,
+    metric: M,
+    pairs: usize,
+    seed: Seed,
+) -> Result<Summary, RouteError> {
     assert!(graph.len() >= 2, "hop sampling needs at least two nodes");
     let mut rng = seed.rng();
     let n = graph.len();
-    let samples = (0..pairs).map(|_| {
+    let mut samples = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
         let a = rng.gen_range(0..n);
         let mut b = rng.gen_range(0..n - 1);
         if b >= a {
@@ -110,11 +120,10 @@ pub fn hop_stats<M: Metric>(graph: &OverlayGraph, metric: M, pairs: usize, seed:
             metric,
             crate::graph::NodeIndex(a as u32),
             crate::graph::NodeIndex(b as u32),
-        )
-        .expect("greedy route failed on a well-formed DHT graph");
-        r.hops() as f64
-    });
-    Summary::of(samples)
+        )?;
+        samples.push(r.hops() as f64);
+    }
+    Ok(Summary::of(samples))
 }
 
 /// Per-node routing-load statistics: how many sampled routes traverse each
@@ -124,15 +133,19 @@ pub fn hop_stats<M: Metric>(graph: &OverlayGraph, metric: M, pairs: usize, seed:
 ///
 /// Returns the summary over per-node visit counts.
 ///
+/// # Errors
+///
+/// Returns the first [`RouteError`] if a sampled route fails.
+///
 /// # Panics
 ///
-/// Panics if the graph has fewer than two nodes or a sampled route fails.
+/// Panics if the graph has fewer than two nodes.
 pub fn routing_load_stats<M: Metric>(
     graph: &OverlayGraph,
     metric: M,
     pairs: usize,
     seed: Seed,
-) -> Summary {
+) -> Result<Summary, RouteError> {
     assert!(graph.len() >= 2, "load sampling needs at least two nodes");
     let mut rng = seed.rng();
     let n = graph.len();
@@ -148,13 +161,12 @@ pub fn routing_load_stats<M: Metric>(
             metric,
             crate::graph::NodeIndex(a as u32),
             crate::graph::NodeIndex(b as u32),
-        )
-        .expect("greedy route failed on a well-formed DHT graph");
+        )?;
         for &v in &r.path()[1..] {
             visits[v.index()] += 1;
         }
     }
-    Summary::of(visits.into_iter().map(|v| v as f64))
+    Ok(Summary::of(visits.into_iter().map(|v| v as f64)))
 }
 
 #[cfg(test)]
@@ -212,7 +224,7 @@ mod tests {
     fn hop_stats_on_successor_ring() {
         // On a successor-only ring, expected hops over random pairs ≈ n/2.
         let g = line_graph(32);
-        let s = hop_stats(&g, Clockwise, 2000, Seed(5));
+        let s = hop_stats(&g, Clockwise, 2000, Seed(5)).unwrap();
         assert_eq!(s.count, 2000);
         assert!(s.mean > 10.0 && s.mean < 22.0, "mean {}", s.mean);
         assert!(s.min >= 1.0);
@@ -222,8 +234,8 @@ mod tests {
     #[test]
     fn hop_stats_is_reproducible() {
         let g = line_graph(16);
-        let a = hop_stats(&g, Clockwise, 100, Seed(9));
-        let b = hop_stats(&g, Clockwise, 100, Seed(9));
+        let a = hop_stats(&g, Clockwise, 100, Seed(9)).unwrap();
+        let b = hop_stats(&g, Clockwise, 100, Seed(9)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -231,16 +243,16 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn hop_stats_rejects_tiny_graphs() {
         let g = GraphBuilder::with_nodes(&[NodeId::new(1)]).build();
-        hop_stats(&g, Clockwise, 10, Seed(0));
+        let _ = hop_stats(&g, Clockwise, 10, Seed(0));
     }
 
     #[test]
     fn routing_load_counts_every_hop() {
         let g = line_graph(8);
-        let s = routing_load_stats(&g, Clockwise, 400, Seed(7));
+        let s = routing_load_stats(&g, Clockwise, 400, Seed(7)).unwrap();
         assert_eq!(s.count, 8);
         // Total visits == total hops; mean visits = mean hops * pairs / n.
-        let hops = hop_stats(&g, Clockwise, 400, Seed(7));
+        let hops = hop_stats(&g, Clockwise, 400, Seed(7)).unwrap();
         let total_visits = s.mean * 8.0;
         let total_hops = hops.mean * 400.0;
         assert!((total_visits - total_hops).abs() < 1e-6);
@@ -251,8 +263,8 @@ mod tests {
     #[test]
     fn routing_load_is_reproducible() {
         let g = line_graph(16);
-        let a = routing_load_stats(&g, Clockwise, 100, Seed(9));
-        let b = routing_load_stats(&g, Clockwise, 100, Seed(9));
+        let a = routing_load_stats(&g, Clockwise, 100, Seed(9)).unwrap();
+        let b = routing_load_stats(&g, Clockwise, 100, Seed(9)).unwrap();
         assert_eq!(a, b);
     }
 }

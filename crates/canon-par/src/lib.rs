@@ -21,6 +21,13 @@
 //! let squares = canon_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
+//!
+//! The crate is the only one in the workspace allowed to grow `unsafe`
+//! blocks (it would be the place for hand-rolled synchronization); per repo
+//! policy each such block must carry a `// SAFETY:` comment, and unsafe
+//! operations inside unsafe fns still need their own blocks.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -94,19 +101,7 @@ where
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
 
-    // Contiguous chunks, sized so every worker gets within one item of the
-    // same load; chunk order equals input order.
-    let len = items.len();
-    let base = len / threads;
-    let extra = len % threads;
-    let mut bounds = Vec::with_capacity(threads + 1);
-    let mut at = 0;
-    bounds.push(0);
-    for w in 0..threads {
-        at += base + usize::from(w < extra);
-        bounds.push(at);
-    }
-
+    let bounds = chunk_bounds(items.len(), threads);
     let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = bounds
@@ -134,6 +129,31 @@ where
         }
     });
     out.into_iter().flatten().collect()
+}
+
+/// The chunk boundaries [`par_map`] uses for `len` items on `threads`
+/// workers: `threads + 1` offsets with `bounds[w]..bounds[w + 1]` the
+/// contiguous range worker `w` owns. Chunks are sized so every worker gets
+/// within one item of the same load, and chunk order equals input order.
+///
+/// Exposed so schedule-exploration harnesses (the `canon-audit` mini-loom)
+/// can model exactly the fork/join structure the real executor uses.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn chunk_bounds(len: usize, threads: usize) -> Vec<usize> {
+    assert!(threads > 0, "at least one worker is required");
+    let base = len / threads;
+    let extra = len % threads;
+    let mut bounds = Vec::with_capacity(threads + 1);
+    let mut at = 0;
+    bounds.push(0);
+    for w in 0..threads {
+        at += base + usize::from(w < extra);
+        bounds.push(at);
+    }
+    bounds
 }
 
 /// Maps `f` over the index range `0..n` in parallel, preserving order.
@@ -195,6 +215,23 @@ mod tests {
         // outer override of 4 is still in force — but then min(len) > 1
         // workers were spawned anyway since 4 > 1).
         assert!(nested_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn chunk_bounds_cover_input_in_order() {
+        for len in 0..20usize {
+            for threads in 1..8usize {
+                let b = chunk_bounds(len, threads);
+                assert_eq!(b.len(), threads + 1);
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().unwrap(), len);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]));
+                // Balanced: chunk sizes differ by at most one.
+                let sizes: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "len={len} threads={threads}: {sizes:?}");
+            }
+        }
     }
 
     #[test]

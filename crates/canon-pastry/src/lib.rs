@@ -30,10 +30,12 @@
 //! # Ok::<(), canon_overlay::RouteError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_hierarchy::{DomainMembership, Hierarchy, Placement};
 use canon_id::{ring::SortedRing, NodeId, ID_BITS};
 use canon_overlay::{GraphBuilder, OverlayGraph};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Pastry's shape parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,7 +111,7 @@ pub fn routing_table_links(
     ring: &SortedRing,
     me: NodeId,
     params: PastryParams,
-    mut uncovered: Option<&mut HashSet<(u32, u64)>>,
+    mut uncovered: Option<&mut BTreeSet<(u32, u64)>>,
 ) -> Vec<(u32, u64, NodeId)> {
     params.validate();
     let b = params.digit_bits;
@@ -250,7 +252,7 @@ pub fn build_canonical_pastry(
     }
 
     for (id, leaf) in placement.iter() {
-        let mut uncovered: HashSet<(u32, u64)> = (0..params.rows())
+        let mut uncovered: BTreeSet<(u32, u64)> = (0..params.rows())
             .flat_map(|r| (0..params.radix()).map(move |d| (r, d)))
             .filter(|&(r, d)| digit(id, r, params.digit_bits) != d)
             .collect();
@@ -403,8 +405,8 @@ mod tests {
                 leaf_half: 4,
             },
         );
-        let s1 = stats::hop_stats(&g1, Xor, 300, Seed(7));
-        let s4 = stats::hop_stats(&g4, Xor, 300, Seed(7));
+        let s1 = stats::hop_stats(&g1, Xor, 300, Seed(7)).unwrap();
+        let s4 = stats::hop_stats(&g4, Xor, 300, Seed(7)).unwrap();
         assert!(
             s4.mean < s1.mean,
             "b=4 mean {} vs b=1 mean {}",
@@ -469,6 +471,7 @@ mod tests {
             if members.len() < 2 {
                 continue;
             }
+            // audit: membership-only
             let set: std::collections::HashSet<NodeIndex> = members.iter().copied().collect();
             for _ in 0..6 {
                 let a = members[rng.gen_range(0..members.len())];

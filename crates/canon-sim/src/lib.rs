@@ -37,6 +37,8 @@
 //! assert_eq!(sim.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_hierarchy::{DomainId, Hierarchy, Placement};
 use canon_id::{NodeId, RingDistance, ID_BITS};
 use canon_overlay::{GraphBuilder, OverlayGraph};
@@ -674,7 +676,7 @@ mod tests {
     fn join_messages_are_logarithmic() {
         let h = Hierarchy::balanced(4, 3);
         let leaves = h.leaves();
-        let mut sim = CrescendoSim::new(h.clone(), 4);
+        let mut sim = CrescendoSim::new(h, 4);
         let ids = random_ids(Seed(95), 600);
         let mut rng = Seed(96).rng();
         let mut last_hundred = Vec::new();

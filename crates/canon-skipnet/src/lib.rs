@@ -34,6 +34,8 @@
 //! # Ok::<(), canon_overlay::RouteError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_id::{rng::Seed, NodeId, ID_BITS};
 use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph, Route, RouteError};
 use rand::Rng;
@@ -75,8 +77,8 @@ impl SkipNet {
         loop {
             let mut s = vec![usize::MAX; n];
             let mut any_ring = false;
-            use std::collections::HashMap;
-            let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+            use std::collections::BTreeMap;
+            let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
             // Walking indices in order yields name order within each group.
             for (i, num) in numerics.iter().enumerate() {
                 groups.entry(num.prefix(level)).or_default().push(i);

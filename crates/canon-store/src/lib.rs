@@ -43,6 +43,8 @@
 //! # Ok::<(), canon_store::StoreError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod replication;
 pub mod routed;
 

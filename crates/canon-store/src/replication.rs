@@ -186,7 +186,7 @@ mod tests {
         let key = hash_name("replicated-item");
         let rs = store.replica_set(key, d);
         assert_eq!(rs.len(), 3);
-        let mut dedup = rs.clone();
+        let mut dedup = rs;
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 3, "replicas must be distinct");

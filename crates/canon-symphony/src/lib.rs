@@ -13,6 +13,8 @@
 //! ([`symphony_links_bounded`]) so the `canon` crate can assemble Cacophony
 //! from it.
 
+#![forbid(unsafe_code)]
+
 use canon_id::{
     ring::SortedRing,
     rng::{harmonic_distance, DetRng, Seed},
@@ -220,7 +222,7 @@ mod tests {
     #[test]
     fn symphony_routes_greedily() {
         let g = build_symphony(&random_ids(Seed(6), 512), Seed(7));
-        let s = stats::hop_stats(&g, Clockwise, 300, Seed(8));
+        let s = stats::hop_stats(&g, Clockwise, 300, Seed(8)).unwrap();
         // Symphony routes in O(log^2 n / log n) = O(log n)-ish hops with
         // log n links; allow a loose ceiling.
         assert!(s.mean < 25.0, "mean hops {}", s.mean);

@@ -30,6 +30,8 @@
 //! assert!(att.latency(ids[0], ids[1]) >= 2.0); // two 1 ms access links
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod euclidean;
 
 use canon_hierarchy::{DomainId, Hierarchy, Placement};
@@ -321,6 +323,7 @@ pub struct Attachment {
     hierarchy: Hierarchy,
     placement: Placement,
     stub_router_of: Vec<RouterId>,
+    // audit: membership-only
     router_of_id: HashMap<NodeId, RouterId>,
 }
 
@@ -359,6 +362,7 @@ pub fn attach(topology: TransitStubTopology, n: usize, seed: Seed) -> Attachment
     let mut rng = seed.derive("attach-placement").rng();
     let mut pairs = Vec::with_capacity(n);
     let mut stub_router_of = Vec::with_capacity(n);
+    // audit: membership-only
     let mut router_of_id = HashMap::with_capacity(n);
     for &id in &ids {
         let pos = rng.gen_range(0..topology.stub_routers().len());

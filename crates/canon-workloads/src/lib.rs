@@ -26,6 +26,8 @@
 //! assert!(popular >= 5, "rank-0 key should dominate a Zipf(1.0) stream");
 //! ```
 
+#![forbid(unsafe_code)]
+
 use canon_hierarchy::{DomainId, Hierarchy, Placement};
 use canon_id::{
     hash::hash_name,

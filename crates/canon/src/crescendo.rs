@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn global_routing_works() {
         let (_, _, net) = zipf_net(400, 3, 4);
-        let s = stats::hop_stats(net.graph(), Clockwise, 400, Seed(5));
+        let s = stats::hop_stats(net.graph(), Clockwise, 400, Seed(5)).unwrap();
         // Theorem 5: expected hops <= log2(n-1) + 1; empirically ~0.5 log n.
         assert!(s.mean <= (399f64).log2() + 1.0, "mean hops {}", s.mean);
     }
@@ -254,6 +254,7 @@ mod tests {
             if members.len() < 2 {
                 continue;
             }
+            // audit: membership-only
             let member_set: std::collections::HashSet<NodeIndex> =
                 members.iter().copied().collect();
             for _ in 0..10 {
@@ -333,7 +334,7 @@ mod tests {
             a.graph().edges().collect::<Vec<_>>(),
             b.graph().edges().collect::<Vec<_>>()
         );
-        let s = stats::hop_stats(a.graph(), Clockwise, 200, Seed(12));
+        let s = stats::hop_stats(a.graph(), Clockwise, 200, Seed(12)).unwrap();
         assert!(s.mean < 12.0, "mean hops {}", s.mean);
     }
 

@@ -125,6 +125,14 @@ impl CanonicalNetwork {
     pub fn links_per_level(&self) -> &[usize] {
         &self.links_per_level
     }
+
+    /// Swaps in a different graph without touching the metadata, leaving
+    /// the network inconsistent on purpose. Exists so audit tests can model
+    /// tampering/corruption; never call it from construction code.
+    #[doc(hidden)]
+    pub fn replace_graph_for_tests(&mut self, graph: OverlayGraph) {
+        self.graph = graph;
+    }
 }
 
 /// Builds a Canonical network over `hierarchy`/`placement` with `rule`.
@@ -159,6 +167,8 @@ pub fn build_canonical<R: LinkRule>(
     // leaf_of aligned with the (sorted) graph node order.
     let mut leaf_of = vec![hierarchy.root(); all.len()];
     for (id, leaf) in placement.iter() {
+        // Every placed id is in the root ring by DomainMembership::build.
+        // audit: allow(panic-site)
         let idx = all.index_of(id).expect("placed node is in the root ring");
         leaf_of[idx] = leaf;
     }
@@ -211,11 +221,30 @@ pub fn build_canonical<R: LinkRule>(
         }
     }
 
-    CanonicalNetwork {
+    let net = CanonicalNetwork {
         graph: builder.build(),
         leaf_of,
         links_per_level,
+    };
+
+    // Debug/test builds machine-check the merge invariants on every build;
+    // release builds skip the pass (it costs another membership build plus
+    // a full link walk). See `crate::audit` for what is verified.
+    #[cfg(debug_assertions)]
+    {
+        let violations = crate::audit::verify_structure(hierarchy, placement, rule.metric(), &net);
+        assert!(
+            violations.is_empty(),
+            "post-build structure audit failed:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
+
+    net
 }
 
 #[cfg(test)]

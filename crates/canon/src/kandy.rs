@@ -220,6 +220,7 @@ mod tests {
             if members.len() < 2 {
                 continue;
             }
+            // audit: membership-only
             let set: std::collections::HashSet<NodeIndex> = members.iter().copied().collect();
             for _ in 0..8 {
                 let a = members[rng.gen_range(0..members.len())];
@@ -255,7 +256,7 @@ mod tests {
             a.graph().edges().collect::<Vec<_>>(),
             b.graph().edges().collect::<Vec<_>>()
         );
-        let s = stats::hop_stats(a.graph(), Xor, 200, Seed(37));
+        let s = stats::hop_stats(a.graph(), Xor, 200, Seed(37)).unwrap();
         assert!(s.mean < 10.0, "mean hops {}", s.mean);
     }
 }

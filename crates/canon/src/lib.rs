@@ -53,6 +53,9 @@
 //! # Ok::<(), canon_overlay::RouteError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod cacophony;
 pub mod cancan;
 pub mod crescendo;
@@ -61,4 +64,5 @@ pub mod kandy;
 pub mod mixed;
 pub mod proximity;
 
+pub use audit::{verify_canonical, verify_structure, AuditReport, Violation};
 pub use engine::{build_canonical, CanonicalNetwork, LevelCtx, LinkRule};

@@ -28,7 +28,7 @@ use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
 use canon_id::{ring::SortedRing, rng::Seed, NodeId, RingDistance, ID_BITS};
 use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph, Route, RouteError};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters of the group construction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,12 +149,12 @@ fn mask(t: u32) -> u64 {
 /// Sorted, deduplicated group prefixes plus per-group member lists.
 struct Groups {
     prefixes: Vec<u64>,
-    members: HashMap<u64, Vec<NodeId>>,
+    members: BTreeMap<u64, Vec<NodeId>>,
 }
 
 impl Groups {
     fn build(ids: &[NodeId], bits: u32) -> Groups {
-        let mut members: HashMap<u64, Vec<NodeId>> = HashMap::new();
+        let mut members: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
         for &id in ids {
             members.entry(id.prefix(bits)).or_default().push(id);
         }
@@ -196,11 +196,7 @@ impl Groups {
         candidates
             .into_iter()
             .filter(|&m| m != from)
-            .min_by(|&a, &b| {
-                lat(from, a)
-                    .partial_cmp(&lat(from, b))
-                    .expect("latencies are not NaN")
-            })
+            .min_by(|&a, &b| lat(from, a).total_cmp(&lat(from, b)))
     }
 
     /// Adds the dense intra-group structure (complete graphs).
@@ -293,6 +289,8 @@ pub fn build_crescendo_prox<L: Fn(NodeId, NodeId) -> f64 + Sync>(
 
     let mut leaf_of = vec![hierarchy.root(); all.len()];
     for (id, leaf) in placement.iter() {
+        // Every placed id is in the root ring by DomainMembership::build.
+        // audit: allow(panic-site)
         let idx = all.index_of(id).expect("placed node is in the root ring");
         leaf_of[idx] = leaf;
     }

@@ -10,6 +10,8 @@
 //! min/median/mean to stdout. That is enough to compare configurations
 //! (e.g. serial vs. parallel construction) on the same machine.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! implements the slice of proptest the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`, `any`, integer-range and tuple
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, `any`, integer-range and tuple
 //! strategies, [`collection::vec`]/[`collection::btree_set`], the
 //! `proptest!` macro, and the `prop_assert*`/`prop_assume!` macros.
 //!
@@ -12,6 +12,8 @@
 //!   deterministic per-test seed instead of a minimized input;
 //! - case generation is seeded from a hash of the test name, so runs are
 //!   reproducible without a persistence file.
+
+#![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 

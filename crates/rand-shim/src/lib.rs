@@ -13,6 +13,8 @@
 //! workspace), never as a cross-ecosystem stable algorithm, and all
 //! statistical tests assert distributional properties only.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// The core of a random number generator: raw integer output.

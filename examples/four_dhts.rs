@@ -23,7 +23,8 @@ fn show(name: &str, g: &OverlayGraph, clockwise: bool) {
         hop_stats(g, Clockwise, 500, Seed(5))
     } else {
         hop_stats(g, Xor, 500, Seed(5))
-    };
+    }
+    .expect("routing failed on a well-formed graph");
     println!(
         "{name:<24} degree {:6.2} (max {:3})   hops {:5.2}",
         deg.summary.mean, deg.summary.max, hops.mean

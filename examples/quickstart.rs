@@ -45,7 +45,8 @@ fn main() {
     );
 
     // 4. Routing cost stays at flat-Chord levels (Theorem 5).
-    let hops = hop_stats(g, Clockwise, 1000, Seed(7));
+    let hops =
+        hop_stats(g, Clockwise, 1000, Seed(7)).expect("routing failed on a well-formed graph");
     println!("routing hops: mean {:.2} over 1000 random pairs", hops.mean);
 
     // 5. Route a lookup for a named key and show the path.

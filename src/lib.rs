@@ -1,6 +1,8 @@
 //! Umbrella crate for the Canon reproduction: re-exports every workspace
 //! crate so integration tests and examples can use one dependency.
 
+#![forbid(unsafe_code)]
+
 pub use canon;
 pub use canon_balance;
 pub use canon_can;

@@ -33,8 +33,12 @@ fn canonical_pastry_matches_crescendo_scaling() {
         .mean;
     // Same asymptotics, different constants (radix-4 tables + leaf sets).
     assert!(dp < 5.0 * dc, "pastry degree {dp} vs crescendo {dc}");
-    let hp = canon_overlay::stats::hop_stats(pastry.graph(), Xor, 300, Seed(2)).mean;
-    let hc = canon_overlay::stats::hop_stats(cresc.graph(), Clockwise, 300, Seed(2)).mean;
+    let hp = canon_overlay::stats::hop_stats(pastry.graph(), Xor, 300, Seed(2))
+        .unwrap()
+        .mean;
+    let hc = canon_overlay::stats::hop_stats(cresc.graph(), Clockwise, 300, Seed(2))
+        .unwrap()
+        .mean;
     // Radix-4 digit fixing needs no more hops than binary clockwise.
     assert!(hp <= hc + 1.0, "pastry hops {hp} vs crescendo {hc}");
 }

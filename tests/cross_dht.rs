@@ -63,7 +63,8 @@ fn every_canonical_dht_routes_in_logarithmic_hops() {
             hop_stats(net.graph(), Clockwise, 400, Seed(9))
         } else {
             hop_stats(net.graph(), Xor, 400, Seed(9))
-        };
+        }
+        .unwrap();
         assert!(
             s.mean < 1.5 * logn,
             "{name}: mean hops {} vs log2(n) = {logn}",
