@@ -30,6 +30,11 @@
 //!   `#![forbid(unsafe_code)]`; `canon-par` must carry
 //!   `#![deny(unsafe_op_in_unsafe_fn)]`, and any `unsafe` token outside
 //!   `canon-par` is flagged directly.
+//! * **`greedy-outside-engine`** — exactly one greedy next-hop enumeration
+//!   may exist in the workspace: the `RoutingPolicy` implementations in
+//!   `canon-overlay/src/policy.rs` (annotated as the allowlist). Any other
+//!   non-test code that iterates `.neighbors(..)` and compares metric
+//!   distances nearby is re-growing a private router and is flagged.
 //!
 //! # Annotations
 //!
@@ -220,6 +225,7 @@ pub fn lint_file(file: &SourceFile<'_>) -> Vec<Finding> {
         check_panic_sites(file, &pre, &mut findings);
     }
     check_unsafe(file, &pre, &mut findings);
+    check_greedy_outside_engine(file, &pre, &mut findings);
 
     findings
 }
@@ -690,6 +696,51 @@ fn bound_identifier(line: &str) -> Option<String> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: greedy-outside-engine
+// ---------------------------------------------------------------------------
+
+/// Metric-evaluation calls whose proximity to a `.neighbors(..)` iteration
+/// marks a greedy next-hop enumeration.
+const METRIC_CALL_TOKENS: &[&str] = &[".distance(", ".clockwise_to(", ".xor_to("];
+
+/// How many lines below a `.neighbors(..)` call the metric comparison must
+/// appear to count as one enumeration loop. Wide enough for the loop
+/// bodies this refactor retired, narrow enough not to pair unrelated code.
+const GREEDY_WINDOW: usize = 12;
+
+fn check_greedy_outside_engine(
+    file: &SourceFile<'_>,
+    pre: &Preprocessed,
+    findings: &mut Vec<Finding>,
+) {
+    for (idx, line) in pre.masked.iter().enumerate() {
+        let lineno = idx + 1;
+        if pre.in_test(lineno)
+            || pre.is_allowed(lineno, "greedy-outside-engine")
+            || !line.contains(".neighbors(")
+        {
+            continue;
+        }
+        let window_hit = pre.masked[idx..(idx + GREEDY_WINDOW).min(pre.masked.len())]
+            .iter()
+            .any(|l| METRIC_CALL_TOKENS.iter().any(|t| l.contains(t)));
+        if window_hit {
+            findings.push(Finding {
+                file: file.path.to_owned(),
+                line: lineno,
+                rule: "greedy-outside-engine",
+                message: format!(
+                    "neighbor iteration with a metric comparison nearby in crate `{}`: \
+                     greedy next-hop enumeration lives only in the canon-overlay routing \
+                     engine (implement a RoutingPolicy instead)",
+                    file.crate_name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: forbid-unsafe
 // ---------------------------------------------------------------------------
 
@@ -896,6 +947,54 @@ mod tests {
     fn hash_iteration_ignores_bare_imports_and_btree() {
         let src = "use std::collections::HashMap;\nuse std::collections::BTreeMap;\nfn f() {\n    let m: BTreeMap<u8, u8> = BTreeMap::new();\n    for (k, _) in m.iter() { let _ = k; }\n}\n";
         assert!(lint("canon", src).is_empty());
+    }
+
+    // ---- greedy-outside-engine --------------------------------------------
+
+    #[test]
+    fn greedy_outside_engine_flags_private_router() {
+        let src = "fn next_hop(g: &G, cur: N, t: Id) -> Option<N> {\n    let mut best = None;\n    for &nb in g.neighbors(cur) {\n        let d = metric.distance(g.id(nb), t);\n        if d < best_d { best = Some(nb); }\n    }\n    best\n}\n";
+        let f = lint("canon-netsim", src);
+        assert_eq!(rules(&f), vec!["greedy-outside-engine"], "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn greedy_outside_engine_flags_clockwise_and_xor_variants() {
+        let cw = "fn f() {\n    for &nb in g.neighbors(cur) {\n        let d = g.id(nb).clockwise_to(dest);\n    }\n}\n";
+        let xor = "fn f() {\n    for &nb in g.neighbors(cur) {\n        let d = g.id(nb).xor_to(dest);\n    }\n}\n";
+        assert_eq!(rules(&lint("canon", cw)), vec!["greedy-outside-engine"]);
+        assert_eq!(rules(&lint("canon", xor)), vec!["greedy-outside-engine"]);
+    }
+
+    #[test]
+    fn greedy_outside_engine_allows_annotated_engine_loops() {
+        let src = "fn candidates(&self) {\n    // audit: allow(greedy-outside-engine)\n    for &nb in graph.neighbors(at) {\n        let d = self.metric.distance(graph.id(nb), self.target);\n    }\n}\n";
+        assert!(lint("canon-overlay", src).is_empty());
+    }
+
+    #[test]
+    fn greedy_outside_engine_ignores_metric_free_neighbor_walks() {
+        // Structural traversals (BFS, degree counts) iterate neighbors
+        // without metric comparisons and are fine.
+        let src = "fn bfs(g: &G, s: N) {\n    for &nb in g.neighbors(s) {\n        queue.push_back(nb);\n    }\n}\n";
+        assert!(lint("canon-overlay", src).is_empty());
+    }
+
+    #[test]
+    fn greedy_outside_engine_exempts_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        for &nb in g.neighbors(i) {\n            let _ = me.clockwise_to(g.id(nb));\n        }\n    }\n}\n";
+        assert!(lint("canon", src).is_empty());
+    }
+
+    #[test]
+    fn greedy_outside_engine_window_bounds_the_pairing() {
+        // A metric call far below an unrelated neighbors call is not paired.
+        let pad = "    let _ = 0;\n".repeat(GREEDY_WINDOW);
+        let src = format!(
+            "fn f() {{\n    let n = g.neighbors(s);\n{pad}    let d = a.distance(b, c);\n}}\n"
+        );
+        assert!(lint("canon", &src).is_empty());
     }
 
     // ---- forbid-unsafe ----------------------------------------------------

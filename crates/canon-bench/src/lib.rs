@@ -33,7 +33,7 @@
 use canon_hierarchy::{DomainId, Hierarchy, Placement};
 use canon_id::rng::Seed;
 use canon_overlay::{NodeIndex, OverlayGraph};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Command-line configuration shared by the experiment binaries.
@@ -281,14 +281,15 @@ pub fn secs(d: Duration) -> String {
 /// Groups graph node indices by their ancestor domain at `depth`.
 ///
 /// Nodes whose leaf is shallower than `depth` are grouped under the leaf
-/// itself.
+/// itself. The map is ordered (`BTreeMap`) so callers that iterate groups
+/// — fig7/fig8 sample query pools by group position — are deterministic.
 pub fn members_by_domain_at_depth(
     hierarchy: &Hierarchy,
     placement: &Placement,
     graph: &OverlayGraph,
     depth: u32,
-) -> HashMap<DomainId, Vec<NodeIndex>> {
-    let mut map: HashMap<DomainId, Vec<NodeIndex>> = HashMap::new();
+) -> BTreeMap<DomainId, Vec<NodeIndex>> {
+    let mut map: BTreeMap<DomainId, Vec<NodeIndex>> = BTreeMap::new();
     for (id, leaf) in placement.iter() {
         let d = hierarchy.ancestor_at_depth(leaf, depth.min(hierarchy.depth(leaf)));
         let idx = graph.index_of(id).expect("placed node in graph");

@@ -39,7 +39,9 @@
 #![forbid(unsafe_code)]
 
 use canon_id::{metric::Metric, Key};
-use canon_overlay::{route_to_key, NodeIndex, OverlayGraph, RouteError};
+use canon_overlay::engine::{drive, DriveConfig};
+use canon_overlay::policy::Greedy;
+use canon_overlay::{route_to_key, NodeIndex, NullObserver, OverlayGraph, RouteError};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Result of one subscription.
@@ -151,21 +153,29 @@ impl MulticastGroup {
                 already_member: false,
             });
         }
-        let r = route_to_key(graph, metric, member, self.key.as_point())?;
-        debug_assert_eq!(
-            r.target(),
-            self.rendezvous,
-            "group key has one responsible node"
+        // Route toward the key, stopping at the first node already on the
+        // tree: the engine's stop predicate sees the pre-subscribe state,
+        // so the route is truncated exactly where the old
+        // install-then-break loop stopped.
+        let rendezvous = self.rendezvous;
+        let parents = &self.parent;
+        let cfg = DriveConfig {
+            alive: |_: NodeIndex| true,
+            timeout_cost: 0.0,
+            latency: |_: NodeIndex, _: NodeIndex| 0.0,
+            stop: |n: NodeIndex| n == rendezvous || parents.contains_key(&n),
+        };
+        let policy = Greedy::new(metric, self.key.as_point());
+        let r = drive(graph, &policy, member, cfg, NullObserver)?.route;
+        debug_assert!(
+            r.target() == self.rendezvous || self.on_tree(r.target()),
+            "subscription routes end on the tree (one responsible node per key)"
         );
         let mut hops = 0usize;
         for (child, parent) in r.edges() {
             hops += 1;
-            let was_on_tree = self.on_tree(parent);
             self.children.entry(parent).or_default().insert(child);
             self.parent.insert(child, parent);
-            if was_on_tree {
-                break;
-            }
         }
         Ok(SubscribeReport {
             hops_to_tree: hops,

@@ -10,7 +10,9 @@
 //! quantifies the gap.
 
 use canon_id::{metric::Metric, NodeId};
-use canon_overlay::{NodeIndex, OverlayGraph};
+use canon_overlay::engine::{drive, DriveConfig};
+use canon_overlay::policy::FaultFallback;
+use canon_overlay::{FaultTally, NodeIndex, OverlayGraph};
 
 /// Outcome of one iterative lookup.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -46,51 +48,32 @@ where
     L: Fn(NodeIndex, NodeIndex) -> f64,
 {
     debug_assert!(alive(origin), "lookups start at a live node");
-    let mut out = IterativeOutcome {
-        completed: false,
-        time: 0.0,
-        rpcs: 0,
-        timeouts: 0,
-    };
-    let mut cur = origin;
-    let mut cur_dist = metric.distance(graph.id(cur), key);
-    loop {
-        if cur_dist == 0 {
-            out.completed = true;
-            return out;
-        }
-        let mut candidates: Vec<(u64, NodeIndex)> = graph
-            .neighbors(cur)
-            .iter()
-            .map(|&nb| (metric.distance(graph.id(nb), key), nb))
-            .filter(|&(d, _)| d < cur_dist)
-            .collect();
-        if candidates.is_empty() {
-            out.completed = true; // `cur` is the responsible node
-            return out;
-        }
-        candidates.sort_unstable();
-        let mut advanced = false;
-        for (d, nb) in candidates {
-            if alive(nb) {
-                // Round trip from the origin to the probed node.
-                out.time += if nb == origin {
-                    0.0
-                } else {
-                    2.0 * lat(origin, nb)
-                };
-                out.rpcs += 1;
-                cur = nb;
-                cur_dist = d;
-                advanced = true;
-                break;
+    // Iterative routing is the fault-fallback walk with origin-centric hop
+    // pricing: each successful "hop" is a round trip from the origin to the
+    // probed node, not a link traversal.
+    let mut tally = FaultTally::default();
+    let cfg = DriveConfig {
+        alive,
+        timeout_cost: timeout,
+        latency: |_cur: NodeIndex, nb: NodeIndex| {
+            if nb == origin {
+                0.0
+            } else {
+                2.0 * lat(origin, nb)
             }
-            out.timeouts += 1;
-            out.time += timeout;
-        }
-        if !advanced {
-            return out;
-        }
+        },
+        stop: |_: NodeIndex| false,
+    };
+    let policy = FaultFallback::new(metric, key);
+    let completed = match drive(graph, &policy, origin, cfg, &mut tally) {
+        Ok(d) => !d.exhausted,
+        Err(_) => false, // hop limit: unreachable under strict progress
+    };
+    IterativeOutcome {
+        completed,
+        time: tally.time,
+        rpcs: tally.hops,
+        timeouts: tally.timeouts,
     }
 }
 

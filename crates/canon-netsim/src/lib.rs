@@ -36,7 +36,10 @@ pub mod iterative;
 pub mod queue;
 
 use canon_id::{metric::Metric, NodeId};
-use canon_overlay::{NodeIndex, OverlayGraph};
+use canon_overlay::policy::Greedy;
+use canon_overlay::{
+    ordered_candidates, HopEvent, NodeIndex, NullObserver, OverlayGraph, RouteObserver,
+};
 use queue::{EventQueue, SimTime};
 use std::collections::HashMap;
 
@@ -130,11 +133,19 @@ struct ForwardState {
 }
 
 /// A lookup workload executing over an overlay graph.
-pub struct LookupSim<'a, M, L> {
+///
+/// Next-hop candidates come from the shared routing engine
+/// ([`ordered_candidates`] over a [`Greedy`] policy), and the simulator
+/// streams the same hop-event vocabulary as the engine ([`HopEvent`]) to an
+/// optional [`RouteObserver`] — attempts when messages are sent, hops when
+/// they are delivered and counted, timeouts when retransmission timers burn,
+/// terminals when lookups complete.
+pub struct LookupSim<'a, M, L, O = NullObserver> {
     graph: &'a OverlayGraph,
     metric: M,
     config: SimConfig,
     latency: L,
+    observer: O,
     alive: Vec<bool>,
     queue: EventQueue<Event>,
     outcomes: Vec<LookupOutcome>,
@@ -151,11 +162,30 @@ where
 {
     /// Creates a simulation over `graph`; `latency` prices each message.
     pub fn new(graph: &'a OverlayGraph, metric: M, config: SimConfig, latency: L) -> Self {
+        Self::with_observer(graph, metric, config, latency, NullObserver)
+    }
+}
+
+impl<'a, M, L, O> LookupSim<'a, M, L, O>
+where
+    M: Metric,
+    L: Fn(NodeIndex, NodeIndex) -> f64,
+    O: RouteObserver,
+{
+    /// Like [`LookupSim::new`], but streams [`HopEvent`]s to `observer`.
+    pub fn with_observer(
+        graph: &'a OverlayGraph,
+        metric: M,
+        config: SimConfig,
+        latency: L,
+        observer: O,
+    ) -> Self {
         LookupSim {
             graph,
             metric,
             config,
             latency,
+            observer,
             alive: vec![true; graph.len()],
             queue: EventQueue::new(),
             outcomes: Vec::new(),
@@ -164,6 +194,11 @@ where
             attempt_counter: 0,
             events_processed: 0,
         }
+    }
+
+    /// The observer sink (e.g. to read tallies after [`LookupSim::run`]).
+    pub fn observer(&self) -> &O {
+        &self.observer
     }
 
     /// Schedules a lookup for `key` from `origin` at time `at`.
@@ -265,6 +300,14 @@ where
                     return; // duplicate delivery: this node already handled it
                 }
                 self.outcomes[id.0 as usize].hops += 1;
+                if let Some(from) = from {
+                    let latency = self.lat(from, node);
+                    self.observer.on_event(&HopEvent::Hop {
+                        from,
+                        to: node,
+                        latency,
+                    });
+                }
                 self.forward_from(now, id, node, from, attempt);
             }
             Event::Ack { id, node } => {
@@ -283,6 +326,12 @@ where
                     return; // superseded or already acknowledged
                 }
                 self.outcomes[id.0 as usize].retries += 1;
+                let tried = st.candidates[st.next - 1];
+                self.observer.on_event(&HopEvent::Timeout {
+                    from: node,
+                    to: tried,
+                    cost: self.config.retry_timeout,
+                });
                 self.try_next_candidate(now, id, node);
             }
             Event::Done { id, terminal } => {
@@ -293,6 +342,7 @@ where
                 if out.completion_time.is_none() {
                     out.terminal = Some(terminal);
                     out.completion_time = Some(now.0);
+                    self.observer.on_event(&HopEvent::Terminal { at: terminal });
                 }
             }
         }
@@ -308,14 +358,7 @@ where
         _attempt: u64,
     ) {
         let key = self.outcomes[id.0 as usize].key;
-        let here = self.metric.distance(self.graph.id(node), key);
-        let mut candidates: Vec<(u64, NodeIndex)> = self
-            .graph
-            .neighbors(node)
-            .iter()
-            .map(|&nb| (self.metric.distance(self.graph.id(nb), key), nb))
-            .filter(|&(d, _)| d < here)
-            .collect();
+        let candidates = ordered_candidates(self.graph, &Greedy::new(self.metric, key), node);
         if candidates.is_empty() {
             // `node` is the responsible node: report back to the origin.
             let origin = self.outcomes[id.0 as usize].origin;
@@ -328,11 +371,10 @@ where
                 .push(SimTime(now.0 + delay), Event::Done { id, terminal: node });
             return;
         }
-        candidates.sort_unstable();
         self.forwarding.insert(
             (id, node),
             ForwardState {
-                candidates: candidates.into_iter().map(|(_, nb)| nb).collect(),
+                candidates: candidates.into_iter().map(|c| c.next).collect(),
                 next: 0,
                 acked: false,
                 attempt: 0,
@@ -357,6 +399,10 @@ where
         st.next += 1;
         st.acked = false;
         st.attempt = attempt;
+        self.observer.on_event(&HopEvent::Attempt {
+            from: node,
+            to: target,
+        });
         let delay = self.lat(node, target);
         self.queue.push(
             SimTime(now.0 + delay),

@@ -7,8 +7,15 @@
 //! attempted hop to a dead neighbor costs [`FaultModel::timeout`], each
 //! successful hop costs the link latency, and candidates at every step are
 //! tried in increasing metric distance to the destination.
+//!
+//! This is now a thin wrapper over the shared executor: a
+//! [`FaultFallback`] policy driven under a liveness mask, with a
+//! [`FaultTally`] sink accumulating the time/hop/timeout accounting.
 
+use crate::engine::{drive, DriveConfig};
 use crate::graph::{NodeIndex, OverlayGraph};
+use crate::observe::FaultTally;
+use crate::policy::FaultFallback;
 use canon_id::{metric::Metric, NodeId};
 
 /// Timing parameters of the failure model.
@@ -61,49 +68,25 @@ where
     L: Fn(NodeIndex, NodeIndex) -> f64,
 {
     debug_assert!(alive(from), "lookups start at a live node");
-    let mut out = FaultyLookup {
-        completed: false,
-        time: 0.0,
-        hops: 0,
-        timeouts: 0,
+    let mut tally = FaultTally::default();
+    let cfg = DriveConfig {
+        alive,
+        timeout_cost: model.timeout,
+        latency: lat,
+        stop: |_: NodeIndex| false,
     };
-    let mut cur = from;
-    let mut cur_dist = metric.distance(graph.id(cur), target);
-    loop {
-        if cur_dist == 0 {
-            out.completed = true;
-            return out;
-        }
-        // Candidates strictly closer, nearest first.
-        let mut candidates: Vec<(u64, NodeIndex)> = graph
-            .neighbors(cur)
-            .iter()
-            .map(|&nb| (metric.distance(graph.id(nb), target), nb))
-            .filter(|&(d, _)| d < cur_dist)
-            .collect();
-        if candidates.is_empty() {
-            // Local minimum among the structure: the greedy responsible
-            // node (for key lookups this is success).
-            out.completed = true;
-            return out;
-        }
-        candidates.sort_unstable();
-        let mut advanced = false;
-        for (d, nb) in candidates {
-            if alive(nb) {
-                out.time += lat(cur, nb);
-                out.hops += 1;
-                cur = nb;
-                cur_dist = d;
-                advanced = true;
-                break;
-            }
-            out.timeouts += 1;
-            out.time += model.timeout;
-        }
-        if !advanced {
-            return out; // every closer candidate is dead
-        }
+    let policy = FaultFallback::new(metric, target);
+    let completed = match drive(graph, &policy, from, cfg, &mut tally) {
+        Ok(d) => !d.exhausted,
+        // Strict progress makes the hop limit unreachable on any graph the
+        // builders produce; treat it as a failed lookup rather than panic.
+        Err(_) => false,
+    };
+    FaultyLookup {
+        completed,
+        time: tally.time,
+        hops: tally.hops,
+        timeouts: tally.timeouts,
     }
 }
 

@@ -1,4 +1,4 @@
-//! Overlay-network substrate: graphs, greedy routing and path analysis.
+//! Overlay-network substrate: graphs, the routing engine and path analysis.
 //!
 //! Every DHT in this workspace — flat or Canonical — reduces, for the
 //! purposes of the paper's evaluation (§5), to a directed *overlay graph*
@@ -7,9 +7,18 @@
 //!
 //! * [`graph::OverlayGraph`] — an immutable directed graph over
 //!   [`canon_id::NodeId`]s with O(1) neighbor access;
-//! * [`route`](mod@route) — greedy metric-decreasing routing with full path recording,
-//!   node-filtered routing (for fault-isolation experiments) and key lookup
-//!   semantics per metric;
+//! * [`policy`] — pluggable [`policy::RoutingPolicy`] implementations
+//!   (greedy, fault-fallback, one-hop lookahead, group-aware proximity,
+//!   filtered) describing candidate enumeration and ranking;
+//! * [`engine`] — the single shared route executor: strict-progress walk,
+//!   liveness filtering with timeout pricing, deterministic tie-breaking,
+//!   hop budget;
+//! * [`observe`] — hop-level observability: [`observe::HopEvent`] streams
+//!   and pluggable [`observe::RouteObserver`] sinks (hop counters, fault
+//!   tallies, per-node visit counts, event logs);
+//! * [`route`](mod@route) — greedy routing entry points over the engine, with full
+//!   path recording, node-filtered routing (for fault-isolation
+//!   experiments) and key lookup semantics per metric;
 //! * [`stats`] — degree and hop-count statistics (Figures 3–5);
 //! * [`paths`] — path-overlap metrics (Figure 8) and latency evaluation of
 //!   routes (Figures 6–7);
@@ -19,12 +28,24 @@
 
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod faults;
 pub mod graph;
 pub mod multicast;
+pub mod observe;
 pub mod paths;
+pub mod policy;
 pub mod route;
 pub mod stats;
 
+pub use engine::{drive, execute, ordered_candidates, DriveConfig, Driven};
 pub use graph::{GraphBuilder, NodeIndex, OverlayGraph};
-pub use route::{route, route_to_key, route_with_filter, Route, RouteError};
+pub use observe::{
+    EventLog, FaultTally, HopCount, HopEvent, NullObserver, RouteObserver, VisitTally,
+};
+pub use policy::{
+    Candidate, FaultFallback, Filtered, Greedy, Lookahead1, ProximityAware, RoutingPolicy,
+};
+pub use route::{
+    route, route_observed, route_to_key, route_to_key_from, route_with_filter, Route, RouteError,
+};

@@ -1,0 +1,287 @@
+//! Hop-level route observability: events and pluggable sinks.
+//!
+//! Every router in the workspace used to carry its own ad-hoc accounting —
+//! hop counters in [`crate::stats`], timeout/time tallies in
+//! [`crate::faults`], per-node visit counts for routing-load skew. The
+//! [`engine`](crate::engine) instead streams a uniform sequence of
+//! [`HopEvent`]s to a [`RouteObserver`], and each of those measurements is
+//! now just a sink over the same stream. Any new [`crate::policy`] gets all
+//! of them for free.
+//!
+//! The event vocabulary (in emission order per hop):
+//!
+//! 1. [`HopEvent::Attempt`] — the executor is about to contact a candidate;
+//! 2. [`HopEvent::Timeout`] — the candidate was dead, a timeout was paid
+//!    (followed by the next candidate's `Attempt`, if any); or
+//!    [`HopEvent::Hop`] — the candidate was alive and the hop succeeded,
+//!    priced by the latency oracle;
+//! 3. [`HopEvent::Terminal`] — routing finished (target or responsible node
+//!    reached, a stop predicate fired, or every candidate was dead).
+
+use crate::graph::NodeIndex;
+
+/// One observable step of a route execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HopEvent {
+    /// The executor is attempting to forward from `from` to `to`.
+    Attempt {
+        /// The forwarding node.
+        from: NodeIndex,
+        /// The candidate being contacted.
+        to: NodeIndex,
+    },
+    /// The attempt from `from` to `to` hit a dead node, costing `cost` time
+    /// units (the fault model's timeout).
+    Timeout {
+        /// The forwarding node.
+        from: NodeIndex,
+        /// The dead candidate.
+        to: NodeIndex,
+        /// Time paid for the failed attempt.
+        cost: f64,
+    },
+    /// The hop from `from` to `to` succeeded, costing `latency` time units
+    /// under the latency oracle (zero when routing is not priced).
+    Hop {
+        /// The forwarding node.
+        from: NodeIndex,
+        /// The next node on the route.
+        to: NodeIndex,
+        /// Link latency charged for the hop.
+        latency: f64,
+    },
+    /// Routing terminated at `at`.
+    Terminal {
+        /// The last node of the route.
+        at: NodeIndex,
+    },
+}
+
+/// A sink for [`HopEvent`]s.
+///
+/// Implementations must be cheap: the executor calls [`on_event`] for every
+/// attempt of every hop of every route.
+///
+/// [`on_event`]: RouteObserver::on_event
+pub trait RouteObserver {
+    /// Receives one event.
+    fn on_event(&mut self, event: &HopEvent);
+}
+
+impl<O: RouteObserver + ?Sized> RouteObserver for &mut O {
+    fn on_event(&mut self, event: &HopEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// Ignores every event (the zero-cost default observer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl RouteObserver for NullObserver {
+    fn on_event(&mut self, _event: &HopEvent) {}
+}
+
+/// Counts attempts, successful hops and timeouts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HopCount {
+    /// Candidates contacted (dead or alive).
+    pub attempts: usize,
+    /// Successful hops.
+    pub hops: usize,
+    /// Dead candidates attempted.
+    pub timeouts: usize,
+}
+
+impl RouteObserver for HopCount {
+    fn on_event(&mut self, event: &HopEvent) {
+        match event {
+            HopEvent::Attempt { .. } => self.attempts += 1,
+            HopEvent::Hop { .. } => self.hops += 1,
+            HopEvent::Timeout { .. } => self.timeouts += 1,
+            HopEvent::Terminal { .. } => {}
+        }
+    }
+}
+
+/// Fault-model accounting: hops, timeouts, and total time (link latencies
+/// plus timeout costs) — the measurements behind
+/// [`crate::faults::FaultyLookup`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultTally {
+    /// Successful hops.
+    pub hops: usize,
+    /// Dead candidates attempted.
+    pub timeouts: usize,
+    /// Total time: sum of hop latencies and timeout costs.
+    pub time: f64,
+}
+
+impl RouteObserver for FaultTally {
+    fn on_event(&mut self, event: &HopEvent) {
+        match event {
+            HopEvent::Hop { latency, .. } => {
+                self.hops += 1;
+                self.time += latency;
+            }
+            HopEvent::Timeout { cost, .. } => {
+                self.timeouts += 1;
+                self.time += cost;
+            }
+            HopEvent::Attempt { .. } | HopEvent::Terminal { .. } => {}
+        }
+    }
+}
+
+/// Per-node visit counts over successful hops: every [`HopEvent::Hop`]
+/// increments the destination node's counter, so after a batch of routes
+/// `visits[n]` is the number of routes traversing node `n` (source
+/// excluded, destination included) — the routing-load measurement of
+/// [`crate::stats::routing_load_stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VisitTally {
+    visits: Vec<u64>,
+}
+
+impl VisitTally {
+    /// A tally over a graph of `n` nodes.
+    pub fn new(n: usize) -> VisitTally {
+        VisitTally { visits: vec![0; n] }
+    }
+
+    /// Visit counts per node index.
+    pub fn visits(&self) -> &[u64] {
+        &self.visits
+    }
+}
+
+impl RouteObserver for VisitTally {
+    fn on_event(&mut self, event: &HopEvent) {
+        if let HopEvent::Hop { to, .. } = event {
+            if let Some(v) = self.visits.get_mut(to.index()) {
+                *v += 1;
+            }
+        }
+    }
+}
+
+/// Records every event verbatim (for tests and debugging).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EventLog {
+    events: Vec<HopEvent>,
+}
+
+impl EventLog {
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[HopEvent] {
+        &self.events
+    }
+}
+
+impl RouteObserver for EventLog {
+    fn on_event(&mut self, event: &HopEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeIndex {
+        NodeIndex(i)
+    }
+
+    #[test]
+    fn hop_count_tallies_each_kind() {
+        let mut c = HopCount::default();
+        c.on_event(&HopEvent::Attempt {
+            from: n(0),
+            to: n(1),
+        });
+        c.on_event(&HopEvent::Timeout {
+            from: n(0),
+            to: n(1),
+            cost: 5.0,
+        });
+        c.on_event(&HopEvent::Attempt {
+            from: n(0),
+            to: n(2),
+        });
+        c.on_event(&HopEvent::Hop {
+            from: n(0),
+            to: n(2),
+            latency: 1.0,
+        });
+        c.on_event(&HopEvent::Terminal { at: n(2) });
+        assert_eq!(c.attempts, 2);
+        assert_eq!(c.timeouts, 1);
+        assert_eq!(c.hops, 1);
+    }
+
+    #[test]
+    fn fault_tally_sums_latency_and_timeout_cost() {
+        let mut t = FaultTally::default();
+        t.on_event(&HopEvent::Timeout {
+            from: n(0),
+            to: n(1),
+            cost: 500.0,
+        });
+        t.on_event(&HopEvent::Hop {
+            from: n(0),
+            to: n(2),
+            latency: 2.5,
+        });
+        assert_eq!(t.hops, 1);
+        assert_eq!(t.timeouts, 1);
+        assert!((t.time - 502.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visit_tally_counts_hop_destinations() {
+        let mut v = VisitTally::new(3);
+        v.on_event(&HopEvent::Hop {
+            from: n(0),
+            to: n(1),
+            latency: 0.0,
+        });
+        v.on_event(&HopEvent::Hop {
+            from: n(1),
+            to: n(2),
+            latency: 0.0,
+        });
+        v.on_event(&HopEvent::Hop {
+            from: n(0),
+            to: n(1),
+            latency: 0.0,
+        });
+        assert_eq!(v.visits(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::default();
+        let e1 = HopEvent::Attempt {
+            from: n(0),
+            to: n(1),
+        };
+        let e2 = HopEvent::Terminal { at: n(1) };
+        log.on_event(&e1);
+        log.on_event(&e2);
+        assert_eq!(log.events(), &[e1, e2]);
+    }
+
+    #[test]
+    fn mut_reference_forwards() {
+        let mut c = HopCount::default();
+        {
+            let r = &mut c;
+            r.on_event(&HopEvent::Hop {
+                from: n(0),
+                to: n(1),
+                latency: 0.0,
+            });
+        }
+        assert_eq!(c.hops, 1);
+    }
+}

@@ -15,7 +15,10 @@
 //! Canonical DHT never leaves it (path locality, §2.2), which
 //! [`route_with_filter`] lets tests verify directly.
 
+use crate::engine::execute;
 use crate::graph::{NodeIndex, OverlayGraph};
+use crate::observe::{NullObserver, RouteObserver};
+use crate::policy::{Filtered, Greedy};
 use canon_id::{metric::Metric, NodeId};
 
 /// A recorded route through the overlay.
@@ -98,10 +101,6 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
-/// Hop-limit used by all routing entry points: generous enough for any
-/// correct `O(log n)` route, small enough to catch broken graphs.
-const HOP_LIMIT: usize = 4096;
-
 /// Routes greedily from `from` toward the identifier point `target`,
 /// terminating at the node of minimum metric distance to `target` along the
 /// greedy path (for a well-formed DHT graph: the responsible node).
@@ -125,36 +124,8 @@ where
     M: Metric,
     F: Fn(NodeIndex) -> bool,
 {
-    let mut path = vec![from];
-    let mut cur = from;
-    let mut cur_dist = metric.distance(graph.id(cur), target);
-    while cur_dist != 0 {
-        let mut best: Option<(u64, NodeIndex)> = None;
-        for &nb in graph.neighbors(cur) {
-            if !allowed(nb) {
-                continue;
-            }
-            let d = metric.distance(graph.id(nb), target);
-            if d < cur_dist && best.is_none_or(|(bd, bn)| d < bd || (d == bd && nb < bn)) {
-                best = Some((d, nb));
-            }
-        }
-        match best {
-            Some((d, nb)) => {
-                path.push(nb);
-                cur = nb;
-                cur_dist = d;
-            }
-            // No strictly closer neighbor: `cur` is the closest node the
-            // greedy process can reach — the responsible node for `target`
-            // in a well-formed DHT.
-            None => break,
-        }
-        if path.len() > HOP_LIMIT {
-            return Err(RouteError::HopLimit { limit: HOP_LIMIT });
-        }
-    }
-    Ok(Route { path })
+    let policy = Filtered::new(Greedy::new(metric, target), allowed);
+    Ok(execute(graph, &policy, from, NullObserver)?.route)
 }
 
 /// Routes from node `from` to node `to` (both must be graph members).
@@ -220,6 +191,54 @@ pub fn route_to_key<M: Metric>(
     key: NodeId,
 ) -> Result<Route, RouteError> {
     route_greedy(graph, metric, from, key, |_| true)
+}
+
+/// Like [`route`], but streams hop events to `observer`.
+///
+/// # Errors
+///
+/// See [`route`].
+pub fn route_observed<M, O>(
+    graph: &OverlayGraph,
+    metric: M,
+    from: NodeIndex,
+    to: NodeIndex,
+    observer: O,
+) -> Result<Route, RouteError>
+where
+    M: Metric,
+    O: RouteObserver,
+{
+    let target = graph.id(to);
+    let r = execute(graph, &Greedy::new(metric, target), from, observer)?.route;
+    if r.target() != to {
+        let at = r.target();
+        return Err(RouteError::Stuck {
+            at,
+            remaining: metric.distance(graph.id(at), target),
+        });
+    }
+    Ok(r)
+}
+
+/// Like [`route_to_key`], but resolves the source from its identifier —
+/// the key-lookup entry point for callers that address nodes by
+/// [`NodeId`] (e.g. `canon-store`).
+///
+/// # Errors
+///
+/// * [`RouteError::UnknownNode`] if `from` is not a member of the graph.
+/// * [`RouteError::HopLimit`] on malformed graphs.
+pub fn route_to_key_from<M: Metric>(
+    graph: &OverlayGraph,
+    metric: M,
+    from: NodeId,
+    key: NodeId,
+) -> Result<Route, RouteError> {
+    let Some(start) = graph.index_of(from) else {
+        return Err(RouteError::UnknownNode { id: from });
+    };
+    route_to_key(graph, metric, start, key)
 }
 
 #[cfg(test)]

@@ -1,6 +1,11 @@
 //! Degree and hop-count statistics (the measurements behind Figures 3–5).
+//!
+//! Hop counts and routing load are observer sinks over the shared routing
+//! engine's event stream ([`HopCount`], [`VisitTally`]) rather than ad-hoc
+//! per-route bookkeeping.
 
 use crate::graph::OverlayGraph;
+use crate::observe::{HopCount, VisitTally};
 use crate::route::{self, RouteError};
 use canon_id::{metric::Metric, rng::Seed};
 use rand::Rng;
@@ -115,13 +120,15 @@ pub fn hop_stats<M: Metric>(
         if b >= a {
             b += 1;
         }
-        let r = route::route(
+        let mut counter = HopCount::default();
+        route::route_observed(
             graph,
             metric,
             crate::graph::NodeIndex(a as u32),
             crate::graph::NodeIndex(b as u32),
+            &mut counter,
         )?;
-        samples.push(r.hops() as f64);
+        samples.push(counter.hops as f64);
     }
     Ok(Summary::of(samples))
 }
@@ -149,24 +156,22 @@ pub fn routing_load_stats<M: Metric>(
     assert!(graph.len() >= 2, "load sampling needs at least two nodes");
     let mut rng = seed.rng();
     let n = graph.len();
-    let mut visits = vec![0u64; n];
+    let mut tally = VisitTally::new(n);
     for _ in 0..pairs {
         let a = rng.gen_range(0..n);
         let mut b = rng.gen_range(0..n - 1);
         if b >= a {
             b += 1;
         }
-        let r = route::route(
+        route::route_observed(
             graph,
             metric,
             crate::graph::NodeIndex(a as u32),
             crate::graph::NodeIndex(b as u32),
+            &mut tally,
         )?;
-        for &v in &r.path()[1..] {
-            visits[v.index()] += 1;
-        }
     }
-    Ok(Summary::of(visits.into_iter().map(|v| v as f64)))
+    Ok(Summary::of(tally.visits().iter().map(|&v| v as f64)))
 }
 
 #[cfg(test)]

@@ -64,6 +64,9 @@ pub enum StoreError {
     UnknownPublisher,
     /// The querier identifier is not a member of the network.
     UnknownQuerier,
+    /// Overlay routing failed while executing the query
+    /// (see [`canon_overlay::RouteError`]).
+    Routing(canon_overlay::RouteError),
 }
 
 impl fmt::Display for StoreError {
@@ -77,11 +80,18 @@ impl fmt::Display for StoreError {
             }
             StoreError::UnknownPublisher => write!(f, "publisher is not a member of the network"),
             StoreError::UnknownQuerier => write!(f, "querier is not a member of the network"),
+            StoreError::Routing(e) => write!(f, "overlay routing failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+impl From<canon_overlay::RouteError> for StoreError {
+    fn from(e: canon_overlay::RouteError) -> StoreError {
+        StoreError::Routing(e)
+    }
+}
 
 /// Where an insert placed things.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -11,7 +11,7 @@
 
 use crate::{HierarchicalStore, QueryOutcome, StoreError, Via};
 use canon_id::{metric::Clockwise, Key, NodeId};
-use canon_overlay::{route_to_key, NodeIndex, OverlayGraph, Route};
+use canon_overlay::{route_to_key_from, NodeIndex, OverlayGraph, Route};
 
 /// A query answer with its overlay route.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,20 +53,17 @@ impl<V> RoutedOutcome<V> {
 /// # Errors
 ///
 /// * [`StoreError::UnknownQuerier`] if the querier is not in the store;
-/// * panics are reserved for mismatched graph/store populations, which are
-///   programming errors.
+/// * [`StoreError::Routing`] if the querier or answering node is not on
+///   the overlay graph, or greedy routing fails (a mismatched graph/store
+///   population).
 pub fn query_routed<V: Clone + PartialEq>(
     store: &mut HierarchicalStore<V>,
     graph: &OverlayGraph,
     querier: NodeId,
     key: Key,
 ) -> Result<RoutedOutcome<V>, StoreError> {
-    let from = graph
-        .index_of(querier)
-        .expect("querier must be a node of the overlay graph");
     let outcome = store.query_and_cache(querier, key)?;
-    let full = route_to_key(graph, Clockwise, from, key.as_point())
-        .expect("greedy key routing cannot fail");
+    let full = route_to_key_from(graph, Clockwise, querier, key.as_point())?;
 
     let (route, indirection) = match &outcome {
         QueryOutcome::Found {
@@ -83,14 +80,12 @@ pub fn query_routed<V: Clone + PartialEq>(
                 .map(|pos| Route::from_path(full.path()[..=pos].to_vec()))
                 .unwrap_or(full);
             let indirection = match via {
-                Via::Pointer { storage_node } => {
-                    let at = graph
-                        .index_of(*answering_node)
-                        .expect("answering node is on the overlay");
-                    let hop = route_to_key(graph, Clockwise, at, *storage_node)
-                        .expect("pointer resolution routes on the overlay");
-                    Some(hop)
-                }
+                Via::Pointer { storage_node } => Some(route_to_key_from(
+                    graph,
+                    Clockwise,
+                    *answering_node,
+                    *storage_node,
+                )?),
                 _ => None,
             };
             (cut, indirection)

@@ -20,7 +20,10 @@ use canon_id::{
     rng::{harmonic_distance, DetRng, Seed},
     NodeId, RingDistance,
 };
-use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph, Route, RouteError};
+use canon_overlay::policy::Lookahead1;
+use canon_overlay::{
+    execute, GraphBuilder, NodeIndex, NullObserver, OverlayGraph, Route, RouteError,
+};
 
 /// Number of long links Symphony grants a node in a ring of `n` nodes:
 /// `⌊log2 n⌋` (zero for `n < 2`).
@@ -95,7 +98,8 @@ pub fn build_symphony(ids: &[NodeId], seed: Seed) -> OverlayGraph {
 /// At each hop the node examines every pair (neighbor, neighbor's neighbor)
 /// and takes the first step of the pair that ends closest to the
 /// destination, provided the pair makes strict progress; it falls back to
-/// plain greedy when lookahead offers no progress.
+/// plain greedy when lookahead offers no progress. Implemented as the
+/// [`Lookahead1`] policy on the shared routing engine.
 ///
 /// # Errors
 ///
@@ -106,59 +110,16 @@ pub fn route_with_lookahead(
     from: NodeIndex,
     to: NodeIndex,
 ) -> Result<Route, RouteError> {
-    const HOP_LIMIT: usize = 4096;
     let target = graph.id(to);
-    let mut path = vec![from];
-    let mut cur = from;
-    while cur != to {
-        let cur_dist = graph.id(cur).clockwise_to(target);
-        // Direct neighbor hit wins immediately.
-        if graph.neighbors(cur).contains(&to) {
-            path.push(to);
-            break;
-        }
-        let mut best: Option<(u64, u64, NodeIndex)> = None; // (pair-end, first-step, via)
-        for &nb in graph.neighbors(cur) {
-            let d1 = graph.id(nb).clockwise_to(target);
-            if d1 >= cur_dist {
-                continue; // never move away from the destination
-            }
-            // Plain greedy candidate: pair end = d1 itself.
-            if best.is_none_or(|(bd, bd1, _)| d1 < bd || (d1 == bd && d1 < bd1)) {
-                best = Some((d1, d1, nb));
-            }
-            for &nb2 in graph.neighbors(nb) {
-                let d2 = graph.id(nb2).clockwise_to(target);
-                if d2 < cur_dist
-                    && d2 < d1
-                    && best.is_none_or(|(bd, bd1, _)| d2 < bd || (d2 == bd && d1 < bd1))
-                {
-                    best = Some((d2, d1, nb));
-                }
-            }
-        }
-        match best {
-            Some((_, _, via)) => {
-                path.push(via);
-                cur = via;
-            }
-            None => {
-                return Err(RouteError::Stuck {
-                    at: cur,
-                    remaining: cur_dist,
-                });
-            }
-        }
-        if path.len() > HOP_LIMIT {
-            return Err(RouteError::HopLimit { limit: HOP_LIMIT });
-        }
+    let r = execute(graph, &Lookahead1::new(target), from, NullObserver)?.route;
+    if r.target() != to {
+        let at = r.target();
+        return Err(RouteError::Stuck {
+            at,
+            remaining: graph.id(at).clockwise_to(target),
+        });
     }
-    Ok(route_from_path(path))
-}
-
-/// Builds a `Route` from a raw path by replaying it through the public API.
-fn route_from_path(path: Vec<NodeIndex>) -> Route {
-    Route::from_path(path)
+    Ok(r)
 }
 
 #[cfg(test)]

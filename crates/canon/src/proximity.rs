@@ -26,7 +26,10 @@
 use canon_chord::chord_links_bounded;
 use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
 use canon_id::{ring::SortedRing, rng::Seed, NodeId, RingDistance, ID_BITS};
-use canon_overlay::{GraphBuilder, NodeIndex, OverlayGraph, Route, RouteError};
+use canon_overlay::policy::{ProximityAware, RoutingPolicy};
+use canon_overlay::{
+    execute, GraphBuilder, NodeIndex, NullObserver, OverlayGraph, Route, RouteError,
+};
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -98,43 +101,16 @@ impl ProxNetwork {
     ///   structural defect).
     /// * [`RouteError::HopLimit`] on malformed graphs.
     pub fn route(&self, from: NodeIndex, to: NodeIndex) -> Result<Route, RouteError> {
-        const HOP_LIMIT: usize = 4096;
-        let t = self.group_bits;
-        let dest = self.graph.id(to);
-        let gdest = dest.prefix(t);
-        let key = |id: NodeId| -> (u64, u64) {
-            let gd = gdest.wrapping_sub(id.prefix(t)) & mask(t);
-            (gd, id.clockwise_to(dest))
-        };
-        let mut path = vec![from];
-        let mut cur = from;
-        let mut cur_key = key(self.graph.id(cur));
-        while cur != to {
-            let mut best: Option<((u64, u64), NodeIndex)> = None;
-            for &nb in self.graph.neighbors(cur) {
-                let k = key(self.graph.id(nb));
-                if k < cur_key && best.is_none_or(|(bk, _)| k < bk) {
-                    best = Some((k, nb));
-                }
-            }
-            match best {
-                Some((k, nb)) => {
-                    path.push(nb);
-                    cur = nb;
-                    cur_key = k;
-                }
-                None => {
-                    return Err(RouteError::Stuck {
-                        at: cur,
-                        remaining: cur_key.1,
-                    });
-                }
-            }
-            if path.len() > HOP_LIMIT {
-                return Err(RouteError::HopLimit { limit: HOP_LIMIT });
-            }
+        let policy = ProximityAware::new(self.group_bits, self.graph.id(to));
+        let r = execute(&self.graph, &policy, from, NullObserver)?.route;
+        if r.target() != to {
+            let at = r.target();
+            return Err(RouteError::Stuck {
+                at,
+                remaining: policy.remaining(policy.key(&self.graph, at)),
+            });
         }
-        Ok(Route::from_path(path))
+        Ok(r)
     }
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Golden-output regression for the routing refactor: reruns the five
+# routing-sensitive figure binaries and diffs them against the committed
+# results/full_run.txt sections. Any drift means the routing engine no
+# longer reproduces the pre-refactor paths byte for byte.
+#
+# Wall-clock lines (`# wall-clock: ...`) are excluded — they are the only
+# nondeterministic output. Everything else must match exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINARIES=(fig5_hops fig7_locality fig8_overlap fault_isolation lookup_latency_sim)
+GOLDEN=results/full_run.txt
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cargo build --release -p canon-bench --quiet
+
+# Extracts one `=== name ===` section from the golden file, dropping
+# blank lines and wall-clock stamps.
+extract() {
+  awk -v s="=== $1 ===" 'found && /^=== /{exit} found && NF{print} $0==s{found=1}' "$GOLDEN"
+}
+
+fail=0
+for b in "${BINARIES[@]}"; do
+  extract "$b" | grep -v '^# wall-clock' > "$WORK/$b.golden"
+  ./target/release/"$b" --threads 1 | grep -v '^# wall-clock' | grep -v '^$' > "$WORK/$b.actual"
+  if diff -u "$WORK/$b.golden" "$WORK/$b.actual" > "$WORK/$b.diff"; then
+    echo "ok: $b matches golden output"
+  else
+    echo "FAIL: $b diverged from results/full_run.txt:"
+    cat "$WORK/$b.diff"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "routing golden check FAILED" >&2
+  exit 1
+fi
+echo "routing golden check passed: ${#BINARIES[@]} binaries byte-identical"

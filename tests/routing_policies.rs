@@ -1,0 +1,152 @@
+//! Property tests for the unified routing engine: policies without extra
+//! machinery degenerate to plain greedy routing, and observer-derived hop
+//! counts agree with the routes the engine returns — across all three
+//! Canon instantiations (Crescendo, Cacophony, Kandy) on random
+//! hierarchies.
+
+use canon::cacophony::build_cacophony;
+use canon::crescendo::build_crescendo;
+use canon::kandy::build_kandy;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::metric::{Clockwise, Xor};
+use canon_id::rng::Seed;
+use canon_kademlia::BucketChoice;
+use canon_overlay::policy::{FaultFallback, ProximityAware};
+use canon_overlay::{
+    execute, route, route_observed, HopCount, NodeIndex, NullObserver, OverlayGraph,
+};
+use proptest::prelude::*;
+
+/// A random hierarchy: up to 3 levels below the root with fan-outs 1..=4.
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    (1usize..=4, 1usize..=3, 1u32..=3).prop_map(|(fan1, fan2, depth)| {
+        let mut h = Hierarchy::new();
+        if depth >= 2 {
+            for i in 0..fan1 {
+                let c = h.add_domain(h.root(), format!("a{i}"));
+                if depth >= 3 {
+                    for j in 0..fan2 {
+                        h.add_domain(c, format!("b{i}-{j}"));
+                    }
+                }
+            }
+        }
+        h
+    })
+}
+
+/// A deterministic sample of (from, to) pairs covering the graph.
+fn sample_pairs(g: &OverlayGraph) -> Vec<(NodeIndex, NodeIndex)> {
+    (0..g.len().min(10))
+        .map(|i| {
+            (
+                NodeIndex(i as u32),
+                NodeIndex(((i * 37 + 11) % g.len()) as u32),
+            )
+        })
+        .filter(|(a, b)| a != b)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With every node alive, the fault-fallback policy takes exactly the
+    /// greedy path: fallback candidates are never consulted, so the walk
+    /// is indistinguishable from `route()`.
+    #[test]
+    fn fault_fallback_all_alive_is_plain_greedy(
+        h in arb_hierarchy(), n in 8usize..100, seed in 0u64..1000,
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_crescendo(&h, &p);
+        let g = net.graph();
+        for (a, b) in sample_pairs(g) {
+            let plain = route(g, Clockwise, a, b);
+            prop_assert!(plain.is_ok(), "greedy route failed: {:?}", plain.err());
+            let policy = FaultFallback::new(Clockwise, g.id(b));
+            let driven = execute(g, &policy, a, NullObserver);
+            prop_assert!(driven.is_ok());
+            let (plain, driven) = (plain.expect("checked"), driven.expect("checked"));
+            prop_assert_eq!(
+                plain.path(),
+                driven.route.path(),
+                "fault fallback diverged from greedy with no faults"
+            );
+        }
+    }
+
+    /// With zero group bits the proximity-aware rank's group component is
+    /// identically zero, so the policy degenerates to clockwise greedy.
+    #[test]
+    fn proximity_zero_bits_is_plain_greedy(
+        h in arb_hierarchy(), n in 8usize..100, seed in 0u64..1000,
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_crescendo(&h, &p);
+        let g = net.graph();
+        for (a, b) in sample_pairs(g) {
+            let plain = route(g, Clockwise, a, b);
+            prop_assert!(plain.is_ok());
+            let policy = ProximityAware::new(0, g.id(b));
+            let driven = execute(g, &policy, a, NullObserver);
+            prop_assert!(driven.is_ok());
+            let (plain, driven) = (plain.expect("checked"), driven.expect("checked"));
+            prop_assert_eq!(
+                plain.path(),
+                driven.route.path(),
+                "proximity(t=0) diverged from clockwise greedy"
+            );
+        }
+    }
+
+    /// Observer-derived hop counts equal `Route::hops()` on Crescendo
+    /// (clockwise metric): one Hop event per edge, no timeouts, and one
+    /// attempt per hop in the fault-free engine.
+    #[test]
+    fn observer_hops_match_route_hops_crescendo(
+        h in arb_hierarchy(), n in 8usize..100, seed in 0u64..1000,
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_crescendo(&h, &p);
+        check_observer_hops(net.graph(), Clockwise);
+    }
+
+    /// Same invariant on Cacophony's randomized small-world links.
+    #[test]
+    fn observer_hops_match_route_hops_cacophony(
+        h in arb_hierarchy(), n in 8usize..100, seed in 0u64..1000,
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_cacophony(&h, &p, Seed(seed ^ 0xc0ffee));
+        check_observer_hops(net.graph(), Clockwise);
+    }
+
+    /// Same invariant on Kandy under the XOR metric.
+    #[test]
+    fn observer_hops_match_route_hops_kandy(
+        h in arb_hierarchy(), n in 8usize..100, seed in 0u64..1000,
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let net = build_kandy(&h, &p, BucketChoice::Closest, Seed(seed ^ 0xbeef));
+        check_observer_hops(net.graph(), Xor);
+    }
+}
+
+fn check_observer_hops<M: canon_id::metric::Metric>(g: &OverlayGraph, metric: M) {
+    for (a, b) in sample_pairs(g) {
+        let mut counter = HopCount::default();
+        let r = route_observed(g, metric, a, b, &mut counter)
+            .expect("fault-free routing reaches every node");
+        assert_eq!(
+            counter.hops,
+            r.hops(),
+            "observer saw a different hop count than the returned route"
+        );
+        assert_eq!(counter.timeouts, 0, "no faults, no timeouts");
+        assert_eq!(
+            counter.attempts, counter.hops,
+            "every attempt succeeds when all nodes are alive"
+        );
+    }
+}
