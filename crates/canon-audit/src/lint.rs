@@ -21,7 +21,10 @@
 //! * **`wall-clock`** — `Instant`, `SystemTime` and `thread_rng` must not
 //!   appear in result-affecting crates: results must be pure functions of
 //!   seeds. Only the bench harness (`canon-bench`, `criterion-shim`) may
-//!   read clocks.
+//!   read clocks. For the node runtime (`canon-node`) the rule is *strict*:
+//!   time may flow only through its `Clock` trait, so the tokens are banned
+//!   even inside `#[cfg(test)]` code — a test that reads the wall clock
+//!   directly forfeits the byte-determinism the virtual clock guarantees.
 //! * **`panic-site`** — `.unwrap()`, `.expect(` and `panic!` are banned in
 //!   non-test code of the core library crates; fallible APIs return
 //!   `Result`/`Option` instead. (`assert!`/`debug_assert!` stay allowed:
@@ -67,6 +70,13 @@ pub const CONSTRUCTION_CRATES: &[&str] = &[
 
 /// Crates allowed to read wall clocks (the timing harness itself).
 pub const CLOCK_EXEMPT_CRATES: &[&str] = &["canon-bench", "criterion-shim"];
+
+/// Crates where all time must flow through the `canon-node` `Clock` trait:
+/// the wall-clock rule applies even to `#[cfg(test)]` code there, because a
+/// test that reads real time cannot be byte-deterministic across worker
+/// threads. (The real-time `MonotonicClock` implementation lives in
+/// `canon-bench`, which is clock-exempt, precisely so this can hold.)
+pub const CLOCK_TRAIT_CRATES: &[&str] = &["canon-node"];
 
 /// Core crates under the no-panic policy.
 pub const PANIC_POLICY_CRATES: &[&str] = &["canon", "canon-overlay", "canon-id", "canon-par"];
@@ -494,22 +504,35 @@ fn word_positions(line: &str, tok: &str) -> Vec<usize> {
 const CLOCK_TOKENS: &[&str] = &["Instant", "SystemTime", "thread_rng"];
 
 fn check_wall_clock(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+    // In Clock-trait crates the rule is strict: even test code must get time
+    // through the trait, or the virtual clock's determinism guarantee dies.
+    let strict = CLOCK_TRAIT_CRATES.contains(&file.crate_name);
     for (idx, line) in pre.masked.iter().enumerate() {
         let lineno = idx + 1;
-        if pre.in_test(lineno) || pre.is_allowed(lineno, "wall-clock") {
+        if (!strict && pre.in_test(lineno)) || pre.is_allowed(lineno, "wall-clock") {
             continue;
         }
         for tok in CLOCK_TOKENS {
             for _pos in word_positions(line, tok) {
+                let message = if strict {
+                    format!(
+                        "`{tok}` in Clock-trait crate `{}`: all time must flow through \
+                         the `Clock` trait (even in tests — use `VirtualClock`, or \
+                         `canon_bench::MonotonicClock` from the exempt harness crate)",
+                        file.crate_name
+                    )
+                } else {
+                    format!(
+                        "`{tok}` in result-affecting crate `{}`: results must be pure \
+                         functions of seeds, never of wall-clock or OS entropy",
+                        file.crate_name
+                    )
+                };
                 findings.push(Finding {
                     file: file.path.to_owned(),
                     line: lineno,
                     rule: "wall-clock",
-                    message: format!(
-                        "`{tok}` in result-affecting crate `{}`: results must be pure \
-                         functions of seeds, never of wall-clock or OS entropy",
-                        file.crate_name
-                    ),
+                    message,
                 });
             }
         }
@@ -855,6 +878,23 @@ mod tests {
         assert!(lint("canon", in_test).is_empty(), "test code is exempt");
         let annotated = "// audit: allow(wall-clock)\nuse std::time::Instant;\n";
         assert!(lint("canon-netsim", annotated).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_strict_in_clock_trait_crates_even_for_tests() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n";
+        let f = lint("canon-node", in_test);
+        assert_eq!(rules(&f), vec!["wall-clock"], "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(
+            f[0].message.contains("Clock"),
+            "strict finding must point at the Clock trait: {}",
+            f[0].message
+        );
+        // The explicit annotation still works as the escape hatch.
+        let annotated =
+            "#[cfg(test)]\nmod tests {\n    // audit: allow(wall-clock)\n    use std::time::Instant;\n}\n";
+        assert!(lint("canon-node", annotated).is_empty());
     }
 
     #[test]

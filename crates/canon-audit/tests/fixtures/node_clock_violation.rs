@@ -1,0 +1,34 @@
+//! Deliberate wall-clock violations, styled after canon-node runtime code.
+//!
+//! This file is a lint FIXTURE, not compiled workspace code: the
+//! `clock_trait_lint` integration test feeds it to the linter under the
+//! crate name `canon-node` and asserts every violation below is caught.
+//! Line numbers matter — the test pins them — so edit with care.
+
+use std::time::Instant; // line 8: banned import in non-test code
+
+/// A runtime that smuggles real time past the `Clock` trait.
+pub struct LeakyRuntime {
+    started: Instant, // line 12: banned type in a field
+}
+
+impl LeakyRuntime {
+    /// Reads the wall clock directly instead of a `Clock` implementation.
+    pub fn elapsed_ticks(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_a_test_with_real_time_breaks_determinism() {
+        // line 28: in an ordinary crate `#[cfg(test)]` would exempt this;
+        // in a Clock-trait crate it must still be flagged.
+        let start = Instant::now(); // line 30
+        let rt = LeakyRuntime { started: start };
+        assert!(rt.elapsed_ticks() < 1_000_000);
+    }
+}

@@ -43,8 +43,7 @@ fn main() {
                 cfg.trial_seed("resil-pairs", crash_pct as u64),
             )));
             if r == 4 {
-                let mut probe = sim.clone();
-                repair_msgs = probe.repair();
+                repair_msgs = sim.repair_cost();
             }
         }
         cells.push(repair_msgs.to_string());

@@ -1,0 +1,150 @@
+//! Live-traffic load harness for the `canon-node` runtime.
+//!
+//! Builds a Crescendo cluster of `--max-n` nodes (default 1024) inside one
+//! process, injects `100·n` concurrent client requests (50% lookups, 25%
+//! PUTs, 25% GETs), and drives the whole cluster to completion on the
+//! `canon-par` worker pool under a real [`MonotonicClock`] — the same
+//! runtime code the deterministic tests run under the virtual clock.
+//!
+//! Reported per run:
+//!
+//! * sustained throughput (completed requests per second of drive time);
+//! * round-trip latency percentiles (p50/p90/p99), measured by the
+//!   per-origin `RouteObserver` latency sinks;
+//! * mean route hops, from the completion records;
+//! * the zero-loss account: injected == completed, zero duplicate
+//!   responses — the run **fails** if either is violated.
+//!
+//! `--json` emits one machine-readable JSON object (the committed baseline
+//! `results/BENCH_node_throughput.json`); the default is an aligned table.
+
+use canon::crescendo::build_crescendo;
+use canon_bench::{banner, emit_row, row, BenchConfig, MonotonicClock, PhaseTimer};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_node::{from_graph, ChannelTransport, Command, Op, RpcConfig, RuntimeConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests injected per node.
+const REQUESTS_PER_NODE: u64 = 100;
+
+/// Real-time length of one runtime tick.
+const TICK: Duration = Duration::from_micros(20);
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args(1024, 1);
+    let n = cfg.max_n;
+    let requests = REQUESTS_PER_NODE * n as u64;
+    if !cfg.json {
+        banner(
+            "node_throughput",
+            "live cluster load: concurrent lookups/PUTs/GETs over the canon-node runtime",
+            &cfg,
+        );
+    }
+
+    let mut times = PhaseTimer::default();
+    let seed = cfg.trial_seed("node-throughput", 0);
+    let rt_config = RuntimeConfig {
+        // The channel transport never loses messages, so deadlines exist
+        // only as a safety net; a generous value keeps retransmissions (and
+        // thus duplicate responses) impossible under load.
+        rpc: RpcConfig {
+            timeout: 1 << 40,
+            max_retries: 1,
+        },
+        ..RuntimeConfig::default()
+    };
+    let mut rt = times.construct(|| {
+        let h = Hierarchy::balanced(4, 3);
+        let p = Placement::uniform(&h, n, seed);
+        let net = build_crescendo(&h, &p);
+        from_graph(
+            net.graph(),
+            Arc::new(MonotonicClock::new(TICK)),
+            Arc::new(ChannelTransport::new(1)),
+            rt_config,
+        )
+    });
+
+    // Inject the full storm up front: every request is concurrently in
+    // flight from round one.
+    let ids = rt.ids();
+    let traffic = seed.derive("traffic");
+    for i in 0..requests {
+        let r = traffic.derive_index(i).0;
+        let origin = ids[(r % ids.len() as u64) as usize];
+        let key = traffic.derive_index(i).derive("key").0 % (n as u64 * 16);
+        let op = match i % 4 {
+            0 | 1 => Op::Lookup { key },
+            2 => Op::Put { key, value: r },
+            _ => Op::Get { key },
+        };
+        rt.inject(origin, Command::Issue(op));
+    }
+
+    let rounds = times.measure(|| rt.run_until_idle());
+    let drive = times.measure;
+
+    let summary = rt.summary();
+    let mut rtt: Vec<f64> = rt.rtt_samples();
+    rtt.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let tick_us = TICK.as_secs_f64() * 1e6;
+    let completions = rt.completions();
+    let mean_hops = if completions.is_empty() {
+        0.0
+    } else {
+        completions.iter().map(|c| f64::from(c.hops)).sum::<f64>() / completions.len() as f64
+    };
+    let throughput = summary.completed as f64 / drive.as_secs_f64();
+
+    let pairs = [
+        ("nodes", n.to_string()),
+        ("requests", requests.to_string()),
+        ("injected", summary.injected.to_string()),
+        ("completed", summary.completed.to_string()),
+        ("duplicates", summary.duplicates.to_string()),
+        ("timed_out", summary.timed_out.to_string()),
+        ("throughput_rps", format!("{throughput:.0}")),
+        ("p50_us", format!("{:.1}", percentile(&rtt, 0.50) * tick_us)),
+        ("p90_us", format!("{:.1}", percentile(&rtt, 0.90) * tick_us)),
+        ("p99_us", format!("{:.1}", percentile(&rtt, 0.99) * tick_us)),
+        ("mean_hops", format!("{mean_hops:.2}")),
+        ("forwarded", summary.forwarded.to_string()),
+        ("rounds", rounds.to_string()),
+        (
+            "construct_s",
+            format!("{:.3}", times.construct.as_secs_f64()),
+        ),
+        ("drive_s", format!("{:.3}", drive.as_secs_f64())),
+        (
+            "zero_loss",
+            if summary.zero_loss() { "pass" } else { "FAIL" }.to_string(),
+        ),
+    ];
+    if !cfg.json {
+        row(&pairs.iter().map(|(k, _)| k.to_string()).collect::<Vec<_>>());
+    }
+    emit_row(&cfg, &pairs);
+
+    assert!(
+        summary.zero_loss(),
+        "zero-loss accounting violated: injected={} completed={} duplicates={}",
+        summary.injected,
+        summary.completed,
+        summary.duplicates
+    );
+    assert_eq!(
+        rtt.len() as u64,
+        summary.completed - summary.timed_out,
+        "every answered request must contribute one latency sample"
+    );
+}

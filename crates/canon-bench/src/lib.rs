@@ -10,7 +10,9 @@
 //! * `--seeds <S>` — number of trials averaged per cell;
 //! * `--seed <BASE>` — base seed (default 42);
 //! * `--threads <T>` — worker threads for parallel construction and the
-//!   trial matrix (default: all cores; `0` also means all cores).
+//!   trial matrix (default: all cores; `0` also means all cores);
+//! * `--json` — emit machine-readable JSON Lines (one object per record)
+//!   instead of aligned text tables, for committed perf baselines.
 //!
 //! `--threads` is wired straight into [`canon_par::set_global_threads`],
 //! which both the construction pipeline (`canon::engine::build_canonical`,
@@ -47,6 +49,8 @@ pub struct BenchConfig {
     pub base_seed: u64,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Emit machine-readable JSON Lines instead of aligned text tables.
+    pub json: bool,
 }
 
 impl BenchConfig {
@@ -62,6 +66,7 @@ impl BenchConfig {
             seeds: default_seeds,
             base_seed: 42,
             threads: 0,
+            json: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
@@ -90,8 +95,11 @@ impl BenchConfig {
                     i += 1;
                     cfg.threads = value(&args, i, "--threads");
                 }
+                "--json" => cfg.json = true,
                 other => {
-                    panic!("unknown argument {other}; try --quick/--max-n/--seeds/--seed/--threads")
+                    panic!(
+                        "unknown argument {other}; try --quick/--max-n/--seeds/--seed/--threads/--json"
+                    )
                 }
             }
             i += 1;
@@ -246,26 +254,90 @@ pub fn run_matrix<T: Send>(
     rows
 }
 
-/// Prints a header banner with the experiment id and configuration.
+/// Prints a header banner with the experiment id and configuration — as
+/// `#` comment lines in text mode, as one JSON object in `--json` mode.
 pub fn banner(id: &str, what: &str, cfg: &BenchConfig) {
-    println!("# {id}: {what}");
-    println!(
-        "# config: max_n={} seeds={} base_seed={} threads={}",
-        cfg.max_n,
-        cfg.seeds,
-        cfg.base_seed,
-        if cfg.threads == 0 {
-            canon_par::available_cores()
-        } else {
-            cfg.threads
-        }
-    );
+    let threads = if cfg.threads == 0 {
+        canon_par::available_cores()
+    } else {
+        cfg.threads
+    };
+    if cfg.json {
+        println!(
+            "{}",
+            json_object(&[
+                ("experiment", id.to_string()),
+                ("what", what.to_string()),
+                ("max_n", cfg.max_n.to_string()),
+                ("seeds", cfg.seeds.to_string()),
+                ("base_seed", cfg.base_seed.to_string()),
+                ("threads", threads.to_string()),
+            ])
+        );
+    } else {
+        println!("# {id}: {what}");
+        println!(
+            "# config: max_n={} seeds={} base_seed={} threads={}",
+            cfg.max_n, cfg.seeds, cfg.base_seed, threads
+        );
+    }
 }
 
 /// Prints one aligned table row from string cells.
 pub fn row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
     println!("{}", line.join(" "));
+}
+
+/// Prints one result record as key/value pairs: a JSON object line in
+/// `--json` mode, an aligned table row of the values otherwise (keys are
+/// the column names the binary already printed as its header).
+pub fn emit_row(cfg: &BenchConfig, pairs: &[(&str, String)]) {
+    if cfg.json {
+        println!("{}", json_object(pairs));
+    } else {
+        let cells: Vec<String> = pairs.iter().map(|(_, v)| v.clone()).collect();
+        row(&cells);
+    }
+}
+
+/// Escapes `s` for a JSON string literal (quotes, backslashes, control
+/// characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats key/value pairs as one JSON object. Values that are finite JSON
+/// numbers are emitted bare; everything else becomes an escaped string.
+pub fn json_object(pairs: &[(&str, String)]) -> String {
+    let is_number = |s: &str| {
+        s.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false)
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+    };
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| {
+            if is_number(v) {
+                format!("\"{}\": {v}", json_escape(k))
+            } else {
+                format!("\"{}\": \"{}\"", json_escape(k), json_escape(v))
+            }
+        })
+        .collect();
+    format!("{{{}}}", fields.join(", "))
 }
 
 /// Formats a float cell.
@@ -276,6 +348,55 @@ pub fn f(v: f64) -> String {
 /// Formats a duration cell in seconds.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}s", d.as_secs_f64())
+}
+
+/// A real-time [`canon_node::Clock`]: maps a monotonic OS clock onto the
+/// node runtime's ticks.
+///
+/// This lives in `canon-bench` — the one crate with a wall-clock allowance
+/// under the `wall-clock` audit lint — so that `canon-node` itself stays
+/// free of `Instant`/`SystemTime` (its lint is strict even in tests; see
+/// `canon-audit`'s `CLOCK_TRAIT_CRATES`). The load harness drives exactly
+/// the same runtime code the deterministic tests run under the virtual
+/// clock, swapping only this time source.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    start: Instant,
+    tick: Duration,
+}
+
+impl MonotonicClock {
+    /// A clock starting at tick 0 now, with one tick per `tick` of real
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero.
+    pub fn new(tick: Duration) -> MonotonicClock {
+        assert!(!tick.is_zero(), "tick duration must be positive");
+        MonotonicClock {
+            start: Instant::now(),
+            tick,
+        }
+    }
+
+    /// The real-time length of one tick.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+}
+
+impl canon_node::Clock for MonotonicClock {
+    fn now(&self) -> canon_node::Tick {
+        (self.start.elapsed().as_nanos() / self.tick.as_nanos()) as canon_node::Tick
+    }
+
+    fn advance_to(&self, t: canon_node::Tick) {
+        // A real clock advances itself; just wait for it.
+        while self.now() < t {
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// Groups graph node indices by their ancestor domain at `depth`.
@@ -308,6 +429,7 @@ mod tests {
             seeds,
             base_seed: 7,
             threads: 0,
+            json: false,
         }
     }
 
@@ -379,6 +501,32 @@ mod tests {
         assert!(times.measure >= Duration::from_millis(1));
         assert_eq!(rows[0].construct_time(), times.construct);
         assert_eq!(rows[0].measure_time(), times.measure);
+    }
+
+    #[test]
+    fn json_object_types_numbers_and_strings() {
+        let line = json_object(&[
+            ("n", "1024".to_string()),
+            ("p50_us", "13.25".to_string()),
+            ("mode", "channel".to_string()),
+            ("note", "a \"quoted\" value".to_string()),
+            ("nan", "NaN".to_string()),
+        ]);
+        assert_eq!(
+            line,
+            "{\"n\": 1024, \"p50_us\": 13.25, \"mode\": \"channel\", \
+             \"note\": \"a \\\"quoted\\\" value\", \"nan\": \"NaN\"}"
+        );
+    }
+
+    #[test]
+    fn monotonic_clock_ticks_forward() {
+        use canon_node::Clock;
+        let c = MonotonicClock::new(Duration::from_micros(50));
+        let t0 = c.now();
+        c.advance_to(t0 + 3);
+        assert!(c.now() >= t0 + 3);
+        assert_eq!(c.tick(), Duration::from_micros(50));
     }
 
     #[test]

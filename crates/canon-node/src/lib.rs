@@ -1,0 +1,55 @@
+//! canon-node: a concurrent node runtime that serves live DHT traffic.
+//!
+//! Everything else in this workspace evaluates Canonical Crescendo
+//! *statically* — build a graph, route over it, measure. This crate runs
+//! the protocol: every node is an actor with its own mailbox, link table
+//! and store shard, executing concurrently over `canon-par` worker threads
+//! and communicating **only** through a [`transport::Transport`]. On top
+//! of the actor substrate sit a small RPC layer and three protocols:
+//!
+//! * recursive key lookup, forwarded hop by hop through the same
+//!   [`canon_overlay::RoutingPolicy`] engine the simulators use — each
+//!   node routes from its own partial view;
+//! * replicated GET/PUT with `canon-store`'s successor-list placement;
+//! * the join/leave repair protocol of `canon-sim`, as actual messages.
+//!
+//! The runtime is **deterministic by construction**: time is a capability
+//! ([`clock::Clock`]), delivery order is a pure function of send
+//! coordinates, and rounds execute in lock-step — so a run under the
+//! [`clock::VirtualClock`] is byte-identical across worker-thread counts,
+//! while the same binary code serves real throughput benchmarks under a
+//! monotonic clock in `canon-bench`. See [`runtime`] for the full
+//! argument.
+//!
+//! Module map:
+//!
+//! * [`clock`] — the [`clock::Clock`] trait and the virtual lock-step
+//!   clock;
+//! * [`transport`] — envelopes, mailboxes, the in-process channel
+//!   transport and the deterministic fault-injecting wrapper;
+//! * [`msg`] — the wire vocabulary and completion records;
+//! * [`rpc`] — request ids, deadlines, bounded retry with exponential
+//!   backoff, the in-flight table;
+//! * [`node`] — per-node actor state and the protocol state machine;
+//! * [`runtime`] — round-based lock-step execution and cluster-wide
+//!   accounting;
+//! * [`cluster`] — seeding a runtime from a pre-built overlay graph.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod cluster;
+pub mod msg;
+pub mod node;
+pub mod rpc;
+pub mod runtime;
+pub mod transport;
+
+pub use clock::{Clock, Tick, VirtualClock};
+pub use cluster::from_graph;
+pub use msg::{Command, Completion, JoinGrant, Op, OpKind, Outcome, Payload, RpcResult};
+pub use node::{LatencySink, NodeStats};
+pub use rpc::{RetryDecision, RpcConfig, RpcTable};
+pub use runtime::{Runtime, RuntimeConfig, Summary};
+pub use transport::{ChannelTransport, Envelope, FaultyTransport, Mailboxes, Transport};

@@ -1,0 +1,277 @@
+//! The wire vocabulary of the node runtime.
+//!
+//! Three kinds of traffic share the mailboxes:
+//!
+//! * [`Command`]s — client work injected by the harness at an origin node
+//!   (they do not cross the network and cannot be lost);
+//! * routed RPCs — a [`Payload::Request`] forwarded greedily hop by hop
+//!   toward the key's responsible node, answered by a single
+//!   [`Payload::Response`] sent straight back to the origin;
+//! * one-way maintenance messages — replication fan-out and the join/leave
+//!   repair notices ported from `canon-sim`'s churn protocol.
+//!
+//! Every request carries the origin's request id; the origin's RPC table
+//! ([`crate::rpc`]) matches responses, detects duplicates, and drives
+//! retries. A finished request becomes a [`Completion`] record — the unit
+//! of the zero-loss accounting (`injected == completed`, zero duplicates)
+//! that the load harness checks.
+
+use crate::clock::Tick;
+use canon_id::NodeId;
+
+/// A client operation served by the DHT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Locate the node responsible for `key`.
+    Lookup {
+        /// The key to locate.
+        key: u64,
+    },
+    /// Store `value` under `key` on the responsible node and its replicas.
+    Put {
+        /// The key to store under.
+        key: u64,
+        /// The value to store.
+        value: u64,
+    },
+    /// Fetch the value stored under `key`.
+    Get {
+        /// The key to fetch.
+        key: u64,
+    },
+    /// Locate the predecessor of `joiner` and obtain a join grant.
+    Join {
+        /// The joining node.
+        joiner: NodeId,
+    },
+}
+
+impl Op {
+    /// The identifier-space point the request is routed toward.
+    pub fn key_point(&self) -> NodeId {
+        match *self {
+            Op::Lookup { key } | Op::Put { key, .. } | Op::Get { key } => NodeId::new(key),
+            Op::Join { joiner } => joiner,
+        }
+    }
+
+    /// The operation's kind tag.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Lookup { .. } => OpKind::Lookup,
+            Op::Put { .. } => OpKind::Put,
+            Op::Get { .. } => OpKind::Get,
+            Op::Join { .. } => OpKind::Join,
+        }
+    }
+}
+
+/// Kind tag for [`Op`] (used in completion records and stats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// A lookup request.
+    Lookup,
+    /// A put request.
+    Put,
+    /// A get request.
+    Get,
+    /// A join locate request.
+    Join,
+}
+
+/// The state handed from a predecessor to a joining node: everything the
+/// newcomer needs to start serving (the message-level port of the join
+/// half of `canon-sim`'s maintenance protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinGrant {
+    /// The granting node — the joiner's ring predecessor.
+    pub predecessor: NodeId,
+    /// The predecessor's link table, for the newcomer to bootstrap its own.
+    pub links: Vec<NodeId>,
+    /// The predecessor's successor list *before* the join — exactly the
+    /// newcomer's successor list, since it sits immediately after the
+    /// predecessor.
+    pub succ_list: Vec<NodeId>,
+    /// Shard entries whose responsibility moves to the newcomer.
+    pub shard: Vec<(u64, u64)>,
+}
+
+/// The result carried by a [`Payload::Response`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcResult {
+    /// Lookup: the responsible node.
+    Found {
+        /// The node responsible for the key.
+        responsible: NodeId,
+    },
+    /// Put: stored on the primary, replicated to `replicas` successors.
+    Stored {
+        /// The responsible node that stored the value.
+        primary: NodeId,
+        /// Replicate messages fanned out to successors.
+        replicas: u32,
+    },
+    /// Get: the value (if present) and the serving node.
+    Value {
+        /// The stored value, if any.
+        value: Option<u64>,
+        /// The node that answered.
+        served_by: NodeId,
+    },
+    /// Join: the predecessor's grant.
+    Granted(JoinGrant),
+}
+
+/// Client work injected at an origin node by the harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Issue `op` as an RPC owned by this node.
+    Issue(Op),
+    /// Join the overlay through `bootstrap`.
+    Join {
+        /// A live node the newcomer knows.
+        bootstrap: NodeId,
+    },
+    /// Leave gracefully: hand the shard to the node inheriting the key
+    /// range and notify the neighborhood.
+    Leave,
+}
+
+/// Everything a mailbox can deliver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Locally injected client work.
+    Client(Command),
+    /// A routed RPC in flight toward the responsible node.
+    Request {
+        /// The node that owns the RPC.
+        origin: NodeId,
+        /// Origin-scoped request id.
+        req: u64,
+        /// Which (re)transmission this is, 0-based.
+        attempt: u32,
+        /// Hops taken so far.
+        hops: u32,
+        /// The operation.
+        op: Op,
+    },
+    /// The answer, sent directly back to the origin.
+    Response {
+        /// The request id being answered.
+        req: u64,
+        /// Hops the request took to reach the responder.
+        hops: u32,
+        /// The result.
+        result: RpcResult,
+    },
+    /// Replication fan-out from a primary to a successor (one-way).
+    Replicate {
+        /// The key to store.
+        key: u64,
+        /// The value to store.
+        value: u64,
+    },
+    /// Join repair notice: `joined` is now live (sent by its predecessor
+    /// to the neighborhood).
+    RepairJoin {
+        /// The newly joined node.
+        joined: NodeId,
+    },
+    /// A leaving node hands its shard to the node inheriting its key range
+    /// (its predecessor, under largest-id-≤-key responsibility).
+    LeaveHandoff {
+        /// The departing node.
+        departing: NodeId,
+        /// Its shard entries.
+        shard: Vec<(u64, u64)>,
+    },
+    /// Leave repair notice: `departing` is gone; its successor and
+    /// predecessor are attached so recipients can mend their tables.
+    LeaveNotice {
+        /// The departing node.
+        departing: NodeId,
+        /// The departing node's ring successor.
+        successor: NodeId,
+        /// The departing node's ring predecessor.
+        predecessor: NodeId,
+    },
+}
+
+/// How a request ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Answered successfully.
+    Ok,
+    /// Answered: the key had no stored value (gets only).
+    NotFound,
+    /// Every retry timed out.
+    TimedOut,
+}
+
+/// One finished request, recorded at its origin — the unit of zero-loss
+/// accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The origin node.
+    pub origin: NodeId,
+    /// The origin-scoped request id.
+    pub req: u64,
+    /// The operation kind.
+    pub kind: OpKind,
+    /// The routed key point.
+    pub key: u64,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// The answering node, if any.
+    pub responder: Option<NodeId>,
+    /// The fetched value (gets only).
+    pub value: Option<u64>,
+    /// Hops the answered attempt took.
+    pub hops: u32,
+    /// Transmissions used (1 = no retries).
+    pub attempts: u32,
+    /// When the RPC was opened.
+    pub issued_at: Tick,
+    /// When it completed.
+    pub completed_at: Tick,
+}
+
+impl Completion {
+    /// Round-trip latency in ticks.
+    pub fn latency(&self) -> Tick {
+        self.completed_at - self.issued_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_route_toward_their_key() {
+        assert_eq!(Op::Lookup { key: 9 }.key_point(), NodeId::new(9));
+        assert_eq!(Op::Put { key: 3, value: 1 }.key_point(), NodeId::new(3));
+        assert_eq!(Op::Get { key: 4 }.key_point(), NodeId::new(4));
+        let j = NodeId::new(77);
+        assert_eq!(Op::Join { joiner: j }.key_point(), j);
+        assert_eq!(Op::Join { joiner: j }.kind(), OpKind::Join);
+    }
+
+    #[test]
+    fn completion_latency_is_ticks_between_issue_and_finish() {
+        let c = Completion {
+            origin: NodeId::new(1),
+            req: 0,
+            kind: OpKind::Lookup,
+            key: 5,
+            outcome: Outcome::Ok,
+            responder: Some(NodeId::new(2)),
+            value: None,
+            hops: 3,
+            attempts: 1,
+            issued_at: 10,
+            completed_at: 25,
+        };
+        assert_eq!(c.latency(), 15);
+    }
+}

@@ -1,0 +1,693 @@
+//! Per-node actor state and the protocol state machine.
+//!
+//! A node owns its identifier, link table, successor list, store shard and
+//! RPC table; it reacts to delivered [`Payload`]s and timer expiries, and
+//! the only externally visible effect of handling a message is the set of
+//! messages it sends — the actor contract the runtime's determinism
+//! argument rests on.
+//!
+//! Routing is *recursive*: a [`Payload::Request`] is forwarded greedily
+//! hop by hop. The next hop comes from the same [`RoutingPolicy`] engine
+//! every simulator in the workspace uses — each node keeps a star-shaped
+//! [`OverlayGraph`] over its own link table (its partial view of the
+//! overlay) and asks [`ordered_candidates`] with the [`Greedy`] clockwise
+//! policy. No candidates means this node is the key's responsible node
+//! (greedy local minimum = clockwise predecessor), and it answers the
+//! origin directly. Because every hop strictly decreases the clockwise
+//! distance to the key, requests cannot cycle even across stale link
+//! tables mid-churn.
+//!
+//! [`RoutingPolicy`]: canon_overlay::RoutingPolicy
+
+use crate::clock::Tick;
+use crate::msg::{Command, Completion, JoinGrant, Op, Outcome, Payload, RpcResult};
+use crate::rpc::{RetryDecision, RpcTable};
+use crate::runtime::RuntimeConfig;
+use crate::transport::{Envelope, Mailboxes, Transport};
+use canon_id::metric::Clockwise;
+use canon_id::NodeId;
+use canon_overlay::engine::HOP_LIMIT;
+use canon_overlay::{
+    ordered_candidates, GraphBuilder, Greedy, HopCount, HopEvent, NodeIndex, OverlayGraph,
+    RouteObserver,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// A [`RouteObserver`] sink collecting latency samples from
+/// [`HopEvent::Hop`] events — request origins stream one synthetic hop
+/// per completed RPC (origin → responder, priced at the round-trip time),
+/// so percentile reporting in the load harness runs off the same observer
+/// machinery as every other measurement in the workspace.
+#[derive(Clone, Debug, Default)]
+pub struct LatencySink {
+    samples: Vec<f64>,
+}
+
+impl LatencySink {
+    /// The collected samples, in arrival order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl RouteObserver for LatencySink {
+    fn on_event(&mut self, event: &HopEvent) {
+        if let HopEvent::Hop { latency, .. } = event {
+            self.samples.push(*latency);
+        }
+    }
+}
+
+/// Per-node message accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Requests forwarded to a next hop.
+    pub forwarded: u64,
+    /// Requests served as the responsible node.
+    pub served: u64,
+    /// Replica writes accepted.
+    pub replicas_stored: u64,
+    /// Responses for unknown request ids (retransmission duplicates).
+    pub duplicate_responses: u64,
+    /// Sends to identifiers missing from the directory.
+    pub undeliverable: u64,
+    /// Sends the transport dropped (loss or partition).
+    pub network_drops: u64,
+    /// Messages discarded because this node has left.
+    pub dropped_dead: u64,
+    /// Requests dropped at the defensive hop budget.
+    pub hop_limit_drops: u64,
+    /// Retransmissions sent after a deadline expired.
+    pub retransmits: u64,
+}
+
+/// The network context a node handles messages in: shared mailboxes, the
+/// transport, the id → slot directory, and the current tick.
+pub(crate) struct Net<'a> {
+    pub boxes: &'a Mailboxes<Payload>,
+    pub transport: &'a dyn Transport,
+    pub directory: &'a BTreeMap<u64, usize>,
+    pub now: Tick,
+}
+
+/// One node's complete state.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    pub id: NodeId,
+    /// This node's mailbox slot (also its [`NodeIndex`] in hop events).
+    pub slot: usize,
+    /// Out-links (the Crescendo link table).
+    pub links: BTreeSet<NodeId>,
+    /// Global-ring successors, nearest first (the root-level leaf set;
+    /// replication targets and leave-repair fallback).
+    pub succ_list: Vec<NodeId>,
+    /// Global-ring predecessor.
+    pub pred: Option<NodeId>,
+    /// Star graph over `{self} ∪ links`: the node's partial view, fed to
+    /// the routing engine.
+    view: OverlayGraph,
+    /// `self`'s index within `view`.
+    me: NodeIndex,
+    /// The store shard.
+    pub shard: BTreeMap<u64, u64>,
+    pub rpc: RpcTable,
+    /// Armed deadlines as `(tick, req)`.
+    timers: BinaryHeap<Reverse<(Tick, u64)>>,
+    /// Per-sender message sequence (unique per send).
+    seq: u64,
+    /// Bootstrap contact, kept so join retransmissions can re-enter the
+    /// overlay before any links exist.
+    bootstrap: Option<NodeId>,
+    /// Set when the node has left: everything delivered is discarded.
+    pub dead: bool,
+    pub stats: NodeStats,
+    /// Forwarding-side observer sink.
+    pub hop_sink: HopCount,
+    /// Origin-side RTT observer sink.
+    pub rtt_sink: LatencySink,
+    pub completions: Vec<Completion>,
+    /// Deterministic event log (only populated when recording).
+    pub events: Vec<String>,
+    record: bool,
+    replication: usize,
+    succ_len: usize,
+}
+
+impl NodeState {
+    pub fn new(
+        id: NodeId,
+        slot: usize,
+        links: BTreeSet<NodeId>,
+        succ_list: Vec<NodeId>,
+        pred: Option<NodeId>,
+        cfg: &RuntimeConfig,
+    ) -> NodeState {
+        let mut state = NodeState {
+            id,
+            slot,
+            links,
+            succ_list,
+            pred,
+            view: GraphBuilder::with_nodes(&[id]).build(),
+            me: NodeIndex(0),
+            shard: BTreeMap::new(),
+            rpc: RpcTable::new(cfg.rpc),
+            timers: BinaryHeap::new(),
+            seq: 0,
+            bootstrap: None,
+            dead: false,
+            stats: NodeStats::default(),
+            hop_sink: HopCount::default(),
+            rtt_sink: LatencySink::default(),
+            completions: Vec::new(),
+            events: Vec::new(),
+            record: cfg.record_events,
+            replication: cfg.replication,
+            succ_len: cfg.succ_list_len,
+        };
+        state.rebuild_view();
+        state
+    }
+
+    /// Earliest *live* armed timer, if any. Timers for already-answered
+    /// requests (and all timers of a departed node) are stale; they are
+    /// discarded here so an idle check never waits out a deadline that can
+    /// no longer matter.
+    pub fn next_timer(&mut self) -> Option<Tick> {
+        while let Some(&Reverse((t, req))) = self.timers.peek() {
+            if self.dead || !self.rpc.is_inflight(req) {
+                self.timers.pop();
+                continue;
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    fn log(&mut self, now: Tick, line: impl FnOnce() -> String) {
+        if self.record {
+            self.events.push(format!("t={now} {} {}", self.id, line()));
+        }
+    }
+
+    fn rebuild_view(&mut self) {
+        let mut nodes = Vec::with_capacity(self.links.len() + 1);
+        nodes.push(self.id);
+        nodes.extend(self.links.iter().copied());
+        let mut b = GraphBuilder::with_nodes(&nodes);
+        for &l in &self.links {
+            b.add_link(self.id, l);
+        }
+        self.view = b.build();
+        self.me = self
+            .view
+            .index_of(self.id)
+            .expect("self is in its own view");
+    }
+
+    /// The greedy next hop toward `key` from this node's partial view, via
+    /// the shared routing engine. `None` means this node is responsible.
+    fn next_hop(&self, key: NodeId) -> Option<NodeId> {
+        let cands = ordered_candidates(&self.view, &Greedy::new(Clockwise, key), self.me);
+        cands.first().map(|c| self.view.id(c.next))
+    }
+
+    /// Sends `payload` to `to`, returning the delivery tick if the message
+    /// entered a mailbox.
+    fn send(&mut self, net: &Net<'_>, to: NodeId, payload: Payload) -> Option<Tick> {
+        let Some(&slot) = net.directory.get(&to.raw()) else {
+            self.stats.undeliverable += 1;
+            return None;
+        };
+        self.seq += 1;
+        let sent = net.boxes.send(
+            net.transport,
+            slot,
+            Envelope {
+                from: self.id,
+                to,
+                sent_at: net.now,
+                deliver_at: 0,
+                seq: self.seq,
+                payload,
+            },
+        );
+        if sent.is_none() {
+            self.stats.network_drops += 1;
+        }
+        sent
+    }
+
+    /// Handles one delivered message.
+    pub fn handle(&mut self, net: &Net<'_>, env: Envelope<Payload>) {
+        if self.dead {
+            self.stats.dropped_dead += 1;
+            return;
+        }
+        match env.payload {
+            Payload::Client(Command::Issue(op)) => self.open_rpc(net, op),
+            Payload::Client(Command::Join { bootstrap }) => {
+                self.bootstrap = Some(bootstrap);
+                self.open_rpc(net, Op::Join { joiner: self.id });
+            }
+            Payload::Client(Command::Leave) => self.do_leave(net),
+            Payload::Request {
+                origin,
+                req,
+                attempt,
+                hops,
+                op,
+            } => self.route_or_serve(net, origin, req, attempt, hops, op),
+            Payload::Response { req, hops, result } => self.on_response(net, req, hops, result),
+            Payload::Replicate { key, value } => {
+                self.shard.insert(key, value);
+                self.stats.replicas_stored += 1;
+            }
+            Payload::RepairJoin { joined } => self.repair_join(net, joined),
+            Payload::LeaveHandoff { departing, shard } => {
+                self.log(net.now, || format!("handoff from {departing}"));
+                self.shard.extend(shard);
+            }
+            Payload::LeaveNotice {
+                departing,
+                successor,
+                predecessor,
+            } => self.repair_leave(net, departing, successor, predecessor),
+        }
+    }
+
+    /// Fires every timer due at or before `now`.
+    pub fn fire_timers(&mut self, net: &Net<'_>) -> usize {
+        let mut fired = 0;
+        while let Some(&Reverse((t, req))) = self.timers.peek() {
+            if t > net.now {
+                break;
+            }
+            self.timers.pop();
+            fired += 1;
+            if self.dead {
+                continue;
+            }
+            self.on_timer(net, req);
+        }
+        fired
+    }
+
+    // ----- RPC origin side -----
+
+    fn open_rpc(&mut self, net: &Net<'_>, op: Op) {
+        let (req, deadline) = self.rpc.open(op.clone(), net.now);
+        self.timers.push(Reverse((deadline, req)));
+        self.log(net.now, || {
+            format!("open req={req} {:?} key={}", op.kind(), op.key_point())
+        });
+        self.transmit(net, req, 0, op);
+    }
+
+    /// Sends (or resends) the first hop of request `req`.
+    fn transmit(&mut self, net: &Net<'_>, req: u64, attempt: u32, op: Op) {
+        // A joining node has no links yet: its join request enters the
+        // overlay through the bootstrap contact instead of its own view.
+        let via_bootstrap = match (&op, self.bootstrap) {
+            (Op::Join { .. }, Some(b)) if self.links.is_empty() => Some(b),
+            _ => None,
+        };
+        let next = via_bootstrap.or_else(|| self.next_hop(op.key_point()));
+        match next {
+            None => {
+                // This node is itself responsible: serve without touching
+                // the network.
+                let result = self.serve(net, op);
+                self.stats.served += 1;
+                self.on_response(net, req, 0, result);
+            }
+            Some(nb) => {
+                self.observe_forward(net, nb);
+                self.send(
+                    net,
+                    nb,
+                    Payload::Request {
+                        origin: self.id,
+                        req,
+                        attempt,
+                        hops: 1,
+                        op,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, net: &Net<'_>, req: u64) {
+        match self.rpc.retry(req, net.now) {
+            RetryDecision::Stale => {}
+            RetryDecision::Retry {
+                op,
+                attempt,
+                deadline,
+            } => {
+                self.timers.push(Reverse((deadline, req)));
+                self.stats.retransmits += 1;
+                self.log(net.now, || format!("retry req={req} attempt={attempt}"));
+                self.transmit(net, req, attempt, op);
+            }
+            RetryDecision::GiveUp(p) => {
+                self.log(net.now, || format!("giveup req={req}"));
+                self.completions.push(Completion {
+                    origin: self.id,
+                    req,
+                    kind: p.op.kind(),
+                    key: p.op.key_point().raw(),
+                    outcome: Outcome::TimedOut,
+                    responder: None,
+                    value: None,
+                    hops: 0,
+                    attempts: p.attempt + 1,
+                    issued_at: p.issued_at,
+                    completed_at: net.now,
+                });
+            }
+        }
+    }
+
+    fn on_response(&mut self, net: &Net<'_>, req: u64, hops: u32, result: RpcResult) {
+        let Some(p) = self.rpc.resolve(req) else {
+            self.stats.duplicate_responses += 1;
+            self.log(net.now, || format!("dup req={req}"));
+            return;
+        };
+        let (outcome, responder, value) = match &result {
+            RpcResult::Found { responsible } => (Outcome::Ok, Some(*responsible), None),
+            RpcResult::Stored { primary, .. } => (Outcome::Ok, Some(*primary), None),
+            RpcResult::Value { value, served_by } => (
+                if value.is_some() {
+                    Outcome::Ok
+                } else {
+                    Outcome::NotFound
+                },
+                Some(*served_by),
+                *value,
+            ),
+            RpcResult::Granted(grant) => (Outcome::Ok, Some(grant.predecessor), None),
+        };
+        if let RpcResult::Granted(grant) = result {
+            self.apply_grant(net, grant);
+        }
+        // Stream the round trip into the origin-side observer sink: one
+        // synthetic hop origin → responder priced at the RTT.
+        let to = responder
+            .and_then(|r| net.directory.get(&r.raw()))
+            .map_or(self.me, |&s| NodeIndex(s as u32));
+        let rtt = (net.now - p.issued_at) as f64;
+        self.rtt_sink.on_event(&HopEvent::Hop {
+            from: NodeIndex(self.slot as u32),
+            to,
+            latency: rtt,
+        });
+        self.log(net.now, || {
+            format!("done req={req} {outcome:?} hops={hops}")
+        });
+        self.completions.push(Completion {
+            origin: self.id,
+            req,
+            kind: p.op.kind(),
+            key: p.op.key_point().raw(),
+            outcome,
+            responder,
+            value,
+            hops,
+            attempts: p.attempt + 1,
+            issued_at: p.issued_at,
+            completed_at: net.now,
+        });
+    }
+
+    // ----- server side -----
+
+    fn route_or_serve(
+        &mut self,
+        net: &Net<'_>,
+        origin: NodeId,
+        req: u64,
+        attempt: u32,
+        hops: u32,
+        op: Op,
+    ) {
+        if hops as usize > HOP_LIMIT {
+            self.stats.hop_limit_drops += 1;
+            return;
+        }
+        match self.next_hop(op.key_point()) {
+            Some(nb) => {
+                self.stats.forwarded += 1;
+                self.observe_forward(net, nb);
+                self.send(
+                    net,
+                    nb,
+                    Payload::Request {
+                        origin,
+                        req,
+                        attempt,
+                        hops: hops + 1,
+                        op,
+                    },
+                );
+            }
+            None => {
+                let result = self.serve(net, op);
+                self.stats.served += 1;
+                self.log(net.now, || format!("serve req={req} for {origin}"));
+                if origin == self.id {
+                    self.on_response(net, req, hops, result);
+                } else {
+                    self.send(net, origin, Payload::Response { req, hops, result });
+                }
+            }
+        }
+    }
+
+    fn observe_forward(&mut self, net: &Net<'_>, to: NodeId) {
+        let from = NodeIndex(self.slot as u32);
+        let to = net
+            .directory
+            .get(&to.raw())
+            .map_or(from, |&s| NodeIndex(s as u32));
+        self.hop_sink.on_event(&HopEvent::Attempt { from, to });
+        self.hop_sink.on_event(&HopEvent::Hop {
+            from,
+            to,
+            latency: 1.0,
+        });
+    }
+
+    /// Serves `op` as the responsible node.
+    fn serve(&mut self, net: &Net<'_>, op: Op) -> RpcResult {
+        match op {
+            Op::Lookup { .. } => RpcResult::Found {
+                responsible: self.id,
+            },
+            Op::Put { key, value } => {
+                self.shard.insert(key, value);
+                let targets: Vec<NodeId> = self
+                    .succ_list
+                    .iter()
+                    .take(self.replication.saturating_sub(1))
+                    .copied()
+                    .collect();
+                let mut replicas = 0u32;
+                for s in targets {
+                    if self
+                        .send(net, s, Payload::Replicate { key, value })
+                        .is_some()
+                    {
+                        replicas += 1;
+                    }
+                }
+                RpcResult::Stored {
+                    primary: self.id,
+                    replicas,
+                }
+            }
+            Op::Get { key } => RpcResult::Value {
+                value: self.shard.get(&key).copied(),
+                served_by: self.id,
+            },
+            Op::Join { joiner } => RpcResult::Granted(self.grant_join(net, joiner)),
+        }
+    }
+
+    // ----- join/leave repair (the canon-sim churn protocol, as messages) -----
+
+    /// As the joiner's predecessor: hand over state, adopt the newcomer,
+    /// and notify the neighborhood.
+    fn grant_join(&mut self, net: &Net<'_>, joiner: NodeId) -> JoinGrant {
+        // Primary keys in [joiner, old successor) move: those are exactly
+        // the keys whose responsible node (largest id ≤ key) becomes the
+        // joiner. Replica copies held for other primaries (clockwise
+        // distance at or past the old successor) stay put.
+        let j_dist = self.id.clockwise_to(joiner);
+        let s_dist = self.succ_list.first().map(|&s| self.id.clockwise_to(s));
+        let handed: Vec<(u64, u64)> = self
+            .shard
+            .iter()
+            .filter(|&(&k, _)| {
+                let d = self.id.clockwise_to(NodeId::new(k));
+                d >= j_dist && s_dist.is_none_or(|s| d < s)
+            })
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        for (k, _) in &handed {
+            self.shard.remove(k);
+        }
+        let grant = JoinGrant {
+            predecessor: self.id,
+            links: self.links.iter().copied().collect(),
+            succ_list: self.succ_list.clone(),
+            shard: handed,
+        };
+        // Adopt the newcomer as immediate successor.
+        let notify: BTreeSet<NodeId> = self
+            .links
+            .iter()
+            .chain(self.succ_list.iter())
+            .copied()
+            .chain(self.pred)
+            .filter(|&n| n != self.id && n != joiner)
+            .collect();
+        self.succ_list.insert(0, joiner);
+        self.succ_list.truncate(self.succ_len);
+        self.links.insert(joiner);
+        self.rebuild_view();
+        self.log(net.now, || format!("grant join {joiner}"));
+        for n in notify {
+            self.send(net, n, Payload::RepairJoin { joined: joiner });
+        }
+        grant
+    }
+
+    /// As the joiner: install the granted state.
+    fn apply_grant(&mut self, net: &Net<'_>, grant: JoinGrant) {
+        self.pred = Some(grant.predecessor);
+        self.links = grant
+            .links
+            .into_iter()
+            .chain(std::iter::once(grant.predecessor))
+            .filter(|&n| n != self.id)
+            .collect();
+        self.succ_list = grant
+            .succ_list
+            .into_iter()
+            .filter(|&n| n != self.id)
+            .take(self.succ_len)
+            .collect();
+        self.shard.extend(grant.shard);
+        self.rebuild_view();
+        self.log(net.now, || format!("joined after {}", grant.predecessor));
+    }
+
+    /// A neighbor learned that `joined` is live.
+    fn repair_join(&mut self, _net: &Net<'_>, joined: NodeId) {
+        if joined == self.id {
+            return;
+        }
+        self.insert_succ(joined);
+        let better_pred = match self.pred {
+            None => true,
+            Some(p) => p != joined && p.clockwise_to(joined) < p.clockwise_to(self.id),
+        };
+        if better_pred && joined != self.id {
+            self.pred = Some(joined);
+        }
+        // If the newcomer became the immediate successor it must be
+        // linked, or the ring has a gap.
+        if self.succ_list.first() == Some(&joined) && self.links.insert(joined) {
+            self.rebuild_view();
+        }
+    }
+
+    /// A neighbor learned that `departing` left; `successor`/`predecessor`
+    /// are the departed node's, for table mending.
+    fn repair_leave(
+        &mut self,
+        net: &Net<'_>,
+        departing: NodeId,
+        successor: NodeId,
+        predecessor: NodeId,
+    ) {
+        self.log(net.now, || format!("leave notice {departing}"));
+        let mut relink = false;
+        if self.links.remove(&departing) {
+            if successor != self.id {
+                self.links.insert(successor);
+            }
+            relink = true;
+        }
+        if let Some(pos) = self.succ_list.iter().position(|&s| s == departing) {
+            self.succ_list.remove(pos);
+            if successor != self.id {
+                self.insert_succ(successor);
+            }
+        }
+        if self.pred == Some(departing) {
+            self.pred = (predecessor != self.id).then_some(predecessor);
+        }
+        if relink {
+            self.rebuild_view();
+        }
+    }
+
+    /// Graceful departure: hand the shard to the predecessor (which
+    /// becomes responsible for this node's key range under largest-id-≤-key
+    /// responsibility), notify the neighborhood, and go dark.
+    fn do_leave(&mut self, net: &Net<'_>) {
+        self.dead = true;
+        let succ = self.succ_list.first().copied();
+        if let Some(heir) = self.pred.or(succ) {
+            let shard: Vec<(u64, u64)> = self.shard.iter().map(|(&k, &v)| (k, v)).collect();
+            self.shard.clear();
+            self.send(
+                net,
+                heir,
+                Payload::LeaveHandoff {
+                    departing: self.id,
+                    shard,
+                },
+            );
+        }
+        let successor = succ.unwrap_or(self.id);
+        let predecessor = self.pred.unwrap_or(self.id);
+        let targets: BTreeSet<NodeId> = self
+            .links
+            .iter()
+            .chain(self.succ_list.iter())
+            .copied()
+            .chain(self.pred)
+            .filter(|&n| n != self.id)
+            .collect();
+        self.log(net.now, || "leaving".to_owned());
+        for t in targets {
+            self.send(
+                net,
+                t,
+                Payload::LeaveNotice {
+                    departing: self.id,
+                    successor,
+                    predecessor,
+                },
+            );
+        }
+    }
+
+    /// Inserts `n` into the successor list, keeping it sorted by clockwise
+    /// distance from this node and capped at the configured length.
+    fn insert_succ(&mut self, n: NodeId) {
+        if n == self.id || self.succ_list.contains(&n) {
+            return;
+        }
+        self.succ_list.push(n);
+        let me = self.id;
+        self.succ_list.sort_by_key(|&s| me.clockwise_to(s));
+        self.succ_list.truncate(self.succ_len);
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-node RPC bookkeeping: request ids, deadlines, bounded retry with
+//! exponential backoff, and the in-flight table.
+//!
+//! Each node owns one [`RpcTable`]. Opening a request allocates a
+//! node-scoped id and a deadline; the node arms a timer for the deadline
+//! and sends the first transmission. When a response arrives the entry is
+//! resolved (a second response for the same id is a *duplicate* and only
+//! counted); when the timer fires first, [`RpcTable::retry`] either hands
+//! back the operation for retransmission with a doubled deadline or — once
+//! the retry budget is spent — gives up, which the node records as a
+//! [`crate::msg::Outcome::TimedOut`] completion. Ids are never reused, so
+//! a late response to a timed-out or already-answered request can always
+//! be recognized as stale.
+
+use crate::clock::Tick;
+use crate::msg::Op;
+use std::collections::BTreeMap;
+
+/// Retry/deadline policy for one node's RPCs.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcConfig {
+    /// Base per-request deadline in ticks (doubles per retry).
+    pub timeout: Tick,
+    /// Retransmissions allowed after the first attempt.
+    pub max_retries: u32,
+}
+
+impl Default for RpcConfig {
+    fn default() -> RpcConfig {
+        RpcConfig {
+            timeout: 64,
+            max_retries: 3,
+        }
+    }
+}
+
+/// One in-flight request.
+#[derive(Clone, Debug)]
+pub struct Pending {
+    /// The operation, kept for retransmission.
+    pub op: Op,
+    /// When the request was opened.
+    pub issued_at: Tick,
+    /// Transmissions so far minus one (0 = first attempt in flight).
+    pub attempt: u32,
+}
+
+/// What to do when a request's deadline timer fires.
+#[derive(Clone, Debug)]
+pub enum RetryDecision {
+    /// Retransmit: attempt number and the new deadline to arm.
+    Retry {
+        /// The operation to resend.
+        op: Op,
+        /// The retransmission's 0-based attempt number.
+        attempt: u32,
+        /// The new deadline.
+        deadline: Tick,
+    },
+    /// Retry budget exhausted: the request failed.
+    GiveUp(Pending),
+    /// The request already completed; the timer is stale.
+    Stale,
+}
+
+/// A node's in-flight table.
+#[derive(Clone, Debug, Default)]
+pub struct RpcTable {
+    next: u64,
+    inflight: BTreeMap<u64, Pending>,
+    config: RpcConfig,
+}
+
+impl RpcTable {
+    /// An empty table under `config`.
+    pub fn new(config: RpcConfig) -> RpcTable {
+        RpcTable {
+            next: 0,
+            inflight: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The table's policy.
+    pub fn config(&self) -> RpcConfig {
+        self.config
+    }
+
+    /// Opens a request: allocates an id and returns it with the first
+    /// deadline to arm.
+    pub fn open(&mut self, op: Op, now: Tick) -> (u64, Tick) {
+        let req = self.next;
+        self.next += 1;
+        self.inflight.insert(
+            req,
+            Pending {
+                op,
+                issued_at: now,
+                attempt: 0,
+            },
+        );
+        (req, now + self.config.timeout)
+    }
+
+    /// Resolves `req` on response arrival. `None` means the id is unknown
+    /// — a duplicate or stale response.
+    pub fn resolve(&mut self, req: u64) -> Option<Pending> {
+        self.inflight.remove(&req)
+    }
+
+    /// Handles a deadline timer for `req` firing at `now`.
+    pub fn retry(&mut self, req: u64, now: Tick) -> RetryDecision {
+        let Some(p) = self.inflight.get_mut(&req) else {
+            return RetryDecision::Stale;
+        };
+        if p.attempt >= self.config.max_retries {
+            let p = self.inflight.remove(&req).expect("entry just seen");
+            return RetryDecision::GiveUp(p);
+        }
+        p.attempt += 1;
+        let attempt = p.attempt;
+        let op = p.op.clone();
+        let deadline = now + self.backoff(attempt);
+        RetryDecision::Retry {
+            op,
+            attempt,
+            deadline,
+        }
+    }
+
+    /// The deadline length for the given attempt: `timeout · 2^attempt`,
+    /// capped to avoid overflow.
+    pub fn backoff(&self, attempt: u32) -> Tick {
+        self.config.timeout.saturating_mul(1u64 << attempt.min(16))
+    }
+
+    /// Requests currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether `req` is still awaiting a response.
+    pub fn is_inflight(&self, req: u64) -> bool {
+        self.inflight.contains_key(&req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup(key: u64) -> Op {
+        Op::Lookup { key }
+    }
+
+    #[test]
+    fn open_allocates_fresh_ids_and_deadlines() {
+        let mut t = RpcTable::new(RpcConfig {
+            timeout: 10,
+            max_retries: 2,
+        });
+        let (r0, d0) = t.open(lookup(1), 100);
+        let (r1, d1) = t.open(lookup(2), 105);
+        assert_ne!(r0, r1);
+        assert_eq!(d0, 110);
+        assert_eq!(d1, 115);
+        assert_eq!(t.in_flight(), 2);
+    }
+
+    #[test]
+    fn resolve_is_exactly_once() {
+        let mut t = RpcTable::new(RpcConfig::default());
+        let (req, _) = t.open(lookup(1), 0);
+        assert!(t.resolve(req).is_some());
+        assert!(t.resolve(req).is_none(), "second resolve is a duplicate");
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_then_give_up() {
+        let mut t = RpcTable::new(RpcConfig {
+            timeout: 8,
+            max_retries: 2,
+        });
+        let (req, d0) = t.open(lookup(1), 0);
+        assert_eq!(d0, 8);
+        let RetryDecision::Retry {
+            attempt, deadline, ..
+        } = t.retry(req, d0)
+        else {
+            panic!("first timer should retry");
+        };
+        assert_eq!((attempt, deadline), (1, 8 + 16));
+        let RetryDecision::Retry {
+            attempt, deadline, ..
+        } = t.retry(req, 24)
+        else {
+            panic!("second timer should retry");
+        };
+        assert_eq!((attempt, deadline), (2, 24 + 32));
+        let RetryDecision::GiveUp(p) = t.retry(req, 56) else {
+            panic!("third timer must give up");
+        };
+        assert_eq!(p.attempt, 2);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn timer_for_answered_request_is_stale() {
+        let mut t = RpcTable::new(RpcConfig::default());
+        let (req, d) = t.open(lookup(1), 0);
+        t.resolve(req).expect("in flight");
+        assert!(matches!(t.retry(req, d), RetryDecision::Stale));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let t = RpcTable::new(RpcConfig {
+            timeout: u64::MAX / 2,
+            max_retries: 40,
+        });
+        assert!(t.backoff(63) >= t.backoff(16));
+    }
+}

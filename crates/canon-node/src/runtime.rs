@@ -1,0 +1,437 @@
+//! The concurrent node runtime: round-based lock-step execution of a whole
+//! cluster of actors over worker threads.
+//!
+//! # Execution model
+//!
+//! The runtime repeatedly executes **rounds**. One round, at tick *t*:
+//! every node — in parallel over `canon-par` workers — drains the messages
+//! due at or before *t* from its mailbox, handles them, and fires its due
+//! RPC timers. Between rounds the runtime finds the earliest pending event
+//! (mailbox delivery or timer) and advances the [`Clock`] to it, so a
+//! virtual clock jumps straight from event to event while a real clock
+//! waits out the gap.
+//!
+//! # Why this is deterministic
+//!
+//! Three properties make a run a pure function of its inputs, independent
+//! of the number of worker threads:
+//!
+//! 1. transports quote delivery at least one tick in the future, so the
+//!    set of messages due in round *t* is fixed before the round starts —
+//!    no worker can add same-round work;
+//! 2. mailbox heaps order delivery by the arrival-order-independent key
+//!    `(deliver_at, from, seq)`, so a node drains the same messages in the
+//!    same order no matter how sends interleaved;
+//! 3. nodes share no state — each is locked by exactly one worker per
+//!    round, and everything it does is a function of its own state and the
+//!    drained messages.
+//!
+//! `tests/determinism.rs` checks the consequence: the same seed produces a
+//! byte-identical event log on 1, 4 and 8 worker threads.
+
+use crate::clock::{Clock, Tick};
+use crate::msg::{Command, Completion, Outcome, Payload};
+use crate::node::{Net, NodeState, NodeStats};
+use crate::rpc::RpcConfig;
+use crate::transport::{Envelope, Mailboxes, Transport};
+use canon_id::NodeId;
+use canon_par::par_map;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// Cluster-wide node parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Per-node RPC retry/deadline policy.
+    pub rpc: RpcConfig,
+    /// Copies of each stored value (primary + `replication - 1` replicas).
+    pub replication: usize,
+    /// Successor-list length (the root-ring leaf set).
+    pub succ_list_len: usize,
+    /// Record a per-node event log (for determinism checks; off for
+    /// throughput runs).
+    pub record_events: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            rpc: RpcConfig::default(),
+            replication: 3,
+            succ_list_len: 8,
+            record_events: false,
+        }
+    }
+}
+
+/// Cluster-wide accounting, aggregated over every node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Client requests injected (each owes exactly one completion).
+    pub injected: u64,
+    /// Completions recorded at origins.
+    pub completed: u64,
+    /// Completions that succeeded.
+    pub ok: u64,
+    /// Gets answered with no stored value.
+    pub not_found: u64,
+    /// Requests whose every retry timed out.
+    pub timed_out: u64,
+    /// Duplicate responses detected (must be zero on a loss-free
+    /// transport).
+    pub duplicates: u64,
+    /// Requests forwarded (intermediate hops).
+    pub forwarded: u64,
+    /// Requests served by responsible nodes.
+    pub served: u64,
+    /// Retransmissions sent.
+    pub retransmits: u64,
+    /// Messages the transport dropped.
+    pub network_drops: u64,
+    /// Messages discarded by departed nodes.
+    pub dropped_dead: u64,
+    /// Sends to unknown identifiers.
+    pub undeliverable: u64,
+    /// Requests dropped at the hop budget.
+    pub hop_limit_drops: u64,
+}
+
+impl Summary {
+    /// The zero-loss invariant the load harness asserts: every injected
+    /// request completed exactly once and nothing completed twice.
+    pub fn zero_loss(&self) -> bool {
+        self.injected == self.completed && self.duplicates == 0
+    }
+}
+
+/// A cluster of node actors sharing a [`Clock`], a [`Transport`] and a set
+/// of mailboxes.
+pub struct Runtime {
+    clock: Arc<dyn Clock>,
+    transport: Arc<dyn Transport>,
+    config: RuntimeConfig,
+    states: Vec<Mutex<NodeState>>,
+    boxes: Mailboxes<Payload>,
+    /// Identifier → mailbox slot.
+    directory: BTreeMap<u64, usize>,
+    /// Slot indices, cached for the per-round parallel map.
+    slots: Vec<usize>,
+    /// Sequence counter for injected client envelopes.
+    client_seq: u64,
+    /// Client requests injected so far.
+    injected: u64,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("nodes", &self.states.len())
+            .field("now", &self.clock.now())
+            .field("injected", &self.injected)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// An empty runtime; add nodes with [`Runtime::spawn`] or build a whole
+    /// cluster with [`crate::cluster::from_graph`].
+    pub fn new(
+        clock: Arc<dyn Clock>,
+        transport: Arc<dyn Transport>,
+        config: RuntimeConfig,
+    ) -> Runtime {
+        Runtime {
+            clock,
+            transport,
+            config,
+            states: Vec::new(),
+            boxes: Mailboxes::new(0),
+            directory: BTreeMap::new(),
+            slots: Vec::new(),
+            client_seq: 0,
+            injected: 0,
+        }
+    }
+
+    /// The cluster's clock.
+    pub fn clock(&self) -> &dyn Clock {
+        self.clock.as_ref()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
+    }
+
+    /// Number of nodes ever hosted (departed nodes keep their slot).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the runtime hosts no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Every hosted identifier, in slot order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.states
+            .iter()
+            .map(|s| s.lock().expect("node lock").id)
+            .collect()
+    }
+
+    /// Client requests injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Adds a blank node (no links, no data) with the given identifier and
+    /// returns its slot. The node participates once it joins through
+    /// [`Command::Join`] or is seeded directly via
+    /// [`Runtime::spawn_seeded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is already hosted.
+    pub fn spawn(&mut self, id: NodeId) -> usize {
+        self.spawn_seeded(id, BTreeSet::new(), Vec::new(), None)
+    }
+
+    /// Adds a node with pre-seeded links, successor list and predecessor
+    /// (cluster construction), returning its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is already hosted.
+    pub fn spawn_seeded(
+        &mut self,
+        id: NodeId,
+        links: BTreeSet<NodeId>,
+        succ_list: Vec<NodeId>,
+        pred: Option<NodeId>,
+    ) -> usize {
+        assert!(
+            !self.directory.contains_key(&id.raw()),
+            "node {id} already hosted"
+        );
+        let slot = self.boxes.grow();
+        self.states.push(Mutex::new(NodeState::new(
+            id,
+            slot,
+            links,
+            succ_list,
+            pred,
+            &self.config,
+        )));
+        self.directory.insert(id.raw(), slot);
+        self.slots.push(slot);
+        slot
+    }
+
+    /// Injects a client command at `origin`, due in the next round.
+    /// Injection bypasses the transport: client work cannot be lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not hosted.
+    pub fn inject(&mut self, origin: NodeId, cmd: Command) {
+        let slot = *self
+            .directory
+            .get(&origin.raw())
+            .unwrap_or_else(|| panic!("unknown origin {origin}"));
+        if matches!(cmd, Command::Issue(_) | Command::Join { .. }) {
+            self.injected += 1;
+        }
+        self.client_seq += 1;
+        let now = self.clock.now();
+        self.boxes.push(
+            slot,
+            Envelope {
+                from: origin,
+                to: origin,
+                sent_at: now,
+                deliver_at: now,
+                seq: self.client_seq,
+                payload: Payload::Client(cmd),
+            },
+        );
+    }
+
+    /// Executes one round at the current tick: every node, in parallel,
+    /// drains its due messages and fires its due timers. Returns the
+    /// number of events processed.
+    pub fn step(&self) -> usize {
+        let now = self.clock.now();
+        par_map(&self.slots, |_, &slot| self.process_cell(slot, now))
+            .into_iter()
+            .sum()
+    }
+
+    fn process_cell(&self, slot: usize, now: Tick) -> usize {
+        let envs = self.boxes.drain_due(slot, now);
+        let mut state = self.states[slot].lock().expect("node lock");
+        let net = Net {
+            boxes: &self.boxes,
+            transport: self.transport.as_ref(),
+            directory: &self.directory,
+            now,
+        };
+        let mut n = envs.len();
+        for env in envs {
+            state.handle(&net, env);
+        }
+        n += state.fire_timers(&net);
+        n
+    }
+
+    /// The earliest pending event (mailbox delivery or armed timer) across
+    /// the cluster, or `None` if the cluster is idle.
+    pub fn next_event(&self) -> Option<Tick> {
+        let mut next: Option<Tick> = None;
+        let mut fold = |t: Option<Tick>| {
+            if let Some(t) = t {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        for &slot in &self.slots {
+            fold(self.boxes.next_due(slot));
+            fold(self.states[slot].lock().expect("node lock").next_timer());
+        }
+        next
+    }
+
+    /// Runs rounds, advancing the clock between them, until no message is
+    /// queued and no timer is armed — the graceful-shutdown drain. Returns
+    /// the number of rounds executed.
+    pub fn run_until_idle(&self) -> u64 {
+        let mut rounds = 0;
+        loop {
+            if self.step() > 0 {
+                rounds += 1;
+            }
+            match self.next_event() {
+                Some(t) => {
+                    let now = self.clock.now();
+                    self.clock.advance_to(t.max(now + 1));
+                }
+                None => break,
+            }
+        }
+        rounds
+    }
+
+    /// All completion records, in slot order then per-origin issue order.
+    pub fn completions(&self) -> Vec<Completion> {
+        self.states
+            .iter()
+            .flat_map(|s| s.lock().expect("node lock").completions.clone())
+            .collect()
+    }
+
+    /// The concatenated per-node event logs (slot order). Only populated
+    /// when [`RuntimeConfig::record_events`] is set; under a virtual clock
+    /// this log is byte-identical for a given seed across worker-thread
+    /// counts.
+    pub fn event_log(&self) -> Vec<String> {
+        self.states
+            .iter()
+            .flat_map(|s| s.lock().expect("node lock").events.clone())
+            .collect()
+    }
+
+    /// Round-trip latency samples from every origin's observer sink, in
+    /// slot order.
+    pub fn rtt_samples(&self) -> Vec<f64> {
+        self.states
+            .iter()
+            .flat_map(|s| s.lock().expect("node lock").rtt_sink.samples().to_vec())
+            .collect()
+    }
+
+    /// Total forwarding-side hop events across the cluster, as
+    /// `(attempts, hops)` from the per-node [`canon_overlay::HopCount`]
+    /// sinks.
+    pub fn hop_totals(&self) -> (usize, usize) {
+        self.states.iter().fold((0, 0), |(a, h), s| {
+            let sink = s.lock().expect("node lock").hop_sink;
+            (a + sink.attempts, h + sink.hops)
+        })
+    }
+
+    /// Aggregates the cluster-wide [`Summary`].
+    pub fn summary(&self) -> Summary {
+        let mut sum = Summary {
+            injected: self.injected,
+            ..Summary::default()
+        };
+        for s in &self.states {
+            let state = s.lock().expect("node lock");
+            let NodeStats {
+                forwarded,
+                served,
+                replicas_stored: _,
+                duplicate_responses,
+                undeliverable,
+                network_drops,
+                dropped_dead,
+                hop_limit_drops,
+                retransmits,
+            } = state.stats;
+            sum.forwarded += forwarded;
+            sum.served += served;
+            sum.duplicates += duplicate_responses;
+            sum.undeliverable += undeliverable;
+            sum.network_drops += network_drops;
+            sum.dropped_dead += dropped_dead;
+            sum.hop_limit_drops += hop_limit_drops;
+            sum.retransmits += retransmits;
+            sum.completed += state.completions.len() as u64;
+            for c in &state.completions {
+                match c.outcome {
+                    Outcome::Ok => sum.ok += 1,
+                    Outcome::NotFound => sum.not_found += 1,
+                    Outcome::TimedOut => sum.timed_out += 1,
+                }
+            }
+        }
+        sum
+    }
+
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&NodeState) -> R) -> R {
+        let slot = *self
+            .directory
+            .get(&id.raw())
+            .unwrap_or_else(|| panic!("unknown node {id}"));
+        f(&self.states[slot].lock().expect("node lock"))
+    }
+
+    /// A node's current link table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted (as do the other per-node inspectors).
+    pub fn links_of(&self, id: NodeId) -> BTreeSet<NodeId> {
+        self.with_node(id, |n| n.links.clone())
+    }
+
+    /// A node's current successor list, nearest first.
+    pub fn succ_of(&self, id: NodeId) -> Vec<NodeId> {
+        self.with_node(id, |n| n.succ_list.clone())
+    }
+
+    /// A node's current predecessor.
+    pub fn pred_of(&self, id: NodeId) -> Option<NodeId> {
+        self.with_node(id, |n| n.pred)
+    }
+
+    /// A node's store shard.
+    pub fn shard_of(&self, id: NodeId) -> BTreeMap<u64, u64> {
+        self.with_node(id, |n| n.shard.clone())
+    }
+
+    /// Whether the node has left the overlay.
+    pub fn is_dead(&self, id: NodeId) -> bool {
+        self.with_node(id, |n| n.dead)
+    }
+}

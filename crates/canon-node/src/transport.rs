@@ -1,0 +1,408 @@
+//! Message delivery: the [`Transport`] trait, per-node mailboxes, and the
+//! fault-injecting wrapper.
+//!
+//! Nodes never touch each other's state; the only way information moves is
+//! an [`Envelope`] pushed into the destination's [`Mailboxes`] slot, with a
+//! delivery tick quoted by a [`Transport`]:
+//!
+//! * [`ChannelTransport`] — the in-process channel: every message arrives,
+//!   after a fixed latency of at least one tick. One tick of minimum
+//!   latency is what makes round execution deterministic: a message sent
+//!   while round *t* is executing can only be due at *t + 1* or later, so
+//!   the set of messages each round processes does not depend on worker
+//!   scheduling.
+//! * [`FaultyTransport`] — wraps another transport and adds deterministic
+//!   loss, latency jitter and network partitions, all derived from a
+//!   [`Seed`] and the message coordinates `(from, to, seq)` — never from
+//!   OS entropy, so a faulty run is exactly as reproducible as a clean
+//!   one.
+//!
+//! Mailboxes are min-heaps ordered by `(deliver_at, from, seq)`. The key is
+//! unique per message and independent of *arrival* order, so concurrent
+//! senders cannot perturb the order a node drains its mailbox in — the
+//! second half of the determinism argument. For a fixed ordered pair of
+//! nodes the key is monotone in the send order whenever the transport's
+//! latency is constant per pair, which is the FIFO property the channel
+//! transport guarantees (see `tests/transport_fifo.rs`).
+
+use crate::clock::Tick;
+use canon_id::rng::Seed;
+use canon_id::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Mutex;
+
+/// A message queued for delivery.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The destination node.
+    pub to: NodeId,
+    /// When the message was sent.
+    pub sent_at: Tick,
+    /// When the message becomes visible to the destination.
+    pub deliver_at: Tick,
+    /// Per-sender sequence number (unique per `from`).
+    pub seq: u64,
+    /// The protocol payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    fn key(&self) -> (Tick, u64, u64) {
+        (self.deliver_at, self.from.raw(), self.seq)
+    }
+}
+
+impl<M> PartialEq for Envelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<M> Eq for Envelope<M> {}
+
+impl<M> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Decides the fate of each message: its delivery tick, or loss.
+///
+/// Implementations must be pure functions of `(now, from, to, seq)` and
+/// their own construction-time configuration, so that runs are
+/// reproducible. Under a virtual clock the quoted delivery tick must be
+/// strictly after `now` (the channel transport enforces a minimum latency
+/// of one tick); see the module docs for why.
+pub trait Transport: Send + Sync {
+    /// Returns the tick at which a message sent now from `from` to `to`
+    /// arrives, or `None` if the network drops it.
+    fn schedule(&self, now: Tick, from: NodeId, to: NodeId, seq: u64) -> Option<Tick>;
+}
+
+/// The reliable in-process channel: fixed latency, no loss.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelTransport {
+    latency: Tick,
+}
+
+impl ChannelTransport {
+    /// A channel with the given fixed latency (clamped to at least one
+    /// tick — zero-latency delivery would make round membership depend on
+    /// worker scheduling).
+    pub fn new(latency: Tick) -> ChannelTransport {
+        ChannelTransport {
+            latency: latency.max(1),
+        }
+    }
+
+    /// The per-message latency in ticks.
+    pub fn latency(&self) -> Tick {
+        self.latency
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn schedule(&self, now: Tick, _from: NodeId, _to: NodeId, _seq: u64) -> Option<Tick> {
+        Some(now + self.latency)
+    }
+}
+
+/// Deterministic fault injection on top of another transport: seeded loss,
+/// seeded latency jitter, and explicit partitions.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    seed: Seed,
+    /// Messages dropped per thousand.
+    loss_per_mille: u32,
+    /// Maximum extra latency in ticks (uniform in `0..=jitter`).
+    jitter: Tick,
+    /// Directed `(from, to)` pairs the partition currently severs.
+    blocked: Mutex<BTreeSet<(u64, u64)>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, dropping `loss_per_mille`/1000 of messages and adding
+    /// up to `jitter` ticks of latency, both derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_per_mille > 1000`.
+    pub fn new(inner: T, seed: Seed, loss_per_mille: u32, jitter: Tick) -> FaultyTransport<T> {
+        assert!(loss_per_mille <= 1000, "loss is a per-mille fraction");
+        FaultyTransport {
+            inner,
+            seed,
+            loss_per_mille,
+            jitter,
+            blocked: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Severs every link between the two groups, in both directions.
+    /// Messages across the cut are silently dropped until [`heal`] is
+    /// called.
+    ///
+    /// [`heal`]: FaultyTransport::heal
+    pub fn partition(&self, a: &[NodeId], b: &[NodeId]) {
+        let mut blocked = self.blocked.lock().expect("partition lock");
+        for &x in a {
+            for &y in b {
+                blocked.insert((x.raw(), y.raw()));
+                blocked.insert((y.raw(), x.raw()));
+            }
+        }
+    }
+
+    /// Removes every partition.
+    pub fn heal(&self) {
+        self.blocked.lock().expect("partition lock").clear();
+    }
+
+    /// The seeded per-message fate word: bits of
+    /// `seed ⊕ f(from, to, seq)`.
+    fn fate(&self, from: NodeId, to: NodeId, seq: u64) -> u64 {
+        self.seed
+            .derive("fault-transport")
+            .derive_node(from)
+            .derive_node(to)
+            .derive_index(seq)
+            .0
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn schedule(&self, now: Tick, from: NodeId, to: NodeId, seq: u64) -> Option<Tick> {
+        if self
+            .blocked
+            .lock()
+            .expect("partition lock")
+            .contains(&(from.raw(), to.raw()))
+        {
+            return None;
+        }
+        let base = self.inner.schedule(now, from, to, seq)?;
+        let fate = self.fate(from, to, seq);
+        if (fate % 1000) < self.loss_per_mille as u64 {
+            return None;
+        }
+        let extra = if self.jitter == 0 {
+            0
+        } else {
+            (fate >> 10) % (self.jitter + 1)
+        };
+        Some(base + extra)
+    }
+}
+
+/// One bounded-order mailbox per node: a min-heap keyed by
+/// `(deliver_at, from, seq)` behind a mutex.
+#[derive(Debug, Default)]
+pub struct Mailboxes<M> {
+    slots: Vec<Mutex<BinaryHeap<Reverse<Envelope<M>>>>>,
+}
+
+impl<M> Mailboxes<M> {
+    /// Mailboxes for `n` nodes.
+    pub fn new(n: usize) -> Mailboxes<M> {
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(Mutex::new(BinaryHeap::new()));
+        }
+        Mailboxes { slots }
+    }
+
+    /// Number of mailboxes.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no mailboxes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Adds a mailbox for a newly spawned node, returning its slot.
+    pub fn grow(&mut self) -> usize {
+        self.slots.push(Mutex::new(BinaryHeap::new()));
+        self.slots.len() - 1
+    }
+
+    /// Sends `env` to the node at `slot` through `transport`, which quotes
+    /// the delivery tick from `(sent_at, from, to, seq)` — whatever
+    /// `deliver_at` the caller filled in is overwritten (pass 0). Returns
+    /// the delivery tick, or `None` if the transport dropped the message.
+    pub fn send(
+        &self,
+        transport: &dyn Transport,
+        slot: usize,
+        mut env: Envelope<M>,
+    ) -> Option<Tick> {
+        let deliver_at = transport.schedule(env.sent_at, env.from, env.to, env.seq)?;
+        env.deliver_at = deliver_at;
+        self.slots[slot]
+            .lock()
+            .expect("mailbox lock")
+            .push(Reverse(env));
+        Some(deliver_at)
+    }
+
+    /// Pushes a pre-built envelope straight into `slot`, bypassing the
+    /// transport — client command injection uses this, so injected work
+    /// can never be lost to the network.
+    pub fn push(&self, slot: usize, env: Envelope<M>) {
+        self.slots[slot]
+            .lock()
+            .expect("mailbox lock")
+            .push(Reverse(env));
+    }
+
+    /// Pops every message due at or before `now` from `slot`, in
+    /// `(deliver_at, from, seq)` order.
+    pub fn drain_due(&self, slot: usize, now: Tick) -> Vec<Envelope<M>> {
+        let mut heap = self.slots[slot].lock().expect("mailbox lock");
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = heap.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let Some(Reverse(env)) = heap.pop() else {
+                break;
+            };
+            out.push(env);
+        }
+        out
+    }
+
+    /// The earliest pending delivery tick in `slot`, if any.
+    pub fn next_due(&self, slot: usize) -> Option<Tick> {
+        self.slots[slot]
+            .lock()
+            .expect("mailbox lock")
+            .peek()
+            .map(|Reverse(env)| env.deliver_at)
+    }
+
+    /// Total queued messages across all mailboxes.
+    pub fn queued(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("mailbox lock").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    /// Test shorthand: an envelope draft for [`Mailboxes::send`].
+    fn env<M>(now: Tick, from: NodeId, to: NodeId, seq: u64, payload: M) -> Envelope<M> {
+        Envelope {
+            from,
+            to,
+            sent_at: now,
+            deliver_at: 0,
+            seq,
+            payload,
+        }
+    }
+
+    #[test]
+    fn channel_transport_enforces_minimum_latency() {
+        let t = ChannelTransport::new(0);
+        assert_eq!(t.latency(), 1);
+        assert_eq!(t.schedule(5, id(1), id(2), 0), Some(6));
+    }
+
+    #[test]
+    fn mailbox_drains_in_key_order_regardless_of_arrival() {
+        let boxes: Mailboxes<u32> = Mailboxes::new(1);
+        let t = ChannelTransport::new(1);
+        // Arrivals pushed out of order; drain must sort by (tick, from, seq).
+        boxes.send(&t, 0, env(4, id(9), id(0), 0, 30));
+        boxes.send(&t, 0, env(1, id(9), id(0), 0, 10));
+        boxes.send(&t, 0, env(1, id(3), id(0), 7, 20));
+        let due: Vec<u32> = boxes
+            .drain_due(0, 10)
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(due, vec![20, 10, 30]);
+        assert_eq!(boxes.queued(), 0);
+    }
+
+    #[test]
+    fn drain_due_leaves_future_messages() {
+        let boxes: Mailboxes<u32> = Mailboxes::new(1);
+        let t = ChannelTransport::new(5);
+        boxes.send(&t, 0, env(0, id(1), id(0), 0, 1));
+        assert!(boxes.drain_due(0, 4).is_empty());
+        assert_eq!(boxes.next_due(0), Some(5));
+        assert_eq!(boxes.drain_due(0, 5).len(), 1);
+        assert_eq!(boxes.next_due(0), None);
+    }
+
+    #[test]
+    fn faulty_transport_is_deterministic() {
+        let mk = || FaultyTransport::new(ChannelTransport::new(2), Seed(7), 300, 9);
+        let (a, b) = (mk(), mk());
+        for seq in 0..200 {
+            assert_eq!(
+                a.schedule(10, id(1), id(2), seq),
+                b.schedule(10, id(1), id(2), seq)
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_transport_loses_roughly_the_configured_fraction() {
+        let t = FaultyTransport::new(ChannelTransport::new(1), Seed(11), 250, 0);
+        let lost = (0..1000)
+            .filter(|&seq| t.schedule(0, id(1), id(2), seq).is_none())
+            .count();
+        assert!((150..350).contains(&lost), "lost {lost} of 1000 at 25%");
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let t = FaultyTransport::new(ChannelTransport::new(1), Seed(3), 0, 0);
+        t.partition(&[id(1)], &[id(2)]);
+        assert_eq!(t.schedule(0, id(1), id(2), 0), None);
+        assert_eq!(t.schedule(0, id(2), id(1), 0), None);
+        assert!(t.schedule(0, id(1), id(3), 0).is_some());
+        t.heal();
+        assert!(t.schedule(0, id(1), id(2), 0).is_some());
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let t = FaultyTransport::new(ChannelTransport::new(1), Seed(5), 0, 4);
+        for seq in 0..200 {
+            let d = t.schedule(0, id(1), id(2), seq).expect("no loss");
+            assert!((1..=5).contains(&d), "delivery {d} outside 1..=5");
+        }
+    }
+
+    #[test]
+    fn grow_adds_an_empty_mailbox() {
+        let mut boxes: Mailboxes<u32> = Mailboxes::new(2);
+        assert_eq!(boxes.grow(), 2);
+        assert_eq!(boxes.len(), 3);
+        assert!(!boxes.is_empty());
+        assert_eq!(boxes.next_due(2), None);
+    }
+}

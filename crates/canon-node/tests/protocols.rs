@@ -1,0 +1,303 @@
+//! End-to-end protocol tests: a live Crescendo cluster under the virtual
+//! clock, exercising lookup, replicated PUT/GET, join, leave, partitions
+//! and retry behavior.
+
+use canon::crescendo::build_crescendo;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::ring::SortedRing;
+use canon_id::rng::Seed;
+use canon_id::NodeId;
+use canon_node::{
+    from_graph, ChannelTransport, Command, FaultyTransport, Op, Outcome, Runtime, RuntimeConfig,
+    VirtualClock,
+};
+use canon_store::replication::replica_successors;
+use std::sync::Arc;
+
+/// A live cluster over the deterministic Crescendo graph for `n` nodes.
+fn cluster(n: usize, seed: u64, config: RuntimeConfig) -> Runtime {
+    let h = Hierarchy::balanced(4, 2);
+    let p = Placement::uniform(&h, n, Seed(seed));
+    let net = build_crescendo(&h, &p);
+    from_graph(
+        net.graph(),
+        Arc::new(VirtualClock::new()),
+        Arc::new(ChannelTransport::new(1)),
+        config,
+    )
+}
+
+/// Deterministic pseudo-random u64 stream for picking keys and origins.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let base = Seed(seed).derive("protocol-test");
+    let mut i = 0;
+    move || {
+        i += 1;
+        base.derive_index(i).0
+    }
+}
+
+#[test]
+fn lookup_storm_finds_the_ring_responsible() {
+    let mut rt = cluster(64, 7, RuntimeConfig::default());
+    let ids = rt.ids();
+    let ring = SortedRing::new(ids.clone());
+    let mut next = stream(1);
+    let mut expected = Vec::new();
+    for _ in 0..200 {
+        let origin = ids[(next() % ids.len() as u64) as usize];
+        let key = next();
+        expected.push((origin, key, ring.responsible(NodeId::new(key)).unwrap()));
+        rt.inject(origin, Command::Issue(Op::Lookup { key }));
+    }
+    rt.run_until_idle();
+
+    let summary = rt.summary();
+    assert!(
+        summary.zero_loss(),
+        "lost or duplicated lookups: {summary:?}"
+    );
+    assert_eq!(summary.ok, 200);
+    let completions = rt.completions();
+    assert_eq!(completions.len(), 200);
+    for c in &completions {
+        let (_, _, want) = expected
+            .iter()
+            .find(|&&(o, k, _)| o == c.origin && k == c.key)
+            .expect("completion matches an injected lookup");
+        assert_eq!(
+            c.responder,
+            Some(*want),
+            "lookup for {} answered by the wrong node",
+            c.key
+        );
+        assert_eq!(c.outcome, Outcome::Ok);
+    }
+}
+
+#[test]
+fn put_then_get_roundtrips_and_replicates_like_the_store_policy() {
+    let config = RuntimeConfig::default();
+    let mut rt = cluster(48, 11, config);
+    let ids = rt.ids();
+    let ring = SortedRing::new(ids.clone());
+    let mut next = stream(2);
+    let puts: Vec<(u64, u64)> = (0..60).map(|_| (next(), next())).collect();
+    for &(key, value) in &puts {
+        let origin = ids[(key % ids.len() as u64) as usize];
+        rt.inject(origin, Command::Issue(Op::Put { key, value }));
+    }
+    rt.run_until_idle();
+
+    // Every key must sit on exactly the replica set canon-store's
+    // replication policy computes for the global ring.
+    for &(key, _) in &puts {
+        let want = replica_successors(&ring, NodeId::new(key), config.replication);
+        let holders: Vec<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| rt.shard_of(id).contains_key(&key))
+            .collect();
+        assert_eq!(
+            holders.len(),
+            want.len(),
+            "key {key} replica count mismatch"
+        );
+        for w in &want {
+            assert!(holders.contains(w), "key {key} missing from replica {w}");
+        }
+    }
+
+    // GETs from fresh origins see every stored value.
+    for &(key, _) in &puts {
+        let origin = ids[((key >> 7) % ids.len() as u64) as usize];
+        rt.inject(origin, Command::Issue(Op::Get { key }));
+    }
+    rt.run_until_idle();
+    let summary = rt.summary();
+    assert!(summary.zero_loss(), "{summary:?}");
+    for c in rt.completions() {
+        if c.kind == canon_node::OpKind::Get {
+            let (_, value) = puts.iter().find(|&&(k, _)| k == c.key).unwrap();
+            assert_eq!(
+                c.value,
+                Some(*value),
+                "get for {} read a stale value",
+                c.key
+            );
+        }
+    }
+}
+
+#[test]
+fn join_integrates_a_new_node_and_hands_over_its_keys() {
+    let mut rt = cluster(32, 3, RuntimeConfig::default());
+    let ids = rt.ids();
+    let ring = SortedRing::new(ids.clone());
+
+    // A fresh identifier not colliding with any existing node.
+    let mut next = stream(3);
+    let joiner = loop {
+        let candidate = NodeId::new(next());
+        if !ids.contains(&candidate) {
+            break candidate;
+        }
+    };
+    let expected_pred = ring.responsible(joiner).unwrap();
+
+    // Store a value the newcomer will become responsible for.
+    let key = joiner.raw();
+    rt.inject(ids[0], Command::Issue(Op::Put { key, value: 99 }));
+    rt.run_until_idle();
+    assert!(rt.shard_of(expected_pred).contains_key(&key));
+
+    rt.spawn(joiner);
+    rt.inject(joiner, Command::Join { bootstrap: ids[5] });
+    rt.run_until_idle();
+
+    assert_eq!(rt.pred_of(joiner), Some(expected_pred));
+    assert!(
+        rt.links_of(expected_pred).contains(&joiner),
+        "predecessor must link the newcomer"
+    );
+    assert!(
+        rt.shard_of(joiner).contains_key(&key),
+        "key {key} must be handed over to the newcomer"
+    );
+    assert!(!rt.shard_of(expected_pred).contains_key(&key));
+
+    // Lookups from arbitrary origins now terminate at the newcomer.
+    rt.inject(ids[17], Command::Issue(Op::Lookup { key }));
+    rt.run_until_idle();
+    let lookup = rt
+        .completions()
+        .into_iter()
+        .find(|c| c.kind == canon_node::OpKind::Lookup)
+        .unwrap();
+    assert_eq!(lookup.responder, Some(joiner));
+    assert!(rt.summary().zero_loss());
+}
+
+#[test]
+fn leave_hands_the_shard_to_the_range_inheritor() {
+    let mut rt = cluster(32, 5, RuntimeConfig::default());
+    let ids = rt.ids();
+    let ring = SortedRing::new(ids.clone());
+
+    // Pick a departing node and a key it is primary for.
+    let leaver = ids[9];
+    let key = leaver.raw();
+    assert_eq!(ring.responsible(NodeId::new(key)), Some(leaver));
+    let heir = ring.strict_predecessor(leaver).unwrap();
+
+    rt.inject(ids[0], Command::Issue(Op::Put { key, value: 41 }));
+    rt.run_until_idle();
+    assert!(rt.shard_of(leaver).contains_key(&key));
+
+    rt.inject(leaver, Command::Leave);
+    rt.run_until_idle();
+
+    assert!(rt.is_dead(leaver));
+    assert!(
+        rt.shard_of(heir).contains_key(&key),
+        "the predecessor inherits the departing node's range"
+    );
+    assert!(
+        !rt.links_of(heir).contains(&leaver),
+        "neighbors must unlink the departed node"
+    );
+
+    // A GET for the key now terminates at the heir and still sees the
+    // value.
+    rt.inject(ids[20], Command::Issue(Op::Get { key }));
+    rt.run_until_idle();
+    let get = rt
+        .completions()
+        .into_iter()
+        .find(|c| c.kind == canon_node::OpKind::Get)
+        .unwrap();
+    assert_eq!(get.responder, Some(heir));
+    assert_eq!(get.value, Some(41));
+    assert!(rt.summary().zero_loss());
+}
+
+#[test]
+fn partitioned_requests_time_out_and_heal() {
+    let h = Hierarchy::balanced(4, 2);
+    let p = Placement::uniform(&h, 32, Seed(13));
+    let net = build_crescendo(&h, &p);
+    let transport = Arc::new(FaultyTransport::new(
+        ChannelTransport::new(1),
+        Seed(99),
+        0,
+        0,
+    ));
+    let mut rt = from_graph(
+        net.graph(),
+        Arc::new(VirtualClock::new()),
+        Arc::clone(&transport) as Arc<dyn canon_node::Transport>,
+        RuntimeConfig::default(),
+    );
+    let ids = rt.ids();
+    let origin = ids[0];
+    let others: Vec<NodeId> = ids[1..].to_vec();
+
+    // Cut the origin off entirely: every attempt and retry is lost.
+    transport.partition(&[origin], &others);
+    rt.inject(origin, Command::Issue(Op::Lookup { key: 1 }));
+    rt.run_until_idle();
+    let c = rt.completions().into_iter().next().unwrap();
+    assert_eq!(c.outcome, Outcome::TimedOut);
+    assert_eq!(
+        c.attempts,
+        RuntimeConfig::default().rpc.max_retries + 1,
+        "every retry must be spent before giving up"
+    );
+    assert!(rt.summary().injected == rt.summary().completed);
+
+    // After healing, new requests succeed.
+    transport.heal();
+    rt.inject(origin, Command::Issue(Op::Lookup { key: 1 }));
+    rt.run_until_idle();
+    let last = rt.completions().into_iter().last().unwrap();
+    assert_eq!(last.outcome, Outcome::Ok);
+    assert!(rt.next_event().is_none(), "shutdown drain leaves no work");
+}
+
+#[test]
+fn lossy_network_is_covered_by_retries() {
+    let h = Hierarchy::balanced(4, 2);
+    let p = Placement::uniform(&h, 64, Seed(17));
+    let net = build_crescendo(&h, &p);
+    // 10% loss with jitter: retransmissions must keep completions exact.
+    let transport = Arc::new(FaultyTransport::new(
+        ChannelTransport::new(1),
+        Seed(23),
+        100,
+        3,
+    ));
+    let mut rt = from_graph(
+        net.graph(),
+        Arc::new(VirtualClock::new()),
+        transport,
+        RuntimeConfig::default(),
+    );
+    let ids = rt.ids();
+    let mut next = stream(4);
+    for _ in 0..200 {
+        let origin = ids[(next() % ids.len() as u64) as usize];
+        rt.inject(origin, Command::Issue(Op::Lookup { key: next() }));
+    }
+    rt.run_until_idle();
+
+    let summary = rt.summary();
+    // Exactly one completion per injected request, even under loss:
+    // nothing lost, nothing double-counted.
+    assert_eq!(summary.injected, summary.completed, "{summary:?}");
+    assert!(summary.retransmits > 0, "loss must trigger retries");
+    assert!(
+        summary.ok > 150,
+        "most lookups should survive 10% loss: {summary:?}"
+    );
+    assert!(rt.next_event().is_none());
+}

@@ -543,6 +543,22 @@ impl CrescendoSim {
         messages
     }
 
+    /// The number of repair messages a full stabilization pass *would*
+    /// send, without mutating any state: exactly the value
+    /// [`CrescendoSim::repair`] would return right now. Lets callers probe
+    /// accumulated staleness mid-experiment (e.g. between churn rounds)
+    /// while the staleness itself keeps evolving — previously that took
+    /// cloning the whole simulator just to discard the repaired copy.
+    pub fn repair_cost(&self) -> u64 {
+        let mut messages = 0u64;
+        for (&x, node) in &self.nodes {
+            let new_links = self.compute_links(x, node.leaf);
+            messages += new_links.symmetric_difference(&node.links).count() as u64;
+            messages += u64::from(self.compute_leaf_sets(x, node.leaf) != node.leaf_sets);
+        }
+        messages
+    }
+
     /// Recomputes `x`'s links; returns the number of changed links.
     fn refresh_links(&mut self, x: NodeId) -> u64 {
         let leaf = self.nodes[&x].leaf;
@@ -821,6 +837,28 @@ mod tests {
         assert_eq!(sim.repair(), 0);
         // And lookups are perfect again.
         assert_eq!(sim.lookup_success_rate(200, Seed(106)), 1.0);
+    }
+
+    #[test]
+    fn repair_cost_predicts_repair_without_mutating() {
+        let h = Hierarchy::balanced(3, 2);
+        let leaves = h.leaves();
+        let mut sim = CrescendoSim::new(h, 4);
+        let ids = random_ids(Seed(110), 150);
+        let mut rng = Seed(111).rng();
+        for &id in &ids {
+            sim.join(id, leaves[rng.gen_range(0..leaves.len())]);
+        }
+        for &id in ids.iter().take(40) {
+            sim.crash(id);
+        }
+        let cost = sim.repair_cost();
+        assert!(cost > 0, "crashes must leave staleness to measure");
+        // Probing is non-destructive: asking twice gives the same answer,
+        // and the eventual repair sends exactly the predicted messages.
+        assert_eq!(sim.repair_cost(), cost);
+        assert_eq!(sim.repair(), cost);
+        assert_eq!(sim.repair_cost(), 0);
     }
 
     #[test]

@@ -10,8 +10,32 @@
 //! domain-scoped content never leaves the domain.
 
 use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
+use canon_id::ring::SortedRing;
 use canon_id::{Key, NodeId};
 use std::collections::{HashMap, HashSet};
+
+/// The successor-replication placement rule on a bare ring: the node
+/// responsible for `point` plus its distinct ring successors, capped at
+/// `replication` nodes (and at the ring size).
+///
+/// This is the pure core of [`ReplicatedStore::replica_set`], exposed so
+/// other systems placing replicas on a ring — notably the `canon-node`
+/// live runtime — provably share the same rule.
+pub fn replica_successors(ring: &SortedRing, point: NodeId, replication: usize) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(replication);
+    let Some(first) = ring.responsible(point) else {
+        return out;
+    };
+    let mut cur = first;
+    for _ in 0..replication.min(ring.len()) {
+        out.push(cur);
+        cur = ring.strict_successor(cur).expect("ring is nonempty");
+        if cur == first {
+            break;
+        }
+    }
+    out
+}
 
 /// A replicated, domain-scoped key-value store.
 ///
@@ -57,19 +81,7 @@ impl<V: Clone> ReplicatedStore<V> {
     /// ring successors *within the domain*, capped at the domain size.
     pub fn replica_set(&self, key: Key, domain: DomainId) -> Vec<NodeId> {
         let ring = self.membership.ring(domain);
-        let mut out = Vec::with_capacity(self.replication);
-        let Some(first) = ring.responsible(key.as_point()) else {
-            return out;
-        };
-        let mut cur = first;
-        for _ in 0..self.replication.min(ring.len()) {
-            out.push(cur);
-            cur = ring.strict_successor(cur).expect("ring is nonempty");
-            if cur == first {
-                break;
-            }
-        }
-        out
+        replica_successors(ring, key.as_point(), self.replication)
     }
 
     /// Stores `value` under `key` within `domain`.
