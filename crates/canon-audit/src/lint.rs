@@ -387,8 +387,11 @@ fn mask_comments_and_strings(src: &str) -> String {
             i += 1;
             while i < b.len() {
                 if b[i] == '\\' && i + 1 < b.len() {
+                    // A `\` + newline continuation must keep its newline,
+                    // or every masked line below a wrapped string literal
+                    // drifts and annotation/test-region lookups misalign.
                     out.push(' ');
-                    out.push(' ');
+                    out.push(if b[i + 1] == '\n' { '\n' } else { ' ' });
                     i += 2;
                 } else if b[i] == '"' {
                     out.push('"');
@@ -1011,6 +1014,24 @@ mod tests {
     fn greedy_outside_engine_allows_annotated_engine_loops() {
         let src = "fn candidates(&self) {\n    // audit: allow(greedy-outside-engine)\n    for &nb in graph.neighbors(at) {\n        let d = self.metric.distance(graph.id(nb), self.target);\n    }\n}\n";
         assert!(lint("canon-overlay", src).is_empty());
+    }
+
+    #[test]
+    fn masked_lines_stay_aligned_past_string_continuations() {
+        // A `\`-newline continuation inside a string literal spans two
+        // source lines; masking must keep both, or every annotation and
+        // finding below the string is attributed one line off.
+        let src = "fn msg() -> String {\n    format!(\n        \"a long message that wraps \\\n         onto a second line\"\n    )\n}\nfn pick(g: &G, at: N) {\n    // audit: allow(greedy-outside-engine)\n    for &nb in g.neighbors(at) {\n        let d = metric.distance(g.id(nb), t);\n    }\n}\n";
+        assert!(
+            lint("canon-overlay", src).is_empty(),
+            "{:?}",
+            lint("canon-overlay", src)
+        );
+        // Without the annotation the finding lands on the true line.
+        let bare = src.replace("    // audit: allow(greedy-outside-engine)\n", "");
+        let f = lint("canon-overlay", &bare);
+        assert_eq!(rules(&f), vec!["greedy-outside-engine"]);
+        assert_eq!(f[0].line, 8);
     }
 
     #[test]

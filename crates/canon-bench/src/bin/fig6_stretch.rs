@@ -12,6 +12,7 @@ use canon_bench::{banner, f, row, BenchConfig};
 use canon_chord::build_chord;
 use canon_id::metric::Clockwise;
 use canon_overlay::{route, NodeIndex};
+use canon_par::par_map;
 use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
 use rand::Rng;
 
@@ -54,28 +55,36 @@ fn main() {
         let cresc_px =
             build_crescendo_prox(&h, &p, &lat_fn, ProxParams::default(), seed.derive("xp"));
 
+        // Pre-draw the pairs serially (the exact RNG call sequence of the
+        // old serial loop), route them in parallel, and fold the latency
+        // sums in index order — byte-identical output at any thread count.
         let mut rng = seed.derive("pairs").rng();
-        let mut sums = [0.0f64; 4];
-        let mut count = 0usize;
-        for _ in 0..pairs {
-            let a = rng.gen_range(0..n);
-            let b = rng.gen_range(0..n);
-            if a == b {
-                continue;
-            }
-            count += 1;
+        let drawn: Vec<(usize, usize)> = (0..pairs)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let routed = par_map(&drawn, |_, &(a, b)| {
             let (ai, bi) = (NodeIndex(a as u32), NodeIndex(b as u32));
             let lat_of = |g: &canon_overlay::OverlayGraph, r: &canon_overlay::Route| {
                 r.latency(|x, y| att.latency(g.id(x), g.id(y)))
             };
-            let r = route(&chord, Clockwise, ai, bi).expect("chord route");
-            sums[0] += lat_of(&chord, &r);
-            let r = route(cresc.graph(), Clockwise, ai, bi).expect("crescendo route");
-            sums[1] += lat_of(cresc.graph(), &r);
-            let r = chord_px.route(ai, bi).expect("chord-prox route");
-            sums[2] += lat_of(chord_px.graph(), &r);
-            let r = cresc_px.route(ai, bi).expect("crescendo-prox route");
-            sums[3] += lat_of(cresc_px.graph(), &r);
+            let chord_r = route(&chord, Clockwise, ai, bi).expect("chord route");
+            let cresc_r = route(cresc.graph(), Clockwise, ai, bi).expect("crescendo route");
+            let chpx_r = chord_px.route(ai, bi).expect("chord-prox route");
+            let crpx_r = cresc_px.route(ai, bi).expect("crescendo-prox route");
+            [
+                lat_of(&chord, &chord_r),
+                lat_of(cresc.graph(), &cresc_r),
+                lat_of(chord_px.graph(), &chpx_r),
+                lat_of(cresc_px.graph(), &crpx_r),
+            ]
+        });
+        let count = drawn.len();
+        let mut sums = [0.0f64; 4];
+        for lats in routed {
+            for (s, l) in sums.iter_mut().zip(lats) {
+                *s += l;
+            }
         }
         let means: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
         row(&[

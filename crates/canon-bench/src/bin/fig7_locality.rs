@@ -16,6 +16,7 @@ use canon::proximity::{build_chord_prox, build_crescendo_prox, ProxParams};
 use canon_bench::{banner, f, members_by_domain_at_depth, row, BenchConfig};
 use canon_id::metric::Clockwise;
 use canon_overlay::{route, NodeIndex};
+use canon_par::par_map;
 use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
 use rand::Rng;
 
@@ -53,24 +54,34 @@ fn main() {
         let groups = members_by_domain_at_depth(&h, &p, cresc.graph(), depth);
         let mut rng = seed.derive("queries").derive_index(u64::from(depth)).rng();
         let pools: Vec<&Vec<NodeIndex>> = groups.values().filter(|v| v.len() >= 2).collect();
+        // Pre-draw the queries serially (the exact RNG call sequence of
+        // the old serial loop), route them in parallel, and fold sums in
+        // index order — byte-identical output at any thread count.
+        let drawn: Vec<(NodeIndex, NodeIndex)> = (0..queries)
+            .map(|_| {
+                let pool = pools[rng.gen_range(0..pools.len())];
+                let a = pool[rng.gen_range(0..pool.len())];
+                let b = pool[rng.gen_range(0..pool.len())];
+                (a, b)
+            })
+            .filter(|(a, b)| a != b)
+            .collect();
+        let routed = par_map(&drawn, |_, &(a, b)| {
+            let chpx_r = chord_px.route(a, b).expect("chord-prox route");
+            let cresc_r = route(cresc.graph(), Clockwise, a, b).expect("crescendo route");
+            let crpx_r = cresc_px.route(a, b).expect("crescendo-prox route");
+            [
+                chpx_r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y))),
+                cresc_r.latency(|x, y| att.latency(cresc.graph().id(x), cresc.graph().id(y))),
+                crpx_r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y))),
+            ]
+        });
+        let count = drawn.len();
         let mut sums = [0.0f64; 3];
-        let mut count = 0usize;
-        for _ in 0..queries {
-            let pool = pools[rng.gen_range(0..pools.len())];
-            let a = pool[rng.gen_range(0..pool.len())];
-            let b = pool[rng.gen_range(0..pool.len())];
-            if a == b {
-                continue;
+        for lats in routed {
+            for (s, l) in sums.iter_mut().zip(lats) {
+                *s += l;
             }
-            count += 1;
-            let r = chord_px.route(a, b).expect("chord-prox route");
-            sums[0] +=
-                r.latency(|x, y| att.latency(chord_px.graph().id(x), chord_px.graph().id(y)));
-            let r = route(cresc.graph(), Clockwise, a, b).expect("crescendo route");
-            sums[1] += r.latency(|x, y| att.latency(cresc.graph().id(x), cresc.graph().id(y)));
-            let r = cresc_px.route(a, b).expect("crescendo-prox route");
-            sums[2] +=
-                r.latency(|x, y| att.latency(cresc_px.graph().id(x), cresc_px.graph().id(y)));
         }
         let label = if depth == 0 {
             "top".to_owned()

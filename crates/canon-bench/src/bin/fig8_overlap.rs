@@ -13,6 +13,7 @@ use canon_id::metric::Clockwise;
 use canon_id::NodeId;
 use canon_overlay::paths::overlap;
 use canon_overlay::{route_to_key, NodeIndex};
+use canon_par::par_map;
 use canon_topology::{attach, LatencyModel, TopologyParams, TransitStubTopology};
 use rand::Rng;
 
@@ -48,26 +49,29 @@ fn main() {
         let groups = members_by_domain_at_depth(&h, &p, cresc.graph(), depth);
         let pools: Vec<&Vec<NodeIndex>> = groups.values().filter(|v| v.len() >= 2).collect();
         let mut rng = seed.derive("samples").derive_index(u64::from(depth)).rng();
-        let mut acc = [0.0f64; 4];
-        let mut count = 0usize;
-        for _ in 0..samples {
-            let pool = pools[rng.gen_range(0..pools.len())];
-            let q1 = pool[rng.gen_range(0..pool.len())];
-            let q2 = pool[rng.gen_range(0..pool.len())];
-            if q1 == q2 {
-                continue;
-            }
-            let key = NodeId::new(rng.gen());
-            count += 1;
-
+        // Pre-draw the samples serially, preserving the exact RNG call
+        // sequence of the old loop (the key was only drawn after the
+        // q1 == q2 skip check), then route in parallel and fold the
+        // overlap fractions in index order — byte-identical output at any
+        // thread count.
+        let drawn: Vec<(NodeIndex, NodeIndex, NodeId)> = (0..samples)
+            .filter_map(|_| {
+                let pool = pools[rng.gen_range(0..pools.len())];
+                let q1 = pool[rng.gen_range(0..pool.len())];
+                let q2 = pool[rng.gen_range(0..pool.len())];
+                if q1 == q2 {
+                    return None;
+                }
+                Some((q1, q2, NodeId::new(rng.gen())))
+            })
+            .collect();
+        let routed = par_map(&drawn, |_, &(q1, q2, key)| {
             // Crescendo: greedy clockwise routing to the key.
             let g = cresc.graph();
             let lat = |x: NodeIndex, y: NodeIndex| att.latency(g.id(x), g.id(y));
             let p1 = route_to_key(g, Clockwise, q1, key).expect("route");
             let p2 = route_to_key(g, Clockwise, q2, key).expect("route");
-            let o = overlap(&p1, &p2, lat);
-            acc[0] += o.hop_fraction;
-            acc[1] += o.latency_fraction;
+            let oc = overlap(&p1, &p2, lat);
 
             // Chord (Prox.): group-aware routing to the key's responsible
             // node.
@@ -86,9 +90,20 @@ fn main() {
             } else {
                 chord_px.route(q2, dest).expect("prox route")
             };
-            let o = overlap(&r1, &r2, latp);
-            acc[2] += o.hop_fraction;
-            acc[3] += o.latency_fraction;
+            let op = overlap(&r1, &r2, latp);
+            [
+                oc.hop_fraction,
+                oc.latency_fraction,
+                op.hop_fraction,
+                op.latency_fraction,
+            ]
+        });
+        let count = drawn.len();
+        let mut acc = [0.0f64; 4];
+        for fracs in routed {
+            for (a, v) in acc.iter_mut().zip(fracs) {
+                *a += v;
+            }
         }
         let label = if depth == 0 {
             "top".to_owned()

@@ -228,6 +228,46 @@ impl SortedRing {
     }
 }
 
+/// Position in `sorted` (ascending, duplicate-free) of the identifier
+/// minimizing the *clockwise* distance to `target`: the largest id `<=
+/// target`, wrapping to the overall largest when every id lies clockwise
+/// of the target. Returns `None` on an empty slice.
+///
+/// This is the single binary search behind indexed greedy next-hop
+/// selection (`canon-overlay`'s `NextHopIndex`): with a node's neighbor
+/// ids kept in sorted order, the neighbor closest to a routing target
+/// under the clockwise metric is one `partition_point` away instead of an
+/// exhaustive scan.
+pub fn clockwise_closest_sorted(sorted: &[NodeId], target: NodeId) -> Option<usize> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] < w[1]),
+        "ids not strictly sorted"
+    );
+    let idx = sorted.partition_point(|&id| id <= target);
+    Some(if idx == 0 { sorted.len() - 1 } else { idx - 1 })
+}
+
+/// Position in `sorted` (ascending, duplicate-free) of the identifier
+/// minimizing the *XOR* distance to `target`. Returns `None` on an empty
+/// slice.
+///
+/// A sorted-by-id array is simultaneously bucket-ordered under XOR — the
+/// members of any bucket relative to any anchor form a contiguous range —
+/// so the binary-trie descent of [`SortedRing::xor_closest`] applies
+/// directly to neighbor lists too. Runs in O(64 · log n).
+pub fn xor_closest_sorted(sorted: &[NodeId], target: NodeId) -> Option<usize> {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] < w[1]),
+        "ids not strictly sorted"
+    );
+    let best = xor_best(sorted, 0, target, None)?;
+    // The descent returns an element of `sorted`; recover its position.
+    sorted.binary_search(&best).ok()
+}
+
 /// Trie descent over a sorted, shared-prefix slice: returns the element
 /// minimizing XOR distance to `target`, skipping `exclude`.
 ///
@@ -475,5 +515,43 @@ mod tests {
             r.gap_after_index(1),
             RingDistance::from_u64(NodeId::new(20).clockwise_to(NodeId::new(10)))
         );
+    }
+
+    fn ids(raw: &[u64]) -> Vec<NodeId> {
+        raw.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn clockwise_closest_sorted_matches_scan() {
+        let sorted = ids(&[3, 10, 20, 55, u64::MAX - 2]);
+        for t in [0u64, 3, 4, 10, 19, 20, 54, 55, 1000, u64::MAX - 3, u64::MAX] {
+            let target = NodeId::new(t);
+            let got = clockwise_closest_sorted(&sorted, target).unwrap();
+            let want = sorted
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &id)| id.clockwise_to(target))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(got, want, "target {t}");
+        }
+        assert_eq!(clockwise_closest_sorted(&[], NodeId::new(7)), None);
+    }
+
+    #[test]
+    fn xor_closest_sorted_matches_scan() {
+        let sorted = ids(&[0b0001, 0b0100, 0b0101, 0b1011, 0b1110]);
+        for t in 0u64..32 {
+            let target = NodeId::new(t);
+            let got = xor_closest_sorted(&sorted, target).unwrap();
+            let want = sorted
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &id)| id.xor_to(target))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(got, want, "target {t}");
+        }
+        assert_eq!(xor_closest_sorted(&[], NodeId::new(7)), None);
     }
 }

@@ -36,9 +36,9 @@ pub mod iterative;
 pub mod queue;
 
 use canon_id::{metric::Metric, NodeId};
-use canon_overlay::policy::Greedy;
+use canon_overlay::policy::{Candidate, Greedy};
 use canon_overlay::{
-    ordered_candidates, HopEvent, NodeIndex, NullObserver, OverlayGraph, RouteObserver,
+    ordered_candidates_into, HopEvent, NodeIndex, NullObserver, OverlayGraph, RouteObserver,
 };
 use queue::{EventQueue, SimTime};
 use std::collections::HashMap;
@@ -135,7 +135,8 @@ struct ForwardState {
 /// A lookup workload executing over an overlay graph.
 ///
 /// Next-hop candidates come from the shared routing engine
-/// ([`ordered_candidates`] over a [`Greedy`] policy), and the simulator
+/// ([`ordered_candidates_into`] over a [`Greedy`] policy, reusing one
+/// candidate buffer across node expansions), and the simulator
 /// streams the same hop-event vocabulary as the engine ([`HopEvent`]) to an
 /// optional [`RouteObserver`] — attempts when messages are sent, hops when
 /// they are delivered and counted, timeouts when retransmission timers burn,
@@ -153,6 +154,9 @@ pub struct LookupSim<'a, M, L, O = NullObserver> {
     seen: std::collections::HashSet<(LookupId, NodeIndex)>,
     attempt_counter: u64,
     events_processed: usize,
+    /// Reused candidate buffer for the per-hop forwarding loop, so node
+    /// expansion does not allocate a fresh `Vec` per event.
+    scratch: Vec<Candidate<u64, u64>>,
 }
 
 impl<'a, M, L> LookupSim<'a, M, L>
@@ -193,6 +197,7 @@ where
             seen: std::collections::HashSet::new(),
             attempt_counter: 0,
             events_processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -358,8 +363,13 @@ where
         _attempt: u64,
     ) {
         let key = self.outcomes[id.0 as usize].key;
-        let candidates = ordered_candidates(self.graph, &Greedy::new(self.metric, key), node);
-        if candidates.is_empty() {
+        ordered_candidates_into(
+            self.graph,
+            &Greedy::new(self.metric, key),
+            node,
+            &mut self.scratch,
+        );
+        if self.scratch.is_empty() {
             // `node` is the responsible node: report back to the origin.
             let origin = self.outcomes[id.0 as usize].origin;
             let delay = if origin == node {
@@ -374,7 +384,7 @@ where
         self.forwarding.insert(
             (id, node),
             ForwardState {
-                candidates: candidates.into_iter().map(|c| c.next).collect(),
+                candidates: self.scratch.iter().map(|c| c.next).collect(),
                 next: 0,
                 acked: false,
                 attempt: 0,

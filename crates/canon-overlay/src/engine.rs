@@ -19,7 +19,7 @@
 
 use crate::graph::{NodeIndex, OverlayGraph};
 use crate::observe::{HopEvent, NullObserver, RouteObserver};
-use crate::policy::{Candidate, RoutingPolicy};
+use crate::policy::{Candidate, IndexedNextHop, RoutingPolicy};
 use crate::route::{Route, RouteError};
 
 /// Defensive hop budget: no route in any evaluated network comes close,
@@ -81,17 +81,104 @@ pub fn unrestricted() -> Unrestricted {
 }
 
 /// Drives `policy` from `from` in a fault-free, unpriced environment.
+///
+/// This is the engine's **fast path**: when the policy supports indexed
+/// next-hop selection ([`RoutingPolicy::indexed_next`], e.g.
+/// [`crate::policy::Greedy`] via the graph's
+/// [`NextHopIndex`](crate::index::NextHopIndex)), each hop is selected
+/// with zero allocation and no sort, and the realized route and observer
+/// event stream are identical to [`drive`] under [`unrestricted`] (every
+/// hop: one `Attempt`, one `Hop` with latency `0.0`; one `Terminal` at the
+/// end) — tested, and asserted per hop in debug builds. Policies that
+/// decline indexing fall back to the generic candidates-then-sort path.
 pub fn execute<P, O>(
     graph: &OverlayGraph,
     policy: &P,
     from: NodeIndex,
-    observer: O,
+    mut observer: O,
 ) -> Result<Driven, RouteError>
 where
     P: RoutingPolicy,
     O: RouteObserver,
 {
-    drive(graph, policy, from, unrestricted(), observer)
+    // Sized for the longest route any evaluated network produces
+    // (~log2 n hops), so the hot loop never reallocates.
+    let mut path = Vec::with_capacity(32);
+    path.push(from);
+    let mut cur = from;
+    let mut cur_key = policy.key(graph, cur);
+    loop {
+        if policy.is_terminal(cur_key) {
+            break;
+        }
+        match policy.indexed_next(graph, cur, cur_key) {
+            IndexedNextHop::Best { next, landing } => {
+                debug_assert!(
+                    indexed_matches_generic(graph, policy, cur, cur_key, Some(next)),
+                    "indexed next hop diverges from the generic candidate order"
+                );
+                observer.on_event(&HopEvent::Attempt {
+                    from: cur,
+                    to: next,
+                });
+                observer.on_event(&HopEvent::Hop {
+                    from: cur,
+                    to: next,
+                    latency: 0.0,
+                });
+                path.push(next);
+                cur = next;
+                cur_key = landing;
+                if path.len() > HOP_LIMIT {
+                    return Err(RouteError::HopLimit { limit: HOP_LIMIT });
+                }
+            }
+            IndexedNextHop::LocalMinimum => {
+                debug_assert!(
+                    indexed_matches_generic(graph, policy, cur, cur_key, None),
+                    "index reports a local minimum but generic candidates exist"
+                );
+                break;
+            }
+            IndexedNextHop::Unsupported => {
+                // Generic policy: finish the walk on the candidates-and-sort
+                // path and splice its route onto the prefix walked so far
+                // (for a policy that is uniformly unsupported, the prefix is
+                // just `from` and this is the pre-index behavior verbatim).
+                let d = drive(graph, policy, cur, unrestricted(), observer)?;
+                path.pop();
+                path.extend_from_slice(d.route.path());
+                return Ok(Driven {
+                    route: Route::from_path(path),
+                    exhausted: d.exhausted,
+                });
+            }
+        }
+    }
+    observer.on_event(&HopEvent::Terminal { at: cur });
+    Ok(Driven {
+        route: Route::from_path(path),
+        exhausted: false,
+    })
+}
+
+/// Debug-build cross-check of the fast path: the indexed selection must
+/// equal the `(rank, next)` minimum of the generic candidate enumeration
+/// (`None` = the enumeration must be empty).
+fn indexed_matches_generic<P: RoutingPolicy>(
+    graph: &OverlayGraph,
+    policy: &P,
+    at: NodeIndex,
+    key: P::Key,
+    chosen: Option<NodeIndex>,
+) -> bool {
+    let mut cands: Vec<Candidate<P::Key, P::Rank>> = Vec::new();
+    policy.candidates(graph, at, key, &mut cands);
+    cands
+        .iter()
+        .min_by_key(|c| (c.rank, c.next))
+        .map(|c| c.next)
+        == chosen
 }
 
 /// Drives `policy` from `from` under `cfg`, streaming events to
@@ -182,14 +269,27 @@ pub fn ordered_candidates<P: RoutingPolicy>(
     policy: &P,
     at: NodeIndex,
 ) -> Vec<Candidate<P::Key, P::Rank>> {
-    let key = policy.key(graph, at);
     let mut out = Vec::new();
-    if policy.is_terminal(key) {
-        return out;
-    }
-    policy.candidates(graph, at, key, &mut out);
-    out.sort_unstable_by_key(|c| (c.rank, c.next));
+    ordered_candidates_into(graph, policy, at, &mut out);
     out
+}
+
+/// Like [`ordered_candidates`], but reusing `out` (cleared first) — the
+/// allocation-free variant for per-hop drivers that expand many nodes in a
+/// loop (canon-netsim's forwarding loop).
+pub fn ordered_candidates_into<P: RoutingPolicy>(
+    graph: &OverlayGraph,
+    policy: &P,
+    at: NodeIndex,
+    out: &mut Vec<Candidate<P::Key, P::Rank>>,
+) {
+    out.clear();
+    let key = policy.key(graph, at);
+    if policy.is_terminal(key) {
+        return;
+    }
+    policy.candidates(graph, at, key, out);
+    out.sort_unstable_by_key(|c| (c.rank, c.next));
 }
 
 /// Drives `policy` with the [`NullObserver`] in a fault-free environment

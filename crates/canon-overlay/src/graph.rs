@@ -1,7 +1,15 @@
 //! The overlay graph: nodes, directed links and identifier lookup.
+//!
+//! Links are stored in compressed-sparse-row (CSR) form: one flat
+//! `targets` array plus per-node `offsets`, so a node's neighbor list is
+//! one contiguous slice and a routing walk touches two cache lines per
+//! hop instead of chasing a `Vec<Vec<_>>` double indirection. The public
+//! API is unchanged — [`OverlayGraph::neighbors`] still returns a sorted
+//! `&[NodeIndex]` — and [`OverlayGraph::link_count`] is O(1).
 
+use crate::index::NextHopIndex;
 use canon_id::{ring::SortedRing, NodeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Index of a node within one [`OverlayGraph`] (dense, 0-based).
@@ -32,8 +40,14 @@ pub struct OverlayGraph {
     ids: Vec<NodeId>,
     // audit: membership-only
     index_of: HashMap<NodeId, NodeIndex>,
-    links: Vec<Vec<NodeIndex>>,
+    /// CSR row bounds: node `i`'s neighbors are
+    /// `targets[offsets[i]..offsets[i + 1]]`. Always `len() == n + 1`.
+    offsets: Vec<u32>,
+    /// All neighbor lists, concatenated in node order; sorted within each
+    /// node's segment.
+    targets: Vec<NodeIndex>,
     ring: SortedRing,
+    next_hop: NextHopIndex,
 }
 
 impl OverlayGraph {
@@ -66,13 +80,13 @@ impl OverlayGraph {
         self.index_of.get(&id).copied()
     }
 
-    /// The out-neighbors of node `i`.
+    /// The out-neighbors of node `i`, sorted by index.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of bounds.
     pub fn neighbors(&self, i: NodeIndex) -> &[NodeIndex] {
-        &self.links[i.index()]
+        &self.targets[self.offsets[i.index()] as usize..self.offsets[i.index() + 1] as usize]
     }
 
     /// Out-degree of node `i`.
@@ -81,12 +95,18 @@ impl OverlayGraph {
     ///
     /// Panics if `i` is out of bounds.
     pub fn degree(&self, i: NodeIndex) -> usize {
-        self.links[i.index()].len()
+        (self.offsets[i.index() + 1] - self.offsets[i.index()]) as usize
     }
 
-    /// Total number of directed links.
+    /// Total number of directed links. O(1).
     pub fn link_count(&self) -> usize {
-        self.links.iter().map(Vec::len).sum()
+        self.targets.len()
+    }
+
+    /// The per-node sorted-id next-hop index (built once at
+    /// [`GraphBuilder::build`] time).
+    pub fn next_hop_index(&self) -> &NextHopIndex {
+        &self.next_hop
     }
 
     /// The sorted ring over all node identifiers (for responsibility and
@@ -102,10 +122,10 @@ impl OverlayGraph {
 
     /// Iterates over all directed edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeIndex, NodeIndex)> + '_ {
-        self.links
-            .iter()
-            .enumerate()
-            .flat_map(|(i, ls)| ls.iter().map(move |&t| (NodeIndex(i as u32), t)))
+        (0..self.ids.len() as u32).flat_map(move |i| {
+            let from = NodeIndex(i);
+            self.neighbors(from).iter().map(move |&t| (from, t))
+        })
     }
 
     /// Renders the graph in Graphviz DOT format, labeling each node with
@@ -135,6 +155,11 @@ pub struct GraphBuilder {
     // audit: membership-only
     index_of: HashMap<NodeId, NodeIndex>,
     links: Vec<Vec<NodeIndex>>,
+    /// Directed links already present, keyed `(from << 32) | to`, so
+    /// duplicate detection is O(1) instead of a linear neighbor-list scan
+    /// (which made dense-node construction O(d²) per node).
+    // audit: membership-only
+    seen: HashSet<u64>,
 }
 
 impl GraphBuilder {
@@ -205,15 +230,15 @@ impl GraphBuilder {
     ///
     /// Panics if either index is out of bounds.
     pub fn add_link_by_index(&mut self, from: NodeIndex, to: NodeIndex) -> bool {
+        assert!(from.index() < self.ids.len(), "link source out of bounds");
         assert!(to.index() < self.ids.len(), "link target out of bounds");
         if from == to {
             return false;
         }
-        let out = &mut self.links[from.index()];
-        if out.contains(&to) {
+        if !self.seen.insert(((from.0 as u64) << 32) | to.0 as u64) {
             return false;
         }
-        out.push(to);
+        self.links[from.index()].push(to);
         true
     }
 
@@ -251,18 +276,32 @@ impl GraphBuilder {
         b.build()
     }
 
-    /// Finalizes the graph. Neighbor lists are sorted for determinism.
+    /// Finalizes the graph: sorts each neighbor list (for determinism and
+    /// for the binary searches the audit relies on), flattens the lists
+    /// into CSR form, and builds the [`NextHopIndex`].
     pub fn build(self) -> OverlayGraph {
         let ring = SortedRing::new(self.ids.clone());
         let mut links = self.links;
         for out in &mut links {
             out.sort_unstable();
         }
+        let total: usize = links.iter().map(Vec::len).sum();
+        assert!(total < u32::MAX as usize, "too many links for CSR offsets");
+        let mut offsets = Vec::with_capacity(links.len() + 1);
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for out in &links {
+            targets.extend_from_slice(out);
+            offsets.push(targets.len() as u32);
+        }
+        let next_hop = NextHopIndex::build(&self.ids, &offsets, &targets);
         OverlayGraph {
             ids: self.ids,
             index_of: self.index_of,
-            links,
+            offsets,
+            targets,
             ring,
+            next_hop,
         }
     }
 }

@@ -6,7 +6,11 @@
 //! (clockwise or XOR). This crate provides that shared substrate:
 //!
 //! * [`graph::OverlayGraph`] — an immutable directed graph over
-//!   [`canon_id::NodeId`]s with O(1) neighbor access;
+//!   [`canon_id::NodeId`]s in compressed-sparse-row layout with O(1)
+//!   neighbor access;
+//! * [`index::NextHopIndex`] — per-node neighbor ids in sorted order,
+//!   giving the engine's fault-free fast path its logarithmic next-hop
+//!   selection (one binary search per hop, zero allocation);
 //! * [`policy`] — pluggable [`policy::RoutingPolicy`] implementations
 //!   (greedy, fault-fallback, one-hop lookahead, group-aware proximity,
 //!   filtered) describing candidate enumeration and ranking;
@@ -31,6 +35,7 @@
 pub mod engine;
 pub mod faults;
 pub mod graph;
+pub mod index;
 pub mod multicast;
 pub mod observe;
 pub mod paths;
@@ -38,14 +43,19 @@ pub mod policy;
 pub mod route;
 pub mod stats;
 
-pub use engine::{drive, execute, ordered_candidates, DriveConfig, Driven};
+pub use engine::{
+    drive, execute, ordered_candidates, ordered_candidates_into, DriveConfig, Driven,
+};
 pub use graph::{GraphBuilder, NodeIndex, OverlayGraph};
+pub use index::NextHopIndex;
 pub use observe::{
     EventLog, FaultTally, HopCount, HopEvent, NullObserver, RouteObserver, VisitTally,
 };
 pub use policy::{
-    Candidate, FaultFallback, Filtered, Greedy, Lookahead1, ProximityAware, RoutingPolicy,
+    Candidate, FaultFallback, Filtered, Greedy, IndexedNextHop, Lookahead1, ProximityAware,
+    RoutingPolicy,
 };
 pub use route::{
-    route, route_observed, route_to_key, route_to_key_from, route_with_filter, Route, RouteError,
+    route, route_observed, route_to_key, route_to_key_from, route_to_key_sweep, route_with_filter,
+    Route, RouteError,
 };

@@ -37,6 +37,27 @@ pub struct Candidate<K, R> {
     pub rank: R,
 }
 
+/// The outcome of indexed next-hop selection
+/// ([`RoutingPolicy::indexed_next`]), the engine's fault-free fast path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexedNextHop<K> {
+    /// The policy has no index-backed selection; the engine must fall back
+    /// to the generic candidates-then-sort path.
+    Unsupported,
+    /// No neighbor improves on the current key: the current node is the
+    /// local minimum (the node responsible for the routed key).
+    LocalMinimum,
+    /// The unique best next hop — by contract identical to the first
+    /// candidate of the generic path under an all-alive liveness oracle.
+    Best {
+        /// The node to forward to.
+        next: NodeIndex,
+        /// The policy key at `next` (strictly smaller than the current
+        /// key).
+        landing: K,
+    },
+}
+
 /// A routing policy: a totally ordered progress measure (`Key`) plus a
 /// candidate enumeration with ranking (`Rank`).
 ///
@@ -75,6 +96,27 @@ pub trait RoutingPolicy {
         key: Self::Key,
         out: &mut Vec<Candidate<Self::Key, Self::Rank>>,
     );
+
+    /// Index-backed selection of the single best next hop from `at`, used
+    /// by the engine's fault-free fast path ([`crate::engine::execute`]).
+    ///
+    /// Contract: when this returns [`IndexedNextHop::Best`], `next` must
+    /// be exactly the first element of [`candidates`] sorted by
+    /// `(rank, next)` (the engine asserts this in debug builds); when it
+    /// returns [`IndexedNextHop::LocalMinimum`], `candidates` must be
+    /// empty. The default declines ([`IndexedNextHop::Unsupported`]),
+    /// which sends the engine down the generic path.
+    ///
+    /// [`candidates`]: RoutingPolicy::candidates
+    fn indexed_next(
+        &self,
+        graph: &OverlayGraph,
+        at: NodeIndex,
+        key: Self::Key,
+    ) -> IndexedNextHop<Self::Key> {
+        let _ = (graph, at, key);
+        IndexedNextHop::Unsupported
+    }
 }
 
 /// Plain greedy routing: every strictly closer neighbor is a candidate,
@@ -127,6 +169,20 @@ impl<M: Metric> RoutingPolicy for Greedy<M> {
                     rank: d,
                 });
             }
+        }
+    }
+
+    fn indexed_next(&self, graph: &OverlayGraph, at: NodeIndex, key: u64) -> IndexedNextHop<u64> {
+        // rank == landing == distance, and distances to a fixed target are
+        // injective in the identifier, so the distance-minimizing neighbor
+        // from the index is the generic path's unique `(rank, next)`
+        // minimum whenever it beats the current key.
+        match graph
+            .next_hop_index()
+            .next_toward(self.metric, at, self.target)
+        {
+            Some((next, d)) if d < key => IndexedNextHop::Best { next, landing: d },
+            _ => IndexedNextHop::LocalMinimum,
         }
     }
 }

@@ -15,10 +15,10 @@
 //! Canonical DHT never leaves it (path locality, §2.2), which
 //! [`route_with_filter`] lets tests verify directly.
 
-use crate::engine::execute;
+use crate::engine::{execute, HOP_LIMIT};
 use crate::graph::{NodeIndex, OverlayGraph};
 use crate::observe::{NullObserver, RouteObserver};
-use crate::policy::{Filtered, Greedy};
+use crate::policy::{Filtered, Greedy, IndexedNextHop, RoutingPolicy};
 use canon_id::{metric::Metric, NodeId};
 
 /// A recorded route through the overlay.
@@ -141,7 +141,9 @@ pub fn route<M: Metric>(
     from: NodeIndex,
     to: NodeIndex,
 ) -> Result<Route, RouteError> {
-    route_with_filter(graph, metric, from, to, |_| true)
+    // Plain greedy (no filter wrapper) so the engine's indexed fast path
+    // engages; `route_with_filter(.., |_| true)` is equivalent but generic.
+    route_observed(graph, metric, from, to, NullObserver)
 }
 
 /// Routes from `from` to `to` using only nodes satisfying `allowed` as
@@ -190,7 +192,134 @@ pub fn route_to_key<M: Metric>(
     from: NodeIndex,
     key: NodeId,
 ) -> Result<Route, RouteError> {
-    route_greedy(graph, metric, from, key, |_| true)
+    // Plain greedy for the same reason as [`route`]: the unfiltered policy
+    // rides the engine's indexed fast path.
+    Ok(execute(graph, &Greedy::new(metric, key), from, NullObserver)?.route)
+}
+
+/// Number of walks a [`route_to_key_sweep`] keeps in flight at once.
+///
+/// Large enough to keep several independent cache misses outstanding,
+/// small enough that the in-flight state stays in L1.
+const SWEEP_WIDTH: usize = 32;
+
+/// Routes a batch of `(origin, key)` lookups in one interleaved sweep,
+/// returning the realized routes in query order.
+///
+/// Each walk takes exactly the hops [`route_to_key`] takes — the same
+/// per-hop [`RoutingPolicy::indexed_next`] selection against the graph's
+/// [`NextHopIndex`](crate::index::NextHopIndex) — but up to `SWEEP_WIDTH`
+/// (32) walks advance in round-robin lockstep. On graphs too large for cache,
+/// a single walk serializes one memory stall per hop (the next segment
+/// read depends on the previous selection); interleaving keeps many
+/// *independent* reads outstanding, so batched throughput on one thread is
+/// several times the one-at-a-time rate. This is the single-thread
+/// analogue of the multi-threaded query sweeps in [`crate::stats`].
+///
+/// # Errors
+///
+/// * [`RouteError::HopLimit`] on malformed graphs.
+pub fn route_to_key_sweep<M: Metric>(
+    graph: &OverlayGraph,
+    metric: M,
+    queries: &[(NodeIndex, NodeId)],
+) -> Result<Vec<Route>, RouteError> {
+    struct Walk<M> {
+        qi: usize,
+        cur: NodeIndex,
+        /// The current remaining distance; `u64::MAX` until the first
+        /// advance computes it (the origin's id read is warmed during the
+        /// fill round, so the computation never stalls).
+        key: u64,
+        started: bool,
+        policy: Greedy<M>,
+        path: Vec<NodeIndex>,
+    }
+
+    let index = graph.next_hop_index();
+    let mut out: Vec<Option<Route>> = Vec::new();
+    out.resize_with(queries.len(), || None);
+    let mut slots: Vec<Option<Walk<M>>> = Vec::new();
+    slots.resize_with(SWEEP_WIDTH.min(queries.len()), || None);
+    let mut next_q = 0usize;
+    let mut live = 0usize;
+    // Accumulates the warming reads so they cannot be dead-code
+    // eliminated; consumed by `black_box` below.
+    let mut warmth = 0u64;
+    while next_q < queries.len() || live > 0 {
+        for slot in &mut slots {
+            if slot.is_none() {
+                if next_q >= queries.len() {
+                    continue;
+                }
+                let (origin, key_id) = queries[next_q];
+                let policy = Greedy::new(metric, key_id);
+                let mut path = Vec::with_capacity(32);
+                path.push(origin);
+                // Start the origin's id and segment reads now; the first
+                // advance (next round) finds them resident.
+                warmth ^= graph.id(origin).raw() ^ index.warm(origin);
+                *slot = Some(Walk {
+                    qi: next_q,
+                    cur: origin,
+                    key: u64::MAX,
+                    started: false,
+                    policy,
+                    path,
+                });
+                next_q += 1;
+                live += 1;
+                // The fresh walk advances on the next round, after its
+                // warming reads have had a full round to complete.
+                continue;
+            }
+            let Some(w) = slot.as_mut() else { continue };
+            if !w.started {
+                w.key = w.policy.key(graph, w.cur);
+                w.started = true;
+            }
+            // One hop, mirroring `execute`'s fast path exactly.
+            let done = if w.policy.is_terminal(w.key) {
+                true
+            } else {
+                match w.policy.indexed_next(graph, w.cur, w.key) {
+                    IndexedNextHop::Best { next, landing } => {
+                        w.path.push(next);
+                        w.cur = next;
+                        w.key = landing;
+                        // Start the next segment's line fills now; they
+                        // complete while the other walks advance.
+                        warmth ^= index.warm(next);
+                        if w.path.len() > HOP_LIMIT {
+                            return Err(RouteError::HopLimit { limit: HOP_LIMIT });
+                        }
+                        false
+                    }
+                    IndexedNextHop::LocalMinimum => true,
+                    IndexedNextHop::Unsupported => {
+                        // Greedy never declines indexing; stay total by
+                        // finishing the walk on the engine.
+                        let d = execute(graph, &w.policy, w.cur, NullObserver)?;
+                        w.path.pop();
+                        w.path.extend_from_slice(d.route.path());
+                        true
+                    }
+                }
+            };
+            if done {
+                out[w.qi] = Some(Route::from_path(std::mem::take(&mut w.path)));
+                *slot = None;
+                live -= 1;
+            }
+        }
+    }
+    std::hint::black_box(warmth);
+    let routes: Vec<Route> = out.into_iter().flatten().collect();
+    assert!(
+        routes.len() == queries.len(),
+        "every sweep walk terminates with a route"
+    );
+    Ok(routes)
 }
 
 /// Like [`route`], but streams hop events to `observer`.
@@ -372,6 +501,27 @@ mod tests {
                 assert_eq!(r.hops(), (a ^ t).count_ones() as usize);
             }
         }
+    }
+
+    #[test]
+    fn sweep_matches_one_at_a_time_key_routing() {
+        let g = figure2_graph();
+        // Every (origin, key) pair over a spread of keys — member ids,
+        // gaps, wrap points — including duplicates and self-terminating
+        // lookups; more queries than SWEEP_WIDTH so slots recycle.
+        let mut queries = Vec::new();
+        for origin in g.node_indices() {
+            for k in [0u64, 1, 4, 7, 11, 12, 13, 14, u64::MAX] {
+                queries.push((origin, id(k)));
+            }
+        }
+        let swept = route_to_key_sweep(&g, Clockwise, &queries).unwrap();
+        assert_eq!(swept.len(), queries.len());
+        for (&(origin, key), got) in queries.iter().zip(&swept) {
+            let want = route_to_key(&g, Clockwise, origin, key).unwrap();
+            assert_eq!(got, &want, "sweep diverges for {origin} -> {key}");
+        }
+        assert!(route_to_key_sweep(&g, Clockwise, &[]).unwrap().is_empty());
     }
 
     #[test]

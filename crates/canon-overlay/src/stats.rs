@@ -3,12 +3,37 @@
 //! Hop counts and routing load are observer sinks over the shared routing
 //! engine's event stream ([`HopCount`], [`VisitTally`]) rather than ad-hoc
 //! per-route bookkeeping.
+//!
+//! The query sweeps fan their routing work across [`canon_par::par_map`]
+//! and stay **byte-deterministic at any thread count**: the random pairs
+//! are pre-drawn serially (the exact RNG call sequence of the old serial
+//! loops), only the routes are computed in parallel, and results are
+//! merged in index order, so every accumulator sees the same values in the
+//! same order as the serial code.
 
-use crate::graph::OverlayGraph;
+use crate::graph::{NodeIndex, OverlayGraph};
 use crate::observe::{HopCount, VisitTally};
 use crate::route::{self, RouteError};
 use canon_id::{metric::Metric, rng::Seed};
+use canon_par::par_map;
 use rand::Rng;
+
+/// Draws `pairs` ordered pairs of distinct node indices — the shared
+/// sampling scheme of [`hop_stats`] and [`routing_load_stats`], serial by
+/// construction so the sampled workload is independent of thread count.
+fn draw_pairs(n: usize, pairs: usize, seed: Seed) -> Vec<(NodeIndex, NodeIndex)> {
+    let mut rng = seed.rng();
+    (0..pairs)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            (NodeIndex(a as u32), NodeIndex(b as u32))
+        })
+        .collect()
+}
 
 /// Summary statistics over a set of samples.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -111,25 +136,13 @@ pub fn hop_stats<M: Metric>(
     seed: Seed,
 ) -> Result<Summary, RouteError> {
     assert!(graph.len() >= 2, "hop sampling needs at least two nodes");
-    let mut rng = seed.rng();
-    let n = graph.len();
-    let mut samples = Vec::with_capacity(pairs);
-    for _ in 0..pairs {
-        let a = rng.gen_range(0..n);
-        let mut b = rng.gen_range(0..n - 1);
-        if b >= a {
-            b += 1;
-        }
+    let drawn = draw_pairs(graph.len(), pairs, seed);
+    let routed = par_map(&drawn, |_, &(a, b)| {
         let mut counter = HopCount::default();
-        route::route_observed(
-            graph,
-            metric,
-            crate::graph::NodeIndex(a as u32),
-            crate::graph::NodeIndex(b as u32),
-            &mut counter,
-        )?;
-        samples.push(counter.hops as f64);
-    }
+        route::route_observed(graph, metric, a, b, &mut counter)?;
+        Ok(counter.hops as f64)
+    });
+    let samples: Vec<f64> = routed.into_iter().collect::<Result<_, _>>()?;
     Ok(Summary::of(samples))
 }
 
@@ -154,22 +167,23 @@ pub fn routing_load_stats<M: Metric>(
     seed: Seed,
 ) -> Result<Summary, RouteError> {
     assert!(graph.len() >= 2, "load sampling needs at least two nodes");
-    let mut rng = seed.rng();
     let n = graph.len();
+    let drawn = draw_pairs(n, pairs, seed);
+    let routed = par_map(&drawn, |_, &(a, b)| {
+        route::route_observed(graph, metric, a, b, crate::observe::NullObserver)
+    });
+    // Replaying each route's hops into one tally in index order feeds the
+    // observer the same `Hop` events as the serial shared-tally loop.
     let mut tally = VisitTally::new(n);
-    for _ in 0..pairs {
-        let a = rng.gen_range(0..n);
-        let mut b = rng.gen_range(0..n - 1);
-        if b >= a {
-            b += 1;
+    for r in routed {
+        for (from, to) in r?.edges() {
+            use crate::observe::RouteObserver;
+            tally.on_event(&crate::observe::HopEvent::Hop {
+                from,
+                to,
+                latency: 0.0,
+            });
         }
-        route::route_observed(
-            graph,
-            metric,
-            crate::graph::NodeIndex(a as u32),
-            crate::graph::NodeIndex(b as u32),
-            &mut tally,
-        )?;
     }
     Ok(Summary::of(tally.visits().iter().map(|&v| v as f64)))
 }
@@ -271,5 +285,24 @@ mod tests {
         let a = routing_load_stats(&g, Clockwise, 100, Seed(9)).unwrap();
         let b = routing_load_stats(&g, Clockwise, 100, Seed(9)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        let g = line_graph(24);
+        let hops_1 = canon_par::with_threads(1, || hop_stats(&g, Clockwise, 200, Seed(3)).unwrap());
+        let load_1 = canon_par::with_threads(1, || {
+            routing_load_stats(&g, Clockwise, 200, Seed(3)).unwrap()
+        });
+        for threads in [2, 4, 13] {
+            let hops_t = canon_par::with_threads(threads, || {
+                hop_stats(&g, Clockwise, 200, Seed(3)).unwrap()
+            });
+            let load_t = canon_par::with_threads(threads, || {
+                routing_load_stats(&g, Clockwise, 200, Seed(3)).unwrap()
+            });
+            assert_eq!(hops_1, hops_t, "hop_stats diverges at {threads} threads");
+            assert_eq!(load_1, load_t, "load stats diverge at {threads} threads");
+        }
     }
 }

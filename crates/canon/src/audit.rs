@@ -113,6 +113,18 @@ pub enum Violation {
         /// Counts recorded on the network.
         actual: Vec<usize>,
     },
+    /// The graph's next-hop index disagrees with an exhaustive neighbor
+    /// scan (the routing engine's fast-path invariant).
+    IndexDivergence {
+        /// The probed node.
+        node: NodeId,
+        /// The probed routing target.
+        target: NodeId,
+        /// The neighbor the index selects.
+        indexed: Option<NodeId>,
+        /// The neighbor an exhaustive scan selects.
+        scanned: Option<NodeId>,
+    },
 }
 
 impl Violation {
@@ -127,6 +139,7 @@ impl Violation {
             Violation::RebuildMismatch { .. } | Violation::RebuildLevelCounts { .. } => {
                 "condition-a"
             }
+            Violation::IndexDivergence { .. } => "next-hop-index",
         }
     }
 }
@@ -197,6 +210,16 @@ impl fmt::Display for Violation {
                 f,
                 "re-derived links_per_level {expected:?} != recorded {actual:?}"
             ),
+            Violation::IndexDivergence {
+                node,
+                target,
+                indexed,
+                scanned,
+            } => write!(
+                f,
+                "node {node}, target {target}: next-hop index selects {indexed:?} \
+                 but an exhaustive scan selects {scanned:?}"
+            ),
         }
     }
 }
@@ -213,6 +236,8 @@ pub struct AuditReport {
     pub merged_links_checked: usize,
     /// (node, domain) ring-membership pairs checked for completeness.
     pub rings_checked: usize,
+    /// (node, target) pairs probed for next-hop-index agreement.
+    pub index_probes: usize,
     /// Whether the rule re-derivation (condition (a)) pass ran.
     pub recomputed: bool,
 }
@@ -353,6 +378,40 @@ fn audit_structure<M: Metric>(
         }
     }
 
+    // Next-hop-index agreement: the routing engine's fast path selects
+    // each hop from the graph's `NextHopIndex` instead of scanning
+    // neighbors; verify the two agree on deterministic probe targets
+    // spread around the identifier circle from every node.
+    let index = graph.next_hop_index();
+    for ui in graph.node_indices() {
+        let u = graph.id(ui);
+        let probes = [
+            u.offset(1),
+            u.offset(u64::MAX / 2),
+            NodeId::new(u.raw().rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15),
+        ];
+        for target in probes {
+            report.index_probes += 1;
+            let indexed = index.next_toward(metric, ui, target);
+            // Invariant reference, not routing: exhaustive neighbor scan.
+            let scanned = graph
+                // audit: allow(greedy-outside-engine)
+                .neighbors(ui)
+                .iter()
+                .map(|&nb| (metric.distance(graph.id(nb), target), nb))
+                .min()
+                .map(|(d, nb)| (nb, d));
+            if indexed != scanned {
+                violations.push(Violation::IndexDivergence {
+                    node: u,
+                    target,
+                    indexed: indexed.map(|(nb, _)| graph.id(nb)),
+                    scanned: scanned.map(|(nb, _)| graph.id(nb)),
+                });
+            }
+        }
+    }
+
     // Instrumentation accounting.
     let sum: usize = net.links_per_level().iter().sum();
     if sum != report.links || net.links_per_level().len() > hierarchy.levels() as usize {
@@ -469,6 +528,7 @@ mod tests {
         assert_eq!(report.nodes, 120);
         assert!(report.merged_links_checked > 0);
         assert!(report.rings_checked > 0);
+        assert_eq!(report.index_probes, 3 * 120);
         assert!(report.recomputed);
     }
 

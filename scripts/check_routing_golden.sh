@@ -6,10 +6,15 @@
 #
 # Wall-clock lines (`# wall-clock: ...`) are excluded — they are the only
 # nondeterministic output. Everything else must match exactly.
+#
+# Each binary is checked at every thread count in THREADS_LIST (default
+# "1 4"): the parallel query sweeps must merge in deterministic index
+# order, so output is byte-identical at any thread count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BINARIES=(fig5_hops fig7_locality fig8_overlap fault_isolation lookup_latency_sim)
+THREADS_LIST=${THREADS_LIST:-"1 4"}
 GOLDEN=results/full_run.txt
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -23,20 +28,28 @@ extract() {
 }
 
 fail=0
+checks=0
 for b in "${BINARIES[@]}"; do
-  extract "$b" | grep -v '^# wall-clock' > "$WORK/$b.golden"
-  ./target/release/"$b" --threads 1 | grep -v '^# wall-clock' | grep -v '^$' > "$WORK/$b.actual"
-  if diff -u "$WORK/$b.golden" "$WORK/$b.actual" > "$WORK/$b.diff"; then
-    echo "ok: $b matches golden output"
-  else
-    echo "FAIL: $b diverged from results/full_run.txt:"
-    cat "$WORK/$b.diff"
-    fail=1
-  fi
+  # The config banner echoes the thread count under variation; normalize
+  # it (and nothing else on the line) so only real output drift fails.
+  extract "$b" | grep -v '^# wall-clock' \
+    | sed 's/^\(# config: .*\)threads=[0-9]*/\1threads=_/' > "$WORK/$b.golden"
+  for t in $THREADS_LIST; do
+    ./target/release/"$b" --threads "$t" | grep -v '^# wall-clock' | grep -v '^$' \
+      | sed 's/^\(# config: .*\)threads=[0-9]*/\1threads=_/' > "$WORK/$b.actual"
+    if diff -u "$WORK/$b.golden" "$WORK/$b.actual" > "$WORK/$b.diff"; then
+      echo "ok: $b matches golden output (--threads $t)"
+    else
+      echo "FAIL: $b diverged from results/full_run.txt (--threads $t):"
+      cat "$WORK/$b.diff"
+      fail=1
+    fi
+    checks=$((checks + 1))
+  done
 done
 
 if [ "$fail" -ne 0 ]; then
   echo "routing golden check FAILED" >&2
   exit 1
 fi
-echo "routing golden check passed: ${#BINARIES[@]} binaries byte-identical"
+echo "routing golden check passed: $checks runs byte-identical (threads: $THREADS_LIST)"
