@@ -1,7 +1,9 @@
 //! Static analysis for the Canon workspace: a dependency-free source lint
 //! pass ([`lint`]), an exhaustive `par_map` schedule-exploration harness
-//! ([`loom`]), and the figure-graph invariant audit driver ([`graphs`],
-//! wrapping [`canon::audit`]).
+//! ([`loom`]), the figure-graph invariant audit driver ([`graphs`],
+//! wrapping [`canon::audit`]), and the storage invariant probe
+//! ([`storage`], checking replica placement against the policy engine
+//! across store, sim and node).
 //!
 //! The `canon-audit` binary wires all three into one CI entry point:
 //!
@@ -17,3 +19,4 @@
 pub mod graphs;
 pub mod lint;
 pub mod loom;
+pub mod storage;

@@ -9,7 +9,8 @@
 //! * `loom` — exhaustively explore `par_map` interleavings at width ≤ 4;
 //! * `verify` — build the figure-experiment graph families at smoke size
 //!   and check Canon conditions (a)/(b), ring completeness, and level
-//!   accounting on each;
+//!   accounting on each; then run the storage probes (replica sets vs.
+//!   replication policy across store, sim and node);
 //! * `all` (default) — everything above.
 //!
 //! Findings print as `file:line: [rule] message`; `--json` switches to a
@@ -22,6 +23,7 @@
 use canon_audit::graphs::verify_figure_graphs;
 use canon_audit::lint::{findings_to_json, lint_workspace, Finding};
 use canon_audit::loom::run_suite;
+use canon_audit::storage::verify_storage;
 use canon_id::rng::Seed;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -140,6 +142,29 @@ fn main() -> ExitCode {
             }
             Err(f) => {
                 eprintln!("verify: {} FAILED:", f.label);
+                for v in &f.violations {
+                    eprintln!("  {v}");
+                }
+                failed = true;
+            }
+        }
+
+        match verify_storage(opts.nodes, Seed(opts.seed)) {
+            Ok(reports) => {
+                if !opts.json {
+                    let keys: usize = reports.iter().map(|r| r.keys_checked).sum();
+                    let repaired: usize = reports.iter().map(|r| r.repaired).sum();
+                    println!(
+                        "storage: {} probes clean ({} keys checked against their \
+                         replication policy, {} replicas repaired)",
+                        reports.len(),
+                        keys,
+                        repaired
+                    );
+                }
+            }
+            Err(f) => {
+                eprintln!("storage: {} FAILED:", f.label);
                 for v in &f.violations {
                     eprintln!("  {v}");
                 }

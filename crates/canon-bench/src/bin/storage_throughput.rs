@@ -1,0 +1,188 @@
+//! Storage engine throughput: the PR-6 policy × backend matrix.
+//!
+//! Builds one `--max-n`-node network (default 4096, `Hierarchy::balanced(8,
+//! 3)`), then for every shipped [`canon_store::Policy`] crossed with every
+//! [`canon_store::BackendKind`] loads a [`canon_store::ReplicatedStore`]
+//! with `n` 64-byte values (25% duplicated content, so dedup has something
+//! to bite on) and reads every key back. Reported per combination:
+//!
+//! * sustained PUT and GET throughput (operations per second of phase
+//!   time — a PUT fans out to every policy replica, a GET verifies the
+//!   content id on the serving shard);
+//! * replica fan-out (`mean_replicas` = stored keys / logical keys);
+//! * byte accounting across all shards: `logical_bytes` (sum of stored
+//!   copies), `unique_bytes` (after content-address dedup),
+//!   `amplification` (logical bytes / client bytes), and `dedup_saved`
+//!   (fraction of logical bytes the content store did not have to keep);
+//! * the invariant verdict: every GET must return the written value and
+//!   `policy_violations()` must come back empty — the run **fails**
+//!   otherwise.
+//!
+//! `--json` emits one JSON object per combination (the committed baseline
+//! `results/BENCH_storage_throughput.json`); the default is a table. The
+//! file backend writes its append-only logs under a per-process temp
+//! directory that is removed before exit.
+
+use canon_bench::{banner, emit_row, row, BenchConfig, PhaseTimer};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::hash::hash_name;
+use canon_store::{BackendKind, Policy, ReplicatedStore, ReplicationPolicy};
+use std::path::PathBuf;
+
+/// Client value size: 64-byte blobs.
+const VALUE_BYTES: usize = 64;
+
+/// Fraction of puts whose content duplicates an earlier value: 1 in 4.
+const DUP_EVERY: u64 = 4;
+
+/// A deterministic 64-byte blob for item `i`; every `DUP_EVERY`-th item
+/// reuses the content of its predecessor, so ~25% of writes are duplicate
+/// content under distinct keys.
+fn value_for(i: u64) -> Vec<u8> {
+    let content = if i % DUP_EVERY == DUP_EVERY - 1 {
+        i - 1
+    } else {
+        i
+    };
+    let mut out = Vec::with_capacity(VALUE_BYTES);
+    for chunk in 0..(VALUE_BYTES / 8) as u64 {
+        out.extend_from_slice(
+            &hash_name(&format!("blob-{content}-{chunk}"))
+                .raw()
+                .to_le_bytes(),
+        );
+    }
+    out
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args(4096, 1);
+    let n = cfg.max_n;
+    let items = n as u64;
+    if !cfg.json {
+        banner(
+            "storage_throughput",
+            "PUT/GET throughput and byte amplification per replication policy x backend",
+            &cfg,
+        );
+        row(&[
+            "policy".into(),
+            "backend".into(),
+            "put_rps".into(),
+            "get_rps".into(),
+            "mean_replicas".into(),
+            "amplification".into(),
+            "dedup_saved".into(),
+        ]);
+    }
+
+    let seed = cfg.trial_seed("storage-throughput", 0);
+    let h = Hierarchy::balanced(8, 3);
+    let p = Placement::uniform(&h, n, seed);
+    let writers = p.ids().to_vec();
+
+    let policies = [
+        Policy::Fixed(3),
+        Policy::PercentOfDomain {
+            level: 1,
+            percent: 0.01,
+        },
+        Policy::HierarchyGeo {
+            replication: 3,
+            min_outside_level: 1,
+        },
+    ];
+    // One scratch directory per process for the file backend's logs,
+    // removed before exit.
+    let scratch: PathBuf =
+        std::env::temp_dir().join(format!("canon-storage-throughput-{}", std::process::id()));
+
+    for policy in policies {
+        for backend in ["memory", "file"] {
+            let kind = match backend {
+                "memory" => BackendKind::Memory,
+                _ => BackendKind::File {
+                    dir: scratch.join(policy.name().replace(['(', ')', ',', '='], "-")),
+                },
+            };
+            let mut store: ReplicatedStore<Vec<u8>> =
+                ReplicatedStore::with_backend(h.clone(), &p, policy, kind);
+
+            let mut put_timer = PhaseTimer::default();
+            put_timer.measure(|| {
+                for i in 0..items {
+                    let key = hash_name(&format!("item-{i}"));
+                    let writer = writers[(i as usize * 11) % writers.len()];
+                    store.put_from(writer, key, value_for(i), h.root());
+                }
+            });
+            let put_s = put_timer.measure.as_secs_f64();
+
+            let mut bad_reads = 0u64;
+            let mut get_timer = PhaseTimer::default();
+            get_timer.measure(|| {
+                for i in 0..items {
+                    let key = hash_name(&format!("item-{i}"));
+                    match store.get(key, h.root()) {
+                        Some((v, _)) if v == value_for(i) => {}
+                        _ => bad_reads += 1,
+                    }
+                }
+            });
+            let get_s = get_timer.measure.as_secs_f64();
+
+            let usage = store.usage();
+            let client_bytes = (items as usize * VALUE_BYTES) as f64;
+            let mean_replicas = usage.keys as f64 / items as f64;
+            let amplification = usage.logical_bytes as f64 / client_bytes;
+            let dedup_saved = 1.0 - usage.unique_bytes as f64 / usage.logical_bytes as f64;
+            let violations = store.policy_violations();
+
+            let pairs = [
+                ("policy", policy.name()),
+                ("backend", backend.to_string()),
+                ("nodes", n.to_string()),
+                ("items", items.to_string()),
+                ("value_bytes", VALUE_BYTES.to_string()),
+                ("put_rps", format!("{:.0}", items as f64 / put_s)),
+                ("get_rps", format!("{:.0}", items as f64 / get_s)),
+                ("mean_replicas", format!("{mean_replicas:.2}")),
+                ("logical_bytes", usage.logical_bytes.to_string()),
+                ("unique_bytes", usage.unique_bytes.to_string()),
+                ("amplification", format!("{amplification:.2}")),
+                ("dedup_saved", format!("{dedup_saved:.3}")),
+                ("bad_reads", bad_reads.to_string()),
+                ("violations", violations.len().to_string()),
+                (
+                    "invariants",
+                    if bad_reads == 0 && violations.is_empty() {
+                        "pass"
+                    } else {
+                        "FAIL"
+                    }
+                    .to_string(),
+                ),
+            ];
+            if !cfg.json {
+                row(&[
+                    policy.name(),
+                    backend.to_string(),
+                    format!("{:.0}", items as f64 / put_s),
+                    format!("{:.0}", items as f64 / get_s),
+                    format!("{mean_replicas:.2}"),
+                    format!("{amplification:.2}"),
+                    format!("{dedup_saved:.3}"),
+                ]);
+            }
+            emit_row(&cfg, &pairs);
+
+            assert_eq!(bad_reads, 0, "{} over {backend}: lost reads", policy.name());
+            assert!(
+                violations.is_empty(),
+                "{} over {backend}: {violations:?}",
+                policy.name()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -10,7 +10,10 @@
 //! * recursive key lookup, forwarded hop by hop through the same
 //!   [`canon_overlay::RoutingPolicy`] engine the simulators use — each
 //!   node routes from its own partial view;
-//! * replicated GET/PUT with `canon-store`'s successor-list placement;
+//! * replicated GET/PUT placed by `canon-store`'s shared
+//!   [`canon_store::Policy`] engine, with per-key replication status and
+//!   pin/unpin in the RPC table, over pluggable content-addressed
+//!   [`shard`] backends;
 //! * the join/leave repair protocol of `canon-sim`, as actual messages.
 //!
 //! The runtime is **deterministic by construction**: time is a capability
@@ -31,9 +34,13 @@
 //! * [`rpc`] — request ids, deadlines, bounded retry with exponential
 //!   backoff, the in-flight table;
 //! * [`node`] — per-node actor state and the protocol state machine;
+//! * [`shard`] — the node's store shard over a pluggable canon-store
+//!   backend;
 //! * [`runtime`] — round-based lock-step execution and cluster-wide
 //!   accounting;
-//! * [`cluster`] — seeding a runtime from a pre-built overlay graph.
+//! * [`cluster`] — seeding a runtime from a pre-built overlay graph;
+//! * [`remote`] — a [`canon_store::StorageBackend`] that round-trips
+//!   through the cluster's RPCs, so the DHT itself can serve as a shard.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -42,14 +49,18 @@ pub mod clock;
 pub mod cluster;
 pub mod msg;
 pub mod node;
+pub mod remote;
 pub mod rpc;
 pub mod runtime;
+pub mod shard;
 pub mod transport;
 
 pub use clock::{Clock, Tick, VirtualClock};
 pub use cluster::from_graph;
 pub use msg::{Command, Completion, JoinGrant, Op, OpKind, Outcome, Payload, RpcResult};
 pub use node::{LatencySink, NodeStats};
+pub use remote::RemoteShard;
 pub use rpc::{RetryDecision, RpcConfig, RpcTable};
-pub use runtime::{Runtime, RuntimeConfig, Summary};
+pub use runtime::{ReplicationStatus, Runtime, RuntimeConfig, Summary};
+pub use shard::{Shard, ShardBackend};
 pub use transport::{ChannelTransport, Envelope, FaultyTransport, Mailboxes, Transport};

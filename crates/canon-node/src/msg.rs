@@ -44,13 +44,35 @@ pub enum Op {
         /// The joining node.
         joiner: NodeId,
     },
+    /// Ask the responsible node how `key` is replicated (expected replica
+    /// count under the policy, pin state).
+    Status {
+        /// The key to report on.
+        key: u64,
+    },
+    /// Pin `key` at its responsible node: pinned entries are copied, not
+    /// moved, by join handovers, so the node keeps serving them.
+    Pin {
+        /// The key to pin.
+        key: u64,
+    },
+    /// Clear a pin set by [`Op::Pin`].
+    Unpin {
+        /// The key to unpin.
+        key: u64,
+    },
 }
 
 impl Op {
     /// The identifier-space point the request is routed toward.
     pub fn key_point(&self) -> NodeId {
         match *self {
-            Op::Lookup { key } | Op::Put { key, .. } | Op::Get { key } => NodeId::new(key),
+            Op::Lookup { key }
+            | Op::Put { key, .. }
+            | Op::Get { key }
+            | Op::Status { key }
+            | Op::Pin { key }
+            | Op::Unpin { key } => NodeId::new(key),
             Op::Join { joiner } => joiner,
         }
     }
@@ -62,6 +84,9 @@ impl Op {
             Op::Put { .. } => OpKind::Put,
             Op::Get { .. } => OpKind::Get,
             Op::Join { .. } => OpKind::Join,
+            Op::Status { .. } => OpKind::Status,
+            Op::Pin { .. } => OpKind::Pin,
+            Op::Unpin { .. } => OpKind::Unpin,
         }
     }
 }
@@ -77,6 +102,12 @@ pub enum OpKind {
     Get,
     /// A join locate request.
     Join,
+    /// A replication-status request.
+    Status,
+    /// A pin request.
+    Pin,
+    /// An unpin request.
+    Unpin,
 }
 
 /// The state handed from a predecessor to a joining node: everything the
@@ -120,6 +151,22 @@ pub enum RpcResult {
     },
     /// Join: the predecessor's grant.
     Granted(JoinGrant),
+    /// Status: how the responsible node replicates the key.
+    Status {
+        /// The node responsible for the key.
+        primary: NodeId,
+        /// Replicas the policy expects for the key (primary included).
+        expected: u32,
+        /// Whether the key is pinned at the primary.
+        pinned: bool,
+    },
+    /// Pin/unpin acknowledgment.
+    PinAck {
+        /// The node responsible for the key.
+        primary: NodeId,
+        /// The pin state after the operation.
+        pinned: bool,
+    },
 }
 
 /// Client work injected at an origin node by the harness.

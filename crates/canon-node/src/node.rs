@@ -23,14 +23,17 @@ use crate::clock::Tick;
 use crate::msg::{Command, Completion, JoinGrant, Op, Outcome, Payload, RpcResult};
 use crate::rpc::{RetryDecision, RpcTable};
 use crate::runtime::RuntimeConfig;
+use crate::shard::Shard;
 use crate::transport::{Envelope, Mailboxes, Transport};
 use canon_id::metric::Clockwise;
+use canon_id::ring::SortedRing;
 use canon_id::NodeId;
 use canon_overlay::engine::HOP_LIMIT;
 use canon_overlay::{
     ordered_candidates, GraphBuilder, Greedy, HopCount, HopEvent, NodeIndex, OverlayGraph,
     RouteObserver,
 };
+use canon_store::Policy;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
@@ -109,8 +112,11 @@ pub(crate) struct NodeState {
     view: OverlayGraph,
     /// `self`'s index within `view`.
     me: NodeIndex,
-    /// The store shard.
-    pub shard: BTreeMap<u64, u64>,
+    /// The store shard (a content-addressed backend behind a `u64` façade).
+    pub shard: Shard,
+    /// Keys pinned at this node: join handovers copy them instead of
+    /// moving them, so this node keeps serving them.
+    pub pinned: BTreeSet<u64>,
     pub rpc: RpcTable,
     /// Armed deadlines as `(tick, req)`.
     timers: BinaryHeap<Reverse<(Tick, u64)>>,
@@ -130,7 +136,8 @@ pub(crate) struct NodeState {
     /// Deterministic event log (only populated when recording).
     pub events: Vec<String>,
     record: bool,
-    replication: usize,
+    /// The replica placement policy (shared with canon-store's engine).
+    policy: Policy,
     succ_len: usize,
 }
 
@@ -151,7 +158,8 @@ impl NodeState {
             pred,
             view: GraphBuilder::with_nodes(&[id]).build(),
             me: NodeIndex(0),
-            shard: BTreeMap::new(),
+            shard: Shard::new(cfg.backend.create(id)),
+            pinned: BTreeSet::new(),
             rpc: RpcTable::new(cfg.rpc),
             timers: BinaryHeap::new(),
             seq: 0,
@@ -163,7 +171,7 @@ impl NodeState {
             completions: Vec::new(),
             events: Vec::new(),
             record: cfg.record_events,
-            replication: cfg.replication,
+            policy: cfg.policy,
             succ_len: cfg.succ_list_len,
         };
         state.rebuild_view();
@@ -390,6 +398,12 @@ impl NodeState {
                 *value,
             ),
             RpcResult::Granted(grant) => (Outcome::Ok, Some(grant.predecessor), None),
+            RpcResult::Status {
+                primary, expected, ..
+            } => (Outcome::Ok, Some(*primary), Some(u64::from(*expected))),
+            RpcResult::PinAck { primary, pinned } => {
+                (Outcome::Ok, Some(*primary), Some(u64::from(*pinned)))
+            }
         };
         if let RpcResult::Granted(grant) = result {
             self.apply_grant(net, grant);
@@ -481,6 +495,21 @@ impl NodeState {
         });
     }
 
+    /// Replica targets for a key this node is responsible for, from the
+    /// shared canon-store policy engine projected onto the node's partial
+    /// ring view (`{self} ∪ successor list`). Because this node is the
+    /// key's responsible node and the successor list holds its nearest
+    /// clockwise successors, the projection walks `[self, succ₀, succ₁, …]`
+    /// — for `Policy::Fixed(k)` this is byte-identical to the pre-policy
+    /// rule `self + succ_list.take(k − 1)`.
+    fn replica_targets(&self, point: NodeId) -> Vec<NodeId> {
+        let mut members = Vec::with_capacity(self.succ_list.len() + 1);
+        members.push(self.id);
+        members.extend(self.succ_list.iter().copied());
+        let ring = SortedRing::new(members);
+        self.policy.replicas_on_ring(&ring, point)
+    }
+
     /// Serves `op` as the responsible node.
     fn serve(&mut self, net: &Net<'_>, op: Op) -> RpcResult {
         match op {
@@ -489,14 +518,12 @@ impl NodeState {
             },
             Op::Put { key, value } => {
                 self.shard.insert(key, value);
-                let targets: Vec<NodeId> = self
-                    .succ_list
-                    .iter()
-                    .take(self.replication.saturating_sub(1))
-                    .copied()
-                    .collect();
+                let targets = self.replica_targets(NodeId::new(key));
                 let mut replicas = 0u32;
                 for s in targets {
+                    if s == self.id {
+                        continue;
+                    }
                     if self
                         .send(net, s, Payload::Replicate { key, value })
                         .is_some()
@@ -510,10 +537,29 @@ impl NodeState {
                 }
             }
             Op::Get { key } => RpcResult::Value {
-                value: self.shard.get(&key).copied(),
+                value: self.shard.get(key),
                 served_by: self.id,
             },
             Op::Join { joiner } => RpcResult::Granted(self.grant_join(net, joiner)),
+            Op::Status { key } => RpcResult::Status {
+                primary: self.id,
+                expected: self.replica_targets(NodeId::new(key)).len() as u32,
+                pinned: self.pinned.contains(&key),
+            },
+            Op::Pin { key } => {
+                self.pinned.insert(key);
+                RpcResult::PinAck {
+                    primary: self.id,
+                    pinned: true,
+                }
+            }
+            Op::Unpin { key } => {
+                self.pinned.remove(&key);
+                RpcResult::PinAck {
+                    primary: self.id,
+                    pinned: false,
+                }
+            }
         }
     }
 
@@ -528,17 +574,22 @@ impl NodeState {
         // distance at or past the old successor) stay put.
         let j_dist = self.id.clockwise_to(joiner);
         let s_dist = self.succ_list.first().map(|&s| self.id.clockwise_to(s));
+        let me = self.id;
         let handed: Vec<(u64, u64)> = self
             .shard
-            .iter()
-            .filter(|&(&k, _)| {
-                let d = self.id.clockwise_to(NodeId::new(k));
+            .entries()
+            .into_iter()
+            .filter(|&(k, _)| {
+                let d = me.clockwise_to(NodeId::new(k));
                 d >= j_dist && s_dist.is_none_or(|s| d < s)
             })
-            .map(|(&k, &v)| (k, v))
             .collect();
         for (k, _) in &handed {
-            self.shard.remove(k);
+            // Pinned keys are copied, not moved: the newcomer becomes
+            // responsible, but this node keeps serving its pinned copy.
+            if !self.pinned.contains(k) {
+                self.shard.remove(*k);
+            }
         }
         let grant = JoinGrant {
             predecessor: self.id,
@@ -644,8 +695,9 @@ impl NodeState {
         self.dead = true;
         let succ = self.succ_list.first().copied();
         if let Some(heir) = self.pred.or(succ) {
-            let shard: Vec<(u64, u64)> = self.shard.iter().map(|(&k, &v)| (k, v)).collect();
+            let shard: Vec<(u64, u64)> = self.shard.entries();
             self.shard.clear();
+            self.pinned.clear();
             self.send(
                 net,
                 heir,

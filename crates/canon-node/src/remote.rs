@@ -1,0 +1,144 @@
+//! [`RemoteShard`]: the DHT itself as a storage backend.
+//!
+//! canon-store's [`StorageBackend`] abstracts "a place bytes live"; this
+//! module closes the loop by implementing it **over the live cluster's
+//! RPCs**. A `RemoteShard` owns a [`Runtime`] and an origin node: `put`
+//! injects a PUT at the origin and drives the cluster until the write is
+//! acknowledged (primary + policy replicas), `get` injects a GET and
+//! verifies the returned value against the content id recorded at write
+//! time — so a node (or a client process) can serve keys it does not hold
+//! locally, with the same integrity guarantee as a local backend.
+//!
+//! Values are the runtime's wire currency (`u64`, 8 little-endian bytes);
+//! wider blobs are rejected with [`BackendError::Unsupported`], as is
+//! `delete` (the wire protocol has no delete verb — retired keys simply
+//! age out with their holders).
+
+use crate::msg::{Command, Op, Outcome};
+use crate::runtime::Runtime;
+use canon_id::NodeId;
+use canon_store::{BackendError, ContentId, StorageBackend, Stored, Usage};
+use std::collections::BTreeMap;
+
+/// A [`StorageBackend`] that round-trips every operation through a live
+/// cluster's RPC table from a fixed origin node.
+#[derive(Debug)]
+pub struct RemoteShard {
+    runtime: Runtime,
+    origin: NodeId,
+    /// Content ids of acknowledged writes, for client-side integrity
+    /// verification and scan/usage accounting.
+    seen: BTreeMap<u64, ContentId>,
+}
+
+impl RemoteShard {
+    /// Wraps `runtime` as a storage backend driven from `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not hosted by the runtime.
+    pub fn new(runtime: Runtime, origin: NodeId) -> RemoteShard {
+        assert!(
+            runtime.ids().contains(&origin),
+            "origin {origin} is not hosted"
+        );
+        RemoteShard {
+            runtime,
+            origin,
+            seen: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapped cluster.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Releases the wrapped cluster.
+    pub fn into_runtime(self) -> Runtime {
+        self.runtime
+    }
+
+    /// Injects `op` at the origin, drives the cluster to idle, and returns
+    /// the op's completion.
+    fn round_trip(&mut self, op: Op) -> Result<(Outcome, Option<u64>), BackendError> {
+        let kind = op.kind();
+        let key = op.key_point().raw();
+        self.runtime.inject(self.origin, Command::Issue(op));
+        self.runtime.run_until_idle();
+        let done = self
+            .runtime
+            .completions()
+            .into_iter()
+            .rfind(|c| c.origin == self.origin && c.kind == kind && c.key == key)
+            .ok_or_else(|| BackendError::Io(format!("no completion for {kind:?} {key:#x}")))?;
+        Ok((done.outcome, done.value))
+    }
+}
+
+impl StorageBackend for RemoteShard {
+    fn put(&mut self, key: u64, bytes: &[u8]) -> Result<ContentId, BackendError> {
+        let value: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| BackendError::Unsupported("remote values are u64 (8 bytes)"))?;
+        let value = u64::from_le_bytes(value);
+        let (outcome, _) = self.round_trip(Op::Put { key, value })?;
+        if outcome != Outcome::Ok {
+            return Err(BackendError::Io(format!(
+                "remote put of {key:#x} ended {outcome:?}"
+            )));
+        }
+        let id = ContentId::of(bytes);
+        self.seen.insert(key, id);
+        Ok(id)
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Stored>, BackendError> {
+        let (outcome, value) = self.round_trip(Op::Get { key })?;
+        if outcome == Outcome::TimedOut {
+            return Err(BackendError::Io(format!(
+                "remote get of {key:#x} timed out"
+            )));
+        }
+        let Some(value) = value else {
+            return Ok(None);
+        };
+        let bytes = value.to_le_bytes().to_vec();
+        let actual = ContentId::of(&bytes);
+        if let Some(&expected) = self.seen.get(&key) {
+            if expected != actual {
+                return Err(BackendError::Corrupt {
+                    key,
+                    expected,
+                    actual,
+                });
+            }
+        } else {
+            // A key written by someone else: adopt its id on first read.
+            self.seen.insert(key, actual);
+        }
+        Ok(Some(Stored { id: actual, bytes }))
+    }
+
+    fn delete(&mut self, _key: u64) -> Result<bool, BackendError> {
+        Err(BackendError::Unsupported("the wire protocol has no delete"))
+    }
+
+    fn scan(&self) -> Vec<(u64, ContentId)> {
+        self.seen.iter().map(|(&k, &id)| (k, id)).collect()
+    }
+
+    fn usage(&self) -> Usage {
+        let distinct: std::collections::BTreeSet<ContentId> = self.seen.values().copied().collect();
+        Usage {
+            keys: self.seen.len(),
+            blobs: distinct.len(),
+            logical_bytes: 8 * self.seen.len() as u64,
+            unique_bytes: 8 * distinct.len() as u64,
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), BackendError> {
+        Ok(()) // every acknowledged write is already replicated
+    }
+}

@@ -33,9 +33,12 @@ use crate::clock::{Clock, Tick};
 use crate::msg::{Command, Completion, Outcome, Payload};
 use crate::node::{Net, NodeState, NodeStats};
 use crate::rpc::RpcConfig;
+use crate::shard::ShardBackend;
 use crate::transport::{Envelope, Mailboxes, Transport};
+use canon_id::ring::SortedRing;
 use canon_id::NodeId;
 use canon_par::par_map;
+use canon_store::Policy;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
@@ -44,8 +47,12 @@ use std::sync::{Arc, Mutex};
 pub struct RuntimeConfig {
     /// Per-node RPC retry/deadline policy.
     pub rpc: RpcConfig,
-    /// Copies of each stored value (primary + `replication - 1` replicas).
-    pub replication: usize,
+    /// Replica placement policy, shared with canon-store's engine (the
+    /// default, `Policy::Fixed(3)`, reproduces the pre-policy behavior:
+    /// primary + 2 successor replicas).
+    pub policy: Policy,
+    /// Storage backend for each node's shard.
+    pub backend: ShardBackend,
     /// Successor-list length (the root-ring leaf set).
     pub succ_list_len: usize,
     /// Record a per-node event log (for determinism checks; off for
@@ -57,11 +64,29 @@ impl Default for RuntimeConfig {
     fn default() -> RuntimeConfig {
         RuntimeConfig {
             rpc: RpcConfig::default(),
-            replication: 3,
+            policy: Policy::Fixed(3),
+            backend: ShardBackend::Memory,
             succ_list_len: 8,
             record_events: false,
         }
     }
+}
+
+/// Ground truth about one key's replication across the cluster, computed
+/// by [`Runtime::replication_status`].
+#[derive(Clone, Debug)]
+pub struct ReplicationStatus {
+    /// The key inspected.
+    pub key: u64,
+    /// The replica set the policy expects on the current live ring
+    /// (responsible node first).
+    pub expected: Vec<NodeId>,
+    /// Live nodes actually holding the key.
+    pub holders: Vec<NodeId>,
+    /// Live nodes with the key pinned.
+    pub pinned_at: Vec<NodeId>,
+    /// Whether every expected replica holds the key.
+    pub satisfied: bool,
 }
 
 /// Cluster-wide accounting, aggregated over every node.
@@ -398,12 +423,12 @@ impl Runtime {
         sum
     }
 
-    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&NodeState) -> R) -> R {
+    fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&mut NodeState) -> R) -> R {
         let slot = *self
             .directory
             .get(&id.raw())
             .unwrap_or_else(|| panic!("unknown node {id}"));
-        f(&self.states[slot].lock().expect("node lock"))
+        f(&mut self.states[slot].lock().expect("node lock"))
     }
 
     /// A node's current link table.
@@ -425,13 +450,52 @@ impl Runtime {
         self.with_node(id, |n| n.pred)
     }
 
-    /// A node's store shard.
+    /// A node's store shard contents.
     pub fn shard_of(&self, id: NodeId) -> BTreeMap<u64, u64> {
-        self.with_node(id, |n| n.shard.clone())
+        self.with_node(id, |n| n.shard.entries().into_iter().collect())
+    }
+
+    /// The keys currently pinned at a node.
+    pub fn pinned_of(&self, id: NodeId) -> BTreeSet<u64> {
+        self.with_node(id, |n| n.pinned.clone())
     }
 
     /// Whether the node has left the overlay.
     pub fn is_dead(&self, id: NodeId) -> bool {
         self.with_node(id, |n| n.dead)
+    }
+
+    /// Ground truth for one key: the replica set the configured policy
+    /// expects on the current live ring, the live nodes actually holding
+    /// the key, pin locations, and whether expectation is met. This is the
+    /// cluster-level `replication_status(key)` the audit probes call after
+    /// a run settles.
+    pub fn replication_status(&self, key: u64) -> ReplicationStatus {
+        let mut live = Vec::with_capacity(self.states.len());
+        let mut holders = Vec::new();
+        let mut pinned_at = Vec::new();
+        for s in &self.states {
+            let mut state = s.lock().expect("node lock");
+            if state.dead {
+                continue;
+            }
+            live.push(state.id);
+            if state.shard.contains(key) {
+                holders.push(state.id);
+            }
+            if state.pinned.contains(&key) {
+                pinned_at.push(state.id);
+            }
+        }
+        let ring = SortedRing::new(live);
+        let expected = self.config.policy.replicas_on_ring(&ring, NodeId::new(key));
+        let satisfied = !expected.is_empty() && expected.iter().all(|e| holders.contains(e));
+        ReplicationStatus {
+            key,
+            expected,
+            holders,
+            pinned_at,
+            satisfied,
+        }
     }
 }

@@ -1,0 +1,158 @@
+//! The node's local store shard, backed by a pluggable canon-store
+//! [`StorageBackend`].
+//!
+//! PR 4 kept each node's key slice in a bare `BTreeMap<u64, u64>`. The
+//! shard is now a thin `u64`-typed façade over a content-addressed
+//! [`StorageBackend`], so the node runtime inherits integrity verification
+//! on every read, transparent dedup, and the choice of a durable
+//! append-only log per node ([`ShardBackend::TempFile`]) without the
+//! protocol code changing shape: join/leave handovers move entries through
+//! the same `insert`/`entries`/`remove` surface regardless of backend.
+
+use canon_id::NodeId;
+use canon_store::{BackendKind, BlobValue, MemoryBackend, StorageBackend, Usage};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where freshly spawned nodes keep their shard bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// In-memory content-addressed maps (the default).
+    #[default]
+    Memory,
+    /// One append-only log file per node under a per-process temp
+    /// directory — exercises the durable path end to end.
+    TempFile,
+}
+
+/// Process-local counter so every created shard log gets a fresh file even
+/// when identifiers repeat across runtimes (no wall clock involved).
+static SHARD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl ShardBackend {
+    /// Creates the backend for one node's shard.
+    pub(crate) fn create(self, id: NodeId) -> Box<dyn StorageBackend> {
+        match self {
+            ShardBackend::Memory => Box::new(MemoryBackend::new()),
+            ShardBackend::TempFile => {
+                let dir =
+                    std::env::temp_dir().join(format!("canon-node-shards-{}", std::process::id()));
+                let n = SHARD_SEQ.fetch_add(1, Ordering::Relaxed);
+                BackendKind::File { dir }
+                    .create(&format!("shard-{n}-{:016x}", id.raw()))
+                    .expect("create shard log")
+            }
+        }
+    }
+}
+
+/// A node's slice of the key space: `u64` values stored through a
+/// content-addressed [`StorageBackend`].
+#[derive(Debug)]
+pub struct Shard {
+    backend: Box<dyn StorageBackend>,
+}
+
+impl Shard {
+    /// Wraps a backend as a node shard.
+    pub fn new(backend: Box<dyn StorageBackend>) -> Shard {
+        Shard { backend }
+    }
+
+    /// Stores `value` under `key` (overwrites).
+    pub fn insert(&mut self, key: u64, value: u64) {
+        self.backend
+            .put(key, &value.to_bytes())
+            .expect("shard write");
+    }
+
+    /// Reads the value under `key`, verified against its content id.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let stored = self.backend.get(key).expect("verified shard read")?;
+        Some(u64::from_bytes(&stored.bytes).expect("shard values are u64"))
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.backend.delete(key).expect("shard delete")
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&mut self, key: u64) -> bool {
+        self.backend
+            .get(key)
+            .expect("verified shard read")
+            .is_some()
+    }
+
+    /// Every `(key, value)` pair in ascending key order.
+    pub fn entries(&mut self) -> Vec<(u64, u64)> {
+        self.backend
+            .scan()
+            .into_iter()
+            .map(|(k, _)| {
+                let v = self.get(k).expect("scanned key is present");
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Inserts every pair from `pairs`.
+    pub fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, pairs: I) {
+        for (k, v) in pairs {
+            self.insert(k, v);
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for (k, _) in self.backend.scan() {
+            self.remove(k);
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.backend.usage().keys
+    }
+
+    /// Whether the shard holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Space accounting from the underlying backend.
+    pub fn usage(&self) -> Usage {
+        self.backend.usage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_roundtrips_values_through_the_backend() {
+        let mut s = Shard::new(ShardBackend::Memory.create(NodeId::new(1)));
+        assert!(s.is_empty());
+        s.insert(5, 50);
+        s.insert(3, 30);
+        assert_eq!(s.get(5), Some(50));
+        assert_eq!(s.get(4), None);
+        assert!(s.contains(3));
+        assert_eq!(s.entries(), vec![(3, 30), (5, 50)]);
+        s.extend(vec![(7, 70)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn temp_file_shards_persist_within_the_process() {
+        let mut s = Shard::new(ShardBackend::TempFile.create(NodeId::new(42)));
+        s.insert(9, 90);
+        assert_eq!(s.get(9), Some(90));
+        assert_eq!(s.usage().keys, 1);
+    }
+}

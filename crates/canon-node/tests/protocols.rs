@@ -11,7 +11,6 @@ use canon_node::{
     from_graph, ChannelTransport, Command, FaultyTransport, Op, Outcome, Runtime, RuntimeConfig,
     VirtualClock,
 };
-use canon_store::replication::replica_successors;
 use std::sync::Arc;
 
 /// A live cluster over the deterministic Crescendo graph for `n` nodes.
@@ -92,7 +91,7 @@ fn put_then_get_roundtrips_and_replicates_like_the_store_policy() {
     // Every key must sit on exactly the replica set canon-store's
     // replication policy computes for the global ring.
     for &(key, _) in &puts {
-        let want = replica_successors(&ring, NodeId::new(key), config.replication);
+        let want = config.policy.replicas_on_ring(&ring, NodeId::new(key));
         let holders: Vec<NodeId> = ids
             .iter()
             .copied()
@@ -219,6 +218,153 @@ fn leave_hands_the_shard_to_the_range_inheritor() {
     assert_eq!(get.responder, Some(heir));
     assert_eq!(get.value, Some(41));
     assert!(rt.summary().zero_loss());
+}
+
+#[test]
+fn status_reports_the_policy_expectation_and_pins_survive_handover() {
+    let config = RuntimeConfig::default();
+    let mut rt = cluster(32, 19, config);
+    let ids = rt.ids();
+    let ring = SortedRing::new(ids.clone());
+
+    // A fresh identifier not colliding with any existing node; the key
+    // equal to it will be handed over when the newcomer joins.
+    let mut next = stream(5);
+    let joiner = loop {
+        let candidate = NodeId::new(next());
+        if !ids.contains(&candidate) {
+            break candidate;
+        }
+    };
+    let holder = ring.responsible(joiner).unwrap();
+    let key = joiner.raw();
+
+    rt.inject(ids[1], Command::Issue(Op::Put { key, value: 7 }));
+    rt.run_until_idle();
+
+    // Status round-trips the primary and the policy's target count.
+    rt.inject(ids[2], Command::Issue(Op::Status { key }));
+    rt.run_until_idle();
+    let status = rt
+        .completions()
+        .into_iter()
+        .find(|c| c.kind == canon_node::OpKind::Status)
+        .unwrap();
+    assert_eq!(status.outcome, Outcome::Ok);
+    assert_eq!(status.responder, Some(holder));
+    let expected = config
+        .policy
+        .replicas_on_ring(&ring, NodeId::new(key))
+        .len() as u64;
+    assert_eq!(status.value, Some(expected), "status carries target count");
+
+    // The runtime-level probe agrees and is satisfied after the put.
+    let probe = rt.replication_status(key);
+    assert!(probe.satisfied, "{probe:?}");
+    assert_eq!(probe.expected.len() as u64, expected);
+    assert!(probe.pinned_at.is_empty());
+
+    // Pin the key at its primary, then hand the range to a newcomer:
+    // pinned keys are copied, never surrendered.
+    rt.inject(ids[3], Command::Issue(Op::Pin { key }));
+    rt.run_until_idle();
+    assert!(rt.pinned_of(holder).contains(&key));
+    assert!(rt.replication_status(key).pinned_at.contains(&holder));
+
+    rt.spawn(joiner);
+    rt.inject(joiner, Command::Join { bootstrap: ids[4] });
+    rt.run_until_idle();
+    assert!(
+        rt.shard_of(joiner).contains_key(&key),
+        "the newcomer still receives a copy of the pinned key"
+    );
+    assert!(
+        rt.shard_of(holder).contains_key(&key),
+        "the pinned copy stays at the old holder"
+    );
+
+    // Pin/unpin route to the *current* primary: after the handover that
+    // is the newcomer, and unpin releases the hold there.
+    rt.inject(ids[6], Command::Issue(Op::Pin { key }));
+    rt.run_until_idle();
+    assert!(rt.pinned_of(joiner).contains(&key));
+    rt.inject(ids[6], Command::Issue(Op::Unpin { key }));
+    rt.run_until_idle();
+    assert!(!rt.pinned_of(joiner).contains(&key));
+    // The old holder's pin is a local fact and persists until unpinned
+    // through it; it simply keeps the copied key alive there.
+    assert!(rt.pinned_of(holder).contains(&key));
+    assert!(rt.summary().zero_loss());
+}
+
+#[test]
+fn file_backed_shards_serve_the_same_protocol() {
+    let config = RuntimeConfig {
+        backend: canon_node::ShardBackend::TempFile,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = cluster(24, 29, config);
+    let ids = rt.ids();
+    let mut next = stream(6);
+    let puts: Vec<(u64, u64)> = (0..30).map(|_| (next(), next())).collect();
+    for &(key, value) in &puts {
+        let origin = ids[(key % ids.len() as u64) as usize];
+        rt.inject(origin, Command::Issue(Op::Put { key, value }));
+    }
+    rt.run_until_idle();
+    for &(key, _) in &puts {
+        let origin = ids[((key >> 5) % ids.len() as u64) as usize];
+        rt.inject(origin, Command::Issue(Op::Get { key }));
+    }
+    rt.run_until_idle();
+
+    let summary = rt.summary();
+    assert!(summary.zero_loss(), "{summary:?}");
+    for c in rt.completions() {
+        if c.kind == canon_node::OpKind::Get {
+            let (_, value) = puts.iter().find(|&&(k, _)| k == c.key).unwrap();
+            assert_eq!(c.value, Some(*value), "file-backed get for {}", c.key);
+        }
+    }
+}
+
+#[test]
+fn remote_shard_round_trips_the_storage_backend_contract() {
+    use canon_store::{BackendError, StorageBackend};
+
+    let rt = cluster(24, 31, RuntimeConfig::default());
+    let origin = rt.ids()[0];
+    let mut remote = canon_node::RemoteShard::new(rt, origin);
+
+    // Absent key reads as None; writes round-trip with verified ids.
+    assert!(remote.get(0xfeed).unwrap().is_none());
+    let id = remote.put(0xfeed, &77u64.to_le_bytes()).unwrap();
+    let back = remote.get(0xfeed).unwrap().unwrap();
+    assert_eq!(back.id, id);
+    assert_eq!(back.bytes, 77u64.to_le_bytes().to_vec());
+
+    // Overwrites are visible and re-verified.
+    remote.put(0xfeed, &78u64.to_le_bytes()).unwrap();
+    let back = remote.get(0xfeed).unwrap().unwrap();
+    assert_eq!(back.bytes, 78u64.to_le_bytes().to_vec());
+
+    // The wire currency is u64: wider blobs and deletes are refused.
+    assert!(matches!(
+        remote.put(1, b"way more than eight bytes"),
+        Err(BackendError::Unsupported(_))
+    ));
+    assert!(matches!(
+        remote.delete(0xfeed),
+        Err(BackendError::Unsupported(_))
+    ));
+
+    let usage = remote.usage();
+    assert_eq!(usage.keys, 1);
+    assert_eq!(
+        remote.scan(),
+        vec![(0xfeed, canon_store::ContentId::of(&78u64.to_le_bytes()))]
+    );
+    assert!(remote.into_runtime().summary().zero_loss());
 }
 
 #[test]

@@ -603,6 +603,27 @@ impl CrescendoSim {
         pairs.sort_by_key(|&(id, _)| id);
         Placement::from_pairs(&self.hierarchy, pairs)
     }
+
+    /// Where `policy` would place `key`'s replicas within `domain`, under
+    /// the **current** (churned) membership.
+    ///
+    /// This is the bridge between the maintenance simulator and
+    /// canon-store's placement engine: after any join/leave sequence, the
+    /// replica set a store built over [`CrescendoSim::placement`] would use
+    /// is available directly, without rebuilding the store — canon-audit's
+    /// storage probe uses it to check placement consistency under churn.
+    pub fn replica_targets(
+        &self,
+        key: canon_id::Key,
+        domain: DomainId,
+        policy: &canon_store::Policy,
+    ) -> Vec<NodeId> {
+        use canon_store::ReplicationPolicy;
+        let placement = self.placement();
+        let membership = canon_hierarchy::DomainMembership::build(&self.hierarchy, &placement);
+        let ctx = canon_store::PlacementCtx::for_domain(&self.hierarchy, &membership, domain);
+        policy.replicas(&ctx, key)
+    }
 }
 
 /// Collects the members of `set` in the wrapped half-open interval
@@ -936,5 +957,51 @@ mod tests {
         assert_eq!(n.leaf(), leaf);
         assert!(n.links().any(|l| l == NodeId::new(20)));
         assert_eq!(sim.ids().count(), 2);
+    }
+
+    /// After churn, the simulator's replica targets match what a store
+    /// built over the surviving membership would place — for every policy.
+    #[test]
+    fn replica_targets_track_the_store_under_churn() {
+        use canon_id::hash::hash_name;
+        use canon_store::{Policy, ReplicatedStore};
+
+        let h = Hierarchy::balanced(3, 2);
+        let mut sim = CrescendoSim::new(h.clone(), 4);
+        let mut rng = Seed(41).derive("churn-targets").rng();
+        let leaves = h.leaves();
+        for i in 0..60u64 {
+            let leaf = leaves[rng.gen_range(0..leaves.len())];
+            sim.join(NodeId::new(Seed(41).derive_index(i).0), leaf);
+        }
+        let departing: Vec<NodeId> = sim.ids().take(12).collect();
+        for id in departing {
+            sim.leave(id);
+        }
+
+        let placement = sim.placement();
+        let policies = [
+            Policy::Fixed(3),
+            Policy::PercentOfDomain {
+                level: 1,
+                percent: 0.1,
+            },
+            Policy::HierarchyGeo {
+                replication: 3,
+                min_outside_level: 1,
+            },
+        ];
+        for policy in policies {
+            let store: ReplicatedStore<u64> = ReplicatedStore::new(h.clone(), &placement, policy);
+            for i in 0..20 {
+                let key = hash_name(&format!("churned-{i}"));
+                assert_eq!(
+                    sim.replica_targets(key, h.root(), &policy),
+                    store.replica_set(key, h.root()),
+                    "{} diverged for key {key}",
+                    canon_store::ReplicationPolicy::name(&policy)
+                );
+            }
+        }
     }
 }

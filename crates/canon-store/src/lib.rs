@@ -45,8 +45,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
+pub mod content;
+pub mod policy;
 pub mod replication;
 pub mod routed;
+
+pub use backend::{
+    BackendError, BackendKind, FileBackend, MemoryBackend, StorageBackend, Stored, Usage,
+};
+pub use content::{BlobValue, ContentId};
+pub use policy::{PlacementCtx, Policy, ReplicationPolicy};
+pub use replication::ReplicatedStore;
 
 use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
 use canon_id::{Key, NodeId};

@@ -1,40 +1,38 @@
-//! Successor replication within storage domains.
+//! Policy-driven replication within storage domains.
 //!
 //! The paper keeps leaf sets "to deal with node deletions" (§2.3); the
 //! storage systems built on Chord-family DHTs (CFS and successors) use the
-//! same successor lists to *replicate content*: a key-value pair lives on
-//! the responsible node and its `r − 1` ring successors, so a lookup can be
-//! served as long as one replica survives. This module adds that layer on
-//! top of the hierarchical store's placement rule — replicas are chosen
-//! **within the storage domain**, preserving Canon's guarantee that
-//! domain-scoped content never leaves the domain.
+//! same successor lists to *replicate content*. This module layers that
+//! idea over the hierarchical store's placement rule, with two PR-6
+//! generalisations:
+//!
+//! * **where** replicas go is decided by a [`Policy`] (see
+//!   [`crate::policy`]) instead of a hard-wired factor — replicas are still
+//!   always chosen **within the storage domain**, preserving Canon's
+//!   guarantee that domain-scoped content never leaves the domain;
+//! * **how** replicas are held is a [`StorageBackend`] per node (see
+//!   [`crate::backend`]) — every node in a replica set keeps its copy in
+//!   its own content-addressed shard, so integrity and dedup come from the
+//!   backend layer rather than this one.
 
+use crate::backend::{BackendKind, StorageBackend, Usage};
+use crate::content::BlobValue;
+use crate::policy::{PlacementCtx, Policy, ReplicationPolicy};
 use canon_hierarchy::{DomainId, DomainMembership, Hierarchy, Placement};
+use canon_id::hash::hash_bytes;
 use canon_id::ring::SortedRing;
 use canon_id::{Key, NodeId};
 use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 
-/// The successor-replication placement rule on a bare ring: the node
-/// responsible for `point` plus its distinct ring successors, capped at
-/// `replication` nodes (and at the ring size).
-///
-/// This is the pure core of [`ReplicatedStore::replica_set`], exposed so
-/// other systems placing replicas on a ring — notably the `canon-node`
-/// live runtime — provably share the same rule.
-pub fn replica_successors(ring: &SortedRing, point: NodeId, replication: usize) -> Vec<NodeId> {
-    let mut out = Vec::with_capacity(replication);
-    let Some(first) = ring.responsible(point) else {
-        return out;
-    };
-    let mut cur = first;
-    for _ in 0..replication.min(ring.len()) {
-        out.push(cur);
-        cur = ring.strict_successor(cur).expect("ring is nonempty");
-        if cur == first {
-            break;
-        }
-    }
-    out
+/// The backend slot a `(key, domain)` item occupies in a node's shard:
+/// domain-qualified so the same key stored in two domains keeps two
+/// independent entries.
+fn slot(key: Key, domain: DomainId) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&key.raw().to_le_bytes());
+    bytes[8..].copy_from_slice(&(domain.index() as u64).to_le_bytes());
+    hash_bytes(&bytes).raw()
 }
 
 /// A replicated, domain-scoped key-value store.
@@ -42,58 +40,137 @@ pub fn replica_successors(ring: &SortedRing, point: NodeId, replication: usize) 
 /// This intentionally models just placement and availability (the subjects
 /// of the §2.3 fault-tolerance argument); access control and caching layers
 /// live in [`crate::HierarchicalStore`].
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ReplicatedStore<V> {
     hierarchy: Hierarchy,
     membership: DomainMembership,
-    replication: usize,
+    policy: Policy,
+    backend_kind: BackendKind,
+    /// Per-node content-addressed shards, created on first write.
+    shards: HashMap<NodeId, Box<dyn StorageBackend>>,
     /// Replica holders per (key, storage domain).
     placements: HashMap<(Key, DomainId), Vec<NodeId>>,
-    values: HashMap<(Key, DomainId), V>,
+    /// The writing node's leaf domain per item (anchors geo constraints).
+    writers: HashMap<(Key, DomainId), DomainId>,
+    leaf_of: HashMap<NodeId, DomainId>,
     dead: HashSet<NodeId>,
+    _values: PhantomData<V>,
 }
 
-impl<V: Clone> ReplicatedStore<V> {
-    /// Creates a store replicating each item on `replication` nodes.
+impl<V: BlobValue> ReplicatedStore<V> {
+    /// Creates a store placing replicas per `policy`, with in-memory
+    /// shards.
     ///
     /// # Panics
     ///
-    /// Panics if `replication == 0`.
-    pub fn new(hierarchy: Hierarchy, placement: &Placement, replication: usize) -> Self {
-        assert!(replication >= 1, "replication factor must be at least 1");
+    /// Panics if the policy is `Fixed(0)`.
+    pub fn new(hierarchy: Hierarchy, placement: &Placement, policy: Policy) -> Self {
+        Self::with_backend(hierarchy, placement, policy, BackendKind::Memory)
+    }
+
+    /// Creates a store whose per-node shards use `backend_kind`.
+    pub fn with_backend(
+        hierarchy: Hierarchy,
+        placement: &Placement,
+        policy: Policy,
+        backend_kind: BackendKind,
+    ) -> Self {
+        if let Policy::Fixed(k) = policy {
+            assert!(k >= 1, "replication factor must be at least 1");
+        }
         let membership = DomainMembership::build(&hierarchy, placement);
+        let leaf_of = placement.iter().collect();
         ReplicatedStore {
             hierarchy,
             membership,
-            replication,
+            policy,
+            backend_kind,
+            shards: HashMap::new(),
             placements: HashMap::new(),
-            values: HashMap::new(),
+            writers: HashMap::new(),
+            leaf_of,
             dead: HashSet::new(),
+            _values: PhantomData,
         }
     }
 
-    /// The configured replication factor.
-    pub fn replication(&self) -> usize {
-        self.replication
+    /// The placement policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
     }
 
-    /// The replica set for `key` in `domain`: the responsible node and its
-    /// ring successors *within the domain*, capped at the domain size.
+    fn shard_mut(&mut self, node: NodeId) -> &mut Box<dyn StorageBackend> {
+        let kind = &self.backend_kind;
+        self.shards.entry(node).or_insert_with(|| {
+            kind.create(&format!("shard-{:016x}", node.raw()))
+                .expect("create shard backend")
+        })
+    }
+
+    fn ctx<'a>(
+        &'a self,
+        domain: DomainId,
+        ring: &'a SortedRing,
+        writer: Option<NodeId>,
+    ) -> PlacementCtx<'a> {
+        PlacementCtx {
+            hierarchy: &self.hierarchy,
+            membership: &self.membership,
+            domain,
+            ring,
+            writer_leaf: writer.and_then(|w| self.leaf_of.get(&w).copied()),
+        }
+    }
+
+    /// The replica set for `key` in `domain` under the configured policy,
+    /// unanchored (no writer, so geo constraints are vacuous).
     pub fn replica_set(&self, key: Key, domain: DomainId) -> Vec<NodeId> {
         let ring = self.membership.ring(domain);
-        replica_successors(ring, key.as_point(), self.replication)
+        self.policy.replicas(&self.ctx(domain, ring, None), key)
     }
 
-    /// Stores `value` under `key` within `domain`.
+    /// The replica set for `key` in `domain` as placed for `writer` (geo
+    /// policies anchor their "outside" constraint at the writer's leaf).
+    pub fn replica_set_from(&self, writer: NodeId, key: Key, domain: DomainId) -> Vec<NodeId> {
+        let ring = self.membership.ring(domain);
+        self.policy
+            .replicas(&self.ctx(domain, ring, Some(writer)), key)
+    }
+
+    /// Stores `value` under `key` within `domain`, unanchored.
     ///
     /// # Panics
     ///
     /// Panics if the domain has no members.
     pub fn put(&mut self, key: Key, value: V, domain: DomainId) {
-        let replicas = self.replica_set(key, domain);
+        self.store(None, key, value, domain);
+    }
+
+    /// Stores `value` under `key` within `domain` on behalf of `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has no members.
+    pub fn put_from(&mut self, writer: NodeId, key: Key, value: V, domain: DomainId) {
+        self.store(Some(writer), key, value, domain);
+    }
+
+    fn store(&mut self, writer: Option<NodeId>, key: Key, value: V, domain: DomainId) {
+        let ring = self.membership.ring(domain);
+        let replicas = self.policy.replicas(&self.ctx(domain, ring, writer), key);
         assert!(!replicas.is_empty(), "storage domain has no members");
+        let bytes = value.to_bytes();
+        let at = slot(key, domain);
+        for &node in &replicas {
+            self.shard_mut(node)
+                .put(at, &bytes)
+                .expect("replica shard write");
+        }
         self.placements.insert((key, domain), replicas);
-        self.values.insert((key, domain), value);
+        match writer.and_then(|w| self.leaf_of.get(&w).copied()) {
+            Some(leaf) => self.writers.insert((key, domain), leaf),
+            None => self.writers.remove(&(key, domain)),
+        };
     }
 
     /// Marks `node` as crashed; items whose live replica set becomes empty
@@ -103,11 +180,19 @@ impl<V: Clone> ReplicatedStore<V> {
     }
 
     /// Fetches `key` from `domain`: succeeds iff some replica is alive,
-    /// returning the value and the serving replica.
-    pub fn get(&self, key: Key, domain: DomainId) -> Option<(V, NodeId)> {
+    /// returning the value (read and integrity-verified from the serving
+    /// replica's backend) and the serving replica.
+    pub fn get(&mut self, key: Key, domain: DomainId) -> Option<(V, NodeId)> {
         let holders = self.placements.get(&(key, domain))?;
         let server = holders.iter().copied().find(|n| !self.dead.contains(n))?;
-        Some((self.values.get(&(key, domain))?.clone(), server))
+        let at = slot(key, domain);
+        let stored = self
+            .shards
+            .get_mut(&server)?
+            .get(at)
+            .expect("verified replica read")?;
+        let value = V::from_bytes(&stored.bytes).expect("stored bytes decode");
+        Some((value, server))
     }
 
     /// Fraction of stored items still reachable (≥ 1 live replica).
@@ -123,40 +208,75 @@ impl<V: Clone> ReplicatedStore<V> {
         alive as f64 / self.placements.len() as f64
     }
 
-    /// Re-replicates every degraded item onto the live successors of its
-    /// storage domain (the repair that leaf-set change notifications
-    /// trigger in a live system). Returns the number of copies created.
+    /// The members of `domain` that are still alive, as a ring.
+    fn live_ring(&self, domain: DomainId) -> SortedRing {
+        let live: Vec<NodeId> = self
+            .membership
+            .ring(domain)
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|n| !self.dead.contains(n))
+            .collect();
+        SortedRing::new(live)
+    }
+
+    /// Re-replicates every degraded item onto the policy's placement over
+    /// the live members of its storage domain (the repair that leaf-set
+    /// change notifications trigger in a live system). Copies bytes from a
+    /// surviving replica into each fresh holder's backend and returns the
+    /// number of copies created.
     pub fn re_replicate(&mut self) -> usize {
         let mut copies = 0usize;
         let keys: Vec<(Key, DomainId)> = self.placements.keys().copied().collect();
         for (key, domain) in keys {
-            let holders = &self.placements[&(key, domain)];
-            if holders.iter().any(|n| self.dead.contains(n)) {
-                // Walk live members of the domain from the responsible node.
-                let ring = self.membership.ring(domain);
-                let mut fresh = Vec::with_capacity(self.replication);
-                if let Some(first) = ring.responsible(key.as_point()) {
-                    let mut cur = first;
-                    for _ in 0..ring.len() {
-                        if !self.dead.contains(&cur) {
-                            fresh.push(cur);
-                            if fresh.len() == self.replication {
-                                break;
-                            }
-                        }
-                        cur = ring.strict_successor(cur).expect("nonempty ring");
-                        if cur == first {
-                            break;
-                        }
-                    }
+            let holders = self.placements[&(key, domain)].clone();
+            if !holders.iter().any(|n| self.dead.contains(n)) {
+                continue;
+            }
+            // Only items with a surviving copy can be repaired.
+            let Some(source) = holders.iter().copied().find(|n| !self.dead.contains(n)) else {
+                continue;
+            };
+            let live = self.live_ring(domain);
+            let writer_leaf = self.writers.get(&(key, domain)).copied();
+            let fresh = self.policy.replicas(
+                &PlacementCtx {
+                    hierarchy: &self.hierarchy,
+                    membership: &self.membership,
+                    domain,
+                    ring: &live,
+                    writer_leaf,
+                },
+                key,
+            );
+            if fresh.is_empty() {
+                continue;
+            }
+            let at = slot(key, domain);
+            let stored = self
+                .shards
+                .get_mut(&source)
+                .and_then(|s| s.get(at).expect("verified replica read"))
+                .expect("surviving replica holds the bytes");
+            for &node in &fresh {
+                if !holders.contains(&node) {
+                    copies += 1;
                 }
-                // Only items with a surviving copy can be repaired.
-                let survived = holders.iter().any(|n| !self.dead.contains(n));
-                if survived && !fresh.is_empty() {
-                    copies += fresh.iter().filter(|n| !holders.contains(n)).count();
-                    self.placements.insert((key, domain), fresh);
+                self.shard_mut(node)
+                    .put(at, &stored.bytes)
+                    .expect("repair shard write");
+            }
+            // Retired live holders drop their copy so usage stays honest.
+            let retired = holders
+                .iter()
+                .filter(|n| !self.dead.contains(n) && !fresh.contains(n));
+            for &node in retired {
+                if let Some(shard) = self.shards.get_mut(&node) {
+                    shard.delete(at).expect("retire shard copy");
                 }
             }
+            self.placements.insert((key, domain), fresh);
         }
         copies
     }
@@ -171,9 +291,54 @@ impl<V: Clone> ReplicatedStore<V> {
         })
     }
 
+    /// Every stored item whose live replica set fails its policy — count,
+    /// containment, or geo clause — described one line per violation, in
+    /// deterministic (key, domain) order. Empty means the storage
+    /// invariant holds; this is what `canon-audit verify` probes.
+    pub fn policy_violations(&self) -> Vec<String> {
+        let mut items: Vec<(Key, DomainId)> = self.placements.keys().copied().collect();
+        items.sort_unstable();
+        let mut out = Vec::new();
+        for (key, domain) in items {
+            let live: Vec<NodeId> = self.placements[&(key, domain)]
+                .iter()
+                .copied()
+                .filter(|n| !self.dead.contains(n))
+                .collect();
+            let ring = self.live_ring(domain);
+            let ctx = PlacementCtx {
+                hierarchy: &self.hierarchy,
+                membership: &self.membership,
+                domain,
+                ring: &ring,
+                writer_leaf: self.writers.get(&(key, domain)).copied(),
+            };
+            if !self.policy.satisfied(&ctx, key, &live) {
+                out.push(format!(
+                    "{key} in {domain}: live replicas {live:?} violate {}",
+                    self.policy.name()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Space accounting aggregated over every node shard.
+    pub fn usage(&self) -> Usage {
+        self.shards
+            .values()
+            .map(|s| s.usage())
+            .fold(Usage::default(), Usage::merged)
+    }
+
     /// The hierarchy this store spans.
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
+    }
+
+    /// The per-domain membership rings the store places replicas on.
+    pub fn membership(&self) -> &DomainMembership {
+        &self.membership
     }
 }
 
@@ -183,11 +348,12 @@ mod tests {
     use canon_id::hash::hash_name;
     use canon_id::rng::Seed;
     use rand::Rng;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn setup(r: usize) -> (Hierarchy, Placement, ReplicatedStore<String>) {
         let h = Hierarchy::balanced(3, 3);
         let p = Placement::uniform(&h, 300, Seed(71));
-        let store = ReplicatedStore::new(h.clone(), &p, r);
+        let store = ReplicatedStore::new(h.clone(), &p, Policy::Fixed(r));
         (h, p, store)
     }
 
@@ -261,6 +427,10 @@ mod tests {
         let copies = store.re_replicate();
         assert!(copies >= 1, "repair must create copies");
         assert!(store.replicas_respect_domains());
+        assert!(
+            store.policy_violations().is_empty(),
+            "repair satisfies policy"
+        );
         // The item now survives the death of its last original holder.
         store.crash(rs[2]);
         assert!(
@@ -290,8 +460,112 @@ mod tests {
         let mut h = Hierarchy::new();
         let a = h.add_domain(h.root(), "a");
         let p = Placement::from_pairs(&h, vec![(NodeId::new(1), a), (NodeId::new(2), a)]);
-        let store: ReplicatedStore<u8> = ReplicatedStore::new(h, &p, 5);
+        let store: ReplicatedStore<u8> = ReplicatedStore::new(h, &p, Policy::Fixed(5));
         let rs = store.replica_set(hash_name("x"), a);
         assert_eq!(rs.len(), 2, "cannot place more replicas than members");
+    }
+
+    #[test]
+    fn geo_policy_keeps_a_replica_outside_the_writer_region() {
+        let h = Hierarchy::balanced(3, 2);
+        let p = Placement::uniform(&h, 150, Seed(73));
+        let mut store: ReplicatedStore<u64> = ReplicatedStore::new(
+            h.clone(),
+            &p,
+            Policy::HierarchyGeo {
+                replication: 3,
+                min_outside_level: 1,
+            },
+        );
+        let m = DomainMembership::build(&h, &p);
+        for i in 0..30 {
+            let writer = p.ids()[(i * 13) % p.len()];
+            let home = h.ancestor_at_depth(p.leaf_of(writer).expect("placed"), 1);
+            let key = hash_name(&format!("geo-{i}"));
+            store.put_from(writer, key, i as u64, h.root());
+            let holders = store.replica_set_from(writer, key, h.root());
+            assert!(
+                holders.iter().any(|&n| !m.ring(home).contains(n)),
+                "no replica escaped {home}"
+            );
+        }
+        assert!(store.policy_violations().is_empty());
+        // The geo constraint survives repair too.
+        let victims: Vec<NodeId> = p.ids().iter().copied().step_by(7).take(20).collect();
+        for v in victims {
+            store.crash(v);
+        }
+        store.re_replicate();
+        assert!(
+            store.policy_violations().is_empty(),
+            "repair must re-satisfy the geo clause"
+        );
+    }
+
+    #[test]
+    fn percent_policy_scales_counts_by_domain_population() {
+        let h = Hierarchy::balanced(4, 2);
+        let p = Placement::uniform(&h, 200, Seed(74));
+        let store: ReplicatedStore<u64> = ReplicatedStore::new(
+            h.clone(),
+            &p,
+            Policy::PercentOfDomain {
+                level: 1,
+                percent: 0.1,
+            },
+        );
+        let m = DomainMembership::build(&h, &p);
+        for d in h.domains_at_depth(1) {
+            let rs = store.replica_set(hash_name("sized"), d);
+            let want = ((0.1 * m.size(d) as f64).ceil() as usize).max(1);
+            assert_eq!(rs.len(), want.min(m.size(d)), "count in {d}");
+        }
+    }
+
+    #[test]
+    fn values_roundtrip_through_file_shards() {
+        static DIR: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "canon-store-repl-{}-{}",
+            std::process::id(),
+            DIR.fetch_add(1, Ordering::Relaxed)
+        ));
+        let h = Hierarchy::balanced(2, 2);
+        let p = Placement::uniform(&h, 60, Seed(75));
+        let mut store: ReplicatedStore<String> = ReplicatedStore::with_backend(
+            h.clone(),
+            &p,
+            Policy::Fixed(3),
+            BackendKind::File { dir: dir.clone() },
+        );
+        let key = hash_name("durable");
+        store.put(key, "on disk".into(), h.root());
+        let (v, _) = store.get(key, h.root()).expect("readable");
+        assert_eq!(v, "on disk");
+        let u = store.usage();
+        assert_eq!(u.keys, 3, "one entry per replica shard");
+        assert_eq!(u.blobs, 3, "blobs dedup within, not across, shards");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dedup_collapses_identical_values_within_a_shard() {
+        let h = Hierarchy::balanced(2, 1);
+        let p = Placement::uniform(&h, 8, Seed(76));
+        let mut store: ReplicatedStore<String> =
+            ReplicatedStore::new(h.clone(), &p, Policy::Fixed(8));
+        // With replication = population, every node holds every item; 40
+        // keys share one value, so each shard stores the bytes once.
+        for i in 0..40 {
+            store.put(
+                hash_name(&format!("dup-{i}")),
+                "same bytes".into(),
+                h.root(),
+            );
+        }
+        let u = store.usage();
+        assert_eq!(u.keys, 40 * 8);
+        assert_eq!(u.blobs, 8, "one physical blob per shard");
+        assert!(u.unique_bytes < u.logical_bytes);
     }
 }

@@ -9,7 +9,10 @@
 //! short. The result carries the actual [`Route`], so experiments can
 //! charge hop counts and physical latency to storage and cache traffic.
 
+use crate::content::BlobValue;
+use crate::replication::ReplicatedStore;
 use crate::{HierarchicalStore, QueryOutcome, StoreError, Via};
+use canon_hierarchy::DomainId;
 use canon_id::{metric::Clockwise, Key, NodeId};
 use canon_overlay::{route_to_key_from, NodeIndex, OverlayGraph, Route};
 
@@ -96,6 +99,80 @@ pub fn query_routed<V: Clone + PartialEq>(
         outcome,
         route,
         indirection,
+    })
+}
+
+/// A policy-driven replicated PUT with its overlay routes.
+#[derive(Clone, Debug)]
+pub struct ReplicatedPutOutcome {
+    /// The responsible node that coordinates the write (first replica).
+    pub primary: NodeId,
+    /// Every node now holding a copy, primary first (the policy's order).
+    pub replicas: Vec<NodeId>,
+    /// The writer's route to the primary.
+    pub client_route: Route,
+    /// The primary's fan-out route to each secondary replica.
+    pub fanout: Vec<Route>,
+}
+
+impl ReplicatedPutOutcome {
+    /// Total overlay hops charged to the write: client route plus every
+    /// fan-out route.
+    pub fn total_hops(&self) -> usize {
+        self.client_route.hops() + self.fanout.iter().map(Route::hops).sum::<usize>()
+    }
+
+    /// Total latency under `lat`, charging client route and fan-out.
+    pub fn total_latency<F: Fn(NodeIndex, NodeIndex) -> f64>(&self, lat: &F) -> f64 {
+        self.client_route.latency(lat) + self.fanout.iter().map(|r| r.latency(lat)).sum::<f64>()
+    }
+}
+
+/// Executes a replicated PUT against `store` while walking actual overlay
+/// routes on `graph`: the writer routes greedily to the key (truncated at
+/// the primary replica), then the primary fans the value out to each
+/// secondary chosen by the store's [`crate::Policy`]. Experiments can
+/// thereby charge replication traffic per policy, not just per write.
+///
+/// # Errors
+///
+/// [`StoreError::Routing`] if the writer, primary or a replica is missing
+/// from the overlay graph (a mismatched graph/store population).
+///
+/// # Panics
+///
+/// Panics (like [`ReplicatedStore::put`]) if the domain has no members.
+pub fn put_replicated_routed<V: BlobValue>(
+    store: &mut ReplicatedStore<V>,
+    graph: &OverlayGraph,
+    writer: NodeId,
+    key: Key,
+    value: V,
+    domain: DomainId,
+) -> Result<ReplicatedPutOutcome, StoreError> {
+    let replicas = store.replica_set_from(writer, key, domain);
+    assert!(!replicas.is_empty(), "storage domain has no members");
+    let primary = replicas[0];
+
+    let full = route_to_key_from(graph, Clockwise, writer, key.as_point())?;
+    let client_route = full
+        .path()
+        .iter()
+        .position(|&i| graph.id(i) == primary)
+        .map(|pos| Route::from_path(full.path()[..=pos].to_vec()))
+        .unwrap_or(full);
+
+    let mut fanout = Vec::with_capacity(replicas.len().saturating_sub(1));
+    for &replica in replicas.iter().skip(1) {
+        fanout.push(route_to_key_from(graph, Clockwise, primary, replica)?);
+    }
+
+    store.put_from(writer, key, value, domain);
+    Ok(ReplicatedPutOutcome {
+        primary,
+        replicas,
+        client_route,
+        fanout,
     })
 }
 
@@ -204,6 +281,31 @@ mod tests {
             "a miss must travel to the root-level responsible node"
         );
         assert!(out.indirection.is_none());
+    }
+
+    #[test]
+    fn replicated_put_routes_charge_the_fanout() {
+        use crate::policy::Policy;
+        let h = Hierarchy::balanced(3, 2);
+        let p = Placement::uniform(&h, 150, Seed(62));
+        let net = canon::crescendo::build_crescendo(&h, &p);
+        let g = net.graph().clone();
+        let mut store: ReplicatedStore<u64> = ReplicatedStore::new(h.clone(), &p, Policy::Fixed(3));
+        let writer = p.ids()[11];
+        let key = hash_name("fanned-out");
+        let out = put_replicated_routed(&mut store, &g, writer, key, 4096, h.root()).expect("put");
+        assert_eq!(out.replicas, store.replica_set_from(writer, key, h.root()));
+        assert_eq!(out.replicas[0], out.primary);
+        assert_eq!(out.fanout.len(), out.replicas.len() - 1);
+        // Each fan-out route actually ends at its replica.
+        for (route, &replica) in out.fanout.iter().zip(out.replicas.iter().skip(1)) {
+            assert_eq!(g.id(route.target()), replica);
+        }
+        assert!(out.total_hops() >= out.fanout.len());
+        let lat = out.total_latency(&|_, _| 1.0);
+        assert!((lat - out.total_hops() as f64).abs() < 1e-9);
+        // And the value is durably readable through the store.
+        assert_eq!(store.get(key, h.root()).expect("readable").0, 4096);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Property-based tests for the storage engine: the policy layer, content
+//! addressing, and backend durability hold over random hierarchy shapes,
+//! memberships and operation sequences.
+//!
+//! The load-bearing property is the first one: `Policy::Fixed(k)` is
+//! **byte-identical** to the plain successor-replication rule the store
+//! shipped with before the policy engine existed, on every hierarchy shape
+//! — so the refactor provably changed no placement under the default
+//! configuration.
+
+use canon_hierarchy::{DomainMembership, Hierarchy, Placement};
+use canon_id::hash::hash_bytes;
+use canon_id::ring::SortedRing;
+use canon_id::rng::Seed;
+use canon_id::{Key, NodeId};
+use canon_store::{
+    BlobValue, ContentId, FileBackend, MemoryBackend, PlacementCtx, Policy, ReplicationPolicy,
+    StorageBackend,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A random hierarchy: up to 3 levels below the root with fan-outs 1..=4.
+fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+    (1usize..=4, 1usize..=3, 1u32..=3).prop_map(|(fan1, fan2, depth)| {
+        let mut h = Hierarchy::new();
+        if depth >= 2 {
+            for i in 0..fan1 {
+                let c = h.add_domain(h.root(), format!("a{i}"));
+                if depth >= 3 {
+                    for j in 0..fan2 {
+                        h.add_domain(c, format!("b{i}-{j}"));
+                    }
+                }
+            }
+        }
+        h
+    })
+}
+
+/// An independent reimplementation of successor replication, written
+/// directly against the ring API: the responsible node for the point, then
+/// distinct clockwise successors, capped at `k` and at the ring size. This
+/// is the contract `Policy::Fixed` must reproduce byte-for-byte.
+fn successor_walk(ring: &SortedRing, point: NodeId, k: usize) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let Some(first) = ring.responsible(point) else {
+        return out;
+    };
+    let mut cur = first;
+    while out.len() < k.min(ring.len()) {
+        out.push(cur);
+        cur = ring.strict_successor(cur).expect("nonempty ring");
+        if cur == first {
+            break;
+        }
+    }
+    out
+}
+
+/// A collision-free scratch path for file-backend logs.
+fn scratch_log() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "canon-storage-props-{}-{}.log",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Policy::Fixed(k)` equals the plain successor walk on every domain
+    /// of every hierarchy shape — the refactor's no-behavior-change proof.
+    #[test]
+    fn fixed_is_byte_identical_to_successor_replication(
+        h in arb_hierarchy(),
+        n in 4usize..80,
+        k in 1usize..6,
+        seed in 0u64..1000,
+        key in any::<u64>(),
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let m = DomainMembership::build(&h, &p);
+        let key = Key::new(key);
+        for d in h.all_domains() {
+            let ring = m.ring(d);
+            if ring.is_empty() { continue; }
+            let ctx = PlacementCtx::for_domain(&h, &m, d);
+            let got = Policy::Fixed(k).replicas(&ctx, key);
+            let want = successor_walk(ring, key.as_point(), k);
+            prop_assert_eq!(got, want, "domain {} diverged", d);
+        }
+    }
+
+    /// Content ids are a pure function of the bytes: identical content
+    /// collides, any single-byte mutation is detected on verification.
+    #[test]
+    fn content_addresses_detect_any_mutation(
+        bytes in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_at in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let id = ContentId::of(&bytes);
+        prop_assert!(id.verifies(&bytes));
+        prop_assert_eq!(ContentId::of(&bytes), id);
+        prop_assert_eq!(id.raw(), hash_bytes(&bytes).raw());
+        let mut mutated = bytes;
+        let at = flip_at % mutated.len();
+        mutated[at] ^= xor;
+        prop_assert!(!id.verifies(&mutated), "flip at {at} undetected");
+        prop_assert_ne!(ContentId::of(&mutated), id);
+    }
+
+    /// Typed values round-trip through their byte encoding and keep their
+    /// content id stable across the trip.
+    #[test]
+    fn blob_values_roundtrip(v in any::<u64>(), s_seed in any::<u64>()) {
+        let b = v.to_bytes();
+        prop_assert_eq!(u64::from_bytes(&b).expect("u64 bytes"), v);
+        prop_assert!(ContentId::of(&b).verifies(&v.to_bytes()));
+        let s = format!("value-{s_seed:x}-♪");
+        let e = s.to_bytes();
+        prop_assert_eq!(String::from_bytes(&e).expect("utf8 bytes"), s);
+    }
+
+    /// The file backend agrees with the in-memory oracle on any operation
+    /// sequence, and survives flush → drop → reopen with identical state.
+    #[test]
+    fn file_backend_tracks_the_memory_oracle_and_reopens(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..12, proptest::collection::vec(any::<u8>(), 0..32)),
+            1..60,
+        ),
+    ) {
+        let path = scratch_log();
+        let mut file = FileBackend::open(&path).expect("open scratch log");
+        let mut memory = MemoryBackend::new();
+        for (kind, key, bytes) in &ops {
+            match kind {
+                0 | 1 => {
+                    let a = file.put(*key, bytes).expect("file put");
+                    let b = memory.put(*key, bytes).expect("memory put");
+                    prop_assert_eq!(a, b, "content ids diverged");
+                }
+                _ => {
+                    let a = file.delete(*key).expect("file delete");
+                    let b = memory.delete(*key).expect("memory delete");
+                    prop_assert_eq!(a, b, "delete outcomes diverged");
+                }
+            }
+        }
+        prop_assert_eq!(file.scan(), memory.scan());
+        for key in 0u64..12 {
+            let a = file.get(key).expect("file get").map(|s| (s.id, s.bytes));
+            let b = memory.get(key).expect("memory get").map(|s| (s.id, s.bytes));
+            prop_assert_eq!(a, b, "key {} diverged", key);
+        }
+
+        // Crash-safety: everything flushed is still there after reopen.
+        file.flush().expect("flush");
+        let expected = file.scan();
+        drop(file);
+        let mut reopened = FileBackend::open(&path).expect("reopen scratch log");
+        prop_assert_eq!(reopened.scan(), expected);
+        for key in 0u64..12 {
+            let a = reopened.get(key).expect("reopened get").map(|s| (s.id, s.bytes));
+            let b = memory.get(key).expect("memory get").map(|s| (s.id, s.bytes));
+            prop_assert_eq!(a, b, "key {} lost across reopen", key);
+        }
+        drop(reopened);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `HierarchyGeo` always escapes the writer's level-k domain whenever
+    /// the storage ring has an outside node to escape to.
+    #[test]
+    fn geo_policy_escapes_the_writer_domain_when_possible(
+        h in arb_hierarchy(),
+        n in 6usize..80,
+        seed in 0u64..1000,
+        key in any::<u64>(),
+        writer_pick in any::<usize>(),
+    ) {
+        let p = Placement::uniform(&h, n, Seed(seed));
+        let m = DomainMembership::build(&h, &p);
+        let ids = p.ids();
+        let writer = ids[writer_pick % ids.len()];
+        let writer_leaf = p.leaf_of(writer).expect("placed");
+        let home = h.ancestor_at_depth(writer_leaf, 1.min(h.depth(writer_leaf)));
+        let policy = Policy::HierarchyGeo { replication: 3, min_outside_level: 1 };
+        let ctx = PlacementCtx::for_domain(&h, &m, h.root()).with_writer(writer_leaf);
+        let key = Key::new(key);
+        let rs = policy.replicas(&ctx, key);
+        prop_assert_eq!(rs.len(), 3.min(m.ring(h.root()).len()));
+        let ring = m.ring(h.root());
+        let escapable = ring.as_slice().iter().any(|&x| !m.ring(home).contains(x));
+        if escapable {
+            prop_assert!(
+                rs.iter().any(|&x| !m.ring(home).contains(x)),
+                "all of {:?} inside {} though the ring can escape", rs, home
+            );
+        } else {
+            // No outside node exists: placement must equal plain Fixed.
+            prop_assert_eq!(rs, Policy::Fixed(3).replicas(&ctx, key));
+        }
+        prop_assert!(policy.satisfied(&ctx, key, &policy.replicas(&ctx, key)));
+    }
+}
