@@ -38,6 +38,21 @@
 //!   `canon-overlay/src/policy.rs` (annotated as the allowlist). Any other
 //!   non-test code that iterates `.neighbors(..)` and compares metric
 //!   distances nearby is re-growing a private router and is flagged.
+//! * **`mailbox-nondeterminism`** — the node runtime's message-handling
+//!   paths must be iteration-order deterministic (the protocol model
+//!   checker's fingerprints and replayable counterexamples depend on it),
+//!   so `HashMap`/`HashSet` use in `canon-node` follows the same regime as
+//!   `hash-iteration`: bindings must be annotated `// audit:
+//!   membership-only`, and any iteration-style use is flagged outright —
+//!   ordered state lives in `BTreeMap`/`BTreeSet` or sorted vectors.
+//! * **`reply-obligation`** — every variant of `canon-node`'s `Payload`
+//!   enum must discharge its reply obligation: `Client` is local and
+//!   `Response` *is* the reply; the `Request` variant requires a
+//!   `Payload::Response { .. }` construction site in non-test code; every
+//!   other (one-way) variant must carry a `// audit: fire-and-forget`
+//!   annotation on its declaration, and every non-`Client` variant must be
+//!   handled (matched) somewhere outside its defining file. New two-way
+//!   message kinds ride inside `Request`/`Op`, not as sibling variants.
 //!
 //! # Annotations
 //!
@@ -78,8 +93,26 @@ pub const CLOCK_EXEMPT_CRATES: &[&str] = &["canon-bench", "criterion-shim"];
 /// `canon-bench`, which is clock-exempt, precisely so this can hold.)
 pub const CLOCK_TRAIT_CRATES: &[&str] = &["canon-node"];
 
-/// Core crates under the no-panic policy.
-pub const PANIC_POLICY_CRATES: &[&str] = &["canon", "canon-overlay", "canon-id", "canon-par"];
+/// Core crates under the no-panic policy. `canon-node` and `canon-store`
+/// joined with the protocol model checker: a panic in the node runtime or
+/// the storage engine aborts an exploration mid-trace, so both burn down
+/// to `Result`/`Option` (or the documented poisoned-lock policy, annotated
+/// at the site).
+pub const PANIC_POLICY_CRATES: &[&str] = &[
+    "canon",
+    "canon-overlay",
+    "canon-id",
+    "canon-par",
+    "canon-node",
+    "canon-store",
+];
+
+/// Crates whose message-handling paths must be iteration-order
+/// deterministic (rule `mailbox-nondeterminism`).
+pub const MAILBOX_DETERMINISM_CRATES: &[&str] = &["canon-node"];
+
+/// Crates whose `Payload` enum is audited by the `reply-obligation` rule.
+pub const REPLY_OBLIGATION_CRATES: &[&str] = &["canon-node"];
 
 /// The one crate allowed to contain `unsafe` code.
 pub const UNSAFE_EXEMPT_CRATES: &[&str] = &["canon-par"];
@@ -184,7 +217,9 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, std::io::Error> {
         files.push(("canon-suite".to_owned(), p));
     })?;
 
-    let mut findings = Vec::new();
+    // Read everything up front: the per-file rules lint one file at a
+    // time, the reply-obligation rule needs a whole crate at once.
+    let mut loaded: Vec<(String, String, String)> = Vec::new(); // (crate, rel, content)
     for (crate_name, path) in &files {
         let content = std::fs::read_to_string(path)?;
         let rel = path
@@ -192,11 +227,28 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, std::io::Error> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
+        loaded.push((crate_name.clone(), rel, content));
+    }
+
+    let mut findings = Vec::new();
+    for (crate_name, rel, content) in &loaded {
         findings.extend(lint_file(&SourceFile {
             crate_name,
-            path: &rel,
-            content: &content,
+            path: rel,
+            content,
         }));
+    }
+    for crate_name in REPLY_OBLIGATION_CRATES {
+        let crate_files: Vec<SourceFile<'_>> = loaded
+            .iter()
+            .filter(|(c, _, _)| c == crate_name)
+            .map(|(c, rel, content)| SourceFile {
+                crate_name: c,
+                path: rel,
+                content,
+            })
+            .collect();
+        findings.extend(check_reply_obligation(&crate_files));
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
@@ -226,7 +278,16 @@ pub fn lint_file(file: &SourceFile<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
 
     if CONSTRUCTION_CRATES.contains(&file.crate_name) {
-        check_hash_iteration(file, &pre, &mut findings);
+        check_hash_collections(file, &pre, &mut findings, "hash-iteration", "construction");
+    }
+    if MAILBOX_DETERMINISM_CRATES.contains(&file.crate_name) {
+        check_hash_collections(
+            file,
+            &pre,
+            &mut findings,
+            "mailbox-nondeterminism",
+            "message-handling",
+        );
     }
     if !CLOCK_EXEMPT_CRATES.contains(&file.crate_name) {
         check_wall_clock(file, &pre, &mut findings);
@@ -248,6 +309,8 @@ struct Preprocessed {
     masked: Vec<String>,
     /// `// audit: membership-only` annotation lines.
     membership_only: Vec<usize>,
+    /// `// audit: fire-and-forget` annotation lines.
+    fire_and_forget: Vec<usize>,
     /// `// audit: allow(rule)` annotations as (line, rule).
     allows: Vec<(usize, String)>,
     /// Whether each line falls inside a `#[cfg(test)]` item.
@@ -259,12 +322,15 @@ impl Preprocessed {
         let raw_lines: Vec<&str> = content.lines().collect();
 
         let mut membership_only = Vec::new();
+        let mut fire_and_forget = Vec::new();
         let mut allows = Vec::new();
         for (i, line) in raw_lines.iter().enumerate() {
             if let Some(pos) = line.find("// audit:") {
                 let directive = line[pos + "// audit:".len()..].trim();
                 if directive.starts_with("membership-only") {
                     membership_only.push(i + 1);
+                } else if directive.starts_with("fire-and-forget") {
+                    fire_and_forget.push(i + 1);
                 } else if let Some(rest) = directive.strip_prefix("allow(") {
                     if let Some(end) = rest.find(')') {
                         allows.push((i + 1, rest[..end].trim().to_owned()));
@@ -280,6 +346,7 @@ impl Preprocessed {
         Preprocessed {
             masked,
             membership_only,
+            fire_and_forget,
             allows,
             in_test,
         }
@@ -288,6 +355,12 @@ impl Preprocessed {
     fn is_membership_annotated(&self, line: usize) -> bool {
         // An annotation covers its own line and the one below it.
         self.membership_only
+            .iter()
+            .any(|&l| l == line || l + 1 == line)
+    }
+
+    fn is_fire_and_forget(&self, line: usize) -> bool {
+        self.fire_and_forget
             .iter()
             .any(|&l| l == line || l + 1 == line)
     }
@@ -600,7 +673,13 @@ const ITERATION_METHODS: &[&str] = &[
     ".retain(",
 ];
 
-fn check_hash_iteration(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+fn check_hash_collections(
+    file: &SourceFile<'_>,
+    pre: &Preprocessed,
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    kind: &str,
+) {
     // Pass 1: find bindings/fields typed as HashMap/HashSet and check the
     // declaration is annotated. Applies to test code too — a nondeterministic
     // iteration in a test makes the test flaky.
@@ -620,13 +699,13 @@ fn check_hash_iteration(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mu
             if !tracked.contains(&name) {
                 tracked.push(name);
             }
-            if !pre.is_membership_annotated(lineno) && !pre.is_allowed(lineno, "hash-iteration") {
+            if !pre.is_membership_annotated(lineno) && !pre.is_allowed(lineno, rule) {
                 findings.push(Finding {
                     file: file.path.to_owned(),
                     line: lineno,
-                    rule: "hash-iteration",
+                    rule,
                     message: format!(
-                        "HashMap/HashSet binding in construction crate `{}` without a \
+                        "HashMap/HashSet binding in {kind} crate `{}` without a \
                          `// audit: membership-only` annotation; if it is ever iterated, \
                          use BTreeMap/BTreeSet instead",
                         file.crate_name
@@ -641,7 +720,7 @@ fn check_hash_iteration(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mu
     // this is its checker).
     for (idx, line) in pre.masked.iter().enumerate() {
         let lineno = idx + 1;
-        if pre.is_allowed(lineno, "hash-iteration") {
+        if pre.is_allowed(lineno, rule) {
             continue;
         }
         for name in &tracked {
@@ -651,9 +730,9 @@ fn check_hash_iteration(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mu
                     findings.push(Finding {
                         file: file.path.to_owned(),
                         line: lineno,
-                        rule: "hash-iteration",
+                        rule,
                         message: format!(
-                            "`{name}{m}` iterates a HashMap/HashSet in construction \
+                            "`{name}{m}` iterates a HashMap/HashSet in {kind} \
                              crate `{}`: iteration order is nondeterministic; use \
                              BTreeMap/BTreeSet",
                             file.crate_name
@@ -676,9 +755,9 @@ fn check_hash_iteration(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mu
                     findings.push(Finding {
                         file: file.path.to_owned(),
                         line: lineno,
-                        rule: "hash-iteration",
+                        rule,
                         message: format!(
-                            "`for … in {name}` iterates a HashMap/HashSet in construction \
+                            "`for … in {name}` iterates a HashMap/HashSet in {kind} \
                              crate `{}`: iteration order is nondeterministic; use \
                              BTreeMap/BTreeSet",
                             file.crate_name
@@ -764,6 +843,174 @@ fn check_greedy_outside_engine(
             });
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: reply-obligation
+// ---------------------------------------------------------------------------
+
+/// Audits a whole crate's `Payload` enum (all `files` must belong to one
+/// crate): every variant must discharge its reply obligation.
+///
+/// * `Client` is locally injected work and `Response` *is* the reply —
+///   both structurally exempt;
+/// * the `Request` variant (the routed RPC carrier) requires at least one
+///   `Payload::Response { .. }` construction site in the crate's non-test
+///   code — a request vocabulary with no answer path is a protocol bug
+///   waiting for a timeout;
+/// * every other variant is one-way by construction and must say so with
+///   a `// audit: fire-and-forget` annotation on (or directly above) its
+///   declaration — new two-way message kinds ride inside `Request`/`Op`,
+///   not as sibling variants;
+/// * every non-`Client` variant must additionally be *handled*: matched
+///   as `Payload::<Variant>` on a non-test line outside the defining
+///   file (a declared-but-never-delivered message is dead vocabulary).
+pub fn check_reply_obligation(files: &[SourceFile<'_>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let pres: Vec<Preprocessed> = files.iter().map(|f| Preprocessed::new(f.content)).collect();
+
+    // Locate `enum Payload` and enumerate its top-level variants.
+    let mut enum_file = None; // (file idx, Vec<(line, variant)>)
+    for (fi, pre) in pres.iter().enumerate() {
+        if let Some(variants) = payload_variants(&pre.masked) {
+            enum_file = Some((fi, variants));
+            break;
+        }
+    }
+    let Some((enum_fi, variants)) = enum_file else {
+        return findings;
+    };
+
+    // Evidence across the crate's non-test code.
+    let mut response_constructed = false;
+    let mut handled: Vec<String> = Vec::new();
+    for (fi, pre) in pres.iter().enumerate() {
+        for (idx, line) in pre.masked.iter().enumerate() {
+            let lineno = idx + 1;
+            if pre.in_test(lineno) {
+                continue;
+            }
+            for pos in word_positions(line, "Payload") {
+                let rest = &line[pos..];
+                let Some(variant) = rest
+                    .strip_prefix("Payload::")
+                    .map(|r| {
+                        r.chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect::<String>()
+                    })
+                    .filter(|v| !v.is_empty())
+                else {
+                    continue;
+                };
+                // A construction site mentions the variant with its brace
+                // on a non-arm line (match arms carry `=>`); the defining
+                // enum is not evidence of anything.
+                if variant == "Response"
+                    && rest.contains('{')
+                    && !line.contains("=>")
+                    && fi != enum_fi
+                {
+                    response_constructed = true;
+                }
+                if fi != enum_fi && !handled.contains(&variant) {
+                    handled.push(variant);
+                }
+            }
+        }
+    }
+
+    let enum_pre = &pres[enum_fi];
+    for (line, variant) in &variants {
+        match variant.as_str() {
+            "Client" => continue,
+            "Response" => {}
+            "Request" => {
+                if !response_constructed {
+                    findings.push(Finding {
+                        file: files[enum_fi].path.to_owned(),
+                        line: *line,
+                        rule: "reply-obligation",
+                        message: format!(
+                            "request variant `{variant}` has no `Payload::Response {{ .. }}` \
+                             construction site in non-test code of crate `{}`",
+                            files[enum_fi].crate_name
+                        ),
+                    });
+                }
+            }
+            _ => {
+                if !enum_pre.is_fire_and_forget(*line)
+                    && !enum_pre.is_allowed(*line, "reply-obligation")
+                {
+                    findings.push(Finding {
+                        file: files[enum_fi].path.to_owned(),
+                        line: *line,
+                        rule: "reply-obligation",
+                        message: format!(
+                            "one-way message variant `{variant}` must carry a \
+                             `// audit: fire-and-forget` annotation (or answer through \
+                             `Payload::Response` via `Request`/`Op`)",
+                        ),
+                    });
+                }
+            }
+        }
+        if !handled.contains(variant) && !enum_pre.is_allowed(*line, "reply-obligation") {
+            findings.push(Finding {
+                file: files[enum_fi].path.to_owned(),
+                line: *line,
+                rule: "reply-obligation",
+                message: format!(
+                    "message variant `{variant}` is never handled (`Payload::{variant}` \
+                     does not appear outside its defining file)",
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// The top-level variants of `enum Payload` in a masked file, as
+/// `(1-based line, name)` — `None` if the file does not define it.
+fn payload_variants(masked: &[String]) -> Option<Vec<(usize, String)>> {
+    let start = masked.iter().position(|l| {
+        word_positions(l, "enum")
+            .iter()
+            .any(|&p| l[p..].starts_with("enum Payload"))
+    })?;
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (idx, line) in masked.iter().enumerate().skip(start) {
+        // A variant declaration: first token of a line at depth 1 inside
+        // the enum body is a capitalized identifier.
+        if opened && depth == 1 {
+            let t = line.trim_start();
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.chars().next().is_some_and(char::is_uppercase) {
+                variants.push((idx + 1, name));
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if opened && depth == 0 {
+            break;
+        }
+    }
+    Some(variants)
 }
 
 // ---------------------------------------------------------------------------

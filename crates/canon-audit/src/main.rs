@@ -1,8 +1,9 @@
 //! `canon-audit` — the workspace's static-analysis entry point.
 //!
 //! ```text
-//! cargo run -p canon-audit -- [lint|loom|verify|all] [--ci] [--json]
-//!                             [--root <path>] [--nodes <n>] [--seed <s>]
+//! cargo run -p canon-audit -- [lint|loom|verify|protocol|all] [--ci]
+//!                             [--json] [--root <path>] [--nodes <n>]
+//!                             [--seed <s>]
 //! ```
 //!
 //! * `lint` — run the source lint pass over every workspace `.rs` file;
@@ -11,6 +12,10 @@
 //!   and check Canon conditions (a)/(b), ring completeness, and level
 //!   accounting on each; then run the storage probes (replica sets vs.
 //!   replication policy across store, sim and node);
+//! * `protocol` — exhaustively explore the message-delivery interleavings
+//!   of the five scripted churn scenarios (join/leave/handover under
+//!   crashes and partitions), checking the ring invariant, acked-write
+//!   durability, pin conservation and RPC-id sanity after every delivery;
 //! * `all` (default) — everything above.
 //!
 //! Findings print as `file:line: [rule] message`; `--json` switches to a
@@ -23,6 +28,7 @@
 use canon_audit::graphs::verify_figure_graphs;
 use canon_audit::lint::{findings_to_json, lint_workspace, Finding};
 use canon_audit::loom::run_suite;
+use canon_audit::protocol::{reports_to_json, run_protocol_suite, ExploreConfig};
 use canon_audit::storage::verify_storage;
 use canon_id::rng::Seed;
 use std::path::PathBuf;
@@ -38,7 +44,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: canon-audit [lint|loom|verify|all] [--ci] [--json] \
+        "usage: canon-audit [lint|loom|verify|protocol|all] [--ci] [--json] \
          [--root <path>] [--nodes <n>] [--seed <s>]"
     );
     std::process::exit(2);
@@ -57,7 +63,7 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "lint" | "loom" | "verify" | "all" => opts.command = a,
+            "lint" | "loom" | "verify" | "protocol" | "all" => opts.command = a,
             "--ci" => opts.command = "all".to_owned(),
             "--json" => opts.json = true,
             "--root" => opts.root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
@@ -167,6 +173,60 @@ fn main() -> ExitCode {
                 eprintln!("storage: {} FAILED:", f.label);
                 for v in &f.violations {
                     eprintln!("  {v}");
+                }
+                failed = true;
+            }
+        }
+    }
+
+    if opts.command == "protocol" || opts.command == "all" {
+        match run_protocol_suite(&ExploreConfig::default()) {
+            Ok(reports) => {
+                if opts.json {
+                    println!("{}", reports_to_json(&reports));
+                } else {
+                    for r in &reports {
+                        println!(
+                            "protocol: {}: {} states explored ({} terminal, \
+                             {} deduped, {} sleep-pruned, depth {}), invariants hold",
+                            r.scenario,
+                            r.explored,
+                            r.terminals,
+                            r.deduped,
+                            r.sleep_pruned,
+                            r.max_depth_seen
+                        );
+                    }
+                }
+            }
+            Err(r) => {
+                match &r.violation {
+                    Some(cx) => {
+                        eprintln!(
+                            "protocol: {} FAILED after {} states \
+                             (counterexample minimized {} -> {} deliveries, \
+                             fingerprint {:#018x}):",
+                            r.scenario,
+                            r.explored,
+                            cx.discovered_len,
+                            cx.steps.len(),
+                            cx.fingerprint
+                        );
+                        for (step, label) in cx.steps.iter().zip(&cx.labels) {
+                            eprintln!(
+                                "  deliver slot={} from={} seq={}  ({label})",
+                                step.slot, step.from, step.seq
+                            );
+                        }
+                        for v in &cx.violations {
+                            eprintln!("  violation: {v}");
+                        }
+                    }
+                    None => eprintln!(
+                        "protocol: {} INCOMPLETE: bounds hit after {} states \
+                         (depth {}); raise max_states/max_depth",
+                        r.scenario, r.explored, r.max_depth_seen
+                    ),
                 }
                 failed = true;
             }

@@ -1,0 +1,15 @@
+//! Fixture: a canon-node-style wire vocabulary with reply-obligation
+//! violations. Never compiled; the reply-obligation lint test feeds it
+//! (with `node_reply_handlers.rs` as its sibling file) to the linter and
+//! pins the flagged lines.
+
+pub enum Payload {
+    Client(Command),
+    Request { origin: u64, req: u64, op: Op },
+    Response { req: u64, result: u64 },
+    Gossip { rumor: u64 },
+    // audit: fire-and-forget
+    Heartbeat { at: u64 },
+    // audit: fire-and-forget
+    Orphaned { data: u64 },
+}

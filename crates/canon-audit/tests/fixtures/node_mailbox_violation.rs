@@ -1,0 +1,26 @@
+//! Fixture: canon-node-style message handling with nondeterministic hash
+//! collections. Never compiled; the mailbox-nondeterminism lint test feeds
+//! it to the linter verbatim and pins the flagged lines.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Mailbox {
+    pending: HashMap<u64, u64>,
+}
+
+pub fn drain(mb: &Mailbox) -> Vec<(u64, u64)> {
+    mb.pending.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+pub struct Seen {
+    // audit: membership-only
+    seen: HashSet<u64>,
+}
+
+pub fn already_seen(s: &Seen, seq: u64) -> bool {
+    s.seen.contains(&seq)
+}
+
+pub fn replay_order(s: &Seen) -> usize {
+    s.seen.iter().count()
+}

@@ -1,0 +1,16 @@
+//! Fixture sibling of `msg_reply_violation.rs`: the handler file. It
+//! handles `Request`, `Response`, `Gossip` and `Heartbeat` (but not
+//! `Orphaned`), and constructs the `Payload::Response` reply.
+
+pub fn handle(p: Payload) {
+    match p {
+        Payload::Client(cmd) => issue(cmd),
+        Payload::Request { origin, req, op } => {
+            let result = serve(op);
+            send(origin, Payload::Response { req, result });
+        }
+        Payload::Response { req, result } => resolve(req, result),
+        Payload::Gossip { rumor } => spread(rumor),
+        Payload::Heartbeat { at } => note(at),
+    }
+}

@@ -1,0 +1,99 @@
+//! Regression test for the mailbox-nondeterminism rule.
+//!
+//! The fixture `tests/fixtures/node_mailbox_violation.rs` is a
+//! deliberately broken canon-node-style source file. It is never
+//! compiled; the test feeds it to the linter verbatim and pins exactly
+//! which lines must be flagged — the unannotated binding, the iteration
+//! over it, and the iteration over an annotated (membership-only) set,
+//! which the annotation does not excuse.
+
+use canon_audit::lint::{lint_file, SourceFile, MAILBOX_DETERMINISM_CRATES};
+
+const FIXTURE: &str = include_str!("fixtures/node_mailbox_violation.rs");
+
+fn lint_as(crate_name: &str) -> Vec<canon_audit::lint::Finding> {
+    lint_file(&SourceFile {
+        crate_name,
+        path: "crates/canon-node/src/fixture.rs",
+        content: FIXTURE,
+    })
+    .into_iter()
+    .filter(|f| f.rule == "mailbox-nondeterminism")
+    .collect()
+}
+
+#[test]
+fn canon_node_is_a_mailbox_determinism_crate() {
+    assert!(MAILBOX_DETERMINISM_CRATES.contains(&"canon-node"));
+}
+
+#[test]
+fn rule_flags_every_violation_in_the_fixture() {
+    let findings = lint_as("canon-node");
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(
+        lines,
+        vec![8, 12, 25],
+        "unannotated binding, its iteration, and the iteration of the \
+         annotated set must all be flagged: {findings:?}"
+    );
+    for f in &findings {
+        assert!(
+            f.message.contains("BTreeMap/BTreeSet"),
+            "findings must steer to ordered collections: {}",
+            f.message
+        );
+    }
+}
+
+#[test]
+fn membership_only_lookups_stay_clean() {
+    // Line 21 (`s.seen.contains(&seq)`) is a membership test on the
+    // annotated set and must not appear among the findings.
+    let findings = lint_as("canon-node");
+    assert!(
+        findings.iter().all(|f| f.line != 21),
+        "membership lookups are the annotated set's whole point: {findings:?}"
+    );
+}
+
+#[test]
+fn out_of_scope_crates_are_untouched_by_this_rule() {
+    assert!(
+        lint_as("canon-sim").is_empty(),
+        "only message-handling crates carry the mailbox rule"
+    );
+}
+
+#[test]
+fn the_real_canon_node_sources_are_clean() {
+    let src_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .join("canon-node")
+        .join("src");
+    let mut checked = 0;
+    let mut stack = vec![src_dir];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read canon-node/src") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let content = std::fs::read_to_string(&path).expect("read source");
+                let rel = path.to_string_lossy().into_owned();
+                let findings: Vec<_> = lint_file(&SourceFile {
+                    crate_name: "canon-node",
+                    path: &rel,
+                    content: &content,
+                })
+                .into_iter()
+                .filter(|f| f.rule == "mailbox-nondeterminism")
+                .collect();
+                assert!(findings.is_empty(), "{findings:?}");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 8, "expected the full canon-node module set");
+}

@@ -40,13 +40,17 @@
 //!   accounting;
 //! * [`cluster`] — seeding a runtime from a pre-built overlay graph;
 //! * [`remote`] — a [`canon_store::StorageBackend`] that round-trips
-//!   through the cluster's RPCs, so the DHT itself can serve as a shard.
+//!   through the cluster's RPCs, so the DHT itself can serve as a shard;
+//! * `model` (feature `model`) — single-step delivery, state fingerprints
+//!   and fault hooks for canon-audit's protocol model checker.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod clock;
 pub mod cluster;
+#[cfg(feature = "model")]
+pub mod model;
 pub mod msg;
 pub mod node;
 pub mod remote;

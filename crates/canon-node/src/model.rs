@@ -1,0 +1,513 @@
+//! Model-checking support for canon-audit's protocol explorer (only
+//! compiled under the `model` feature).
+//!
+//! The production runtime executes *rounds*: every node drains all due
+//! messages at once, in mailbox-heap order. The model checker instead
+//! wants to pick **one** pending message at a time and explore every
+//! delivery order. This module supplies the pieces that make that
+//! exploration deterministic and comparable:
+//!
+//! * [`ModelClock`] — a lock-step counter (the virtual clock, re-badged
+//!   for the checker's single-step discipline);
+//! * [`ModelTransport`] — fixed one-tick latency, no loss, no jitter,
+//!   plus an explicit partition set. The *only* nondeterminism left in a
+//!   model run is the checker's choice of which pending message to
+//!   deliver next;
+//! * [`NodeSnapshot`] — a per-node protocol-state extract used both for
+//!   invariant checking and for state fingerprints;
+//! * [`fingerprint`] — an order-insensitive, tick-insensitive hash of the
+//!   whole cluster state, so the explorer can recognize that two delivery
+//!   orders converged and prune the duplicate subtree.
+//!
+//! Fingerprints deliberately exclude every [`Tick`] and every absolute
+//! sequence number: those vary with the delivery order even when the
+//! protocol state is identical. Per-pair FIFO *order* of pending messages
+//! is preserved (messages are hashed grouped by `(to, from)` in send
+//! order), because it determines which future schedules are possible.
+
+use crate::clock::{Clock, Tick, VirtualClock};
+use crate::msg::{Command, Completion, JoinGrant, Op, Payload, RpcResult};
+use crate::rpc::Pending;
+use crate::transport::{lock_unpoisoned, Envelope, Transport};
+use canon_id::NodeId;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// The model checker's clock: a deterministic lock-step counter the
+/// runtime's single-step delivery hook advances to each delivered
+/// message's quoted tick. Identical in behavior to [`VirtualClock`];
+/// the distinct type documents that a runtime driven by the checker never
+/// advances time past an undelivered message (so RPC deadlines, set far
+/// beyond any explored trace, can never fire mid-exploration).
+#[derive(Debug, Default)]
+pub struct ModelClock {
+    inner: VirtualClock,
+}
+
+impl ModelClock {
+    /// A model clock starting at tick 0.
+    pub fn new() -> ModelClock {
+        ModelClock::default()
+    }
+}
+
+impl Clock for ModelClock {
+    fn now(&self) -> Tick {
+        self.inner.now()
+    }
+
+    fn advance_to(&self, t: Tick) {
+        self.inner.advance_to(t);
+    }
+}
+
+/// The model checker's transport: every message arrives after exactly one
+/// tick unless a partition currently severs the directed pair, in which
+/// case it is dropped at send time (exactly like
+/// [`crate::transport::FaultyTransport`]'s partitions, but with no seeded
+/// loss or jitter — the checker itself is the only source of schedule
+/// nondeterminism).
+#[derive(Debug, Default)]
+pub struct ModelTransport {
+    /// Directed `(from, to)` pairs the partition currently severs.
+    blocked: Mutex<BTreeSet<(u64, u64)>>,
+}
+
+impl ModelTransport {
+    /// A fully connected model network.
+    pub fn new() -> ModelTransport {
+        ModelTransport::default()
+    }
+
+    /// Severs every link between the two groups, in both directions, until
+    /// [`ModelTransport::heal`] is called.
+    pub fn partition(&self, a: &[NodeId], b: &[NodeId]) {
+        let mut blocked = lock_unpoisoned(&self.blocked);
+        for &x in a {
+            for &y in b {
+                blocked.insert((x.raw(), y.raw()));
+                blocked.insert((y.raw(), x.raw()));
+            }
+        }
+    }
+
+    /// Removes every partition.
+    pub fn heal(&self) {
+        lock_unpoisoned(&self.blocked).clear();
+    }
+
+    /// Whether the directed pair is currently severed.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        lock_unpoisoned(&self.blocked).contains(&(from.raw(), to.raw()))
+    }
+}
+
+impl Transport for ModelTransport {
+    fn schedule(&self, now: Tick, from: NodeId, to: NodeId, _seq: u64) -> Option<Tick> {
+        if self.is_blocked(from, to) {
+            return None;
+        }
+        Some(now + 1)
+    }
+}
+
+/// One node's protocol-visible state, extracted by
+/// [`crate::runtime::Runtime::model_snapshot`] for invariant checking and
+/// fingerprinting.
+#[derive(Clone, Debug)]
+pub struct NodeSnapshot {
+    /// The node's identifier.
+    pub id: NodeId,
+    /// Its link table, sorted by id.
+    pub links: Vec<NodeId>,
+    /// Its successor list, nearest first.
+    pub succ_list: Vec<NodeId>,
+    /// Its predecessor, if known.
+    pub pred: Option<NodeId>,
+    /// Whether the node has left or crashed.
+    pub dead: bool,
+    /// Whether the node is an acknowledged ring member.
+    pub joined: bool,
+    /// Shard contents, sorted by key.
+    pub shard: Vec<(u64, u64)>,
+    /// Pinned keys, sorted.
+    pub pinned: Vec<u64>,
+    /// In-flight RPCs as `(req, pending)`, in id order.
+    pub inflight: Vec<(u64, Pending)>,
+    /// Request ids ever allocated by this node (monotone, never reused).
+    pub allocated: u64,
+    /// Routed requests parked until the node joins, in arrival order, as
+    /// `(origin, req, attempt, hops, op)`.
+    pub deferred: Vec<(NodeId, u64, u32, u32, Op)>,
+    /// Completion records recorded at this origin.
+    pub completions: Vec<Completion>,
+}
+
+/// 64-bit FNV-1a over a word stream, finalized with a splitmix64 round —
+/// hand-rolled so fingerprints are stable across std versions and
+/// processes (counterexample replays must be byte-identical).
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv {
+        Fnv(Fnv::OFFSET)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Fnv::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn hash_id(h: &mut Fnv, id: NodeId) {
+    h.word(id.raw());
+}
+
+fn hash_opt_id(h: &mut Fnv, id: Option<NodeId>) {
+    match id {
+        None => h.word(0xA0),
+        Some(id) => {
+            h.word(0xA1);
+            hash_id(h, id);
+        }
+    }
+}
+
+fn hash_op(h: &mut Fnv, op: &Op) {
+    match *op {
+        Op::Lookup { key } => {
+            h.word(1);
+            h.word(key);
+        }
+        Op::Put { key, value } => {
+            h.word(2);
+            h.word(key);
+            h.word(value);
+        }
+        Op::Get { key } => {
+            h.word(3);
+            h.word(key);
+        }
+        Op::Join { joiner } => {
+            h.word(4);
+            hash_id(h, joiner);
+        }
+        Op::Status { key } => {
+            h.word(5);
+            h.word(key);
+        }
+        Op::Pin { key } => {
+            h.word(6);
+            h.word(key);
+        }
+        Op::Unpin { key } => {
+            h.word(7);
+            h.word(key);
+        }
+    }
+}
+
+fn hash_grant(h: &mut Fnv, g: &JoinGrant) {
+    hash_id(h, g.predecessor);
+    h.word(g.links.len() as u64);
+    for &l in &g.links {
+        hash_id(h, l);
+    }
+    h.word(g.succ_list.len() as u64);
+    for &s in &g.succ_list {
+        hash_id(h, s);
+    }
+    h.word(g.shard.len() as u64);
+    for &(k, v) in &g.shard {
+        h.word(k);
+        h.word(v);
+    }
+}
+
+fn hash_result(h: &mut Fnv, r: &RpcResult) {
+    match r {
+        RpcResult::Found { responsible } => {
+            h.word(1);
+            hash_id(h, *responsible);
+        }
+        RpcResult::Stored { primary, replicas } => {
+            h.word(2);
+            hash_id(h, *primary);
+            h.word(u64::from(*replicas));
+        }
+        RpcResult::Value { value, served_by } => {
+            h.word(3);
+            h.word(value.map_or(u64::MAX, |v| v));
+            h.word(u64::from(value.is_some()));
+            hash_id(h, *served_by);
+        }
+        RpcResult::Granted(g) => {
+            h.word(4);
+            hash_grant(h, g);
+        }
+        RpcResult::Status {
+            primary,
+            expected,
+            pinned,
+        } => {
+            h.word(5);
+            hash_id(h, *primary);
+            h.word(u64::from(*expected));
+            h.word(u64::from(*pinned));
+        }
+        RpcResult::PinAck { primary, pinned } => {
+            h.word(6);
+            hash_id(h, *primary);
+            h.word(u64::from(*pinned));
+        }
+    }
+}
+
+fn hash_command(h: &mut Fnv, c: &Command) {
+    match c {
+        Command::Issue(op) => {
+            h.word(1);
+            hash_op(h, op);
+        }
+        Command::Join { bootstrap } => {
+            h.word(2);
+            hash_id(h, *bootstrap);
+        }
+        Command::Leave => h.word(3),
+    }
+}
+
+/// Hashes a payload's protocol content — everything except ticks, absolute
+/// sequence numbers and request-id bookkeeping that varies with delivery
+/// order without changing future behavior.
+fn hash_payload(h: &mut Fnv, p: &Payload) {
+    match p {
+        Payload::Client(c) => {
+            h.word(0x10);
+            hash_command(h, c);
+        }
+        Payload::Request {
+            origin,
+            req,
+            attempt,
+            hops: _,
+            op,
+        } => {
+            h.word(0x11);
+            hash_id(h, *origin);
+            h.word(*req);
+            h.word(u64::from(*attempt));
+            hash_op(h, op);
+        }
+        Payload::Response {
+            req,
+            hops: _,
+            result,
+        } => {
+            h.word(0x12);
+            h.word(*req);
+            hash_result(h, result);
+        }
+        Payload::Replicate { key, value } => {
+            h.word(0x13);
+            h.word(*key);
+            h.word(*value);
+        }
+        Payload::RepairJoin { joined } => {
+            h.word(0x14);
+            hash_id(h, *joined);
+        }
+        Payload::LeaveHandoff { departing, shard } => {
+            h.word(0x15);
+            hash_id(h, *departing);
+            h.word(shard.len() as u64);
+            for &(k, v) in shard {
+                h.word(k);
+                h.word(v);
+            }
+        }
+        Payload::LeaveNotice {
+            departing,
+            successor,
+            predecessor,
+        } => {
+            h.word(0x16);
+            hash_id(h, *departing);
+            hash_id(h, *successor);
+            hash_id(h, *predecessor);
+        }
+    }
+}
+
+fn hash_completion(h: &mut Fnv, c: &Completion) {
+    hash_id(h, c.origin);
+    h.word(c.kind as u64);
+    h.word(c.key);
+    h.word(match c.outcome {
+        crate::msg::Outcome::Ok => 1,
+        crate::msg::Outcome::NotFound => 2,
+        crate::msg::Outcome::TimedOut => 3,
+    });
+    hash_opt_id(h, c.responder);
+    h.word(c.value.map_or(u64::MAX, |v| v));
+    h.word(u64::from(c.value.is_some()));
+}
+
+/// An order-insensitive, tick-insensitive fingerprint of the whole cluster
+/// state: per-node protocol state plus pending messages grouped by
+/// `(destination, sender)` pair in send (FIFO) order. Two explored states
+/// with equal fingerprints behave identically under every future schedule,
+/// so the explorer prunes one of them.
+pub fn fingerprint(snaps: &[NodeSnapshot], pending: &[(usize, Envelope<Payload>)]) -> u64 {
+    let mut h = Fnv::new();
+    h.word(snaps.len() as u64);
+    for s in snaps {
+        hash_id(&mut h, s.id);
+        h.word(u64::from(s.dead));
+        h.word(u64::from(s.joined));
+        h.word(s.links.len() as u64);
+        for &l in &s.links {
+            hash_id(&mut h, l);
+        }
+        h.word(s.succ_list.len() as u64);
+        for &x in &s.succ_list {
+            hash_id(&mut h, x);
+        }
+        hash_opt_id(&mut h, s.pred);
+        h.word(s.shard.len() as u64);
+        for &(k, v) in &s.shard {
+            h.word(k);
+            h.word(v);
+        }
+        h.word(s.pinned.len() as u64);
+        for &k in &s.pinned {
+            h.word(k);
+        }
+        h.word(s.allocated);
+        h.word(s.inflight.len() as u64);
+        for (req, p) in &s.inflight {
+            h.word(*req);
+            h.word(u64::from(p.attempt));
+            hash_op(&mut h, &p.op);
+        }
+        h.word(s.deferred.len() as u64);
+        for (origin, req, attempt, _hops, op) in &s.deferred {
+            hash_id(&mut h, *origin);
+            h.word(*req);
+            h.word(u64::from(*attempt));
+            hash_op(&mut h, op);
+        }
+        // Completions are write-only output; hash them as a sorted
+        // multiset so resolution order (which varies with the schedule
+        // without affecting future behavior) does not split states.
+        let mut cs: Vec<u64> = s
+            .completions
+            .iter()
+            .map(|c| {
+                let mut ch = Fnv::new();
+                hash_completion(&mut ch, c);
+                ch.finish()
+            })
+            .collect();
+        cs.sort_unstable();
+        h.word(cs.len() as u64);
+        for c in cs {
+            h.word(c);
+        }
+    }
+    // Pending messages: group by (destination slot, sender), preserving
+    // per-pair send order, which `(deliver_at, from, seq)` order already
+    // gives us within a pair under the model transport's fixed latency.
+    h.word(pending.len() as u64);
+    let mut keyed: Vec<(usize, u64, u64, &Envelope<Payload>)> = pending
+        .iter()
+        .map(|(slot, env)| (*slot, env.from.raw(), env.seq, env))
+        .collect();
+    keyed.sort_by_key(|&(slot, from, seq, _)| (slot, from, seq));
+    let mut prev: Option<(usize, u64)> = None;
+    let mut pos: u64 = 0;
+    for (slot, from, _seq, env) in keyed {
+        pos = if prev == Some((slot, from)) {
+            pos + 1
+        } else {
+            0
+        };
+        prev = Some((slot, from));
+        h.word(slot as u64);
+        h.word(from);
+        h.word(pos);
+        hash_payload(&mut h, &env.payload);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_transport_has_unit_latency_and_partitions() {
+        let t = ModelTransport::new();
+        let (a, b) = (NodeId::new(1), NodeId::new(2));
+        assert_eq!(t.schedule(5, a, b, 0), Some(6));
+        t.partition(&[a], &[b]);
+        assert_eq!(t.schedule(5, a, b, 0), None);
+        assert_eq!(t.schedule(5, b, a, 0), None);
+        t.heal();
+        assert_eq!(t.schedule(5, a, b, 9), Some(6));
+    }
+
+    #[test]
+    fn fingerprint_ignores_ticks_and_absolute_seq() {
+        let env = |seq, deliver_at| Envelope {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            sent_at: 0,
+            deliver_at,
+            seq,
+            payload: Payload::Replicate { key: 7, value: 9 },
+        };
+        let a = fingerprint(&[], &[(0, env(5, 10))]);
+        let b = fingerprint(&[], &[(0, env(99, 3))]);
+        assert_eq!(a, b, "seq/tick must not affect the fingerprint");
+        let c = fingerprint(
+            &[],
+            &[(
+                0,
+                Envelope {
+                    payload: Payload::Replicate { key: 8, value: 9 },
+                    ..env(5, 10)
+                },
+            )],
+        );
+        assert_ne!(a, c, "payload content must affect the fingerprint");
+    }
+
+    #[test]
+    fn fingerprint_preserves_per_pair_fifo_order() {
+        let env = |seq, key| Envelope {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            sent_at: 0,
+            deliver_at: seq,
+            seq,
+            payload: Payload::Replicate { key, value: 0 },
+        };
+        let ab = fingerprint(&[], &[(0, env(1, 10)), (0, env(2, 20))]);
+        let ba = fingerprint(&[], &[(0, env(1, 20)), (0, env(2, 10))]);
+        assert_ne!(ab, ba, "per-pair message order is behaviorally relevant");
+    }
+}

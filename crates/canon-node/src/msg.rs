@@ -211,7 +211,10 @@ pub enum Payload {
         /// The result.
         result: RpcResult,
     },
-    /// Replication fan-out from a primary to a successor (one-way).
+    /// Replication fan-out from a primary to a successor (one-way: the
+    /// primary acks the client without waiting for replicas; durability is
+    /// audited by the protocol checker, not acknowledged per copy).
+    // audit: fire-and-forget
     Replicate {
         /// The key to store.
         key: u64,
@@ -219,13 +222,17 @@ pub enum Payload {
         value: u64,
     },
     /// Join repair notice: `joined` is now live (sent by its predecessor
-    /// to the neighborhood).
+    /// to the neighborhood; best-effort, no reply expected).
+    // audit: fire-and-forget
     RepairJoin {
         /// The newly joined node.
         joined: NodeId,
     },
     /// A leaving node hands its shard to the node inheriting its key range
-    /// (its predecessor, under largest-id-≤-key responsibility).
+    /// (its predecessor, under largest-id-≤-key responsibility). The
+    /// departing node cannot wait for an ack — it is already dark; the
+    /// checker's crash-before-handover-ack scenario probes this window.
+    // audit: fire-and-forget
     LeaveHandoff {
         /// The departing node.
         departing: NodeId,
@@ -233,7 +240,9 @@ pub enum Payload {
         shard: Vec<(u64, u64)>,
     },
     /// Leave repair notice: `departing` is gone; its successor and
-    /// predecessor are attached so recipients can mend their tables.
+    /// predecessor are attached so recipients can mend their tables
+    /// (best-effort, no reply expected).
+    // audit: fire-and-forget
     LeaveNotice {
         /// The departing node.
         departing: NodeId,

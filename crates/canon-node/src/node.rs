@@ -127,6 +127,22 @@ pub(crate) struct NodeState {
     bootstrap: Option<NodeId>,
     /// Set when the node has left: everything delivered is discarded.
     pub dead: bool,
+    /// Whether this node is an acknowledged ring member. Seeded nodes
+    /// start joined; a blank spawn becomes joined when its join grant
+    /// arrives ([`NodeState::apply_grant`]). Until then its view is empty,
+    /// so greedy routing would declare it responsible for *every* key —
+    /// routed requests that arrive early are parked in `deferred` instead
+    /// of being served from the empty view.
+    pub joined: bool,
+    /// Routed requests that arrived before this node joined, replayed in
+    /// arrival order by [`NodeState::apply_grant`].
+    pub deferred: Vec<(NodeId, u64, u32, u32, Op)>,
+    /// Model-checking fault: grant joins but "forget" to attach the
+    /// handed-over shard entries (they are still removed locally) — the
+    /// seeded lost-key-range bug the protocol checker's regression test
+    /// must find, minimize and replay.
+    #[cfg(feature = "model")]
+    pub broken_handover: bool,
     pub stats: NodeStats,
     /// Forwarding-side observer sink.
     pub hop_sink: HopCount,
@@ -148,6 +164,7 @@ impl NodeState {
         links: BTreeSet<NodeId>,
         succ_list: Vec<NodeId>,
         pred: Option<NodeId>,
+        joined: bool,
         cfg: &RuntimeConfig,
     ) -> NodeState {
         let mut state = NodeState {
@@ -165,6 +182,10 @@ impl NodeState {
             seq: 0,
             bootstrap: None,
             dead: false,
+            joined,
+            deferred: Vec::new(),
+            #[cfg(feature = "model")]
+            broken_handover: false,
             stats: NodeStats::default(),
             hop_sink: HopCount::default(),
             rtt_sink: LatencySink::default(),
@@ -208,10 +229,9 @@ impl NodeState {
             b.add_link(self.id, l);
         }
         self.view = b.build();
-        self.me = self
-            .view
-            .index_of(self.id)
-            .expect("self is in its own view");
+        // `nodes` begins with `self.id`, so the lookup always succeeds;
+        // the fallback only exists to satisfy the no-panic policy.
+        self.me = self.view.index_of(self.id).unwrap_or(NodeIndex(0));
     }
 
     /// The greedy next hop toward `key` from this node's partial view, via
@@ -452,6 +472,15 @@ impl NodeState {
             self.stats.hop_limit_drops += 1;
             return;
         }
+        // A neighbor can learn of a joiner (via `RepairJoin` from the
+        // granter) and route to it before the joiner's own grant response
+        // has arrived. Serving from the still-empty view would claim
+        // responsibility for every key; park the request until the grant
+        // installs a real view.
+        if !self.joined && origin != self.id {
+            self.deferred.push((origin, req, attempt, hops, op));
+            return;
+        }
         match self.next_hop(op.key_point()) {
             Some(nb) => {
                 self.stats.forwarded += 1;
@@ -591,12 +620,19 @@ impl NodeState {
                 self.shard.remove(*k);
             }
         }
-        let grant = JoinGrant {
+        #[allow(unused_mut)]
+        let mut grant = JoinGrant {
             predecessor: self.id,
             links: self.links.iter().copied().collect(),
             succ_list: self.succ_list.clone(),
             shard: handed,
         };
+        #[cfg(feature = "model")]
+        if self.broken_handover {
+            // Seeded bug: the handed range was removed above but never
+            // reaches the joiner — a lost key range under Fixed(1).
+            grant.shard.clear();
+        }
         // Adopt the newcomer as immediate successor.
         let notify: BTreeSet<NodeId> = self
             .links
@@ -606,8 +642,11 @@ impl NodeState {
             .chain(self.pred)
             .filter(|&n| n != self.id && n != joiner)
             .collect();
-        self.succ_list.insert(0, joiner);
-        self.succ_list.truncate(self.succ_len);
+        // Distance-sorted insertion (not `insert(0, _)`): under concurrent
+        // joins of adjacent ids a second grant can arrive after a nearer
+        // successor is already known, and the newcomer is then *not* the
+        // head of the list.
+        self.insert_succ(joiner);
         self.links.insert(joiner);
         self.rebuild_view();
         self.log(net.now, || format!("grant join {joiner}"));
@@ -634,7 +673,13 @@ impl NodeState {
             .collect();
         self.shard.extend(grant.shard);
         self.rebuild_view();
+        self.joined = true;
         self.log(net.now, || format!("joined after {}", grant.predecessor));
+        // Replay requests that were routed here before the grant arrived,
+        // in arrival order, now that the view can actually route them.
+        for (origin, req, attempt, hops, op) in std::mem::take(&mut self.deferred) {
+            self.route_or_serve(net, origin, req, attempt, hops, op);
+        }
     }
 
     /// A neighbor learned that `joined` is live.

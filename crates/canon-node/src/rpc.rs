@@ -114,8 +114,12 @@ impl RpcTable {
             return RetryDecision::Stale;
         };
         if p.attempt >= self.config.max_retries {
-            let p = self.inflight.remove(&req).expect("entry just seen");
-            return RetryDecision::GiveUp(p);
+            // The entry was just seen under the same `&mut self`, so the
+            // remove cannot miss; `Stale` is the non-panicking fallback.
+            return match self.inflight.remove(&req) {
+                Some(p) => RetryDecision::GiveUp(p),
+                None => RetryDecision::Stale,
+            };
         }
         p.attempt += 1;
         let attempt = p.attempt;
@@ -142,6 +146,22 @@ impl RpcTable {
     /// Whether `req` is still awaiting a response.
     pub fn is_inflight(&self, req: u64) -> bool {
         self.inflight.contains_key(&req)
+    }
+
+    /// The in-flight entries as `(req, pending)` pairs, in id order — the
+    /// protocol model checker reads these for its RPC-id uniqueness and
+    /// appendage (in-flight join) checks.
+    pub fn inflight_entries(&self) -> Vec<(u64, Pending)> {
+        self.inflight
+            .iter()
+            .map(|(&req, p)| (req, p.clone()))
+            .collect()
+    }
+
+    /// Ids ever allocated by this table (the next id to hand out). Ids are
+    /// monotone and never reused, so `open` count == this value.
+    pub fn allocated(&self) -> u64 {
+        self.next
     }
 }
 

@@ -34,7 +34,7 @@ use crate::msg::{Command, Completion, Outcome, Payload};
 use crate::node::{Net, NodeState, NodeStats};
 use crate::rpc::RpcConfig;
 use crate::shard::ShardBackend;
-use crate::transport::{Envelope, Mailboxes, Transport};
+use crate::transport::{lock_unpoisoned, Envelope, Mailboxes, Transport};
 use canon_id::ring::SortedRing;
 use canon_id::NodeId;
 use canon_par::par_map;
@@ -200,10 +200,7 @@ impl Runtime {
 
     /// Every hosted identifier, in slot order.
     pub fn ids(&self) -> Vec<NodeId> {
-        self.states
-            .iter()
-            .map(|s| s.lock().expect("node lock").id)
-            .collect()
+        self.states.iter().map(|s| lock_unpoisoned(s).id).collect()
     }
 
     /// Client requests injected so far.
@@ -220,7 +217,7 @@ impl Runtime {
     ///
     /// Panics if the identifier is already hosted.
     pub fn spawn(&mut self, id: NodeId) -> usize {
-        self.spawn_seeded(id, BTreeSet::new(), Vec::new(), None)
+        self.spawn_inner(id, BTreeSet::new(), Vec::new(), None, false)
     }
 
     /// Adds a node with pre-seeded links, successor list and predecessor
@@ -236,6 +233,17 @@ impl Runtime {
         succ_list: Vec<NodeId>,
         pred: Option<NodeId>,
     ) -> usize {
+        self.spawn_inner(id, links, succ_list, pred, true)
+    }
+
+    fn spawn_inner(
+        &mut self,
+        id: NodeId,
+        links: BTreeSet<NodeId>,
+        succ_list: Vec<NodeId>,
+        pred: Option<NodeId>,
+        joined: bool,
+    ) -> usize {
         assert!(
             !self.directory.contains_key(&id.raw()),
             "node {id} already hosted"
@@ -247,6 +255,7 @@ impl Runtime {
             links,
             succ_list,
             pred,
+            joined,
             &self.config,
         )));
         self.directory.insert(id.raw(), slot);
@@ -264,6 +273,8 @@ impl Runtime {
         let slot = *self
             .directory
             .get(&origin.raw())
+            // Injecting at an unhosted node is harness misuse, not a runtime state.
+            // audit: allow(panic-site) — the documented `# Panics` contract.
             .unwrap_or_else(|| panic!("unknown origin {origin}"));
         if matches!(cmd, Command::Issue(_) | Command::Join { .. }) {
             self.injected += 1;
@@ -295,7 +306,7 @@ impl Runtime {
 
     fn process_cell(&self, slot: usize, now: Tick) -> usize {
         let envs = self.boxes.drain_due(slot, now);
-        let mut state = self.states[slot].lock().expect("node lock");
+        let mut state = lock_unpoisoned(&self.states[slot]);
         let net = Net {
             boxes: &self.boxes,
             transport: self.transport.as_ref(),
@@ -321,7 +332,7 @@ impl Runtime {
         };
         for &slot in &self.slots {
             fold(self.boxes.next_due(slot));
-            fold(self.states[slot].lock().expect("node lock").next_timer());
+            fold(lock_unpoisoned(&self.states[slot]).next_timer());
         }
         next
     }
@@ -350,7 +361,7 @@ impl Runtime {
     pub fn completions(&self) -> Vec<Completion> {
         self.states
             .iter()
-            .flat_map(|s| s.lock().expect("node lock").completions.clone())
+            .flat_map(|s| lock_unpoisoned(s).completions.clone())
             .collect()
     }
 
@@ -361,7 +372,7 @@ impl Runtime {
     pub fn event_log(&self) -> Vec<String> {
         self.states
             .iter()
-            .flat_map(|s| s.lock().expect("node lock").events.clone())
+            .flat_map(|s| lock_unpoisoned(s).events.clone())
             .collect()
     }
 
@@ -370,7 +381,7 @@ impl Runtime {
     pub fn rtt_samples(&self) -> Vec<f64> {
         self.states
             .iter()
-            .flat_map(|s| s.lock().expect("node lock").rtt_sink.samples().to_vec())
+            .flat_map(|s| lock_unpoisoned(s).rtt_sink.samples().to_vec())
             .collect()
     }
 
@@ -379,7 +390,7 @@ impl Runtime {
     /// sinks.
     pub fn hop_totals(&self) -> (usize, usize) {
         self.states.iter().fold((0, 0), |(a, h), s| {
-            let sink = s.lock().expect("node lock").hop_sink;
+            let sink = lock_unpoisoned(s).hop_sink;
             (a + sink.attempts, h + sink.hops)
         })
     }
@@ -391,7 +402,7 @@ impl Runtime {
             ..Summary::default()
         };
         for s in &self.states {
-            let state = s.lock().expect("node lock");
+            let state = lock_unpoisoned(s);
             let NodeStats {
                 forwarded,
                 served,
@@ -427,8 +438,10 @@ impl Runtime {
         let slot = *self
             .directory
             .get(&id.raw())
+            // Asking about an unhosted id is harness misuse (see `# Panics`).
+            // audit: allow(panic-site) — the documented `# Panics` contract.
             .unwrap_or_else(|| panic!("unknown node {id}"));
-        f(&mut self.states[slot].lock().expect("node lock"))
+        f(&mut lock_unpoisoned(&self.states[slot]))
     }
 
     /// A node's current link table.
@@ -475,7 +488,7 @@ impl Runtime {
         let mut holders = Vec::new();
         let mut pinned_at = Vec::new();
         for s in &self.states {
-            let mut state = s.lock().expect("node lock");
+            let mut state = lock_unpoisoned(s);
             if state.dead {
                 continue;
             }
@@ -497,5 +510,105 @@ impl Runtime {
             pinned_at,
             satisfied,
         }
+    }
+}
+
+/// Model-checking hooks: single-step message delivery, fault actions and
+/// state snapshots for canon-audit's protocol explorer. Nothing here runs
+/// on the production path — the whole block is feature-gated.
+#[cfg(feature = "model")]
+impl Runtime {
+    /// Every queued envelope across the cluster as `(slot, envelope)`
+    /// pairs, slot-major, each slot in `(deliver_at, from, seq)` order.
+    pub fn model_pending(&self) -> Vec<(usize, Envelope<Payload>)> {
+        let mut out = Vec::new();
+        for &slot in &self.slots {
+            for env in self.boxes.peek_all(slot) {
+                out.push((slot, env));
+            }
+        }
+        out
+    }
+
+    /// Delivers exactly the message identified by `(slot, from, seq)`,
+    /// advancing the clock to its quoted delivery tick first, and lets the
+    /// destination handle it. Returns `false` if no such message is
+    /// queued. Timers are deliberately *not* fired: a checker-driven
+    /// runtime uses RPC deadlines far beyond any explored trace, so no
+    /// timer can ever be due.
+    pub fn model_deliver(&self, slot: usize, from: NodeId, seq: u64) -> bool {
+        let Some(env) = self.boxes.take(slot, from, seq) else {
+            return false;
+        };
+        self.clock.advance_to(env.deliver_at);
+        let now = self.clock.now();
+        let net = Net {
+            boxes: &self.boxes,
+            transport: self.transport.as_ref(),
+            directory: &self.directory,
+            now,
+        };
+        lock_unpoisoned(&self.states[slot]).handle(&net, env);
+        true
+    }
+
+    /// Removes the message identified by `(slot, from, seq)` without
+    /// delivering it — the checker's message-loss / partition-cut action.
+    /// Returns whether the message was queued.
+    pub fn model_drop(&self, slot: usize, from: NodeId, seq: u64) -> bool {
+        self.boxes.take(slot, from, seq).is_some()
+    }
+
+    /// Crash-stops a node: it goes dark with no handoff and no notices
+    /// (unlike the graceful [`Command::Leave`]). Pending messages to the
+    /// node remain queued; delivering them is counted as `dropped_dead`.
+    pub fn model_crash(&self, id: NodeId) {
+        if let Some(&slot) = self.directory.get(&id.raw()) {
+            lock_unpoisoned(&self.states[slot]).dead = true;
+        }
+    }
+
+    /// Arms the seeded broken-handover fault at `id`: its join grants
+    /// "forget" the handed-over shard entries. This is the deliberately
+    /// planted bug the checker's counterexample-replay regression test
+    /// must find, minimize and replay.
+    pub fn model_break_handover(&self, id: NodeId) {
+        if let Some(&slot) = self.directory.get(&id.raw()) {
+            lock_unpoisoned(&self.states[slot]).broken_handover = true;
+        }
+    }
+
+    /// Per-node protocol snapshots, in slot order.
+    pub fn model_snapshot(&self) -> Vec<crate::model::NodeSnapshot> {
+        self.states
+            .iter()
+            .map(|s| {
+                let mut state = lock_unpoisoned(s);
+                crate::model::NodeSnapshot {
+                    id: state.id,
+                    links: state.links.iter().copied().collect(),
+                    succ_list: state.succ_list.clone(),
+                    pred: state.pred,
+                    dead: state.dead,
+                    joined: state.joined,
+                    shard: {
+                        let mut entries = state.shard.entries();
+                        entries.sort_unstable();
+                        entries
+                    },
+                    pinned: state.pinned.iter().copied().collect(),
+                    inflight: state.rpc.inflight_entries(),
+                    allocated: state.rpc.allocated(),
+                    deferred: state.deferred.clone(),
+                    completions: state.completions.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// The cluster-state fingerprint over [`Runtime::model_snapshot`] and
+    /// [`Runtime::model_pending`] (see [`crate::model::fingerprint`]).
+    pub fn model_fingerprint(&self) -> u64 {
+        crate::model::fingerprint(&self.model_snapshot(), &self.model_pending())
     }
 }

@@ -8,10 +8,29 @@
 //! append-only log per node ([`ShardBackend::TempFile`]) without the
 //! protocol code changing shape: join/leave handovers move entries through
 //! the same `insert`/`entries`/`remove` surface regardless of backend.
+//!
+//! # Shard I/O policy
+//!
+//! A storage-backend failure on the protocol path is unrecoverable — a
+//! node cannot serve, hand over, or replicate without its shard — so,
+//! mirroring the poisoned-lock policy in [`crate::transport`], every
+//! backend `Result` funnels through one documented abort (`shard_io`)
+//! instead of threading `Result` through every message handler. The
+//! default [`MemoryBackend`] is infallible; file-backed shards abort only
+//! on genuine disk failure or on-disk corruption, where continuing would
+//! serve wrong answers.
 
 use canon_id::NodeId;
-use canon_store::{BackendKind, BlobValue, MemoryBackend, StorageBackend, Usage};
+use canon_store::{BackendError, BackendKind, BlobValue, MemoryBackend, StorageBackend, Usage};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The single abort point of the shard I/O policy (see the module docs):
+/// backend errors are unrecoverable mid-protocol and end the process with
+/// the failing operation named.
+fn shard_io<T>(result: Result<T, BackendError>, what: &str) -> T {
+    // audit: allow(panic-site) — the documented shard I/O abort policy.
+    result.unwrap_or_else(|e| panic!("shard {what} failed: {e}"))
+}
 
 /// Where freshly spawned nodes keep their shard bytes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,9 +56,10 @@ impl ShardBackend {
                 let dir =
                     std::env::temp_dir().join(format!("canon-node-shards-{}", std::process::id()));
                 let n = SHARD_SEQ.fetch_add(1, Ordering::Relaxed);
-                BackendKind::File { dir }
-                    .create(&format!("shard-{n}-{:016x}", id.raw()))
-                    .expect("create shard log")
+                shard_io(
+                    BackendKind::File { dir }.create(&format!("shard-{n}-{:016x}", id.raw())),
+                    "log creation",
+                )
             }
         }
     }
@@ -60,28 +80,29 @@ impl Shard {
 
     /// Stores `value` under `key` (overwrites).
     pub fn insert(&mut self, key: u64, value: u64) {
-        self.backend
-            .put(key, &value.to_bytes())
-            .expect("shard write");
+        shard_io(self.backend.put(key, &value.to_bytes()), "write");
     }
 
     /// Reads the value under `key`, verified against its content id.
     pub fn get(&mut self, key: u64) -> Option<u64> {
-        let stored = self.backend.get(key).expect("verified shard read")?;
-        Some(u64::from_bytes(&stored.bytes).expect("shard values are u64"))
+        let stored = shard_io(self.backend.get(key), "verified read")?;
+        // Content addressing already verified the bytes; a shard only ever
+        // stores `u64` values, so a decode failure is on-disk corruption.
+        match u64::from_bytes(&stored.bytes) {
+            Some(v) => Some(v),
+            // audit: allow(panic-site) — the documented shard I/O abort policy.
+            None => panic!("shard value under key {key} is not a u64"),
+        }
     }
 
     /// Removes `key`; returns whether it was present.
     pub fn remove(&mut self, key: u64) -> bool {
-        self.backend.delete(key).expect("shard delete")
+        shard_io(self.backend.delete(key), "delete")
     }
 
     /// Whether `key` is present.
     pub fn contains(&mut self, key: u64) -> bool {
-        self.backend
-            .get(key)
-            .expect("verified shard read")
-            .is_some()
+        shard_io(self.backend.get(key), "verified read").is_some()
     }
 
     /// Every `(key, value)` pair in ascending key order.
@@ -89,10 +110,8 @@ impl Shard {
         self.backend
             .scan()
             .into_iter()
-            .map(|(k, _)| {
-                let v = self.get(k).expect("scanned key is present");
-                (k, v)
-            })
+            .map(|(k, _)| k)
+            .filter_map(|k| self.get(k).map(|v| (k, v)))
             .collect()
     }
 

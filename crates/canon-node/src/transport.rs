@@ -30,7 +30,23 @@ use canon_id::rng::Seed;
 use canon_id::NodeId;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a runtime mutex under the crate's poisoned-lock policy: recover
+/// the guard rather than panic.
+///
+/// Every mutex in this crate (mailbox slots, node states, partition sets)
+/// guards data that is written by at most one worker per round, so a
+/// poisoned lock means a node's handler panicked mid-round. The panic
+/// itself already surfaces through `canon_par`'s join; propagating a
+/// second panic from every subsequent accessor would only cascade aborts
+/// and mask the original message. Recovering the guard keeps accounting
+/// and shutdown paths (summaries, drains, audits) usable after a failed
+/// round, and the determinism tests catch any torn state the recovery
+/// exposes.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A message queued for delivery.
 #[derive(Clone, Debug)]
@@ -154,7 +170,7 @@ impl<T: Transport> FaultyTransport<T> {
     ///
     /// [`heal`]: FaultyTransport::heal
     pub fn partition(&self, a: &[NodeId], b: &[NodeId]) {
-        let mut blocked = self.blocked.lock().expect("partition lock");
+        let mut blocked = lock_unpoisoned(&self.blocked);
         for &x in a {
             for &y in b {
                 blocked.insert((x.raw(), y.raw()));
@@ -165,7 +181,7 @@ impl<T: Transport> FaultyTransport<T> {
 
     /// Removes every partition.
     pub fn heal(&self) {
-        self.blocked.lock().expect("partition lock").clear();
+        lock_unpoisoned(&self.blocked).clear();
     }
 
     /// The seeded per-message fate word: bits of
@@ -182,12 +198,7 @@ impl<T: Transport> FaultyTransport<T> {
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn schedule(&self, now: Tick, from: NodeId, to: NodeId, seq: u64) -> Option<Tick> {
-        if self
-            .blocked
-            .lock()
-            .expect("partition lock")
-            .contains(&(from.raw(), to.raw()))
-        {
+        if lock_unpoisoned(&self.blocked).contains(&(from.raw(), to.raw())) {
             return None;
         }
         let base = self.inner.schedule(now, from, to, seq)?;
@@ -249,10 +260,7 @@ impl<M> Mailboxes<M> {
     ) -> Option<Tick> {
         let deliver_at = transport.schedule(env.sent_at, env.from, env.to, env.seq)?;
         env.deliver_at = deliver_at;
-        self.slots[slot]
-            .lock()
-            .expect("mailbox lock")
-            .push(Reverse(env));
+        lock_unpoisoned(&self.slots[slot]).push(Reverse(env));
         Some(deliver_at)
     }
 
@@ -260,16 +268,13 @@ impl<M> Mailboxes<M> {
     /// transport — client command injection uses this, so injected work
     /// can never be lost to the network.
     pub fn push(&self, slot: usize, env: Envelope<M>) {
-        self.slots[slot]
-            .lock()
-            .expect("mailbox lock")
-            .push(Reverse(env));
+        lock_unpoisoned(&self.slots[slot]).push(Reverse(env));
     }
 
     /// Pops every message due at or before `now` from `slot`, in
     /// `(deliver_at, from, seq)` order.
     pub fn drain_due(&self, slot: usize, now: Tick) -> Vec<Envelope<M>> {
-        let mut heap = self.slots[slot].lock().expect("mailbox lock");
+        let mut heap = lock_unpoisoned(&self.slots[slot]);
         let mut out = Vec::new();
         while let Some(Reverse(head)) = heap.peek() {
             if head.deliver_at > now {
@@ -285,19 +290,46 @@ impl<M> Mailboxes<M> {
 
     /// The earliest pending delivery tick in `slot`, if any.
     pub fn next_due(&self, slot: usize) -> Option<Tick> {
-        self.slots[slot]
-            .lock()
-            .expect("mailbox lock")
+        lock_unpoisoned(&self.slots[slot])
             .peek()
             .map(|Reverse(env)| env.deliver_at)
     }
 
     /// Total queued messages across all mailboxes.
     pub fn queued(&self) -> usize {
-        self.slots
-            .iter()
-            .map(|s| s.lock().expect("mailbox lock").len())
-            .sum()
+        self.slots.iter().map(|s| lock_unpoisoned(s).len()).sum()
+    }
+}
+
+impl<M: Clone> Mailboxes<M> {
+    /// Snapshots every message queued at `slot`, in `(deliver_at, from,
+    /// seq)` order, without disturbing the heap. The protocol model
+    /// checker uses this to enumerate a state's pending deliveries.
+    pub fn peek_all(&self, slot: usize) -> Vec<Envelope<M>> {
+        let heap = lock_unpoisoned(&self.slots[slot]);
+        let mut out: Vec<Envelope<M>> = heap.iter().map(|Reverse(env)| env.clone()).collect();
+        out.sort();
+        out
+    }
+
+    /// Removes and returns the unique message at `slot` with the given
+    /// sender and sequence number, or `None` if no such message is queued.
+    /// This is the model checker's single-step delivery primitive: it lets
+    /// an explorer pop one chosen envelope out of `(deliver_at, from, seq)`
+    /// order, modeling an adversarial network schedule.
+    pub fn take(&self, slot: usize, from: NodeId, seq: u64) -> Option<Envelope<M>> {
+        let mut heap = lock_unpoisoned(&self.slots[slot]);
+        let mut rest: Vec<Reverse<Envelope<M>>> = Vec::with_capacity(heap.len());
+        let mut found = None;
+        for Reverse(env) in heap.drain() {
+            if found.is_none() && env.from == from && env.seq == seq {
+                found = Some(env);
+            } else {
+                rest.push(Reverse(env));
+            }
+        }
+        heap.extend(rest);
+        found
     }
 }
 

@@ -213,11 +213,15 @@ impl StorageBackend for MemoryBackend {
         let Some(&id) = self.index.get(&key) else {
             return Ok(None);
         };
-        let (bytes, _) = self
-            .blobs
-            .get(&id)
-            .expect("index references a live blob")
-            .clone();
+        // A dangling index entry is store corruption: report it as a
+        // content mismatch against the empty blob rather than aborting.
+        let Some((bytes, _)) = self.blobs.get(&id).cloned() else {
+            return Err(BackendError::Corrupt {
+                key,
+                expected: id,
+                actual: ContentId::of(&[]),
+            });
+        };
         let actual = ContentId::of(&bytes);
         if actual != id {
             return Err(BackendError::Corrupt {
@@ -328,7 +332,10 @@ impl FileBackend {
         let mut pos = 0usize;
         let mut good = 0u64;
         while raw.len() - pos >= 4 {
-            let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let Ok(len_bytes) = raw[pos..pos + 4].try_into() else {
+                break; // unreachable: the loop guard keeps 4 bytes in range
+            };
+            let len = u32::from_le_bytes(len_bytes) as usize;
             let body_at = pos + 4;
             if len < 1 || raw.len() - body_at < len {
                 break; // torn tail
@@ -493,14 +500,14 @@ impl StorageBackend for FileBackend {
     }
 
     fn delete(&mut self, key: u64) -> Result<bool, BackendError> {
-        if !self.index.contains_key(&key) {
+        let Some(&old) = self.index.get(&key) else {
             return Ok(false);
-        }
+        };
         let mut body = Vec::with_capacity(9);
         body.push(TAG_DEL);
         body.extend_from_slice(&key.to_le_bytes());
         self.append(&body)?;
-        let old = self.index.remove(&key).expect("checked present");
+        self.index.remove(&key);
         self.release(old);
         Ok(true)
     }

@@ -238,8 +238,9 @@ impl<V: Clone> NodeCache<V> {
         }
         if self.entries.len() >= policy.capacity {
             // Evict: (coordinated: duplicated-above first,) largest level
-            // first, then least recently used.
-            let victim = self
+            // first, then least recently used. A zero-capacity cache has
+            // nothing to evict and simply churns its single push below.
+            if let Some(victim) = self
                 .entries
                 .iter()
                 .enumerate()
@@ -248,8 +249,9 @@ impl<V: Clone> NodeCache<V> {
                     (dup, e.level, u64::MAX - e.last_used)
                 })
                 .map(|(i, _)| i)
-                .expect("cache nonempty at capacity");
-            self.entries.swap_remove(victim);
+            {
+                self.entries.swap_remove(victim);
+            }
         }
         self.entries.push(CacheEntry {
             key,
@@ -312,6 +314,7 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
         self.membership
             .ring(domain)
             .responsible(key.as_point())
+            // audit: allow(panic-site) — the documented `# Panics` contract.
             .expect("domain has members")
     }
 
@@ -503,10 +506,9 @@ impl<V: Clone + PartialEq> HierarchicalStore<V> {
             return Ok(QueryOutcome::NotFound { proxy_path });
         };
 
-        if use_cache {
+        if let (true, Some(first)) = (use_cache, values.first().cloned()) {
             // Cache the answer at every proxy crossed below the answering
             // level, annotated with the depth it serves.
-            let first = values.first().expect("found answers are nonempty").clone();
             for (domain, proxy) in &path {
                 let d = self.hierarchy.depth(*domain);
                 if d <= depth {

@@ -48,7 +48,11 @@ pub(crate) fn replica_successors(
     let mut cur = first;
     for _ in 0..replication.min(ring.len()) {
         out.push(cur);
-        cur = ring.strict_successor(cur).expect("ring is nonempty");
+        // `responsible` returned a member, so the ring cannot be empty.
+        let Some(next) = ring.strict_successor(cur) else {
+            break;
+        };
+        cur = next;
         if cur == first {
             break;
         }
@@ -256,9 +260,16 @@ fn geo_adjust(ctx: &PlacementCtx<'_>, mut base: Vec<NodeId>, level: u32) -> Vec<
         return base;
     }
     let first = base[0];
-    let mut cur = *base.last().expect("nonempty");
+    let Some(&last) = base.last() else {
+        return base; // unreachable: emptiness was checked above
+    };
+    let mut cur = last;
     for _ in 0..ctx.ring.len() {
-        cur = ctx.ring.strict_successor(cur).expect("ring is nonempty");
+        // The base replicas are ring members, so the walk cannot run dry.
+        let Some(next) = ctx.ring.strict_successor(cur) else {
+            return base;
+        };
+        cur = next;
         if cur == first {
             break; // walked the whole ring: everyone is inside
         }

@@ -25,6 +25,17 @@ use canon_id::{Key, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 
+/// The single abort point of the replica-shard I/O policy: a backend
+/// failure mid-placement leaves replicas and placements out of step, which
+/// no caller can repair — so, like the shard I/O policy in canon-node and
+/// the poisoned-lock policy behind it, the documented policy is one
+/// labeled abort here rather than `Result` plumbing through the placement
+/// engine. The in-memory backend (the default) is infallible.
+fn store_io<T>(result: Result<T, crate::BackendError>, what: &str) -> T {
+    // audit: allow(panic-site) — the documented replica-shard I/O abort policy.
+    result.unwrap_or_else(|e| panic!("replica shard {what} failed: {e}"))
+}
+
 /// The backend slot a `(key, domain)` item occupies in a node's shard:
 /// domain-qualified so the same key stored in two domains keeps two
 /// independent entries.
@@ -102,8 +113,10 @@ impl<V: BlobValue> ReplicatedStore<V> {
     fn shard_mut(&mut self, node: NodeId) -> &mut Box<dyn StorageBackend> {
         let kind = &self.backend_kind;
         self.shards.entry(node).or_insert_with(|| {
-            kind.create(&format!("shard-{:016x}", node.raw()))
-                .expect("create shard backend")
+            store_io(
+                kind.create(&format!("shard-{:016x}", node.raw())),
+                "creation",
+            )
         })
     }
 
@@ -162,9 +175,8 @@ impl<V: BlobValue> ReplicatedStore<V> {
         let bytes = value.to_bytes();
         let at = slot(key, domain);
         for &node in &replicas {
-            self.shard_mut(node)
-                .put(at, &bytes)
-                .expect("replica shard write");
+            let write = self.shard_mut(node).put(at, &bytes);
+            store_io(write, "write");
         }
         self.placements.insert((key, domain), replicas);
         match writer.and_then(|w| self.leaf_of.get(&w).copied()) {
@@ -186,12 +198,13 @@ impl<V: BlobValue> ReplicatedStore<V> {
         let holders = self.placements.get(&(key, domain))?;
         let server = holders.iter().copied().find(|n| !self.dead.contains(n))?;
         let at = slot(key, domain);
-        let stored = self
-            .shards
-            .get_mut(&server)?
-            .get(at)
-            .expect("verified replica read")?;
-        let value = V::from_bytes(&stored.bytes).expect("stored bytes decode");
+        let stored = store_io(self.shards.get_mut(&server)?.get(at), "verified read")?;
+        // Content addressing already verified the bytes, so a decode
+        // failure is stored-type confusion — the abort policy applies.
+        let Some(value) = V::from_bytes(&stored.bytes) else {
+            // audit: allow(panic-site) — the documented replica-shard I/O abort policy.
+            panic!("replica bytes for key {:#018x} do not decode", key.raw())
+        };
         Some((value, server))
     }
 
@@ -257,15 +270,16 @@ impl<V: BlobValue> ReplicatedStore<V> {
             let stored = self
                 .shards
                 .get_mut(&source)
-                .and_then(|s| s.get(at).expect("verified replica read"))
+                .and_then(|s| store_io(s.get(at), "verified read"))
+                // `source` was chosen among live holders above.
+                // audit: allow(panic-site) — the documented replica-shard I/O abort policy.
                 .expect("surviving replica holds the bytes");
             for &node in &fresh {
                 if !holders.contains(&node) {
                     copies += 1;
                 }
-                self.shard_mut(node)
-                    .put(at, &stored.bytes)
-                    .expect("repair shard write");
+                let write = self.shard_mut(node).put(at, &stored.bytes);
+                store_io(write, "repair write");
             }
             // Retired live holders drop their copy so usage stays honest.
             let retired = holders
@@ -273,7 +287,7 @@ impl<V: BlobValue> ReplicatedStore<V> {
                 .filter(|n| !self.dead.contains(n) && !fresh.contains(n));
             for &node in retired {
                 if let Some(shard) = self.shards.get_mut(&node) {
-                    shard.delete(at).expect("retire shard copy");
+                    store_io(shard.delete(at), "retire");
                 }
             }
             self.placements.insert((key, domain), fresh);
