@@ -1,0 +1,294 @@
+//! The incremental-maintenance audit probe: patched overlays vs rebuilds.
+//!
+//! The `rebuild-on-churn` lint (see [`crate::lint`]) bans churn-path crates
+//! from reconstructing the network per event; this probe verifies the
+//! replacement actually earns that ban. For each audited family it builds
+//! the same membership twice — once from scratch and once by *patching* a
+//! smaller build through [`canon_overlay::PatchedOverlay`] — and checks,
+//! in both the join and the leave direction:
+//!
+//! 1. **read-through equality before compaction** — on the still-patched
+//!    overlay, `next_toward` must agree with an exhaustive scan of
+//!    `links_of` for every member under both metrics, and the compacted
+//!    graph's [`canon_overlay::NextHopIndex`] must agree with the same
+//!    scan (the indexed fast path and the patch-merging slow path are two
+//!    implementations of one function);
+//! 2. **exact compaction** — `compacted()` must equal the from-scratch
+//!    build of the same membership byte for byte;
+//! 3. **canonical invariants survive the round-trip** — the compacted
+//!    graph, swapped into the network, must still pass
+//!    [`canon::audit::verify_canonical`] (conditions (a)/(b), ring
+//!    completeness, per-level accounting).
+//!
+//! Shapes and seeds mirror [`crate::graphs`] so a clean pass covers the
+//! same families the figure experiments measure.
+
+use canon::audit::{verify_canonical, AuditReport, Violation};
+use canon::cacophony::CacophonyRule;
+use canon::crescendo::CrescendoRule;
+use canon::engine::CanonicalNetwork;
+use canon::kandy::KandyRule;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::metric::{Clockwise, Metric, Xor};
+use canon_id::rng::Seed;
+use canon_id::NodeId;
+use canon_kademlia::BucketChoice;
+use canon_overlay::{OverlayGraph, PatchedOverlay};
+
+use crate::graphs::VerifyFailure;
+
+/// One clean churn probe: which family it was and what it covered.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Human-readable description, e.g. `crescendo churn n=160 joins=20`.
+    pub label: String,
+    /// Joins applied in the join-direction probe (= leaves in the other).
+    pub joins: usize,
+    /// Links rewritten on surviving nodes across both directions.
+    pub relinks: usize,
+    /// `(node, target, metric)` next-hop probes checked before compaction.
+    pub probes: usize,
+}
+
+/// Runs the churn probe over three audited families at `n` nodes.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyFailure`] encountered.
+pub fn verify_churn(n: usize, base_seed: Seed) -> Result<Vec<ChurnReport>, VerifyFailure> {
+    let h = Hierarchy::balanced(10, 3);
+    let p = Placement::uniform(&h, n, base_seed.derive("churn-uniform"));
+    let seed = base_seed;
+    let mut out = Vec::new();
+
+    probe_family(&h, &p, "crescendo", &mut out, |p| {
+        let net = canon::crescendo::build_crescendo(&h, p);
+        (
+            net,
+            |h: &Hierarchy, p: &Placement, net: &CanonicalNetwork| {
+                verify_canonical(h, p, &CrescendoRule, Seed(0), net)
+            },
+        )
+    })?;
+    probe_family(&h, &p, "cacophony", &mut out, |p| {
+        let net = canon::cacophony::build_cacophony(&h, p, seed);
+        let vseed = seed.derive("cacophony");
+        (
+            net,
+            move |h: &Hierarchy, p: &Placement, net: &CanonicalNetwork| {
+                verify_canonical(h, p, &CacophonyRule, vseed, net)
+            },
+        )
+    })?;
+    probe_family(&h, &p, "kandy-closest", &mut out, |p| {
+        let net = canon::kandy::build_kandy(&h, p, BucketChoice::Closest, seed);
+        let vseed = seed.derive("kandy");
+        (
+            net,
+            move |h: &Hierarchy, p: &Placement, net: &CanonicalNetwork| {
+                verify_canonical(h, p, &KandyRule::new(BucketChoice::Closest), vseed, net)
+            },
+        )
+    })?;
+
+    Ok(out)
+}
+
+/// Probes one family in both churn directions.
+///
+/// `build` constructs the family network for an arbitrary sub-placement and
+/// returns it together with its `verify_canonical` closure.
+fn probe_family<V, F>(
+    h: &Hierarchy,
+    p_full: &Placement,
+    family: &str,
+    out: &mut Vec<ChurnReport>,
+    build: F,
+) -> Result<(), VerifyFailure>
+where
+    V: Fn(&Hierarchy, &Placement, &CanonicalNetwork) -> Result<AuditReport, Vec<Violation>>,
+    F: Fn(&Placement) -> (CanonicalNetwork, V),
+{
+    let pairs: Vec<_> = p_full.iter().collect();
+    let n = pairs.len();
+    // Churn an eighth of the membership (at least 4 nodes).
+    let k = (n / 8).clamp(4.min(n.saturating_sub(1)), n.saturating_sub(1));
+    let survivors = Placement::from_pairs(h, pairs[..n - k].to_vec());
+    let churned: Vec<NodeId> = pairs[n - k..].iter().map(|&(id, _)| id).collect();
+    let label = format!("{family} churn n={n} joins={k}");
+
+    let (small_net, _) = build(&survivors);
+    let (full_net, verify_full) = build(p_full);
+    let mut violations = Vec::new();
+    let mut relinks = 0;
+    let mut probes = 0;
+
+    // Join direction: patch the small build up to the full membership.
+    let mut up = PatchedOverlay::new(small_net.graph().clone());
+    for &id in &churned {
+        up.apply_join(id, row_of(full_net.graph(), id));
+    }
+    relinks += reconcile(&mut up, full_net.graph());
+    probes += check_reads(&up, &label, &mut violations);
+    check_compaction(&up, full_net.graph(), "join", &label, &mut violations);
+
+    // Leave direction: patch the full build down to the survivors, which
+    // exercises removed-id filtering on every read path.
+    let mut down = PatchedOverlay::new(full_net.graph().clone());
+    for &id in &churned {
+        down.apply_leave(id);
+    }
+    relinks += reconcile(&mut down, small_net.graph());
+    probes += check_reads(&down, &label, &mut violations);
+    check_compaction(&down, small_net.graph(), "leave", &label, &mut violations);
+
+    // The compacted join-direction graph must still satisfy the full
+    // canonical audit once swapped into the network.
+    let mut patched_net = full_net;
+    patched_net.replace_graph_for_tests(up.compacted());
+    if let Err(vs) = verify_full(h, p_full, &patched_net) {
+        violations.extend(
+            vs.iter()
+                .map(|v| format!("verify_canonical after compaction: {v}")),
+        );
+    }
+
+    if violations.is_empty() {
+        out.push(ChurnReport {
+            label,
+            joins: k,
+            relinks,
+            probes,
+        });
+        Ok(())
+    } else {
+        Err(VerifyFailure { label, violations })
+    }
+}
+
+/// The sorted link row of `id` in `graph`, read through the next-hop index.
+fn row_of(graph: &OverlayGraph, id: NodeId) -> Vec<NodeId> {
+    let Some(i) = graph.index_of(id) else {
+        return Vec::new();
+    };
+    graph.next_hop_index().neighbor_ids(i).collect()
+}
+
+/// Relinks every overlay member whose row differs from `target`'s, making
+/// the overlay's logical rows equal to the from-scratch build. Returns the
+/// number of rows rewritten.
+fn reconcile(overlay: &mut PatchedOverlay, target: &OverlayGraph) -> usize {
+    let mut changed = 0;
+    for id in overlay.ids() {
+        if overlay.relink(id, row_of(target, id)) {
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// On the still-patched overlay: `next_toward` must equal an exhaustive
+/// scan of `links_of` for every member under both metrics, and the
+/// compacted [`canon_overlay::NextHopIndex`] must agree with the same
+/// scan. Returns the number of probes checked.
+fn check_reads(overlay: &PatchedOverlay, label: &str, violations: &mut Vec<String>) -> usize {
+    let compacted = overlay.compacted();
+    let mut probes = 0;
+    for id in overlay.ids() {
+        for target in probe_targets(id) {
+            probes += check_one(
+                overlay, &compacted, Clockwise, id, target, label, violations,
+            );
+            probes += check_one(overlay, &compacted, Xor, id, target, label, violations);
+        }
+    }
+    probes
+}
+
+fn check_one<M: Metric>(
+    overlay: &PatchedOverlay,
+    compacted: &OverlayGraph,
+    metric: M,
+    at: NodeId,
+    target: NodeId,
+    label: &str,
+    violations: &mut Vec<String>,
+) -> usize {
+    let links = overlay.links_of(at).unwrap_or_default();
+    let expect = links
+        .iter()
+        .map(|&l| (metric.distance(l, target), l))
+        .min()
+        .map(|(d, l)| (l, d));
+    let got = overlay.next_toward(metric, at, target);
+    if got != expect {
+        violations.push(format!(
+            "{label}: patched next_toward({metric:?}, {at}, {target}) = {got:?}, \
+             exhaustive scan says {expect:?}"
+        ));
+    }
+    let indexed = compacted.index_of(at).and_then(|i| {
+        compacted
+            .next_hop_index()
+            .next_toward(metric, i, target)
+            .map(|(t, d)| (compacted.id(t), d))
+    });
+    if indexed != expect {
+        violations.push(format!(
+            "{label}: compacted NextHopIndex next_toward({metric:?}, {at}, {target}) \
+             = {indexed:?}, exhaustive scan says {expect:?}"
+        ));
+    }
+    2
+}
+
+/// Confirms exact compaction: the patched overlay folded flat must equal
+/// the from-scratch build of the same membership byte for byte.
+fn check_compaction(
+    overlay: &PatchedOverlay,
+    want: &OverlayGraph,
+    direction: &str,
+    label: &str,
+    violations: &mut Vec<String>,
+) {
+    let got = overlay.compacted();
+    if &got != want {
+        violations.push(format!(
+            "{label}: {direction}-direction compaction is not byte-identical to the \
+             from-scratch build ({} vs {} nodes, {} vs {} links)",
+            got.len(),
+            want.len(),
+            got.link_count(),
+            want.link_count()
+        ));
+    }
+}
+
+/// The standard audit probe targets for node `u`: its clockwise successor
+/// region, the antipode, and a bit-scrambled far key.
+fn probe_targets(u: NodeId) -> [NodeId; 3] {
+    [
+        u.offset(1),
+        u.offset(u64::MAX / 2),
+        NodeId::new(u.raw().rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_churn_probe() {
+        let reports = verify_churn(96, Seed(42))
+            .unwrap_or_else(|f| panic!("{} failed:\n{}", f.label, f.violations.join("\n")));
+        assert_eq!(reports.len(), 3, "three families probed");
+        for r in &reports {
+            assert!(r.joins >= 4, "{}: joins={}", r.label, r.joins);
+            assert!(r.probes > 0, "{}: no probes ran", r.label);
+            // Churn under a deterministic family rewrites survivor rows:
+            // removing domain members changes their rings.
+            assert!(r.relinks > 0, "{}: relinks={}", r.label, r.relinks);
+        }
+    }
+}

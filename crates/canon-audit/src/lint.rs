@@ -53,6 +53,12 @@
 //!   annotation on its declaration, and every non-`Client` variant must be
 //!   handled (matched) somewhere outside its defining file. New two-way
 //!   message kinds ride inside `Request`/`Op`, not as sibling variants.
+//! * **`rebuild-on-churn`** — crates sitting on the churn path (`canon-sim`,
+//!   `canon-node`) must absorb join/leave events as O(links) patches
+//!   through `PatchedOverlay`, never by rebuilding the network: any
+//!   full-construction token (`build_canonical`, the family builders,
+//!   `GraphBuilder`, `from_per_node_links`) in their non-test code is
+//!   flagged unless annotated `// audit: full-rebuild` with a reason.
 //!
 //! # Annotations
 //!
@@ -60,6 +66,8 @@
 //!
 //! * `// audit: membership-only` — this `HashMap`/`HashSet` is only used for
 //!   membership tests and key lookups, never iterated;
+//! * `// audit: full-rebuild` — this construction call on a churn-path crate
+//!   is deliberate (e.g. a one-off snapshot export), not a per-event rebuild;
 //! * `// audit: allow(<rule>)` — suppress `<rule>` findings here (used for
 //!   provably unreachable panic sites and similar).
 
@@ -113,6 +121,11 @@ pub const MAILBOX_DETERMINISM_CRATES: &[&str] = &["canon-node"];
 
 /// Crates whose `Payload` enum is audited by the `reply-obligation` rule.
 pub const REPLY_OBLIGATION_CRATES: &[&str] = &["canon-node"];
+
+/// Crates sitting on the churn path: join/leave must land as `OverlayPatch`
+/// applications on a `PatchedOverlay` (O(links) per event), never as a full
+/// reconstruction of the network or its CSR graph (rule `rebuild-on-churn`).
+pub const CHURN_PATH_CRATES: &[&str] = &["canon-sim", "canon-node"];
 
 /// The one crate allowed to contain `unsafe` code.
 pub const UNSAFE_EXEMPT_CRATES: &[&str] = &["canon-par"];
@@ -295,6 +308,9 @@ pub fn lint_file(file: &SourceFile<'_>) -> Vec<Finding> {
     if PANIC_POLICY_CRATES.contains(&file.crate_name) {
         check_panic_sites(file, &pre, &mut findings);
     }
+    if CHURN_PATH_CRATES.contains(&file.crate_name) {
+        check_rebuild_on_churn(file, &pre, &mut findings);
+    }
     check_unsafe(file, &pre, &mut findings);
     check_greedy_outside_engine(file, &pre, &mut findings);
 
@@ -311,6 +327,8 @@ struct Preprocessed {
     membership_only: Vec<usize>,
     /// `// audit: fire-and-forget` annotation lines.
     fire_and_forget: Vec<usize>,
+    /// `// audit: full-rebuild` annotation lines.
+    full_rebuild: Vec<usize>,
     /// `// audit: allow(rule)` annotations as (line, rule).
     allows: Vec<(usize, String)>,
     /// Whether each line falls inside a `#[cfg(test)]` item.
@@ -323,6 +341,7 @@ impl Preprocessed {
 
         let mut membership_only = Vec::new();
         let mut fire_and_forget = Vec::new();
+        let mut full_rebuild = Vec::new();
         let mut allows = Vec::new();
         for (i, line) in raw_lines.iter().enumerate() {
             if let Some(pos) = line.find("// audit:") {
@@ -331,6 +350,8 @@ impl Preprocessed {
                     membership_only.push(i + 1);
                 } else if directive.starts_with("fire-and-forget") {
                     fire_and_forget.push(i + 1);
+                } else if directive.starts_with("full-rebuild") {
+                    full_rebuild.push(i + 1);
                 } else if let Some(rest) = directive.strip_prefix("allow(") {
                     if let Some(end) = rest.find(')') {
                         allows.push((i + 1, rest[..end].trim().to_owned()));
@@ -347,6 +368,7 @@ impl Preprocessed {
             masked,
             membership_only,
             fire_and_forget,
+            full_rebuild,
             allows,
             in_test,
         }
@@ -361,6 +383,12 @@ impl Preprocessed {
 
     fn is_fire_and_forget(&self, line: usize) -> bool {
         self.fire_and_forget
+            .iter()
+            .any(|&l| l == line || l + 1 == line)
+    }
+
+    fn is_full_rebuild(&self, line: usize) -> bool {
+        self.full_rebuild
             .iter()
             .any(|&l| l == line || l + 1 == line)
     }
@@ -1014,6 +1042,55 @@ fn payload_variants(masked: &[String]) -> Option<Vec<(usize, String)>> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: rebuild-on-churn
+// ---------------------------------------------------------------------------
+
+/// Tokens that construct a network or CSR graph from scratch. Any of these
+/// on a churn-path crate means a join/leave is being absorbed by rebuilding
+/// the world (O(n log n) work and a full reallocation) instead of patching
+/// it (O(links) via `PatchedOverlay`).
+const REBUILD_TOKENS: &[&str] = &[
+    "build_canonical",
+    "build_crescendo",
+    "build_nondet_crescendo",
+    "build_cacophony",
+    "build_kandy",
+    "build_cancan",
+    "GraphBuilder",
+    "from_per_node_links",
+];
+
+fn check_rebuild_on_churn(file: &SourceFile<'_>, pre: &Preprocessed, findings: &mut Vec<Finding>) {
+    for (idx, line) in pre.masked.iter().enumerate() {
+        let lineno = idx + 1;
+        if pre.in_test(lineno)
+            || pre.is_allowed(lineno, "rebuild-on-churn")
+            || pre.is_full_rebuild(lineno)
+        {
+            continue;
+        }
+        for tok in REBUILD_TOKENS {
+            for _pos in word_positions(line, tok) {
+                findings.push(Finding {
+                    file: file.path.to_owned(),
+                    line: lineno,
+                    rule: "rebuild-on-churn",
+                    message: format!(
+                        "`{tok}` in churn-path crate `{}`: join/leave must be \
+                         absorbed as O(links) patches via `PatchedOverlay` \
+                         (`apply_join`/`apply_leave`/`relink` + periodic \
+                         `compact()`), not by rebuilding the network; if this \
+                         construction is deliberate, annotate it \
+                         `// audit: full-rebuild` with a reason",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: forbid-unsafe
 // ---------------------------------------------------------------------------
 
@@ -1184,6 +1261,48 @@ mod tests {
         let src =
             "fn f(x: Option<u8>) -> u8 {\n    // audit: allow(panic-site)\n    x.unwrap()\n}\n";
         assert!(lint("canon-par", src).is_empty());
+    }
+
+    // ---- rebuild-on-churn -------------------------------------------------
+
+    #[test]
+    fn rebuild_on_churn_flags_construction_tokens_in_churn_crates() {
+        let src = "fn join(&mut self) {\n    let net = build_crescendo(&h, &p, 1);\n    let g = GraphBuilder::new();\n}\n";
+        let f = lint("canon-sim", src);
+        assert_eq!(rules(&f), vec!["rebuild-on-churn", "rebuild-on-churn"]);
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 3]);
+        assert!(f[0].message.contains("PatchedOverlay"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn rebuild_on_churn_only_applies_to_churn_path_crates() {
+        let src = "fn f() { let net = build_canonical(&h, &p, rule, 1); }\n";
+        assert!(lint("canon", src).is_empty(), "construction crate exempt");
+        assert!(lint("canon-bench", src).is_empty(), "bench exempt");
+        let f = lint("canon-node", src);
+        assert_eq!(rules(&f), vec!["rebuild-on-churn"], "{f:?}");
+    }
+
+    #[test]
+    fn rebuild_on_churn_exempts_tests_and_annotations() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let n = build_kandy(&h, &p, 7); }\n}\n";
+        assert!(lint("canon-sim", in_test).is_empty(), "test code exempt");
+        let annotated = "fn snapshot(&self) {\n    // audit: full-rebuild — one-off export, not a churn event\n    let g = GraphBuilder::from_per_node_links(ids, rows);\n}\n";
+        assert!(lint("canon-sim", annotated).is_empty());
+        let allowed = "// audit: allow(rebuild-on-churn)\nfn f() { build_cacophony(&h, &p, 1); }\n";
+        assert!(lint("canon-node", allowed).is_empty());
+    }
+
+    #[test]
+    fn rebuild_on_churn_requires_word_boundaries() {
+        let src = "fn f() { self.rebuild_canonical_counter += 1; }\n";
+        assert!(
+            lint("canon-sim", src).is_empty(),
+            "substring must not match"
+        );
+        let src2 = "fn f() { my_build_crescendo_helper(); }\n";
+        assert!(lint("canon-sim", src2).is_empty());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Fixture for the `rebuild-on-churn` lint: a canon-sim-style churn loop
+//! that absorbs membership events by reconstructing the network. Never
+//! compiled — the linter consumes it verbatim and the companion test pins
+//! exactly which lines must be flagged.
+
+use canon::crescendo::build_crescendo;
+use canon_overlay::GraphBuilder;
+
+struct BadSim {
+    hierarchy: Hierarchy,
+    placement: Placement,
+    network: CanonicalNetwork,
+}
+
+impl BadSim {
+    fn join(&mut self, id: NodeId, leaf: DomainId) {
+        self.placement.add(id, leaf);
+        // The anti-pattern under audit: O(n log n) rebuild per event.
+        self.network = build_crescendo(&self.hierarchy, &self.placement);
+    }
+
+    fn leave(&mut self, id: NodeId) {
+        self.placement.remove(id);
+        let mut b = GraphBuilder::new();
+        for (node, links) in self.placement.rows() {
+            b.add_node(node);
+            b.add_links_batch(node, links);
+        }
+        self.network.replace_graph(b.build());
+    }
+
+    fn export(&self) -> OverlayGraph {
+        // Deliberate one-off reconstruction, exempted by annotation.
+        // audit: full-rebuild — snapshot export, not a churn event
+        GraphBuilder::from_per_node_links(&self.ids(), &self.rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuilds_are_fine_in_test_code() {
+        let net = build_crescendo(&h(), &p());
+        assert_eq!(net.len(), 8);
+    }
+}

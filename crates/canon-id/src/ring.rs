@@ -69,6 +69,13 @@ impl SortedRing {
         &self.ids
     }
 
+    /// Resident bytes of the ring's identifier array — live entries only
+    /// (`len × size_of::<NodeId>()`), not allocator capacity, so overlay
+    /// memory accounting stays reproducible.
+    pub fn resident_bytes(&self) -> usize {
+        self.ids.len() * std::mem::size_of::<NodeId>()
+    }
+
     /// Iterates over the identifiers in sorted order.
     pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
         self.ids.iter()

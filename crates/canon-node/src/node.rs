@@ -7,17 +7,16 @@
 //! argument rests on.
 //!
 //! Routing is *recursive*: a [`Payload::Request`] is forwarded greedily
-//! hop by hop. The next hop comes from the same [`RoutingPolicy`] engine
-//! every simulator in the workspace uses — each node keeps a star-shaped
-//! [`OverlayGraph`] over its own link table (its partial view of the
-//! overlay) and asks [`ordered_candidates`] with the [`Greedy`] clockwise
-//! policy. No candidates means this node is the key's responsible node
-//! (greedy local minimum = clockwise predecessor), and it answers the
-//! origin directly. Because every hop strictly decreases the clockwise
-//! distance to the key, requests cannot cycle even across stale link
-//! tables mid-churn.
-//!
-//! [`RoutingPolicy`]: canon_overlay::RoutingPolicy
+//! hop by hop. Each node keeps a [`PatchedOverlay`] over its own link
+//! table (its partial view of the overlay, maintained incrementally —
+//! joins, leaves and relinks land as O(links) patches, never a graph
+//! rebuild) and asks [`PatchedOverlay::next_toward`] under the clockwise
+//! metric, keeping the hop only when it makes strict progress — exactly
+//! the greedy rule the shared routing engine applies. No strictly-closer
+//! link means this node is the key's responsible node (greedy local
+//! minimum = clockwise predecessor), and it answers the origin directly.
+//! Because every hop strictly decreases the clockwise distance to the
+//! key, requests cannot cycle even across stale link tables mid-churn.
 
 use crate::clock::Tick;
 use crate::msg::{Command, Completion, JoinGrant, Op, Outcome, Payload, RpcResult};
@@ -29,10 +28,7 @@ use canon_id::metric::Clockwise;
 use canon_id::ring::SortedRing;
 use canon_id::NodeId;
 use canon_overlay::engine::HOP_LIMIT;
-use canon_overlay::{
-    ordered_candidates, GraphBuilder, Greedy, HopCount, HopEvent, NodeIndex, OverlayGraph,
-    RouteObserver,
-};
+use canon_overlay::{HopCount, HopEvent, NodeIndex, PatchedOverlay, RouteObserver};
 use canon_store::Policy;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -107,11 +103,10 @@ pub(crate) struct NodeState {
     pub succ_list: Vec<NodeId>,
     /// Global-ring predecessor.
     pub pred: Option<NodeId>,
-    /// Star graph over `{self} ∪ links`: the node's partial view, fed to
-    /// the routing engine.
-    view: OverlayGraph,
-    /// `self`'s index within `view`.
-    me: NodeIndex,
+    /// Patch overlay over `{self} ∪ links`: the node's partial view of
+    /// the network, maintained by O(links) patches as the link table
+    /// evolves and compacted periodically.
+    view: PatchedOverlay,
     /// The store shard (a content-addressed backend behind a `u64` façade).
     pub shard: Shard,
     /// Keys pinned at this node: join handovers copy them instead of
@@ -173,8 +168,7 @@ impl NodeState {
             links,
             succ_list,
             pred,
-            view: GraphBuilder::with_nodes(&[id]).build(),
-            me: NodeIndex(0),
+            view: PatchedOverlay::empty(),
             shard: Shard::new(cfg.backend.create(id)),
             pinned: BTreeSet::new(),
             rpc: RpcTable::new(cfg.rpc),
@@ -195,7 +189,7 @@ impl NodeState {
             policy: cfg.policy,
             succ_len: cfg.succ_list_len,
         };
-        state.rebuild_view();
+        state.sync_view();
         state
     }
 
@@ -220,25 +214,41 @@ impl NodeState {
         }
     }
 
-    fn rebuild_view(&mut self) {
-        let mut nodes = Vec::with_capacity(self.links.len() + 1);
-        nodes.push(self.id);
-        nodes.extend(self.links.iter().copied());
-        let mut b = GraphBuilder::with_nodes(&nodes);
-        for &l in &self.links {
-            b.add_link(self.id, l);
+    /// Reconciles the patch-overlay view with the link table: newly
+    /// learned peers join, dropped peers leave, and `self`'s row is
+    /// relinked — a handful of O(links) patches against a view of size
+    /// `links + 1`, compacted once the patch list outgrows the base.
+    fn sync_view(&mut self) {
+        if !self.view.contains(self.id) {
+            self.view.apply_join(self.id, Vec::new());
         }
-        self.view = b.build();
-        // `nodes` begins with `self.id`, so the lookup always succeeds;
-        // the fallback only exists to satisfy the no-panic policy.
-        self.me = self.view.index_of(self.id).unwrap_or(NodeIndex(0));
+        for peer in self.view.ids() {
+            if peer != self.id && !self.links.contains(&peer) {
+                self.view.apply_leave(peer);
+            }
+        }
+        for &l in &self.links {
+            if !self.view.contains(l) {
+                self.view.apply_join(l, Vec::new());
+            }
+        }
+        self.view
+            .relink(self.id, self.links.iter().copied().collect());
+        if self.view.should_compact() {
+            self.view.compact();
+        }
     }
 
-    /// The greedy next hop toward `key` from this node's partial view, via
-    /// the shared routing engine. `None` means this node is responsible.
+    /// The greedy next hop toward `key` from this node's partial view:
+    /// the distance-minimizing link, kept only on strict progress — the
+    /// same rule the shared routing engine's greedy policy applies, read
+    /// straight off the patch overlay. `None` means this node is
+    /// responsible.
     fn next_hop(&self, key: NodeId) -> Option<NodeId> {
-        let cands = ordered_candidates(&self.view, &Greedy::new(Clockwise, key), self.me);
-        cands.first().map(|c| self.view.id(c.next))
+        match self.view.next_toward(Clockwise, self.id, key) {
+            Some((nb, d)) if d < self.id.clockwise_to(key) => Some(nb),
+            _ => None,
+        }
     }
 
     /// Sends `payload` to `to`, returning the delivery tick if the message
@@ -432,7 +442,7 @@ impl NodeState {
         // synthetic hop origin → responder priced at the RTT.
         let to = responder
             .and_then(|r| net.directory.get(&r.raw()))
-            .map_or(self.me, |&s| NodeIndex(s as u32));
+            .map_or(NodeIndex(self.slot as u32), |&s| NodeIndex(s as u32));
         let rtt = (net.now - p.issued_at) as f64;
         self.rtt_sink.on_event(&HopEvent::Hop {
             from: NodeIndex(self.slot as u32),
@@ -648,7 +658,7 @@ impl NodeState {
         // head of the list.
         self.insert_succ(joiner);
         self.links.insert(joiner);
-        self.rebuild_view();
+        self.sync_view();
         self.log(net.now, || format!("grant join {joiner}"));
         for n in notify {
             self.send(net, n, Payload::RepairJoin { joined: joiner });
@@ -672,7 +682,7 @@ impl NodeState {
             .take(self.succ_len)
             .collect();
         self.shard.extend(grant.shard);
-        self.rebuild_view();
+        self.sync_view();
         self.joined = true;
         self.log(net.now, || format!("joined after {}", grant.predecessor));
         // Replay requests that were routed here before the grant arrived,
@@ -698,7 +708,7 @@ impl NodeState {
         // If the newcomer became the immediate successor it must be
         // linked, or the ring has a gap.
         if self.succ_list.first() == Some(&joined) && self.links.insert(joined) {
-            self.rebuild_view();
+            self.sync_view();
         }
     }
 
@@ -729,7 +739,7 @@ impl NodeState {
             self.pred = (predecessor != self.id).then_some(predecessor);
         }
         if relink {
-            self.rebuild_view();
+            self.sync_view();
         }
     }
 

@@ -6,11 +6,17 @@
 //! hop instead of chasing a `Vec<Vec<_>>` double indirection. The public
 //! API is unchanged — [`OverlayGraph::neighbors`] still returns a sorted
 //! `&[NodeIndex]` — and [`OverlayGraph::link_count`] is O(1).
+//!
+//! Every array is structure-of-arrays with `u32` entries where the ID
+//! space allows (node count and link count are both asserted below
+//! `u32::MAX`), and [`OverlayGraph::resident_bytes`] audits the whole
+//! footprint so benches can report bytes/node honestly at 2^20 nodes.
 
 use crate::index::NextHopIndex;
 use canon_id::{ring::SortedRing, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::mem::size_of;
 
 /// Index of a node within one [`OverlayGraph`] (dense, 0-based).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -35,11 +41,15 @@ impl fmt::Display for NodeIndex {
 /// *out*-degree: "the degree of a node refers to its out-degree, and does
 /// not count incoming edges", §2.1). Links are stored deduplicated and
 /// self-links are dropped, matching how real DHT routing tables behave.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OverlayGraph {
     ids: Vec<NodeId>,
-    // audit: membership-only
-    index_of: HashMap<NodeId, NodeIndex>,
+    /// Node indices sorted by identifier: [`OverlayGraph::index_of`] is a
+    /// binary search over this permutation. 4 bytes per node where the
+    /// previous `HashMap<NodeId, NodeIndex>` cost ~48 including table
+    /// slack — the difference between a 2^20-node graph fitting in the
+    /// resident-bytes budget and blowing it.
+    by_id: Vec<NodeIndex>,
     /// CSR row bounds: node `i`'s neighbors are
     /// `targets[offsets[i]..offsets[i + 1]]`. Always `len() == n + 1`.
     offsets: Vec<u32>,
@@ -75,9 +85,13 @@ impl OverlayGraph {
         self.ids[i.index()]
     }
 
-    /// The index of identifier `id`, if present.
+    /// The index of identifier `id`, if present. O(log n) binary search
+    /// over the id-sorted permutation.
     pub fn index_of(&self, id: NodeId) -> Option<NodeIndex> {
-        self.index_of.get(&id).copied()
+        self.by_id
+            .binary_search_by_key(&id, |i| self.ids[i.index()])
+            .ok()
+            .map(|k| self.by_id[k])
     }
 
     /// The out-neighbors of node `i`, sorted by index.
@@ -118,6 +132,28 @@ impl OverlayGraph {
     /// Iterates over all node indices.
     pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
         (0..self.ids.len() as u32).map(NodeIndex)
+    }
+
+    /// Resident bytes of the graph's live arrays: identifiers, the
+    /// id-sorted lookup permutation, CSR offsets and targets, the sorted
+    /// ring, and the next-hop index. The accounting counts live entries
+    /// (`len × entry size`), not allocator capacity or slack, so it is
+    /// reproducible across allocators; the
+    /// `resident_bytes_accounts_for_every_array` test pins the sum so a
+    /// new field cannot silently escape the budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.ids.len() * size_of::<NodeId>()
+            + self.by_id.len() * size_of::<NodeIndex>()
+            + self.offsets.len() * size_of::<u32>()
+            + self.targets.len() * size_of::<NodeIndex>()
+            + self.ring.resident_bytes()
+            + self.next_hop.resident_bytes()
+    }
+
+    /// [`OverlayGraph::resident_bytes`] averaged over the node count (the
+    /// figure the million-node bench reports).
+    pub fn resident_bytes_per_node(&self) -> f64 {
+        self.resident_bytes() as f64 / self.len().max(1) as f64
     }
 
     /// Iterates over all directed edges as `(from, to)` pairs.
@@ -255,9 +291,15 @@ impl GraphBuilder {
     }
 
     /// Builds a graph directly from per-node link sets, one `Vec` per node
-    /// of `ids` in order — the merge step of a parallel construction. The
-    /// result is identical to adding each node's links serially in `ids`
-    /// order, so it is independent of how the per-node sets were computed.
+    /// of `ids` in order — the merge step of a parallel construction and
+    /// the fold step of patch compaction. The result is identical to
+    /// adding each node's links serially in `ids` order, so it is
+    /// independent of how the per-node sets were computed.
+    ///
+    /// Unlike the incremental builder this path allocates no hash scratch
+    /// at all: duplicate-id detection is one pass over the id-sorted
+    /// permutation and each row is normalized (self-links out, sort,
+    /// dedup) straight into the CSR arrays.
     ///
     /// # Panics
     ///
@@ -269,11 +311,44 @@ impl GraphBuilder {
             per_node.len(),
             "one link set per node is required"
         );
-        let mut b = GraphBuilder::with_nodes(ids);
-        for (&from, links) in ids.iter().zip(per_node) {
-            b.add_links_batch(from, links);
+        assert!(ids.len() < u32::MAX as usize, "too many nodes");
+        let by_id = sorted_permutation(ids);
+        for w in by_id.windows(2) {
+            assert!(
+                ids[w[0].index()] != ids[w[1].index()],
+                "duplicate node id {}",
+                ids[w[1].index()]
+            );
         }
-        b.build()
+        let index_of = |id: NodeId| -> NodeIndex {
+            let found = by_id.binary_search_by_key(&id, |i| ids[i.index()]);
+            assert!(found.is_ok(), "link target {id} was not added as a node");
+            by_id[found.unwrap_or(0)]
+        };
+        let total: usize = per_node.iter().map(Vec::len).sum();
+        assert!(total < u32::MAX as usize, "too many links for CSR offsets");
+        let mut offsets = Vec::with_capacity(ids.len() + 1);
+        let mut targets: Vec<NodeIndex> = Vec::with_capacity(total);
+        offsets.push(0u32);
+        let mut row: Vec<NodeIndex> = Vec::new();
+        for (i, links) in per_node.iter().enumerate() {
+            let from = NodeIndex(i as u32);
+            row.clear();
+            row.extend(links.iter().map(|&to| index_of(to)).filter(|&t| t != from));
+            row.sort_unstable();
+            row.dedup();
+            targets.extend_from_slice(&row);
+            offsets.push(targets.len() as u32);
+        }
+        let next_hop = NextHopIndex::build(ids, &offsets, &targets);
+        OverlayGraph {
+            ids: ids.to_vec(),
+            by_id,
+            offsets,
+            targets,
+            ring: SortedRing::new(ids.to_vec()),
+            next_hop,
+        }
     }
 
     /// Finalizes the graph: sorts each neighbor list (for determinism and
@@ -281,6 +356,7 @@ impl GraphBuilder {
     /// into CSR form, and builds the [`NextHopIndex`].
     pub fn build(self) -> OverlayGraph {
         let ring = SortedRing::new(self.ids.clone());
+        let by_id = sorted_permutation(&self.ids);
         let mut links = self.links;
         for out in &mut links {
             out.sort_unstable();
@@ -297,13 +373,21 @@ impl GraphBuilder {
         let next_hop = NextHopIndex::build(&self.ids, &offsets, &targets);
         OverlayGraph {
             ids: self.ids,
-            index_of: self.index_of,
+            by_id,
             offsets,
             targets,
             ring,
             next_hop,
         }
     }
+}
+
+/// The identity permutation over `ids`, sorted by identifier — the
+/// binary-searchable id→index table shared by both construction paths.
+fn sorted_permutation(ids: &[NodeId]) -> Vec<NodeIndex> {
+    let mut by_id: Vec<NodeIndex> = (0..ids.len() as u32).map(NodeIndex).collect();
+    by_id.sort_unstable_by_key(|i| ids[i.index()]);
+    by_id
 }
 
 #[cfg(test)]
@@ -408,6 +492,64 @@ mod tests {
     #[should_panic(expected = "one link set per node")]
     fn per_node_links_require_matching_lengths() {
         GraphBuilder::from_per_node_links(&[id(1)], &[]);
+    }
+
+    #[test]
+    fn per_node_links_match_builder_byte_for_byte() {
+        // The direct CSR path and the incremental builder must produce
+        // *equal* graphs (same ids, permutation, offsets, targets, ring
+        // and next-hop index), not just the same edge sets — compaction
+        // correctness rests on this.
+        let ids = [id(5), id(1), id(9), id(3)];
+        let per_node = vec![
+            vec![id(1), id(9), id(1)],
+            vec![id(9), id(3)],
+            vec![id(5), id(5)],
+            vec![id(1)],
+        ];
+        let g = GraphBuilder::from_per_node_links(&ids, &per_node);
+        let mut b = GraphBuilder::with_nodes(&ids);
+        for (&from, links) in ids.iter().zip(&per_node) {
+            for &to in links {
+                b.add_link(from, to);
+            }
+        }
+        assert_eq!(g, b.build());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not added as a node")]
+    fn per_node_links_reject_unknown_targets() {
+        GraphBuilder::from_per_node_links(&[id(1)], &[vec![id(2)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn per_node_links_reject_duplicate_ids() {
+        GraphBuilder::from_per_node_links(&[id(1), id(1)], &[vec![], vec![]]);
+    }
+
+    #[test]
+    fn index_of_works_on_unsorted_ids() {
+        let g = GraphBuilder::with_nodes(&[id(30), id(10), id(20)]).build();
+        assert_eq!(g.index_of(id(30)), Some(NodeIndex(0)));
+        assert_eq!(g.index_of(id(10)), Some(NodeIndex(1)));
+        assert_eq!(g.index_of(id(20)), Some(NodeIndex(2)));
+        assert_eq!(g.index_of(id(15)), None);
+    }
+
+    #[test]
+    fn resident_bytes_accounts_for_every_array() {
+        let mut b = GraphBuilder::with_nodes(&[id(1), id(2), id(3)]);
+        b.add_link(id(1), id(2));
+        b.add_link(id(2), id(3));
+        let g = b.build();
+        // ids: 3×8, by_id: 3×4, offsets: 4×4, targets: 2×4, ring: 3×8,
+        // next-hop index: offsets 4×4 + entries 2×16.
+        let expected = 3 * 8 + 3 * 4 + 4 * 4 + 2 * 4 + 3 * 8 + (4 * 4 + 2 * 16);
+        assert_eq!(g.resident_bytes(), expected);
+        let per_node = g.resident_bytes_per_node();
+        assert!((per_node - expected as f64 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -53,7 +53,7 @@ struct Entry {
 ///
 /// Built by [`GraphBuilder::build`](crate::graph::GraphBuilder::build);
 /// query it via [`OverlayGraph::next_hop_index`](crate::graph::OverlayGraph::next_hop_index).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NextHopIndex {
     /// Per-node segment bounds, `len() == n + 1` (same shape as the
     /// graph's CSR offsets).
@@ -81,6 +81,15 @@ impl NextHopIndex {
             offsets: offsets.to_vec(),
             entries,
         }
+    }
+
+    /// Resident bytes of the index's live arrays: per-node segment bounds
+    /// plus the interleaved `(id, target)` entries (16 bytes each). Live
+    /// entries only — the same accounting convention as
+    /// [`OverlayGraph::resident_bytes`](crate::graph::OverlayGraph::resident_bytes).
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<Entry>()
     }
 
     fn segment(&self, at: NodeIndex) -> (usize, usize) {

@@ -20,6 +20,9 @@
 //! * [`observe`] — hop-level observability: [`observe::HopEvent`] streams
 //!   and pluggable [`observe::RouteObserver`] sinks (hop counters, fault
 //!   tallies, per-node visit counts, event logs);
+//! * [`patch`] — incremental maintenance: [`patch::PatchedOverlay`]
+//!   layers O(links) join/leave patches over the immutable graph and
+//!   folds them back into flat CSR via exact compaction;
 //! * [`route`](mod@route) — greedy routing entry points over the engine, with full
 //!   path recording, node-filtered routing (for fault-isolation
 //!   experiments) and key lookup semantics per metric;
@@ -38,6 +41,7 @@ pub mod graph;
 pub mod index;
 pub mod multicast;
 pub mod observe;
+pub mod patch;
 pub mod paths;
 pub mod policy;
 pub mod route;
@@ -51,6 +55,7 @@ pub use index::NextHopIndex;
 pub use observe::{
     EventLog, FaultTally, HopCount, HopEvent, NullObserver, RouteObserver, VisitTally,
 };
+pub use patch::{OverlayPatch, PatchedOverlay};
 pub use policy::{
     Candidate, FaultFallback, Filtered, Greedy, IndexedNextHop, Lookahead1, ProximityAware,
     RoutingPolicy,

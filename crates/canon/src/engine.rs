@@ -122,8 +122,27 @@ impl CanonicalNetwork {
     /// (index = domain depth; root = 0). A link granted at several depths
     /// is counted at the deepest one, where the node first acquired it —
     /// the per-level state breakdown behind the paper's Figure 3.
+    ///
+    /// Stored as plain per-level counters — the per-node, per-level link
+    /// `Vec`s that used to feed this accounting are folded into counts
+    /// during the merge and never materialized in the network.
     pub fn links_per_level(&self) -> &[usize] {
         &self.links_per_level
+    }
+
+    /// Resident bytes of the network's live state: the overlay graph (see
+    /// [`OverlayGraph::resident_bytes`] for the convention — live entries,
+    /// not allocator slack) plus the per-node leaf-domain table and the
+    /// per-level link counters.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph.resident_bytes()
+            + self.leaf_of.len() * std::mem::size_of::<DomainId>()
+            + self.links_per_level.len() * std::mem::size_of::<usize>()
+    }
+
+    /// [`CanonicalNetwork::resident_bytes`] averaged over the node count.
+    pub fn resident_bytes_per_node(&self) -> f64 {
+        self.resident_bytes() as f64 / self.graph.len().max(1) as f64
     }
 
     /// Swaps in a different graph without touching the metadata, leaving
@@ -134,6 +153,10 @@ impl CanonicalNetwork {
         self.graph = graph;
     }
 }
+
+/// Phase-1 output per node: the flat deduplicated link list plus
+/// `(depth, links added)` counters for each level the node's walk visited.
+type NodeLinkSet = (Vec<NodeId>, Vec<(u32, u32)>);
 
 /// Builds a Canonical network over `hierarchy`/`placement` with `rule`.
 ///
@@ -162,7 +185,6 @@ pub fn build_canonical<R: LinkRule>(
     );
     let members = DomainMembership::build(hierarchy, placement);
     let all = members.ring(hierarchy.root());
-    let mut builder = GraphBuilder::with_nodes(all.as_slice());
 
     // leaf_of aligned with the (sorted) graph node order.
     let mut leaf_of = vec![hierarchy.root(); all.len()];
@@ -173,17 +195,23 @@ pub fn build_canonical<R: LinkRule>(
         leaf_of[idx] = leaf;
     }
 
-    // Phase 1 (parallel): each node's links, tagged with the depth they
-    // were created at. Pure per node — nothing here observes other nodes'
-    // work or the iteration order.
+    // Phase 1 (parallel): each node's deduplicated link set, flattened,
+    // plus `(depth, links added)` counters per level. A link granted at
+    // several depths is kept (and counted) at the deepest one, where the
+    // walk first produced it — walks run leaf to root. Flattening here
+    // means the per-node, per-level link `Vec`s never survive phase 1;
+    // only one flat list per node and a handful of counters reach the
+    // merge. Pure per node — nothing observes other nodes' work or the
+    // iteration order.
     let pairs: Vec<(NodeId, DomainId)> = placement.iter().collect();
-    let per_node: Vec<Vec<(u32, Vec<NodeId>)>> = canon_par::par_map(&pairs, |_, &(id, leaf)| {
+    let per_node: Vec<NodeLinkSet> = canon_par::par_map(&pairs, |_, &(id, leaf)| {
         let mut rng = seed.derive_node(id).rng();
         let mut state = R::NodeState::default();
         let mut bound = RingDistance::FULL_CIRCLE;
         let path = hierarchy.path_from_root(leaf);
         let leaf_depth = hierarchy.depth(leaf);
-        let mut out = Vec::with_capacity(path.len());
+        let mut flat: Vec<NodeId> = Vec::new();
+        let mut counts: Vec<(u32, u32)> = Vec::with_capacity(path.len());
         for &domain in path.iter().rev() {
             let ring = members.ring(domain);
             let depth = hierarchy.depth(domain);
@@ -192,37 +220,45 @@ pub fn build_canonical<R: LinkRule>(
                 is_leaf_level: domain == leaf,
                 levels_above_leaf: leaf_depth - depth,
             };
-            out.push((
-                depth,
-                rule.links(ctx, ring, id, bound, &mut rng, &mut state),
-            ));
+            let mut added = 0u32;
+            for link in rule.links(ctx, ring, id, bound, &mut rng, &mut state) {
+                debug_assert_ne!(link, id, "rules must not emit self-links");
+                // Link sets are finger-table sized (~log n), so the
+                // linear dedup probe beats hashing here.
+                if link != id && !flat.contains(&link) {
+                    flat.push(link);
+                    added += 1;
+                }
+            }
+            counts.push((depth, added));
             // Condition (b)'s bound for the next (parent) level:
             // distance to the closest node of the ring just processed.
             bound = ring.own_ring_bound(rule.metric(), id);
         }
-        out
+        (flat, counts)
     });
 
-    // Phase 2 (serial): merge in placement order. Duplicate links are
-    // counted at the level that first produced them (the deepest, since
-    // walks run leaf to root).
-    let mut links_per_level = Vec::new();
-    for ((id, _), levels) in pairs.iter().zip(&per_node) {
-        for (depth, links) in levels {
-            for &link in links {
-                debug_assert_ne!(link, *id, "rules must not emit self-links");
-            }
-            let added = builder.add_links_batch(*id, links);
-            let d = *depth as usize;
+    // Phase 2 (serial): fold the level counters and scatter each node's
+    // flat link list into graph-node order, then build the CSR directly —
+    // no hash scratch, identical bytes to inserting serially in placement
+    // order.
+    let mut links_per_level: Vec<usize> = Vec::new();
+    let mut per_index: Vec<Vec<NodeId>> = vec![Vec::new(); all.len()];
+    for ((id, _), (flat, counts)) in pairs.iter().zip(per_node) {
+        for (depth, added) in counts {
+            let d = depth as usize;
             if d >= links_per_level.len() {
                 links_per_level.resize(d + 1, 0);
             }
-            links_per_level[d] += added;
+            links_per_level[d] += added as usize;
         }
+        // audit: allow(panic-site)
+        let idx = all.index_of(*id).expect("placed node is in the root ring");
+        per_index[idx] = flat;
     }
 
     let net = CanonicalNetwork {
-        graph: builder.build(),
+        graph: GraphBuilder::from_per_node_links(all.as_slice(), &per_index),
         leaf_of,
         links_per_level,
     };

@@ -1,0 +1,193 @@
+//! Property tests: incremental overlay maintenance equals full rebuilds.
+//!
+//! The churn-path refactor replaces per-event reconstruction with
+//! [`PatchedOverlay`] patches (`apply_join`/`apply_leave`/`relink`) that
+//! compact back into flat CSR. These properties pin the contract from the
+//! outside, over random memberships and churn interleavings across the
+//! three audited families (Crescendo, Cacophony, Kandy):
+//!
+//! * a smaller build patched *up* to a membership — and a larger build
+//!   patched *down* to it — compacts byte-identically to the from-scratch
+//!   build of that membership, [`NextHopIndex`] included;
+//! * reads through the uncompacted patch overlay (routes, hop event logs)
+//!   equal reads on the rebuilt graph;
+//! * `CrescendoSim`'s real maintenance path (join/leave through patches,
+//!   amortized compaction) converges to the static construction.
+
+use canon::cacophony::build_cacophony;
+use canon::crescendo::build_crescendo;
+use canon::kandy::build_kandy;
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::metric::Clockwise;
+use canon_id::rng::{random_ids, Seed};
+use canon_id::NodeId;
+use canon_kademlia::BucketChoice;
+use canon_overlay::{route_observed, EventLog, NextHopIndex, OverlayGraph, PatchedOverlay};
+use canon_sim::CrescendoSim;
+use proptest::prelude::*;
+
+/// The sorted link row of `id`, read through the graph's next-hop index.
+fn row_of(graph: &OverlayGraph, id: NodeId) -> Vec<NodeId> {
+    graph.index_of(id).map_or_else(Vec::new, |i| {
+        graph.next_hop_index().neighbor_ids(i).collect()
+    })
+}
+
+/// Patches `overlay` until its logical rows equal `target`'s: joins the
+/// missing members, leaves the departed ones, relinks changed survivors.
+fn patch_toward(overlay: &mut PatchedOverlay, target: &OverlayGraph) {
+    for id in overlay.ids() {
+        if target.index_of(id).is_none() {
+            overlay.apply_leave(id);
+        }
+    }
+    for &id in target.ids() {
+        if !overlay.contains(id) {
+            overlay.apply_join(id, row_of(target, id));
+        }
+    }
+    for &id in target.ids() {
+        overlay.relink(id, row_of(target, id));
+    }
+}
+
+/// Asserts the patched overlay reads and compacts identically to `want`.
+fn assert_equivalent(overlay: &PatchedOverlay, want: &OverlayGraph, family: &str) {
+    // Routes and hop logs through the *uncompacted* overlay must equal the
+    // from-scratch build's. `fresh` is unpatched, so its reads take the
+    // NextHopIndex fast path; `overlay` merges base rows with patches.
+    let fresh = PatchedOverlay::new(want.clone());
+    let ids = overlay.ids();
+    for i in 0..ids.len().min(8) {
+        let from = ids[i];
+        let to = ids[(i * 31 + 7) % ids.len()];
+        let target = NodeId::new(to.raw().wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        for key in [to, target] {
+            assert_eq!(
+                overlay.route_ids(Clockwise, from, key),
+                fresh.route_ids(Clockwise, from, key),
+                "{family}: patched route {from}->{key} diverges from rebuild"
+            );
+        }
+    }
+
+    // Compaction must reproduce the build byte for byte — ids, CSR arrays
+    // and the interleaved NextHopIndex entries.
+    let compacted = overlay.compacted();
+    assert_eq!(
+        &compacted, want,
+        "{family}: compaction is not byte-identical"
+    );
+    assert_eq!(
+        compacted.next_hop_index(),
+        want.next_hop_index(),
+        "{family}: NextHopIndex diverges after compaction"
+    );
+    let _: &NextHopIndex = compacted.next_hop_index();
+
+    // Hop event streams on the compacted graph equal the rebuild's.
+    for i in 0..compacted.len().min(6) {
+        let a = canon_overlay::NodeIndex(i as u32);
+        let b = canon_overlay::NodeIndex(((i * 37 + 11) % compacted.len()) as u32);
+        let mut patched_log = EventLog::default();
+        let mut rebuilt_log = EventLog::default();
+        let x = route_observed(&compacted, Clockwise, a, b, &mut patched_log);
+        let y = route_observed(want, Clockwise, a, b, &mut rebuilt_log);
+        assert_eq!(x.is_ok(), y.is_ok(), "{family}: route outcome diverges");
+        assert_eq!(
+            patched_log.events(),
+            rebuilt_log.events(),
+            "{family}: hop event streams diverge"
+        );
+    }
+}
+
+/// Runs the up- and down-patch equivalence for one family's builder.
+fn check_family(family: &str, small: &OverlayGraph, full: &OverlayGraph) {
+    let mut up = PatchedOverlay::new(small.clone());
+    patch_toward(&mut up, full);
+    assert_equivalent(&up, full, family);
+
+    let mut down = PatchedOverlay::new(full.clone());
+    patch_toward(&mut down, small);
+    assert_equivalent(&down, small, family);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Join- and leave-direction patching converges to the same-seed full
+    /// rebuild, byte for byte, across all three audited families.
+    #[test]
+    fn patched_overlays_equal_full_rebuilds(
+        n in 24usize..72,
+        churned in 4usize..12,
+        seed in 0u64..500,
+    ) {
+        let h = Hierarchy::balanced(4, 2);
+        let p_full = Placement::uniform(&h, n, Seed(seed));
+        let pairs: Vec<_> = p_full.iter().collect();
+        let keep = pairs.len() - churned.min(pairs.len() / 2);
+        let p_small = Placement::from_pairs(&h, pairs[..keep].to_vec());
+        let bseed = Seed(seed ^ 0xC0FFEE);
+
+        for (family, small, full) in [
+            (
+                "crescendo",
+                build_crescendo(&h, &p_small),
+                build_crescendo(&h, &p_full),
+            ),
+            (
+                "cacophony",
+                build_cacophony(&h, &p_small, bseed),
+                build_cacophony(&h, &p_full, bseed),
+            ),
+            (
+                "kandy",
+                build_kandy(&h, &p_small, BucketChoice::Closest, bseed),
+                build_kandy(&h, &p_full, BucketChoice::Closest, bseed),
+            ),
+        ] {
+            check_family(family, small.graph(), full.graph());
+        }
+    }
+
+    /// `CrescendoSim`'s real incremental path — joins, leaves and crashes
+    /// landing as patches with amortized compaction — converges to the
+    /// static construction on the surviving membership.
+    #[test]
+    fn sim_maintenance_converges_to_static_build(
+        ops in proptest::collection::vec(0u8..5, 12..48),
+        seed in 0u64..500,
+    ) {
+        let h = Hierarchy::balanced(3, 2);
+        let leaves = h.leaves();
+        let mut sim = CrescendoSim::new(h.clone(), 3);
+        let ids = random_ids(Seed(seed), 64);
+        let mut next = 0usize;
+        let mut live: Vec<NodeId> = Vec::new();
+        for op in ops {
+            if op == 4 && live.len() > 2 {
+                let gone = live.remove(live.len() / 3);
+                sim.leave(gone);
+            } else if next < ids.len() {
+                let leaf = leaves[(op as usize) % leaves.len()];
+                sim.join(ids[next], leaf);
+                live.push(ids[next]);
+                next += 1;
+            }
+        }
+        if live.is_empty() { return Ok(()); }
+
+        let static_net = build_crescendo(&h, &sim.placement());
+        // The maintained overlay, compacted, must equal the static build
+        // byte for byte — and its uncompacted reads must already agree.
+        prop_assert_eq!(&sim.overlay().compacted(), static_net.graph());
+        for (i, &from) in live.iter().enumerate().take(8) {
+            let to = live[(i * 13 + 5) % live.len()];
+            let got = sim.overlay().next_toward(Clockwise, from, to.offset(1));
+            let fresh = PatchedOverlay::new(static_net.graph().clone());
+            prop_assert_eq!(got, fresh.next_toward(Clockwise, from, to.offset(1)));
+        }
+    }
+}
