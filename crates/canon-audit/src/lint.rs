@@ -53,6 +53,14 @@
 //!   annotation on its declaration, and every non-`Client` variant must be
 //!   handled (matched) somewhere outside its defining file. New two-way
 //!   message kinds ride inside `Request`/`Op`, not as sibling variants.
+//! * **`codec-coverage`** — every variant of `canon-node`'s wire
+//!   vocabulary enums (`Op`, `Command`, `Payload`, `RpcResult`) must have
+//!   a matching arm in both the `impl WireEncode for <Enum>` and
+//!   `impl WireDecode for <Enum>` blocks (the `Enum::Variant` token must
+//!   appear inside each block's non-test code). A variant reachable by the
+//!   runtime but unknown to the codec would make the framed transport
+//!   panic or mis-frame; the codec must grow in lock-step with the
+//!   vocabulary.
 //! * **`rebuild-on-churn`** — crates sitting on the churn path (`canon-sim`,
 //!   `canon-node`) must absorb join/leave events as O(links) patches
 //!   through `PatchedOverlay`, never by rebuilding the network: any
@@ -121,6 +129,14 @@ pub const MAILBOX_DETERMINISM_CRATES: &[&str] = &["canon-node"];
 
 /// Crates whose `Payload` enum is audited by the `reply-obligation` rule.
 pub const REPLY_OBLIGATION_CRATES: &[&str] = &["canon-node"];
+
+/// Crates whose wire vocabulary is audited by the `codec-coverage` rule.
+pub const WIRE_VOCAB_CRATES: &[&str] = &["canon-node"];
+
+/// The wire vocabulary enums the `codec-coverage` rule audits: every
+/// variant must appear in both the `WireEncode` and `WireDecode` impl for
+/// its enum.
+pub const WIRE_VOCAB_ENUMS: &[&str] = &["Op", "Command", "Payload", "RpcResult"];
 
 /// Crates sitting on the churn path: join/leave must land as `OverlayPatch`
 /// applications on a `PatchedOverlay` (O(links) per event), never as a full
@@ -262,6 +278,18 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, std::io::Error> {
             })
             .collect();
         findings.extend(check_reply_obligation(&crate_files));
+    }
+    for crate_name in WIRE_VOCAB_CRATES {
+        let crate_files: Vec<SourceFile<'_>> = loaded
+            .iter()
+            .filter(|(c, _, _)| c == crate_name)
+            .map(|(c, rel, content)| SourceFile {
+                crate_name: c,
+                path: rel,
+                content,
+            })
+            .collect();
+        findings.extend(check_codec_coverage(&crate_files));
     }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
@@ -1003,10 +1031,23 @@ pub fn check_reply_obligation(files: &[SourceFile<'_>]) -> Vec<Finding> {
 /// The top-level variants of `enum Payload` in a masked file, as
 /// `(1-based line, name)` — `None` if the file does not define it.
 fn payload_variants(masked: &[String]) -> Option<Vec<(usize, String)>> {
+    enum_variants(masked, "Payload").map(|(_, v)| v)
+}
+
+/// The declaration line and top-level variants of `enum <name>` in a
+/// masked file, as `(1-based decl line, [(1-based line, variant)])` —
+/// `None` if the file does not define it.
+fn enum_variants(masked: &[String], name: &str) -> Option<(usize, Vec<(usize, String)>)> {
+    let header = format!("enum {name}");
     let start = masked.iter().position(|l| {
-        word_positions(l, "enum")
-            .iter()
-            .any(|&p| l[p..].starts_with("enum Payload"))
+        word_positions(l, "enum").iter().any(|&p| {
+            let rest = &l[p..];
+            rest.starts_with(&header)
+                && !rest[header.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        })
     })?;
     let mut variants = Vec::new();
     let mut depth = 0usize;
@@ -1016,12 +1057,12 @@ fn payload_variants(masked: &[String]) -> Option<Vec<(usize, String)>> {
         // the enum body is a capitalized identifier.
         if opened && depth == 1 {
             let t = line.trim_start();
-            let name: String = t
+            let ident: String = t
                 .chars()
                 .take_while(|c| c.is_alphanumeric() || *c == '_')
                 .collect();
-            if name.chars().next().is_some_and(char::is_uppercase) {
-                variants.push((idx + 1, name));
+            if ident.chars().next().is_some_and(char::is_uppercase) {
+                variants.push((idx + 1, ident));
             }
         }
         for ch in line.chars() {
@@ -1038,7 +1079,154 @@ fn payload_variants(masked: &[String]) -> Option<Vec<(usize, String)>> {
             break;
         }
     }
-    Some(variants)
+    Some((start + 1, variants))
+}
+
+// ---------------------------------------------------------------------------
+// Rule: codec-coverage
+// ---------------------------------------------------------------------------
+
+/// Audits a whole crate's wire codec (all `files` must belong to one
+/// crate): every variant of every [`WIRE_VOCAB_ENUMS`] enum defined in the
+/// crate must have a matching arm in both the enum's `impl WireEncode`
+/// and `impl WireDecode` blocks — the `Enum::Variant` token must appear
+/// inside each block. Decode arms must therefore construct variants by
+/// their qualified literal name (which the hand-rolled codecs do by
+/// style); a variant the codec cannot carry would otherwise surface only
+/// when the framed transport first meets it in flight.
+pub fn check_codec_coverage(files: &[SourceFile<'_>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let pres: Vec<Preprocessed> = files.iter().map(|f| Preprocessed::new(f.content)).collect();
+
+    for enum_name in WIRE_VOCAB_ENUMS {
+        let mut located = None; // (file idx, decl line, variants)
+        for (fi, pre) in pres.iter().enumerate() {
+            if let Some((decl, variants)) = enum_variants(&pre.masked, enum_name) {
+                located = Some((fi, decl, variants));
+                break;
+            }
+        }
+        let Some((enum_fi, decl_line, variants)) = located else {
+            continue;
+        };
+
+        let mut encode = ImplMentions::default();
+        let mut decode = ImplMentions::default();
+        for pre in &pres {
+            collect_impl_mentions(pre, "WireEncode", enum_name, &mut encode);
+            collect_impl_mentions(pre, "WireDecode", enum_name, &mut decode);
+        }
+
+        let enum_pre = &pres[enum_fi];
+        for (side, mentions) in [("WireEncode", &encode), ("WireDecode", &decode)] {
+            if !mentions.found && !enum_pre.is_allowed(decl_line, "codec-coverage") {
+                findings.push(Finding {
+                    file: files[enum_fi].path.to_owned(),
+                    line: decl_line,
+                    rule: "codec-coverage",
+                    message: format!(
+                        "wire vocabulary enum `{enum_name}` has no `impl {side} for \
+                         {enum_name}` in non-test code of crate `{}`",
+                        files[enum_fi].crate_name
+                    ),
+                });
+            }
+        }
+        if !encode.found || !decode.found {
+            continue;
+        }
+        for (line, variant) in &variants {
+            if enum_pre.is_allowed(*line, "codec-coverage") {
+                continue;
+            }
+            for (side, mentions) in [("encode", &encode), ("decode", &decode)] {
+                if !mentions.variants.contains(variant) {
+                    findings.push(Finding {
+                        file: files[enum_fi].path.to_owned(),
+                        line: *line,
+                        rule: "codec-coverage",
+                        message: format!(
+                            "variant `{enum_name}::{variant}` has no {side} arm \
+                             (`{enum_name}::{variant}` does not appear in the enum's \
+                             `Wire{}` impl)",
+                            if side == "encode" { "Encode" } else { "Decode" }
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// What a scan over one trait's impl blocks for one enum turned up.
+#[derive(Default)]
+struct ImplMentions {
+    /// At least one non-test `impl <Trait> for <Enum>` block exists.
+    found: bool,
+    /// `Enum::Variant` tokens mentioned inside those blocks.
+    variants: Vec<String>,
+}
+
+/// Scans a masked file for non-test `impl <trait_name> for <enum_name>`
+/// blocks and records every `enum_name::Variant` token inside them.
+fn collect_impl_mentions(
+    pre: &Preprocessed,
+    trait_name: &str,
+    enum_name: &str,
+    out: &mut ImplMentions,
+) {
+    let qualifier = format!("{enum_name}::");
+    let mut i = 0;
+    while i < pre.masked.len() {
+        let line = &pre.masked[i];
+        let is_impl = !pre.in_test(i + 1)
+            && word_positions(line, "impl").iter().any(|&p| {
+                let rest = &line[p..];
+                !word_positions(rest, trait_name).is_empty()
+                    && word_positions(rest, enum_name)
+                        .iter()
+                        .any(|&q| rest[..q].trim_end().ends_with("for"))
+            });
+        if !is_impl {
+            i += 1;
+            continue;
+        }
+        out.found = true;
+        // Walk the brace-matched impl block, collecting qualified variant
+        // tokens.
+        let mut depth = 0usize;
+        let mut opened = false;
+        while i < pre.masked.len() {
+            let line = &pre.masked[i];
+            for pos in word_positions(line, enum_name) {
+                if let Some(rest) = line[pos..].strip_prefix(&qualifier) {
+                    let v: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !v.is_empty() && !out.variants.contains(&v) {
+                        out.variants.push(v);
+                    }
+                }
+            }
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            i += 1;
+            if opened && depth == 0 {
+                break;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,131 @@
+//! Regression test for the codec-coverage rule.
+//!
+//! The fixture `tests/fixtures/wire_codec_violation.rs` is a synthetic
+//! crate file defining two wire-vocabulary enums. The test pins exactly
+//! what is flagged: `Op::Get` (decoded but never encoded) and the
+//! `Command` enum (no codec impls outside `#[cfg(test)]`), while the
+//! annotated `Op::Probe` and the `OpKind` decoy impls stay silent.
+
+use canon_audit::lint::{check_codec_coverage, SourceFile, WIRE_VOCAB_CRATES, WIRE_VOCAB_ENUMS};
+
+const VIOLATION: &str = include_str!("fixtures/wire_codec_violation.rs");
+const CLEAN: &str = include_str!("fixtures/wire_codec_clean.rs");
+
+fn lint_one(content: &str) -> Vec<canon_audit::lint::Finding> {
+    check_codec_coverage(&[SourceFile {
+        crate_name: "canon-node",
+        path: "crates/canon-node/src/msg.rs",
+        content,
+    }])
+}
+
+#[test]
+fn canon_node_wire_vocabulary_is_audited() {
+    assert!(WIRE_VOCAB_CRATES.contains(&"canon-node"));
+    for name in ["Op", "Command", "Payload", "RpcResult"] {
+        assert!(WIRE_VOCAB_ENUMS.contains(&name), "{name} must be audited");
+    }
+}
+
+#[test]
+fn rule_flags_missing_arms_and_missing_impls() {
+    let findings = lint_one(VIOLATION);
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![12, 17, 17], "{findings:?}");
+    assert!(
+        findings[0].message.contains("`Op::Get` has no encode arm"),
+        "{}",
+        findings[0].message
+    );
+    assert!(
+        findings[1]
+            .message
+            .contains("no `impl WireEncode for Command`"),
+        "{}",
+        findings[1].message
+    );
+    assert!(
+        findings[2]
+            .message
+            .contains("no `impl WireDecode for Command`"),
+        "{}",
+        findings[2].message
+    );
+}
+
+#[test]
+fn annotated_variants_and_decoy_impls_are_silent() {
+    let findings = lint_one(VIOLATION);
+    // `Op::Probe` (line 14) is missing from both sides but annotated;
+    // `OpKind` (line 22) is not wire vocabulary at all, and its impls
+    // must not be mistaken for `Op`'s through the identifier prefix.
+    for clean_line in [10, 11, 14, 22, 23] {
+        assert!(
+            findings.iter().all(|f| f.line != clean_line),
+            "line {clean_line} must be clean: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn full_coverage_is_clean() {
+    let findings = lint_one(CLEAN);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn the_real_canon_node_crate_has_full_codec_coverage() {
+    let src_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .join("canon-node")
+        .join("src");
+    let mut loaded: Vec<(String, String)> = Vec::new();
+    let mut stack = vec![src_dir];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read canon-node/src") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                loaded.push((
+                    path.to_string_lossy().into_owned(),
+                    std::fs::read_to_string(&path).expect("read source"),
+                ));
+            }
+        }
+    }
+    let files: Vec<SourceFile<'_>> = loaded
+        .iter()
+        .map(|(path, content)| SourceFile {
+            crate_name: "canon-node",
+            path,
+            content,
+        })
+        .collect();
+    let findings = check_codec_coverage(&files);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // The rule must actually be looking at something: drop the codec
+    // module from the file set and every vocabulary enum lights up.
+    let without_wire: Vec<SourceFile<'_>> = files
+        .iter()
+        .filter(|f| !f.path.ends_with("wire.rs"))
+        .map(|f| SourceFile {
+            crate_name: f.crate_name,
+            path: f.path,
+            content: f.content,
+        })
+        .collect();
+    assert!(without_wire.len() < files.len(), "wire.rs must exist");
+    let findings = check_codec_coverage(&without_wire);
+    let missing_impls = findings
+        .iter()
+        .filter(|f| f.message.contains("has no `impl Wire"))
+        .count();
+    assert_eq!(
+        missing_impls,
+        2 * WIRE_VOCAB_ENUMS.len(),
+        "every enum must be flagged for both missing impls: {findings:?}"
+    );
+}

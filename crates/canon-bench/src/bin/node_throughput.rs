@@ -17,11 +17,19 @@
 //!
 //! `--json` emits one machine-readable JSON object (the committed baseline
 //! `results/BENCH_node_throughput.json`); the default is an aligned table.
+//! `--transport framed` swaps in `canon_node::FramedTransport`, so every
+//! message round-trips through the wire codec in batched length-prefixed
+//! frames; the row then reports wire bytes, bytes/frames per request and
+//! the batching saving (all zero under the default channel transport).
 
 use canon::crescendo::build_crescendo;
-use canon_bench::{banner, emit_row, row, BenchConfig, MonotonicClock, PhaseTimer};
+use canon_bench::{
+    banner, emit_row, row, BenchConfig, MonotonicClock, PhaseTimer, TransportChoice,
+};
 use canon_hierarchy::{Hierarchy, Placement};
-use canon_node::{from_graph, ChannelTransport, Command, Op, RpcConfig, RuntimeConfig};
+use canon_node::{
+    from_graph, ChannelTransport, Command, FramedTransport, Op, RpcConfig, RuntimeConfig, Transport,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -67,10 +75,16 @@ fn main() {
         let h = Hierarchy::balanced(4, 3);
         let p = Placement::uniform(&h, n, seed);
         let net = build_crescendo(&h, &p);
+        let transport: Arc<dyn Transport> = match cfg.transport {
+            TransportChoice::Channel => Arc::new(ChannelTransport::new(1)),
+            // Same channel underneath; every message additionally
+            // round-trips through the wire codec in batched frames.
+            TransportChoice::Framed => Arc::new(FramedTransport::new(ChannelTransport::new(1))),
+        };
         from_graph(
             net.graph(),
             Arc::new(MonotonicClock::new(TICK)),
-            Arc::new(ChannelTransport::new(1)),
+            transport,
             rt_config,
         )
     });
@@ -105,8 +119,13 @@ fn main() {
         completions.iter().map(|c| f64::from(c.hops)).sum::<f64>() / completions.len() as f64
     };
     let throughput = summary.completed as f64 / drive.as_secs_f64();
+    // Wire accounting is zero for the unframed channel stack, which never
+    // serializes anything.
+    let wire = rt.wire_summary().unwrap_or_default();
+    let per_req = |v: u64| v as f64 / requests as f64;
 
     let pairs = [
+        ("transport", cfg.transport.name().to_string()),
         ("nodes", n.to_string()),
         ("requests", requests.to_string()),
         ("injected", summary.injected.to_string()),
@@ -125,6 +144,10 @@ fn main() {
             format!("{:.3}", times.construct.as_secs_f64()),
         ),
         ("drive_s", format!("{:.3}", drive.as_secs_f64())),
+        ("wire_bytes", wire.bytes.to_string()),
+        ("bytes_per_req", format!("{:.1}", per_req(wire.bytes))),
+        ("frames_per_req", format!("{:.3}", per_req(wire.frames))),
+        ("batch_saving", format!("{:.3}", wire.batching_savings())),
         (
             "zero_loss",
             if summary.zero_loss() { "pass" } else { "FAIL" }.to_string(),
@@ -146,5 +169,9 @@ fn main() {
         rtt.len() as u64,
         summary.completed - summary.timed_out,
         "every answered request must contribute one latency sample"
+    );
+    assert_eq!(
+        wire.decode_errors, 0,
+        "wire codec round-trip failed in flight"
     );
 }

@@ -1,0 +1,28 @@
+//! Emits the maximum encoded wire size per message variant, as JSON
+//! Lines — the committed `results/wire_sizes.json` baseline behind the
+//! size regression gate (`canon-node/tests/wire_size_gate.rs`).
+//!
+//! Sizes come from `canon_node::wire::samples::max_encoded_sizes`: for
+//! every `Op`, `RpcResult` and `Payload` variant, the maximum over a
+//! bounded worst-case instance (maximal integers, capped collections)
+//! and a deterministic sample sweep. The gate recomputes the same sweep
+//! and fails if any variant's encoding has grown past the committed
+//! bound — growing a message is a deliberate act, recorded by
+//! regenerating this file.
+
+use canon_bench::{json_object, BenchConfig};
+use canon_id::rng::Seed;
+use canon_node::wire::samples;
+
+/// Deterministic sample rounds per variant (matches the gate test).
+const SAMPLES: usize = 512;
+
+fn main() {
+    let cfg = BenchConfig::from_args(1024, 1);
+    for (variant, max_bytes) in samples::max_encoded_sizes(Seed(cfg.base_seed), SAMPLES) {
+        println!(
+            "{}",
+            json_object(&[("variant", variant), ("max_bytes", max_bytes.to_string()),])
+        );
+    }
+}

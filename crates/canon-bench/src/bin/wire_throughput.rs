@@ -1,0 +1,246 @@
+//! Wire-codec cost on the live-traffic load harness: the
+//! `node_throughput` workload driven over both transport stacks in one
+//! process.
+//!
+//! Two phases per run:
+//!
+//! 1. **Equivalence** (virtual clock, deterministic): the same seed is
+//!    driven over `ChannelTransport` and `FramedTransport`; the run
+//!    **fails** unless both satisfy zero-loss accounting and their
+//!    cluster summaries and completion records are byte-identical — the
+//!    codec and framing layer must be observably free.
+//! 2. **Throughput** (monotonic clock, measured): the workload runs under
+//!    real time over each stack, reporting requests per second, wire
+//!    bytes and frames per request, and the batching saving (actual frame
+//!    bytes vs the one-frame-per-message counterfactual), plus the
+//!    framed/channel throughput ratio.
+//!
+//! `--json` emits JSON Lines (the committed baseline
+//! `results/BENCH_wire_throughput.json`); the default is aligned tables.
+
+use canon::crescendo::build_crescendo;
+use canon_bench::{
+    banner, emit_row, json_object, row, BenchConfig, MonotonicClock, PhaseTimer, TransportChoice,
+};
+use canon_hierarchy::{Hierarchy, Placement};
+use canon_id::rng::Seed;
+use canon_node::{
+    from_graph, ChannelTransport, Clock, Command, FramedTransport, Op, RpcConfig, Runtime,
+    RuntimeConfig, Summary, Transport, VirtualClock, WireSummary,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests injected per node (matches `node_throughput`).
+const REQUESTS_PER_NODE: u64 = 100;
+
+/// Real-time length of one runtime tick in the throughput phase.
+const TICK: Duration = Duration::from_micros(20);
+
+/// Builds the cluster and injects the full `node_throughput` storm.
+fn loaded_runtime(n: usize, seed: Seed, choice: TransportChoice, clock: Arc<dyn Clock>) -> Runtime {
+    let h = Hierarchy::balanced(4, 3);
+    let p = Placement::uniform(&h, n, seed);
+    let net = build_crescendo(&h, &p);
+    let transport: Arc<dyn Transport> = match choice {
+        TransportChoice::Channel => Arc::new(ChannelTransport::new(1)),
+        TransportChoice::Framed => Arc::new(FramedTransport::new(ChannelTransport::new(1))),
+    };
+    let rt_config = RuntimeConfig {
+        // No loss on either stack, so deadlines are only a safety net;
+        // a generous value makes retransmissions impossible under load.
+        rpc: RpcConfig {
+            timeout: 1 << 40,
+            max_retries: 1,
+        },
+        ..RuntimeConfig::default()
+    };
+    let mut rt = from_graph(net.graph(), clock, transport, rt_config);
+    let ids = rt.ids();
+    let requests = REQUESTS_PER_NODE * n as u64;
+    let traffic = seed.derive("traffic");
+    for i in 0..requests {
+        let r = traffic.derive_index(i).0;
+        let origin = ids[(r % ids.len() as u64) as usize];
+        let key = traffic.derive_index(i).derive("key").0 % (n as u64 * 16);
+        let op = match i % 4 {
+            0 | 1 => Op::Lookup { key },
+            2 => Op::Put { key, value: r },
+            _ => Op::Get { key },
+        };
+        rt.inject(origin, Command::Issue(op));
+    }
+    rt
+}
+
+/// One full drive of the storm; returns what the comparisons need.
+struct Outcome {
+    summary: Summary,
+    wire: WireSummary,
+    completions: usize,
+    drive: Duration,
+    digest: u64,
+}
+
+fn drive(n: usize, seed: Seed, choice: TransportChoice, clock: Arc<dyn Clock>) -> Outcome {
+    let rt = loaded_runtime(n, seed, choice, clock);
+    let mut times = PhaseTimer::default();
+    times.measure(|| rt.run_until_idle());
+    let completions = rt.completions();
+    // An order-sensitive fingerprint over every completion record, so the
+    // equivalence phase compares full outcomes, not just aggregates.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for c in &completions {
+        for v in [
+            c.origin.raw(),
+            c.req,
+            c.key,
+            u64::from(c.hops),
+            u64::from(c.attempts),
+            c.value.unwrap_or(u64::MAX),
+            c.issued_at,
+            c.completed_at,
+        ] {
+            digest = (digest ^ v).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    Outcome {
+        summary: rt.summary(),
+        wire: rt.wire_summary().unwrap_or_default(),
+        completions: completions.len(),
+        drive: times.measure,
+        digest,
+    }
+}
+
+fn check_zero_loss(label: &str, summary: &Summary, wire: &WireSummary) {
+    assert!(
+        summary.zero_loss(),
+        "{label}: zero-loss accounting violated: injected={} completed={} duplicates={}",
+        summary.injected,
+        summary.completed,
+        summary.duplicates
+    );
+    assert_eq!(
+        wire.decode_errors, 0,
+        "{label}: wire codec round-trip failed in flight"
+    );
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args(1024, 1);
+    let n = cfg.max_n;
+    let requests = REQUESTS_PER_NODE * n as u64;
+    let seed = cfg.trial_seed("node-throughput", 0);
+    if !cfg.json {
+        banner(
+            "wire_throughput",
+            "wire codec + framed transport: equivalence and throughput vs the channel stack",
+            &cfg,
+        );
+    }
+
+    // Phase 1 — equivalence under the virtual clock: byte-identical
+    // outcomes or the run fails.
+    let chan = drive(
+        n,
+        seed,
+        TransportChoice::Channel,
+        Arc::new(VirtualClock::new()),
+    );
+    let framed = drive(
+        n,
+        seed,
+        TransportChoice::Framed,
+        Arc::new(VirtualClock::new()),
+    );
+    check_zero_loss("virtual/channel", &chan.summary, &chan.wire);
+    check_zero_loss("virtual/framed", &framed.summary, &framed.wire);
+    assert_eq!(
+        chan.summary, framed.summary,
+        "framing changed the cluster summary"
+    );
+    assert_eq!(
+        (chan.completions, chan.digest),
+        (framed.completions, framed.digest),
+        "framing changed the completion records"
+    );
+    assert!(framed.wire.frames > 0, "framed run accounted no frames");
+    let equivalence = [
+        ("phase", "equivalence".to_string()),
+        ("nodes", n.to_string()),
+        ("requests", requests.to_string()),
+        ("summaries_equal", "pass".to_string()),
+        ("completions_equal", "pass".to_string()),
+        ("zero_loss", "pass".to_string()),
+        ("decode_errors", framed.wire.decode_errors.to_string()),
+        ("completion_digest", format!("{:016x}", framed.digest)),
+    ];
+    if cfg.json {
+        println!("{}", json_object(&equivalence));
+    } else {
+        println!(
+            "# equivalence: summaries and {} completions byte-identical across transports",
+            framed.completions
+        );
+    }
+
+    // Phase 2 — throughput under the monotonic clock.
+    let mut header = true;
+    let mut rps = [0.0f64; 2];
+    for (slot, choice) in [TransportChoice::Channel, TransportChoice::Framed]
+        .into_iter()
+        .enumerate()
+    {
+        let out = drive(n, seed, choice, Arc::new(MonotonicClock::new(TICK)));
+        check_zero_loss(choice.name(), &out.summary, &out.wire);
+        let throughput = out.summary.completed as f64 / out.drive.as_secs_f64();
+        rps[slot] = throughput;
+        let per_req = |v: u64| v as f64 / requests as f64;
+        let pairs = [
+            ("phase", "throughput".to_string()),
+            ("transport", choice.name().to_string()),
+            ("nodes", n.to_string()),
+            ("requests", requests.to_string()),
+            ("completed", out.summary.completed.to_string()),
+            ("throughput_rps", format!("{throughput:.0}")),
+            ("drive_s", format!("{:.3}", out.drive.as_secs_f64())),
+            ("wire_bytes", out.wire.bytes.to_string()),
+            ("bytes_per_req", format!("{:.1}", per_req(out.wire.bytes))),
+            ("frames_per_req", format!("{:.3}", per_req(out.wire.frames))),
+            (
+                "msgs_per_frame",
+                format!("{:.2}", out.wire.msgs_per_frame()),
+            ),
+            (
+                "batch_saving",
+                format!("{:.3}", out.wire.batching_savings()),
+            ),
+            (
+                "zero_loss",
+                if out.summary.zero_loss() {
+                    "pass"
+                } else {
+                    "FAIL"
+                }
+                .to_string(),
+            ),
+        ];
+        if header && !cfg.json {
+            row(&pairs.iter().map(|(k, _)| k.to_string()).collect::<Vec<_>>());
+            header = false;
+        }
+        emit_row(&cfg, &pairs);
+    }
+
+    let ratio = rps[1] / rps[0];
+    let ratio_pairs = [
+        ("phase", "ratio".to_string()),
+        ("framed_over_channel_rps", format!("{ratio:.3}")),
+    ];
+    if cfg.json {
+        println!("{}", json_object(&ratio_pairs));
+    } else {
+        println!("# framed/channel throughput ratio: {ratio:.3}");
+    }
+}

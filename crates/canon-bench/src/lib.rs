@@ -12,7 +12,10 @@
 //! * `--threads <T>` — worker threads for parallel construction and the
 //!   trial matrix (default: all cores; `0` also means all cores);
 //! * `--json` — emit machine-readable JSON Lines (one object per record)
-//!   instead of aligned text tables, for committed perf baselines.
+//!   instead of aligned text tables, for committed perf baselines;
+//! * `--transport <channel|framed>` — transport stack for the node-runtime
+//!   load harnesses (`node_throughput`, `wire_throughput`); static
+//!   experiments ignore it.
 //!
 //! `--threads` is wired straight into [`canon_par::set_global_threads`],
 //! which both the construction pipeline (`canon::engine::build_canonical`,
@@ -38,6 +41,27 @@ use canon_overlay::{NodeIndex, OverlayGraph};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Which transport stack a node-runtime load harness drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// The in-process channel transport: payloads move as enum values.
+    Channel,
+    /// The channel transport wrapped in `canon_node::FramedTransport`:
+    /// every message round-trips through the wire codec in
+    /// length-prefixed, batched frames with byte accounting.
+    Framed,
+}
+
+impl TransportChoice {
+    /// The flag spelling (`channel` / `framed`), as emitted in rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportChoice::Channel => "channel",
+            TransportChoice::Framed => "framed",
+        }
+    }
+}
+
 /// Command-line configuration shared by the experiment binaries.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchConfig {
@@ -51,6 +75,9 @@ pub struct BenchConfig {
     pub threads: usize,
     /// Emit machine-readable JSON Lines instead of aligned text tables.
     pub json: bool,
+    /// Transport stack for node-runtime harnesses (`--transport`; ignored
+    /// by the static binaries, which never open a transport).
+    pub transport: TransportChoice,
 }
 
 impl BenchConfig {
@@ -67,6 +94,7 @@ impl BenchConfig {
             base_seed: 42,
             threads: 0,
             json: false,
+            transport: TransportChoice::Channel,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
@@ -96,9 +124,18 @@ impl BenchConfig {
                     cfg.threads = value(&args, i, "--threads");
                 }
                 "--json" => cfg.json = true,
+                "--transport" => {
+                    i += 1;
+                    cfg.transport = match args.get(i).map(String::as_str) {
+                        Some("channel") => TransportChoice::Channel,
+                        Some("framed") => TransportChoice::Framed,
+                        _ => panic!("--transport takes `channel` or `framed`"),
+                    };
+                }
                 other => {
                     panic!(
-                        "unknown argument {other}; try --quick/--max-n/--seeds/--seed/--threads/--json"
+                        "unknown argument {other}; try \
+                         --quick/--max-n/--seeds/--seed/--threads/--json/--transport"
                     )
                 }
             }
@@ -430,6 +467,7 @@ mod tests {
             base_seed: 7,
             threads: 0,
             json: false,
+            transport: TransportChoice::Channel,
         }
     }
 

@@ -31,6 +31,10 @@
 //! * [`transport`] — envelopes, mailboxes, the in-process channel
 //!   transport and the deterministic fault-injecting wrapper;
 //! * [`msg`] — the wire vocabulary and completion records;
+//! * [`wire`] — canon-wire codec impls pinning the binary layout of the
+//!   wire vocabulary, plus size-bound sample generators;
+//! * [`framed`] — the framing layer: length-prefixed frames, batching,
+//!   per-link byte accounting, frame-granular fault semantics;
 //! * [`rpc`] — request ids, deadlines, bounded retry with exponential
 //!   backoff, the in-flight table;
 //! * [`node`] — per-node actor state and the protocol state machine;
@@ -49,6 +53,7 @@
 
 pub mod clock;
 pub mod cluster;
+pub mod framed;
 #[cfg(feature = "model")]
 pub mod model;
 pub mod msg;
@@ -58,13 +63,17 @@ pub mod rpc;
 pub mod runtime;
 pub mod shard;
 pub mod transport;
+pub mod wire;
 
 pub use clock::{Clock, Tick, VirtualClock};
 pub use cluster::from_graph;
+pub use framed::{FrameEvent, FrameLedger, FrameObserver, FramedTransport, LinkBytes, WireSummary};
 pub use msg::{Command, Completion, JoinGrant, Op, OpKind, Outcome, Payload, RpcResult};
 pub use node::{LatencySink, NodeStats};
 pub use remote::RemoteShard;
 pub use rpc::{RetryDecision, RpcConfig, RpcTable};
 pub use runtime::{ReplicationStatus, Runtime, RuntimeConfig, Summary};
 pub use shard::{Shard, ShardBackend};
-pub use transport::{ChannelTransport, Envelope, FaultyTransport, Mailboxes, Transport};
+pub use transport::{
+    ChannelTransport, Envelope, FaultyTransport, FramingView, Mailboxes, Transport,
+};

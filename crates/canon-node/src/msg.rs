@@ -253,6 +253,22 @@ pub enum Payload {
     },
 }
 
+impl Payload {
+    /// A stable label for the payload's variant, used by the wire layer's
+    /// per-payload-kind byte accounting.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::Client(_) => "client",
+            Payload::Request { .. } => "request",
+            Payload::Response { .. } => "response",
+            Payload::Replicate { .. } => "replicate",
+            Payload::RepairJoin { .. } => "repair-join",
+            Payload::LeaveHandoff { .. } => "leave-handoff",
+            Payload::LeaveNotice { .. } => "leave-notice",
+        }
+    }
+}
+
 /// How a request ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Outcome {

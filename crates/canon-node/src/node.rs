@@ -132,6 +132,12 @@ pub(crate) struct NodeState {
     /// Routed requests that arrived before this node joined, replayed in
     /// arrival order by [`NodeState::apply_grant`].
     pub deferred: Vec<(NodeId, u64, u32, u32, Op)>,
+    /// Messages staged for the framing layer this round as
+    /// `(destination slot, envelope)`. Only used when the transport stack
+    /// frames ([`Transport::framing`] returns a view); the runtime flushes
+    /// it into coalesced frames at the end of the node's round. Always
+    /// empty between rounds.
+    pub outbox: Vec<(usize, Envelope<Payload>)>,
     /// Model-checking fault: grant joins but "forget" to attach the
     /// handed-over shard entries (they are still removed locally) — the
     /// seeded lost-key-range bug the protocol checker's regression test
@@ -178,6 +184,7 @@ impl NodeState {
             dead: false,
             joined,
             deferred: Vec::new(),
+            outbox: Vec::new(),
             #[cfg(feature = "model")]
             broken_handover: false,
             stats: NodeStats::default(),
@@ -259,18 +266,40 @@ impl NodeState {
             return None;
         };
         self.seq += 1;
-        let sent = net.boxes.send(
-            net.transport,
-            slot,
-            Envelope {
-                from: self.id,
-                to,
-                sent_at: net.now,
-                deliver_at: 0,
-                seq: self.seq,
-                payload,
+        let env = Envelope {
+            from: self.id,
+            to,
+            sent_at: net.now,
+            deliver_at: 0,
+            seq: self.seq,
+            payload,
+        };
+        let sent = match net.transport.framing() {
+            // Unframed stack: straight into the destination mailbox.
+            None => net.boxes.send(net.transport, slot, env),
+            // Faults sit *outside* the framing layer, so fate is decided
+            // per frame, not per message: stage unconditionally and let
+            // the end-of-round flush ask the transport once per frame.
+            // Delivery is reported optimistically (a dropped frame
+            // surfaces as a timeout and retransmit at the origin).
+            Some(view) if view.per_frame => {
+                self.outbox.push((slot, env));
+                return Some(net.now + 1);
+            }
+            // Faults (if any) sit *inside* the framing layer: decide this
+            // message's fate and delivery tick now, with its own sequence
+            // number — exactly as an unframed run would — and stage the
+            // survivors for coalescing by delivery tick.
+            Some(_) => match net.transport.schedule(net.now, self.id, to, self.seq) {
+                Some(t) => {
+                    let mut env = env;
+                    env.deliver_at = t;
+                    self.outbox.push((slot, env));
+                    Some(t)
+                }
+                None => None,
             },
-        );
+        };
         if sent.is_none() {
             self.stats.network_drops += 1;
         }

@@ -30,6 +30,7 @@
 //! byte-identical event log on 1, 4 and 8 worker threads.
 
 use crate::clock::{Clock, Tick};
+use crate::framed::{self, LinkBytes, WireSummary};
 use crate::msg::{Command, Completion, Outcome, Payload};
 use crate::node::{Net, NodeState, NodeStats};
 use crate::rpc::RpcConfig;
@@ -90,7 +91,7 @@ pub struct ReplicationStatus {
 }
 
 /// Cluster-wide accounting, aggregated over every node.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Summary {
     /// Client requests injected (each owes exactly one completion).
     pub injected: u64,
@@ -318,6 +319,14 @@ impl Runtime {
             state.handle(&net, env);
         }
         n += state.fire_timers(&net);
+        // With a framing transport in the stack, sends were staged instead
+        // of entering mailboxes; coalesce them into frames, round-trip each
+        // frame through the wire codec and deliver the decoded envelopes —
+        // all while this node's lock is still held, so the round stays one
+        // atomic unit per node.
+        if let Some(view) = self.transport.framing() {
+            framed::flush_outbox(&self.boxes, self.transport.as_ref(), view, &mut state, now);
+        }
         n
     }
 
@@ -434,6 +443,22 @@ impl Runtime {
         sum
     }
 
+    /// Aggregated wire-layer accounting when the transport stack frames
+    /// (see [`crate::framed`]), or `None` for an unframed stack. Kept out
+    /// of [`Summary`] so framed and unframed runs of the same workload
+    /// produce byte-identical summaries.
+    pub fn wire_summary(&self) -> Option<WireSummary> {
+        self.transport.framing().map(|view| view.ledger.summary())
+    }
+
+    /// Per-link wire byte counters when the transport stack frames, keyed
+    /// by directed `(from, to)` node pairs; `None` for an unframed stack.
+    pub fn link_bytes(&self) -> Option<BTreeMap<(NodeId, NodeId), LinkBytes>> {
+        self.transport
+            .framing()
+            .map(|view| view.ledger.link_bytes())
+    }
+
     fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&mut NodeState) -> R) -> R {
         let slot = *self
             .directory
@@ -548,7 +573,13 @@ impl Runtime {
             directory: &self.directory,
             now,
         };
-        lock_unpoisoned(&self.states[slot]).handle(&net, env);
+        let mut state = lock_unpoisoned(&self.states[slot]);
+        state.handle(&net, env);
+        // A framing transport stages sends; flush so the checker sees the
+        // handler's outgoing messages queued, same as a stepped round.
+        if let Some(view) = self.transport.framing() {
+            framed::flush_outbox(&self.boxes, self.transport.as_ref(), view, &mut state, now);
+        }
         true
     }
 

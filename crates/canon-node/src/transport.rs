@@ -102,6 +102,34 @@ pub trait Transport: Send + Sync {
     /// Returns the tick at which a message sent now from `from` to `to`
     /// arrives, or `None` if the network drops it.
     fn schedule(&self, now: Tick, from: NodeId, to: NodeId, seq: u64) -> Option<Tick>;
+
+    /// The framing layer in this transport stack, if any. The default —
+    /// no framing — moves payloads as in-process enum values; a
+    /// [`FramedTransport`](crate::framed::FramedTransport) anywhere in the
+    /// stack makes the runtime serialize every message through the wire
+    /// codec into length-prefixed frames (see [`crate::framed`]). Wrappers
+    /// that delegate `schedule` must forward this too, adjusting
+    /// [`FramingView::per_frame`] if they inject faults *outside* the
+    /// framing layer.
+    fn framing(&self) -> Option<FramingView<'_>> {
+        None
+    }
+}
+
+/// A borrowed view of the framing layer inside a transport stack: the
+/// frame ledger to account bytes against, and whether fault decisions are
+/// taken per frame (a [`FaultyTransport`] wraps the framer) or per message
+/// (the framer wraps the faults).
+#[derive(Clone, Copy)]
+pub struct FramingView<'a> {
+    /// The framing layer's byte ledger and loss accounting.
+    pub ledger: &'a crate::framed::FrameLedger,
+    /// `true` when a fault-injecting wrapper sits *outside* the framing
+    /// layer: the runtime then schedules one transport decision per frame,
+    /// so a loss drops every coalesced message atomically. `false` means
+    /// fates are decided per message (identically to an unframed run) and
+    /// only surviving messages are coalesced.
+    pub per_frame: bool,
 }
 
 /// The reliable in-process channel: fixed latency, no loss.
@@ -212,6 +240,15 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             (fate >> 10) % (self.jitter + 1)
         };
         Some(base + extra)
+    }
+
+    /// Faults injected outside a framing layer act on whole frames: one
+    /// loss/jitter decision per frame, not per coalesced message.
+    fn framing(&self) -> Option<FramingView<'_>> {
+        self.inner.framing().map(|view| FramingView {
+            per_frame: true,
+            ..view
+        })
     }
 }
 

@@ -1,0 +1,780 @@
+//! Wire codec for the node runtime's message vocabulary.
+//!
+//! [`canon_wire`] owns the layout primitives (varints, fixed-width ints,
+//! length prefixes, tag bytes); this module pins the **message schema**:
+//! one explicit tag byte per enum variant, identifier-space points
+//! (node ids, keys, stored values) as fixed 8-byte integers, counters
+//! (request ids, ticks, hop counts, lengths) as varints. The tag values
+//! are part of the wire format — reordering enum declarations must not
+//! change the encoding, so every arm spells its tag literally.
+//!
+//! canon-audit's `codec-coverage` lint cross-checks this module against
+//! `msg.rs`: every variant of `Op`, `Command`, `Payload` and `RpcResult`
+//! must appear in both the `WireEncode` and the `WireDecode` impl here, so
+//! a new message variant cannot land without a wire encoding.
+//!
+//! The [`samples`] submodule generates deterministic worst-case values per
+//! variant for the committed size budget in `results/wire_sizes.json`.
+
+use crate::msg::{Command, JoinGrant, Op, Payload, RpcResult};
+use crate::transport::Envelope;
+use canon_wire::{Decoder, Encoder, WireDecode, WireEncode, WireError};
+
+/// Encodes a `(key, value)` entry list: varint count, then fixed 8-byte
+/// pairs (shard entries are identifier-space points, not counters).
+fn encode_entries(e: &mut Encoder<'_>, entries: &[(u64, u64)]) {
+    e.varint(entries.len() as u64);
+    for &(k, v) in entries {
+        e.u64_fixed(k);
+        e.u64_fixed(v);
+    }
+}
+
+/// Decodes a `(key, value)` entry list written by [`encode_entries`].
+fn decode_entries(d: &mut Decoder<'_>) -> Result<Vec<(u64, u64)>, WireError> {
+    let len = d.varint()?;
+    let len = usize::try_from(len).map_err(|_| WireError::Truncated)?;
+    // 16 bytes per entry: an over-claimed count is truncation, caught
+    // before allocation.
+    if len > d.remaining() / 16 {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let k = d.u64_fixed()?;
+        let v = d.u64_fixed()?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+impl WireEncode for Op {
+    fn encode(&self, e: &mut Encoder<'_>) {
+        match *self {
+            Op::Lookup { key } => {
+                e.tag(0);
+                e.u64_fixed(key);
+            }
+            Op::Put { key, value } => {
+                e.tag(1);
+                e.u64_fixed(key);
+                e.u64_fixed(value);
+            }
+            Op::Get { key } => {
+                e.tag(2);
+                e.u64_fixed(key);
+            }
+            Op::Join { joiner } => {
+                e.tag(3);
+                e.encode(&joiner);
+            }
+            Op::Status { key } => {
+                e.tag(4);
+                e.u64_fixed(key);
+            }
+            Op::Pin { key } => {
+                e.tag(5);
+                e.u64_fixed(key);
+            }
+            Op::Unpin { key } => {
+                e.tag(6);
+                e.u64_fixed(key);
+            }
+        }
+    }
+}
+
+impl WireDecode for Op {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match d.tag()? {
+            0 => Op::Lookup {
+                key: d.u64_fixed()?,
+            },
+            1 => Op::Put {
+                key: d.u64_fixed()?,
+                value: d.u64_fixed()?,
+            },
+            2 => Op::Get {
+                key: d.u64_fixed()?,
+            },
+            3 => Op::Join {
+                joiner: d.decode()?,
+            },
+            4 => Op::Status {
+                key: d.u64_fixed()?,
+            },
+            5 => Op::Pin {
+                key: d.u64_fixed()?,
+            },
+            6 => Op::Unpin {
+                key: d.u64_fixed()?,
+            },
+            tag => return Err(WireError::BadTag { ty: "Op", tag }),
+        })
+    }
+}
+
+impl WireEncode for Command {
+    fn encode(&self, e: &mut Encoder<'_>) {
+        match self {
+            Command::Issue(op) => {
+                e.tag(0);
+                e.encode(op);
+            }
+            Command::Join { bootstrap } => {
+                e.tag(1);
+                e.encode(bootstrap);
+            }
+            Command::Leave => e.tag(2),
+        }
+    }
+}
+
+impl WireDecode for Command {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match d.tag()? {
+            0 => Command::Issue(d.decode()?),
+            1 => Command::Join {
+                bootstrap: d.decode()?,
+            },
+            2 => Command::Leave,
+            tag => return Err(WireError::BadTag { ty: "Command", tag }),
+        })
+    }
+}
+
+impl WireEncode for JoinGrant {
+    fn encode(&self, e: &mut Encoder<'_>) {
+        e.encode(&self.predecessor);
+        e.encode(&self.links);
+        e.encode(&self.succ_list);
+        encode_entries(e, &self.shard);
+    }
+}
+
+impl WireDecode for JoinGrant {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(JoinGrant {
+            predecessor: d.decode()?,
+            links: d.decode()?,
+            succ_list: d.decode()?,
+            shard: decode_entries(d)?,
+        })
+    }
+}
+
+impl WireEncode for RpcResult {
+    fn encode(&self, e: &mut Encoder<'_>) {
+        match self {
+            RpcResult::Found { responsible } => {
+                e.tag(0);
+                e.encode(responsible);
+            }
+            RpcResult::Stored { primary, replicas } => {
+                e.tag(1);
+                e.encode(primary);
+                e.encode(replicas);
+            }
+            RpcResult::Value { value, served_by } => {
+                e.tag(2);
+                // Stored values are identifier-space hashes: fixed width,
+                // not the varint the generic `Option<u64>` impl would use.
+                match value {
+                    None => e.tag(0),
+                    Some(v) => {
+                        e.tag(1);
+                        e.u64_fixed(*v);
+                    }
+                }
+                e.encode(served_by);
+            }
+            RpcResult::Granted(grant) => {
+                e.tag(3);
+                e.encode(grant);
+            }
+            RpcResult::Status {
+                primary,
+                expected,
+                pinned,
+            } => {
+                e.tag(4);
+                e.encode(primary);
+                e.encode(expected);
+                e.bool(*pinned);
+            }
+            RpcResult::PinAck { primary, pinned } => {
+                e.tag(5);
+                e.encode(primary);
+                e.bool(*pinned);
+            }
+        }
+    }
+}
+
+impl WireDecode for RpcResult {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match d.tag()? {
+            0 => RpcResult::Found {
+                responsible: d.decode()?,
+            },
+            1 => RpcResult::Stored {
+                primary: d.decode()?,
+                replicas: d.decode()?,
+            },
+            2 => RpcResult::Value {
+                value: match d.tag()? {
+                    0 => None,
+                    1 => Some(d.u64_fixed()?),
+                    tag => return Err(WireError::BadTag { ty: "Value", tag }),
+                },
+                served_by: d.decode()?,
+            },
+            3 => RpcResult::Granted(d.decode()?),
+            4 => RpcResult::Status {
+                primary: d.decode()?,
+                expected: d.decode()?,
+                pinned: d.bool()?,
+            },
+            5 => RpcResult::PinAck {
+                primary: d.decode()?,
+                pinned: d.bool()?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "RpcResult",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl WireEncode for Payload {
+    fn encode(&self, e: &mut Encoder<'_>) {
+        match self {
+            Payload::Client(cmd) => {
+                e.tag(0);
+                e.encode(cmd);
+            }
+            Payload::Request {
+                origin,
+                req,
+                attempt,
+                hops,
+                op,
+            } => {
+                e.tag(1);
+                e.encode(origin);
+                e.varint(*req);
+                e.encode(attempt);
+                e.encode(hops);
+                e.encode(op);
+            }
+            Payload::Response { req, hops, result } => {
+                e.tag(2);
+                e.varint(*req);
+                e.encode(hops);
+                e.encode(result);
+            }
+            Payload::Replicate { key, value } => {
+                e.tag(3);
+                e.u64_fixed(*key);
+                e.u64_fixed(*value);
+            }
+            Payload::RepairJoin { joined } => {
+                e.tag(4);
+                e.encode(joined);
+            }
+            Payload::LeaveHandoff { departing, shard } => {
+                e.tag(5);
+                e.encode(departing);
+                encode_entries(e, shard);
+            }
+            Payload::LeaveNotice {
+                departing,
+                successor,
+                predecessor,
+            } => {
+                e.tag(6);
+                e.encode(departing);
+                e.encode(successor);
+                e.encode(predecessor);
+            }
+        }
+    }
+}
+
+impl WireDecode for Payload {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match d.tag()? {
+            0 => Payload::Client(d.decode()?),
+            1 => Payload::Request {
+                origin: d.decode()?,
+                req: d.varint()?,
+                attempt: d.decode()?,
+                hops: d.decode()?,
+                op: d.decode()?,
+            },
+            2 => Payload::Response {
+                req: d.varint()?,
+                hops: d.decode()?,
+                result: d.decode()?,
+            },
+            3 => Payload::Replicate {
+                key: d.u64_fixed()?,
+                value: d.u64_fixed()?,
+            },
+            4 => Payload::RepairJoin {
+                joined: d.decode()?,
+            },
+            5 => Payload::LeaveHandoff {
+                departing: d.decode()?,
+                shard: decode_entries(d)?,
+            },
+            6 => Payload::LeaveNotice {
+                departing: d.decode()?,
+                successor: d.decode()?,
+                predecessor: d.decode()?,
+            },
+            tag => return Err(WireError::BadTag { ty: "Payload", tag }),
+        })
+    }
+}
+
+impl<M: WireEncode> WireEncode for Envelope<M> {
+    fn encode(&self, e: &mut Encoder<'_>) {
+        e.encode(&self.from);
+        e.encode(&self.to);
+        e.varint(self.sent_at);
+        e.varint(self.deliver_at);
+        e.varint(self.seq);
+        e.encode(&self.payload);
+    }
+}
+
+impl<M: WireDecode> WireDecode for Envelope<M> {
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Envelope {
+            from: d.decode()?,
+            to: d.decode()?,
+            sent_at: d.varint()?,
+            deliver_at: d.varint()?,
+            seq: d.varint()?,
+            payload: d.decode()?,
+        })
+    }
+}
+
+pub mod samples {
+    //! Deterministic per-variant sample values and encoded-size budgets.
+    //!
+    //! The first sample of every variant is the bounded worst case (all
+    //! numeric fields at `u64::MAX`/`u32::MAX`, collections at the cap
+    //! below); later samples are seeded draws. The maximum encoded size per
+    //! variant is therefore a stable function of the seed and sample count,
+    //! which is what makes `results/wire_sizes.json` a meaningful committed
+    //! budget: a variant's bound moves only when its schema does.
+
+    use super::*;
+    use canon_id::rng::{splitmix64, Seed};
+    use canon_id::NodeId;
+
+    /// Collection cap for sampled grants/handoffs: 64 links (one per
+    /// identifier bit), 16 successors, 64 shard entries. Real messages can
+    /// exceed the shard cap under mass handoff; the budget bounds the
+    /// *per-entry* schema, with the count varint free to grow.
+    pub const MAX_LINKS: usize = 64;
+    /// Sampled successor-list cap (default runtime config uses 8).
+    pub const MAX_SUCCS: usize = 16;
+    /// Sampled shard-entry cap for grants and handoffs.
+    pub const MAX_ENTRIES: usize = 64;
+
+    /// A tiny deterministic draw stream over [`splitmix64`] — the samplers
+    /// run inside canon-node, whose lint regime bans OS entropy outright.
+    struct Draw {
+        seed: Seed,
+        i: u64,
+    }
+
+    impl Draw {
+        fn new(seed: Seed) -> Draw {
+            Draw { seed, i: 0 }
+        }
+
+        fn next(&mut self) -> u64 {
+            self.i += 1;
+            splitmix64(self.seed.0 ^ splitmix64(self.i))
+        }
+
+        fn node(&mut self) -> NodeId {
+            NodeId::new(self.next())
+        }
+
+        fn nodes(&mut self, max: usize) -> Vec<NodeId> {
+            let len = (self.next() as usize) % (max + 1);
+            (0..len).map(|_| self.node()).collect()
+        }
+
+        fn entries(&mut self, max: usize) -> Vec<(u64, u64)> {
+            let len = (self.next() as usize) % (max + 1);
+            (0..len).map(|_| (self.next(), self.next())).collect()
+        }
+    }
+
+    fn full_grant() -> JoinGrant {
+        JoinGrant {
+            predecessor: NodeId::new(u64::MAX),
+            links: vec![NodeId::new(u64::MAX); MAX_LINKS],
+            succ_list: vec![NodeId::new(u64::MAX); MAX_SUCCS],
+            shard: vec![(u64::MAX, u64::MAX); MAX_ENTRIES],
+        }
+    }
+
+    fn drawn_grant(d: &mut Draw) -> JoinGrant {
+        JoinGrant {
+            predecessor: d.node(),
+            links: d.nodes(MAX_LINKS),
+            succ_list: d.nodes(MAX_SUCCS),
+            shard: d.entries(MAX_ENTRIES),
+        }
+    }
+
+    /// Every [`Op`] variant: `(label, worst case, seeded sample)`.
+    fn op_variants(d: &mut Draw) -> Vec<(&'static str, Op, Op)> {
+        vec![
+            (
+                "Op::Lookup",
+                Op::Lookup { key: u64::MAX },
+                Op::Lookup { key: d.next() },
+            ),
+            (
+                "Op::Put",
+                Op::Put {
+                    key: u64::MAX,
+                    value: u64::MAX,
+                },
+                Op::Put {
+                    key: d.next(),
+                    value: d.next(),
+                },
+            ),
+            (
+                "Op::Get",
+                Op::Get { key: u64::MAX },
+                Op::Get { key: d.next() },
+            ),
+            (
+                "Op::Join",
+                Op::Join {
+                    joiner: NodeId::new(u64::MAX),
+                },
+                Op::Join { joiner: d.node() },
+            ),
+            (
+                "Op::Status",
+                Op::Status { key: u64::MAX },
+                Op::Status { key: d.next() },
+            ),
+            (
+                "Op::Pin",
+                Op::Pin { key: u64::MAX },
+                Op::Pin { key: d.next() },
+            ),
+            (
+                "Op::Unpin",
+                Op::Unpin { key: u64::MAX },
+                Op::Unpin { key: d.next() },
+            ),
+        ]
+    }
+
+    /// Every [`RpcResult`] variant: `(label, worst case, seeded sample)`.
+    fn result_variants(d: &mut Draw) -> Vec<(&'static str, RpcResult, RpcResult)> {
+        vec![
+            (
+                "RpcResult::Found",
+                RpcResult::Found {
+                    responsible: NodeId::new(u64::MAX),
+                },
+                RpcResult::Found {
+                    responsible: d.node(),
+                },
+            ),
+            (
+                "RpcResult::Stored",
+                RpcResult::Stored {
+                    primary: NodeId::new(u64::MAX),
+                    replicas: u32::MAX,
+                },
+                RpcResult::Stored {
+                    primary: d.node(),
+                    replicas: (d.next() % 16) as u32,
+                },
+            ),
+            (
+                "RpcResult::Value",
+                RpcResult::Value {
+                    value: Some(u64::MAX),
+                    served_by: NodeId::new(u64::MAX),
+                },
+                RpcResult::Value {
+                    value: d.next().is_multiple_of(2).then(|| d.next()),
+                    served_by: d.node(),
+                },
+            ),
+            (
+                "RpcResult::Granted",
+                RpcResult::Granted(full_grant()),
+                RpcResult::Granted(drawn_grant(d)),
+            ),
+            (
+                "RpcResult::Status",
+                RpcResult::Status {
+                    primary: NodeId::new(u64::MAX),
+                    expected: u32::MAX,
+                    pinned: true,
+                },
+                RpcResult::Status {
+                    primary: d.node(),
+                    expected: (d.next() % 16) as u32,
+                    pinned: d.next().is_multiple_of(2),
+                },
+            ),
+            (
+                "RpcResult::PinAck",
+                RpcResult::PinAck {
+                    primary: NodeId::new(u64::MAX),
+                    pinned: true,
+                },
+                RpcResult::PinAck {
+                    primary: d.node(),
+                    pinned: d.next().is_multiple_of(2),
+                },
+            ),
+        ]
+    }
+
+    /// Every [`Payload`] variant: `(label, worst case, seeded sample)`.
+    /// The worst-case `Request`/`Response` wrap the largest inner value
+    /// (`Op::Put` resp. `RpcResult::Granted`).
+    fn payload_variants(d: &mut Draw) -> Vec<(&'static str, Payload, Payload)> {
+        vec![
+            (
+                "Payload::Client",
+                Payload::Client(Command::Issue(Op::Put {
+                    key: u64::MAX,
+                    value: u64::MAX,
+                })),
+                Payload::Client(Command::Issue(Op::Get { key: d.next() })),
+            ),
+            (
+                "Payload::Request",
+                Payload::Request {
+                    origin: NodeId::new(u64::MAX),
+                    req: u64::MAX,
+                    attempt: u32::MAX,
+                    hops: u32::MAX,
+                    op: Op::Put {
+                        key: u64::MAX,
+                        value: u64::MAX,
+                    },
+                },
+                Payload::Request {
+                    origin: d.node(),
+                    req: d.next() % (1 << 20),
+                    attempt: (d.next() % 4) as u32,
+                    hops: (d.next() % 64) as u32,
+                    op: Op::Lookup { key: d.next() },
+                },
+            ),
+            (
+                "Payload::Response",
+                Payload::Response {
+                    req: u64::MAX,
+                    hops: u32::MAX,
+                    result: RpcResult::Granted(full_grant()),
+                },
+                Payload::Response {
+                    req: d.next() % (1 << 20),
+                    hops: (d.next() % 64) as u32,
+                    result: RpcResult::Found {
+                        responsible: d.node(),
+                    },
+                },
+            ),
+            (
+                "Payload::Replicate",
+                Payload::Replicate {
+                    key: u64::MAX,
+                    value: u64::MAX,
+                },
+                Payload::Replicate {
+                    key: d.next(),
+                    value: d.next(),
+                },
+            ),
+            (
+                "Payload::RepairJoin",
+                Payload::RepairJoin {
+                    joined: NodeId::new(u64::MAX),
+                },
+                Payload::RepairJoin { joined: d.node() },
+            ),
+            (
+                "Payload::LeaveHandoff",
+                Payload::LeaveHandoff {
+                    departing: NodeId::new(u64::MAX),
+                    shard: vec![(u64::MAX, u64::MAX); MAX_ENTRIES],
+                },
+                Payload::LeaveHandoff {
+                    departing: d.node(),
+                    shard: d.entries(MAX_ENTRIES),
+                },
+            ),
+            (
+                "Payload::LeaveNotice",
+                Payload::LeaveNotice {
+                    departing: NodeId::new(u64::MAX),
+                    successor: NodeId::new(u64::MAX),
+                    predecessor: NodeId::new(u64::MAX),
+                },
+                Payload::LeaveNotice {
+                    departing: d.node(),
+                    successor: d.node(),
+                    predecessor: d.node(),
+                },
+            ),
+        ]
+    }
+
+    /// The maximum encoded size per wire-vocabulary variant over the
+    /// bounded worst case plus `samples` seeded draws — the generator
+    /// behind `results/wire_sizes.json` and its regression gate. Labels
+    /// are `Enum::Variant`; the list is deterministic in `(seed, samples)`.
+    pub fn max_encoded_sizes(seed: Seed, samples: usize) -> Vec<(String, usize)> {
+        fn fold<T: WireEncode>(
+            out: &mut Vec<(String, usize)>,
+            seed: Seed,
+            samples: usize,
+            label: &str,
+            variants: impl Fn(&mut Draw) -> Vec<(&'static str, T, T)>,
+        ) {
+            let mut sizes: Vec<(String, usize)> = Vec::new();
+            for round in 0..samples.max(1) {
+                let mut d = Draw::new(seed.derive(label).derive_index(round as u64));
+                for (name, worst, drawn) in variants(&mut d) {
+                    let len = canon_wire::to_bytes(&worst)
+                        .len()
+                        .max(canon_wire::to_bytes(&drawn).len());
+                    match sizes.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, max)) => *max = (*max).max(len),
+                        None => sizes.push((name.to_owned(), len)),
+                    }
+                }
+            }
+            out.append(&mut sizes);
+        }
+        let mut out = Vec::new();
+        fold(&mut out, seed, samples, "op", op_variants);
+        fold(&mut out, seed, samples, "result", result_variants);
+        fold(&mut out, seed, samples, "payload", payload_variants);
+        out
+    }
+
+    /// One seeded sample value per [`Payload`] variant (worst case for
+    /// `round == 0`) — the corpus the round-trip and size tests share.
+    pub fn sample_payloads(seed: Seed, round: u64) -> Vec<Payload> {
+        let mut d = Draw::new(seed.derive_index(round));
+        payload_variants(&mut d)
+            .into_iter()
+            .map(|(_, worst, drawn)| if round == 0 { worst } else { drawn })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_id::rng::Seed;
+    use canon_id::NodeId;
+    use canon_wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn request_layout_is_pinned() {
+        // The golden bytes below are the wire format: tag 1, origin as
+        // 8-byte LE, then varints req/attempt/hops, then the op. Changing
+        // any of them is a protocol break, not a refactor.
+        let p = Payload::Request {
+            origin: NodeId::new(2),
+            req: 300,
+            attempt: 1,
+            hops: 3,
+            op: Op::Lookup { key: 5 },
+        };
+        assert_eq!(
+            to_bytes(&p),
+            [
+                1, // Payload::Request
+                2, 0, 0, 0, 0, 0, 0, 0, // origin
+                0xac, 0x02, // req = 300
+                1,    // attempt
+                3,    // hops
+                0,    // Op::Lookup
+                5, 0, 0, 0, 0, 0, 0, 0, // key
+            ]
+        );
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        let env = Envelope {
+            from: NodeId::new(7),
+            to: NodeId::new(11),
+            sent_at: 40,
+            deliver_at: 43,
+            seq: 9,
+            payload: Payload::Replicate { key: 1, value: 2 },
+        };
+        let bytes = to_bytes(&env);
+        let back: Envelope<Payload> = from_bytes(&bytes).expect("decode");
+        assert_eq!(back.payload, env.payload);
+        assert_eq!(
+            (back.from, back.to, back.sent_at, back.deliver_at, back.seq),
+            (env.from, env.to, env.sent_at, env.deliver_at, env.seq)
+        );
+        assert_eq!(to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn unknown_tags_fail_cleanly() {
+        for ty in [7u8, 200] {
+            assert!(from_bytes::<Op>(&[ty]).is_err());
+            assert!(from_bytes::<Payload>(&[ty]).is_err());
+            assert!(from_bytes::<RpcResult>(&[ty]).is_err());
+            assert!(from_bytes::<Command>(&[ty]).is_err());
+        }
+    }
+
+    #[test]
+    fn entry_lists_reject_overclaimed_counts() {
+        // A LeaveHandoff claiming 2^40 entries with almost no bytes behind
+        // it must fail before allocating.
+        let mut bytes = vec![5u8]; // Payload::LeaveHandoff
+        bytes.extend_from_slice(&[9, 0, 0, 0, 0, 0, 0, 0]); // departing
+        let mut enc = canon_wire::to_bytes(&(1u64 << 40));
+        bytes.append(&mut enc);
+        assert!(from_bytes::<Payload>(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_samples_are_deterministic_and_complete() {
+        let a = samples::max_encoded_sizes(Seed(9), 8);
+        let b = samples::max_encoded_sizes(Seed(9), 8);
+        assert_eq!(a, b);
+        // 7 ops + 6 results + 7 payloads.
+        assert_eq!(a.len(), 20);
+        for (label, size) in &a {
+            assert!(*size > 0, "{label} has zero size");
+        }
+    }
+}

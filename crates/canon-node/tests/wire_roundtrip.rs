@@ -1,0 +1,231 @@
+//! Property tests for the wire codec over the full message vocabulary:
+//! `decode(encode(x)) == x` for every type, encode-after-decode is
+//! byte-identical, every strict prefix of a valid encoding fails to
+//! decode, and decoding arbitrary byte soup never panics.
+
+use canon_id::NodeId;
+use canon_node::msg::{Command, JoinGrant, Op, Payload, RpcResult};
+use canon_node::transport::Envelope;
+use canon_wire::{from_bytes, to_bytes, WireDecode, WireEncode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Full-cycle check: value → bytes → value → bytes.
+fn roundtrip<T>(x: &T) -> Result<(), proptest::test_runner::TestCaseError>
+where
+    T: WireEncode + WireDecode + PartialEq + std::fmt::Debug,
+{
+    let bytes = to_bytes(x);
+    let back: T = match from_bytes(&bytes) {
+        Ok(v) => v,
+        Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!("{e}"))),
+    };
+    prop_assert_eq!(&back, x);
+    // Deterministic codec: re-encoding the decoded value reproduces the
+    // exact bytes.
+    prop_assert_eq!(to_bytes(&back), bytes);
+    // Length-explicit grammar: no strict prefix of a valid encoding is
+    // itself a valid encoding.
+    for cut in 0..bytes.len() {
+        prop_assert!(
+            from_bytes::<T>(&bytes[..cut]).is_err(),
+            "prefix of length {} decoded",
+            cut
+        );
+    }
+    Ok(())
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u64>().prop_map(NodeId::new)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (any::<u8>(), any::<u64>(), any::<u64>()).prop_map(|(sel, a, b)| match sel % 7 {
+        0 => Op::Lookup { key: a },
+        1 => Op::Put { key: a, value: b },
+        2 => Op::Get { key: a },
+        3 => Op::Join {
+            joiner: NodeId::new(a),
+        },
+        4 => Op::Status { key: a },
+        5 => Op::Pin { key: a },
+        _ => Op::Unpin { key: a },
+    })
+}
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    (any::<u8>(), arb_op(), any::<u64>()).prop_map(|(sel, op, b)| match sel % 3 {
+        0 => Command::Issue(op),
+        1 => Command::Join {
+            bootstrap: NodeId::new(b),
+        },
+        _ => Command::Leave,
+    })
+}
+
+fn arb_grant() -> impl Strategy<Value = JoinGrant> {
+    (
+        arb_node(),
+        vec(arb_node(), 0..8),
+        vec(arb_node(), 0..8),
+        vec((any::<u64>(), any::<u64>()), 0..8),
+    )
+        .prop_map(|(predecessor, links, succ_list, shard)| JoinGrant {
+            predecessor,
+            links,
+            succ_list,
+            shard,
+        })
+}
+
+fn arb_result() -> impl Strategy<Value = RpcResult> {
+    (
+        any::<u8>(),
+        arb_node(),
+        (any::<u32>(), any::<bool>()),
+        (any::<bool>(), any::<u64>()),
+        arb_grant(),
+    )
+        .prop_map(
+            |(sel, node, (count, flag), (some, value), grant)| match sel % 6 {
+                0 => RpcResult::Found { responsible: node },
+                1 => RpcResult::Stored {
+                    primary: node,
+                    replicas: count,
+                },
+                2 => RpcResult::Value {
+                    value: some.then_some(value),
+                    served_by: node,
+                },
+                3 => RpcResult::Granted(grant),
+                4 => RpcResult::Status {
+                    primary: node,
+                    expected: count,
+                    pinned: flag,
+                },
+                _ => RpcResult::PinAck {
+                    primary: node,
+                    pinned: flag,
+                },
+            },
+        )
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    (
+        any::<u8>(),
+        arb_command(),
+        arb_result(),
+        arb_grant(),
+        (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()),
+    )
+        .prop_map(|(sel, cmd, result, grant, (a, b, attempt, hops))| {
+            let op = match &cmd {
+                Command::Issue(op) => op.clone(),
+                _ => Op::Get { key: a },
+            };
+            match sel % 7 {
+                0 => Payload::Client(cmd),
+                1 => Payload::Request {
+                    origin: NodeId::new(a),
+                    req: b,
+                    attempt,
+                    hops,
+                    op,
+                },
+                2 => Payload::Response {
+                    req: b,
+                    hops,
+                    result,
+                },
+                3 => Payload::Replicate { key: a, value: b },
+                4 => Payload::RepairJoin {
+                    joined: NodeId::new(a),
+                },
+                5 => Payload::LeaveHandoff {
+                    departing: NodeId::new(a),
+                    shard: grant.shard,
+                },
+                _ => Payload::LeaveNotice {
+                    departing: NodeId::new(a),
+                    successor: NodeId::new(b),
+                    predecessor: grant.predecessor,
+                },
+            }
+        })
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope<Payload>> {
+    (
+        arb_node(),
+        arb_node(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_payload(),
+    )
+        .prop_map(|(from, to, (sent_at, deliver_at, seq), payload)| Envelope {
+            from,
+            to,
+            sent_at,
+            deliver_at,
+            seq,
+            payload,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ops_roundtrip(op in arb_op()) {
+        roundtrip(&op)?;
+    }
+
+    #[test]
+    fn commands_roundtrip(cmd in arb_command()) {
+        roundtrip(&cmd)?;
+    }
+
+    #[test]
+    fn grants_roundtrip(grant in arb_grant()) {
+        roundtrip(&grant)?;
+    }
+
+    #[test]
+    fn results_roundtrip(result in arb_result()) {
+        roundtrip(&result)?;
+    }
+
+    #[test]
+    fn payloads_roundtrip(payload in arb_payload()) {
+        roundtrip(&payload)?;
+    }
+
+    #[test]
+    fn envelopes_roundtrip(env in arb_envelope()) {
+        // `Envelope`'s PartialEq compares only the mailbox ordering key,
+        // so compare every field (payload included) explicitly.
+        let bytes = to_bytes(&env);
+        let back: Envelope<Payload> = match from_bytes(&bytes) {
+            Ok(v) => v,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!("{e}"))),
+        };
+        prop_assert_eq!(back.from, env.from);
+        prop_assert_eq!(back.to, env.to);
+        prop_assert_eq!(back.sent_at, env.sent_at);
+        prop_assert_eq!(back.deliver_at, env.deliver_at);
+        prop_assert_eq!(back.seq, env.seq);
+        prop_assert_eq!(&back.payload, &env.payload);
+        prop_assert_eq!(to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn decoding_byte_soup_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = from_bytes::<Op>(&bytes);
+        let _ = from_bytes::<Command>(&bytes);
+        let _ = from_bytes::<JoinGrant>(&bytes);
+        let _ = from_bytes::<RpcResult>(&bytes);
+        let _ = from_bytes::<Payload>(&bytes);
+        let _ = from_bytes::<Envelope<Payload>>(&bytes);
+    }
+}
