@@ -54,8 +54,8 @@
 use canon_id::NodeId;
 use canon_node::model::{ModelTransport, NodeSnapshot};
 use canon_node::{
-    Command, Envelope, Op, OpKind, Outcome, Payload, RpcConfig, RpcResult, Runtime, RuntimeConfig,
-    ShardBackend, VirtualClock,
+    CacheConfig, Command, Envelope, Op, OpKind, Outcome, Payload, RpcConfig, RpcResult, Runtime,
+    RuntimeConfig, ShardBackend, VirtualClock,
 };
 use canon_store::Policy;
 use std::collections::{BTreeMap, BTreeSet};
@@ -83,6 +83,10 @@ pub enum DeliveryKind {
     LeaveHandoff,
     /// A leave repair notice.
     LeaveNotice,
+    /// An en-route cache fill riding a GET response path.
+    CacheFill,
+    /// An owner-driven cache invalidation.
+    CacheInvalidate,
 }
 
 fn classify(p: &Payload) -> DeliveryKind {
@@ -94,6 +98,8 @@ fn classify(p: &Payload) -> DeliveryKind {
         Payload::RepairJoin { .. } => DeliveryKind::RepairJoin,
         Payload::LeaveHandoff { .. } => DeliveryKind::LeaveHandoff,
         Payload::LeaveNotice { .. } => DeliveryKind::LeaveNotice,
+        Payload::CacheFill { .. } => DeliveryKind::CacheFill,
+        Payload::CacheInvalidate { .. } => DeliveryKind::CacheInvalidate,
     }
 }
 
@@ -143,8 +149,11 @@ pub struct Scenario {
     pub injections: Vec<(u64, Command)>,
     /// Fault triggers (see [`Trigger`]).
     pub triggers: Vec<Trigger>,
+    /// Per-node en-route cache capacity (0 = caching disabled, the
+    /// default for scenarios that predate the cache).
+    pub cache_capacity: usize,
     /// Arm the seeded broken-handover fault at this node (regression-test
-    /// scenarios only; the shipped five never set it).
+    /// scenarios only; the shipped scenarios never set it).
     pub broken_handover_at: Option<u64>,
     /// Whether every injected RPC must be resolved once the network is
     /// quiescent (true for fault-free scenarios; crashes and partitions
@@ -269,6 +278,7 @@ impl<'a> Run<'a> {
             backend: ShardBackend::Memory,
             succ_list_len: scenario.succ_len,
             record_events: false,
+            cache: CacheConfig::with_capacity(scenario.cache_capacity),
         };
         let mut rt = Runtime::new(clock, transport.clone(), config);
         let n = scenario.members.len();
@@ -446,6 +456,12 @@ impl<'a> Run<'a> {
 /// * **RPC-id sanity** — per node, allocated ids = in-flight + completed
 ///   (never reused, never lost), completion ids are unique, and no
 ///   in-flight entry has been retried (deadlines beyond the horizon);
+/// * **cache coherence** — at quiescent states, every en-route cache
+///   entry whose filling owner is still live and still stores the key
+///   agrees with the owner's stored value (invalidations have settled,
+///   so a surviving stale copy is a protocol bug; entries stranded by a
+///   crashed or handed-off owner are exempt — their owner no longer
+///   vouches for them);
 /// * at **quiescent** states of fault-free scenarios, every injected RPC
 ///   has completed.
 pub fn check_invariants(
@@ -459,6 +475,9 @@ pub fn check_invariants(
     durability(scenario, snaps, pending, &mut v);
     pin_conservation(snaps, &mut v);
     rpc_sanity(snaps, &mut v);
+    if quiescent {
+        cache_coherence(snaps, &mut v);
+    }
     if quiescent && scenario.expect_quiescent_completion {
         for s in snaps {
             if !s.inflight.is_empty() {
@@ -585,16 +604,18 @@ fn ring_invariant(
     }
 }
 
-/// The key/value pairs injected as PUTs, for value-exact durability.
-fn injected_puts(scenario: &Scenario) -> BTreeMap<u64, u64> {
-    scenario
-        .injections
-        .iter()
-        .filter_map(|(_, cmd)| match cmd {
-            Command::Issue(Op::Put { key, value }) => Some((*key, *value)),
-            _ => None,
-        })
-        .collect()
+/// The values injected as PUTs, per key, for value-exact durability.
+/// A key PUT more than once (overwrite scenarios) accepts any of its
+/// injected values: mid-trace, which overwrite has been applied depends
+/// on the delivery order, and per-pair FIFO already fixes the final one.
+fn injected_puts(scenario: &Scenario) -> BTreeMap<u64, BTreeSet<u64>> {
+    let mut puts: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for (_, cmd) in &scenario.injections {
+        if let Command::Issue(Op::Put { key, value }) = cmd {
+            puts.entry(*key).or_default().insert(*value);
+        }
+    }
+    puts
 }
 
 fn durability(
@@ -611,8 +632,8 @@ fn durability(
         .map(|c| c.key)
         .collect();
     for key in acked {
-        let want = puts.get(&key).copied();
-        let held = |k: u64, val: u64| key == k && want.is_none_or(|w| w == val);
+        let want = puts.get(&key);
+        let held = |k: u64, val: u64| key == k && want.is_none_or(|w| w.contains(&val));
         let on_disk = snaps
             .iter()
             .filter(|s| !s.dead)
@@ -680,6 +701,32 @@ fn pin_conservation(snaps: &[NodeSnapshot], v: &mut Vec<String>) {
                     "pin: key {key} pinned at {} but not stored there \
                      (handover moved a pinned key)",
                     s.id
+                ));
+            }
+        }
+    }
+}
+
+/// At quiescence every invalidation has been delivered, so any cache
+/// entry whose filling owner is still live and still stores the key must
+/// hold the owner's current value. Entries whose owner died or handed the
+/// key off are exempt: the owner no longer vouches for them, and the
+/// tombstone/registry machinery (exercised by the same schedules) is what
+/// keeps them from being refreshed stale.
+fn cache_coherence(snaps: &[NodeSnapshot], v: &mut Vec<String>) {
+    for s in snaps.iter().filter(|s| !s.dead) {
+        for &(key, value, owner, stamp, _level, _rank) in &s.cache {
+            let Some(o) = snaps.iter().find(|o| o.id == owner && !o.dead) else {
+                continue;
+            };
+            let Some(&(_, want)) = o.shard.iter().find(|&&(k, _)| k == key) else {
+                continue;
+            };
+            if value != want {
+                v.push(format!(
+                    "cache: {} holds stale key={key} value={value} (stamp {stamp}) \
+                     while live owner {} stores {want} at quiescence",
+                    s.id, o.id
                 ));
             }
         }
@@ -966,7 +1013,7 @@ fn join(origin: u64, bootstrap: u64) -> (u64, Command) {
     )
 }
 
-/// The five scripted churn scenarios the `protocol` stage explores.
+/// The six scripted churn scenarios the `protocol` stage explores.
 pub fn scenarios() -> Vec<Scenario> {
     vec![
         // A node joins between 100 and 200 while a lookup for a key in
@@ -983,6 +1030,7 @@ pub fn scenarios() -> Vec<Scenario> {
             succ_len: 3,
             injections: vec![join(150, 100), issue(200, Op::Lookup { key: 160 })],
             triggers: vec![],
+            cache_capacity: 0,
             broken_handover_at: None,
             expect_quiescent_completion: true,
         },
@@ -997,6 +1045,7 @@ pub fn scenarios() -> Vec<Scenario> {
             succ_len: 3,
             injections: vec![join(130, 100), join(160, 300)],
             triggers: vec![],
+            cache_capacity: 0,
             broken_handover_at: None,
             expect_quiescent_completion: true,
         },
@@ -1015,6 +1064,7 @@ pub fn scenarios() -> Vec<Scenario> {
                 (200, Command::Leave),
             ],
             triggers: vec![],
+            cache_capacity: 0,
             broken_handover_at: None,
             expect_quiescent_completion: false,
         },
@@ -1037,6 +1087,7 @@ pub fn scenarios() -> Vec<Scenario> {
                 count: 1,
                 action: FaultAction::Crash(100),
             }],
+            cache_capacity: 0,
             broken_handover_at: None,
             expect_quiescent_completion: false,
         },
@@ -1063,6 +1114,34 @@ pub fn scenarios() -> Vec<Scenario> {
                     action: FaultAction::Heal,
                 },
             ],
+            cache_capacity: 0,
+            broken_handover_at: None,
+            expect_quiescent_completion: false,
+        },
+        // En-route caching under churn: a GET for key 150 routes
+        // 200 -> 300 -> 100, filling caches at both forwarders; an
+        // overwrite PUT at the owner then fires invalidations — and the
+        // owner crash-stops the moment the first invalidation lands.
+        // Depending on the order, the fills carry the old or new value,
+        // race the invalidations, or are dropped with the owner; the
+        // coherence invariant must hold at every quiescent state.
+        Scenario {
+            name: "invalidate-racing-crash",
+            members: vec![100, 200, 300],
+            blanks: vec![],
+            policy: Policy::Fixed(2),
+            succ_len: 3,
+            injections: vec![
+                issue(100, Op::Put { key: 150, value: 7 }),
+                issue(200, Op::Get { key: 150 }),
+                issue(100, Op::Put { key: 150, value: 9 }),
+            ],
+            triggers: vec![Trigger {
+                kind: Some(DeliveryKind::CacheInvalidate),
+                count: 1,
+                action: FaultAction::Crash(100),
+            }],
+            cache_capacity: 4,
             broken_handover_at: None,
             expect_quiescent_completion: false,
         },
@@ -1083,12 +1162,13 @@ pub fn broken_handover_scenario() -> Scenario {
         succ_len: 3,
         injections: vec![issue(100, Op::Put { key: 150, value: 7 }), join(140, 100)],
         triggers: vec![],
+        cache_capacity: 0,
         broken_handover_at: Some(100),
         expect_quiescent_completion: true,
     }
 }
 
-/// Runs the five shipped scenarios under `cfg`, returning the first
+/// Runs the shipped scenarios under `cfg`, returning the first
 /// failing report (a violation, or an incomplete exploration) as `Err`.
 ///
 /// # Errors

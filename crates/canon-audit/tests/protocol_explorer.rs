@@ -40,6 +40,7 @@ fn two_stream_scenario(per_node: usize) -> Scenario {
         succ_len: 1,
         injections,
         triggers: vec![],
+        cache_capacity: 0,
         broken_handover_at: None,
         expect_quiescent_completion: true,
     }

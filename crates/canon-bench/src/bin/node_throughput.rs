@@ -21,15 +21,19 @@
 //! message round-trips through the wire codec in batched length-prefixed
 //! frames; the row then reports wire bytes, bytes/frames per request and
 //! the batching saving (all zero under the default channel transport).
+//! `--workload {uniform,zipf,flash}` picks the key stream: independent
+//! uniform keys (default), Zipf(0.9) popularity, or a Zipf stream with a
+//! mid-run flash-crowd spike on one hot key.
 
 use canon::crescendo::build_crescendo;
 use canon_bench::{
-    banner, emit_row, row, BenchConfig, MonotonicClock, PhaseTimer, TransportChoice,
+    banner, emit_row, row, BenchConfig, MonotonicClock, PhaseTimer, TransportChoice, WorkloadChoice,
 };
 use canon_hierarchy::{Hierarchy, Placement};
 use canon_node::{
     from_graph, ChannelTransport, Command, FramedTransport, Op, RpcConfig, RuntimeConfig, Transport,
 };
+use canon_workloads::{FlashCrowd, ZipfKeys};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -90,13 +94,33 @@ fn main() {
     });
 
     // Inject the full storm up front: every request is concurrently in
-    // flight from round one.
+    // flight from round one. `--workload` picks the key stream; origins
+    // and the op mix are common to all three.
     let ids = rt.ids();
     let traffic = seed.derive("traffic");
+    let universe = n.max(16);
+    let zipf = matches!(cfg.workload, WorkloadChoice::Zipf)
+        .then(|| ZipfKeys::new(universe, 0.9, seed.derive("zipf")));
+    let flash = matches!(cfg.workload, WorkloadChoice::Flash).then(|| {
+        FlashCrowd::new(
+            universe,
+            0.9,
+            universe / 2,
+            requests / 4,
+            requests / 4,
+            0.9,
+            seed.derive("flash"),
+        )
+    });
+    let mut wl_rng = seed.derive("workload").rng();
     for i in 0..requests {
         let r = traffic.derive_index(i).0;
         let origin = ids[(r % ids.len() as u64) as usize];
-        let key = traffic.derive_index(i).derive("key").0 % (n as u64 * 16);
+        let key = match (&zipf, &flash) {
+            (Some(z), _) => z.draw(&mut wl_rng).raw(),
+            (_, Some(f)) => f.draw_at(i, &mut wl_rng).raw(),
+            _ => traffic.derive_index(i).derive("key").0 % (n as u64 * 16),
+        };
         let op = match i % 4 {
             0 | 1 => Op::Lookup { key },
             2 => Op::Put { key, value: r },
@@ -126,6 +150,7 @@ fn main() {
 
     let pairs = [
         ("transport", cfg.transport.name().to_string()),
+        ("workload", cfg.workload.name().to_string()),
         ("nodes", n.to_string()),
         ("requests", requests.to_string()),
         ("injected", summary.injected.to_string()),

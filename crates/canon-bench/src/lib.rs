@@ -62,6 +62,31 @@ impl TransportChoice {
     }
 }
 
+/// Which key-popularity stream a node-runtime load harness injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadChoice {
+    /// Independent uniform keys (the historical default).
+    Uniform,
+    /// Zipf-skewed popularity over a fixed universe
+    /// (`canon_workloads::ZipfKeys`).
+    Zipf,
+    /// A Zipf stream with a mid-run hot-key spike
+    /// (`canon_workloads::FlashCrowd`).
+    Flash,
+}
+
+impl WorkloadChoice {
+    /// The flag spelling (`uniform` / `zipf` / `flash`), as emitted in
+    /// rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadChoice::Uniform => "uniform",
+            WorkloadChoice::Zipf => "zipf",
+            WorkloadChoice::Flash => "flash",
+        }
+    }
+}
+
 /// Command-line configuration shared by the experiment binaries.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchConfig {
@@ -78,6 +103,9 @@ pub struct BenchConfig {
     /// Transport stack for node-runtime harnesses (`--transport`; ignored
     /// by the static binaries, which never open a transport).
     pub transport: TransportChoice,
+    /// Key-popularity stream for node-runtime harnesses (`--workload`;
+    /// ignored by binaries that generate their own traffic).
+    pub workload: WorkloadChoice,
 }
 
 impl BenchConfig {
@@ -95,6 +123,7 @@ impl BenchConfig {
             threads: 0,
             json: false,
             transport: TransportChoice::Channel,
+            workload: WorkloadChoice::Uniform,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         fn value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
@@ -132,10 +161,19 @@ impl BenchConfig {
                         _ => panic!("--transport takes `channel` or `framed`"),
                     };
                 }
+                "--workload" => {
+                    i += 1;
+                    cfg.workload = match args.get(i).map(String::as_str) {
+                        Some("uniform") => WorkloadChoice::Uniform,
+                        Some("zipf") => WorkloadChoice::Zipf,
+                        Some("flash") => WorkloadChoice::Flash,
+                        _ => panic!("--workload takes `uniform`, `zipf` or `flash`"),
+                    };
+                }
                 other => {
                     panic!(
                         "unknown argument {other}; try \
-                         --quick/--max-n/--seeds/--seed/--threads/--json/--transport"
+                         --quick/--max-n/--seeds/--seed/--threads/--json/--transport/--workload"
                     )
                 }
             }
@@ -468,6 +506,7 @@ mod tests {
             threads: 0,
             json: false,
             transport: TransportChoice::Channel,
+            workload: WorkloadChoice::Uniform,
         }
     }
 

@@ -26,6 +26,9 @@
 //!
 //! Module map:
 //!
+//! * [`cache`] — the en-route read cache on the GET path: level-annotated
+//!   entries filled along converged routes, owner-driven invalidation,
+//!   observer-sink accounting;
 //! * [`clock`] — the [`clock::Clock`] trait and the virtual lock-step
 //!   clock;
 //! * [`transport`] — envelopes, mailboxes, the in-process channel
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod clock;
 pub mod cluster;
 pub mod framed;
@@ -65,6 +69,7 @@ pub mod shard;
 pub mod transport;
 pub mod wire;
 
+pub use cache::{CacheConfig, CacheEvent, CacheObserver, CacheSummary, CacheTally, NodeCache};
 pub use clock::{Clock, Tick, VirtualClock};
 pub use cluster::from_graph;
 pub use framed::{FrameEvent, FrameLedger, FrameObserver, FramedTransport, LinkBytes, WireSummary};

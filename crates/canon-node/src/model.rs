@@ -137,10 +137,17 @@ pub struct NodeSnapshot {
     /// Request ids ever allocated by this node (monotone, never reused).
     pub allocated: u64,
     /// Routed requests parked until the node joins, in arrival order, as
-    /// `(origin, req, attempt, hops, op)`.
-    pub deferred: Vec<(NodeId, u64, u32, u32, Op)>,
+    /// `(origin, req, attempt, hops, op, path)`.
+    pub deferred: Vec<crate::node::RoutedRequest>,
     /// Completion records recorded at this origin.
     pub completions: Vec<Completion>,
+    /// Cached en-route entries as
+    /// `(key, value, owner, stamp, level, lru_rank)`, sorted by key (see
+    /// [`crate::cache::NodeCache::snapshot`]). Empty when caching is
+    /// disabled.
+    pub cache: Vec<(u64, u64, NodeId, u64, u32, u64)>,
+    /// Outstanding invalidation tombstones as `(key, owner, floor)`.
+    pub cache_tombstones: Vec<(u64, NodeId, u64)>,
 }
 
 /// 64-bit FNV-1a over a word stream, finalized with a splitmix64 round —
@@ -305,12 +312,19 @@ fn hash_payload(h: &mut Fnv, p: &Payload) {
             attempt,
             hops: _,
             op,
+            path,
         } => {
             h.word(0x11);
             hash_id(h, *origin);
             h.word(*req);
             h.word(u64::from(*attempt));
             hash_op(h, op);
+            // The path determines the eventual fill fan-out, so it is
+            // protocol-relevant state.
+            h.word(path.len() as u64);
+            for &p in path {
+                hash_id(h, p);
+            }
         }
         Payload::Response {
             req,
@@ -348,6 +362,28 @@ fn hash_payload(h: &mut Fnv, p: &Payload) {
             hash_id(h, *departing);
             hash_id(h, *successor);
             hash_id(h, *predecessor);
+        }
+        Payload::CacheFill {
+            key,
+            value,
+            stamp,
+            owner,
+            cid,
+            level,
+        } => {
+            h.word(0x17);
+            h.word(*key);
+            h.word(*value);
+            h.word(*stamp);
+            hash_id(h, *owner);
+            h.word(*cid);
+            h.word(u64::from(*level));
+        }
+        Payload::CacheInvalidate { key, owner, floor } => {
+            h.word(0x18);
+            h.word(*key);
+            hash_id(h, *owner);
+            h.word(*floor);
         }
     }
 }
@@ -404,11 +440,33 @@ pub fn fingerprint(snaps: &[NodeSnapshot], pending: &[(usize, Envelope<Payload>)
             hash_op(&mut h, &p.op);
         }
         h.word(s.deferred.len() as u64);
-        for (origin, req, attempt, _hops, op) in &s.deferred {
+        for (origin, req, attempt, _hops, op, path) in &s.deferred {
             hash_id(&mut h, *origin);
             h.word(*req);
             h.word(u64::from(*attempt));
             hash_op(&mut h, op);
+            h.word(path.len() as u64);
+            for &p in path {
+                hash_id(&mut h, p);
+            }
+        }
+        // Cache state shapes future hits, fills and evictions, so it
+        // splits states; the LRU *rank* (not the absolute tick) keeps the
+        // fingerprint schedule-insensitive for equivalent recency orders.
+        h.word(s.cache.len() as u64);
+        for &(key, value, owner, stamp, level, lru_rank) in &s.cache {
+            h.word(key);
+            h.word(value);
+            hash_id(&mut h, owner);
+            h.word(stamp);
+            h.word(u64::from(level));
+            h.word(lru_rank);
+        }
+        h.word(s.cache_tombstones.len() as u64);
+        for &(key, owner, floor) in &s.cache_tombstones {
+            h.word(key);
+            hash_id(&mut h, owner);
+            h.word(floor);
         }
         // Completions are write-only output; hash them as a sorted
         // multiset so resolution order (which varies with the schedule

@@ -201,6 +201,11 @@ pub enum Payload {
         hops: u32,
         /// The operation.
         op: Op,
+        /// The nodes the request passed through, in hop order — the
+        /// fill fan-out set for en-route caching. Empty unless the op is
+        /// a GET and caching is enabled (see [`crate::cache`]); bounded
+        /// by the hop limit.
+        path: Vec<NodeId>,
     },
     /// The answer, sent directly back to the origin.
     Response {
@@ -251,6 +256,39 @@ pub enum Payload {
         /// The departing node's ring predecessor.
         predecessor: NodeId,
     },
+    /// En-route cache fill: after serving a GET, the responsible node
+    /// plants the value at every node the request passed through (§4.2's
+    /// response-path population; one-way, best-effort — a lost fill only
+    /// costs a future cache miss).
+    // audit: fire-and-forget
+    CacheFill {
+        /// The key the value is stored under.
+        key: u64,
+        /// The value served.
+        value: u64,
+        /// The owner's write stamp (version) for the key.
+        stamp: u64,
+        /// The responsible node issuing the fill.
+        owner: NodeId,
+        /// Raw content id of the value bytes; the cacher verifies it
+        /// before accepting the fill.
+        cid: u64,
+        /// Hops from the owner at fill time — the entry's eviction level.
+        level: u32,
+    },
+    /// Owner-driven cache invalidation, sent to every registered cacher
+    /// when a PUT overwrites the key (one-way: the owner acks the PUT
+    /// without waiting for cachers; coherence under races is explored by
+    /// the protocol checker's invalidation scenario).
+    // audit: fire-and-forget
+    CacheInvalidate {
+        /// The overwritten key.
+        key: u64,
+        /// The invalidating owner.
+        owner: NodeId,
+        /// Fills from this owner stamped below the floor are stale.
+        floor: u64,
+    },
 }
 
 impl Payload {
@@ -265,6 +303,8 @@ impl Payload {
             Payload::RepairJoin { .. } => "repair-join",
             Payload::LeaveHandoff { .. } => "leave-handoff",
             Payload::LeaveNotice { .. } => "leave-notice",
+            Payload::CacheFill { .. } => "cache-fill",
+            Payload::CacheInvalidate { .. } => "cache-invalidate",
         }
     }
 }

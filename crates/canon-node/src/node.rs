@@ -18,6 +18,7 @@
 //! Because every hop strictly decreases the clockwise distance to the
 //! key, requests cannot cycle even across stale link tables mid-churn.
 
+use crate::cache::NodeCache;
 use crate::clock::Tick;
 use crate::msg::{Command, Completion, JoinGrant, Op, Outcome, Payload, RpcResult};
 use crate::rpc::{RetryDecision, RpcTable};
@@ -29,9 +30,15 @@ use canon_id::ring::SortedRing;
 use canon_id::NodeId;
 use canon_overlay::engine::HOP_LIMIT;
 use canon_overlay::{HopCount, HopEvent, NodeIndex, PatchedOverlay, RouteObserver};
-use canon_store::Policy;
+use canon_store::{ContentId, Policy};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Cachers the owner tracks per key for invalidation fan-out. A node is
+/// never filled without being registered first — the bound trades fill
+/// coverage (extra cache misses) for bounded owner memory, never
+/// coherence.
+const CACHE_REGISTRY_CAP: usize = 32;
 
 /// A [`RouteObserver`] sink collecting latency samples from
 /// [`HopEvent::Hop`] events — request origins stream one synthetic hop
@@ -80,6 +87,10 @@ pub struct NodeStats {
     /// Retransmissions sent after a deadline expired.
     pub retransmits: u64,
 }
+
+/// One routed request as it travels hop to hop (and as parked in
+/// [`NodeState::deferred`]): `(origin, req, attempt, hops, op, path)`.
+pub type RoutedRequest = (NodeId, u64, u32, u32, Op, Vec<NodeId>);
 
 /// The network context a node handles messages in: shared mailboxes, the
 /// transport, the id → slot directory, and the current tick.
@@ -131,7 +142,7 @@ pub(crate) struct NodeState {
     pub joined: bool,
     /// Routed requests that arrived before this node joined, replayed in
     /// arrival order by [`NodeState::apply_grant`].
-    pub deferred: Vec<(NodeId, u64, u32, u32, Op)>,
+    pub deferred: Vec<RoutedRequest>,
     /// Messages staged for the framing layer this round as
     /// `(destination slot, envelope)`. Only used when the transport stack
     /// frames ([`Transport::framing`] returns a view); the runtime flushes
@@ -145,6 +156,15 @@ pub(crate) struct NodeState {
     #[cfg(feature = "model")]
     pub broken_handover: bool,
     pub stats: NodeStats,
+    /// The en-route read cache ([`crate::cache`]); inert at capacity 0.
+    pub cache: NodeCache,
+    /// Owner side of cache coherence: per-key write stamps (versions),
+    /// bumped on every value-changing PUT this node serves. Only
+    /// maintained while caching is enabled.
+    write_stamps: BTreeMap<u64, u64>,
+    /// Owner side of cache coherence: the cachers registered per key —
+    /// the invalidation fan-out set, capped at [`CACHE_REGISTRY_CAP`].
+    cache_registry: BTreeMap<u64, BTreeSet<NodeId>>,
     /// Forwarding-side observer sink.
     pub hop_sink: HopCount,
     /// Origin-side RTT observer sink.
@@ -188,6 +208,9 @@ impl NodeState {
             #[cfg(feature = "model")]
             broken_handover: false,
             stats: NodeStats::default(),
+            cache: NodeCache::new(cfg.cache),
+            write_stamps: BTreeMap::new(),
+            cache_registry: BTreeMap::new(),
             hop_sink: HopCount::default(),
             rtt_sink: LatencySink::default(),
             completions: Vec::new(),
@@ -325,7 +348,8 @@ impl NodeState {
                 attempt,
                 hops,
                 op,
-            } => self.route_or_serve(net, origin, req, attempt, hops, op),
+                path,
+            } => self.route_or_serve(net, (origin, req, attempt, hops, op, path)),
             Payload::Response { req, hops, result } => self.on_response(net, req, hops, result),
             Payload::Replicate { key, value } => {
                 self.shard.insert(key, value);
@@ -341,6 +365,25 @@ impl NodeState {
                 successor,
                 predecessor,
             } => self.repair_leave(net, departing, successor, predecessor),
+            Payload::CacheFill {
+                key,
+                value,
+                stamp,
+                owner,
+                cid,
+                level,
+            } => {
+                let outcome = self.cache.fill(key, value, stamp, owner, cid, level);
+                self.log(net.now, || {
+                    format!("cache fill key={key} value={value} stamp={stamp} owner={owner} {outcome:?}")
+                });
+            }
+            Payload::CacheInvalidate { key, owner, floor } => {
+                self.cache.invalidate(key, owner, floor);
+                self.log(net.now, || {
+                    format!("cache invalidate key={key} owner={owner} floor={floor}")
+                });
+            }
         }
     }
 
@@ -374,6 +417,19 @@ impl NodeState {
 
     /// Sends (or resends) the first hop of request `req`.
     fn transmit(&mut self, net: &Net<'_>, req: u64, attempt: u32, op: Op) {
+        // A GET is answered from the origin's own en-route cache when it
+        // holds a fresh copy — no network traffic at all.
+        if let Op::Get { key } = op {
+            if let Some(value) = self.cache.lookup(key) {
+                self.log(net.now, || format!("cache hit key={key} (origin)"));
+                let result = RpcResult::Value {
+                    value: Some(value),
+                    served_by: self.id,
+                };
+                self.on_response(net, req, 0, result);
+                return;
+            }
+        }
         // A joining node has no links yet: its join request enters the
         // overlay through the bootstrap contact instead of its own view.
         let via_bootstrap = match (&op, self.bootstrap) {
@@ -385,12 +441,19 @@ impl NodeState {
             None => {
                 // This node is itself responsible: serve without touching
                 // the network.
-                let result = self.serve(net, op);
+                let result = self.serve(net, op, &[]);
                 self.stats.served += 1;
                 self.on_response(net, req, 0, result);
             }
             Some(nb) => {
                 self.observe_forward(net, nb);
+                // GETs accumulate the hop path so the responsible node can
+                // plant fills along it (paper §4.2).
+                let path = if self.cache.enabled() && matches!(op, Op::Get { .. }) {
+                    vec![self.id]
+                } else {
+                    Vec::new()
+                };
                 self.send(
                     net,
                     nb,
@@ -400,6 +463,7 @@ impl NodeState {
                         attempt,
                         hops: 1,
                         op,
+                        path,
                     },
                 );
             }
@@ -498,15 +562,8 @@ impl NodeState {
 
     // ----- server side -----
 
-    fn route_or_serve(
-        &mut self,
-        net: &Net<'_>,
-        origin: NodeId,
-        req: u64,
-        attempt: u32,
-        hops: u32,
-        op: Op,
-    ) {
+    fn route_or_serve(&mut self, net: &Net<'_>, request: RoutedRequest) {
+        let (origin, req, attempt, hops, op, mut path) = request;
         if hops as usize > HOP_LIMIT {
             self.stats.hop_limit_drops += 1;
             return;
@@ -517,13 +574,34 @@ impl NodeState {
         // responsibility for every key; park the request until the grant
         // installs a real view.
         if !self.joined && origin != self.id {
-            self.deferred.push((origin, req, attempt, hops, op));
+            self.deferred.push((origin, req, attempt, hops, op, path));
             return;
+        }
+        // Path convergence (paper §5) funnels requests for a key through
+        // shared intermediate nodes: a fresh en-route copy short-circuits
+        // the rest of the route.
+        if let Op::Get { key } = op {
+            if origin != self.id {
+                if let Some(value) = self.cache.lookup(key) {
+                    self.log(net.now, || {
+                        format!("cache hit key={key} value={value} for {origin}")
+                    });
+                    let result = RpcResult::Value {
+                        value: Some(value),
+                        served_by: self.id,
+                    };
+                    self.send(net, origin, Payload::Response { req, hops, result });
+                    return;
+                }
+            }
         }
         match self.next_hop(op.key_point()) {
             Some(nb) => {
                 self.stats.forwarded += 1;
                 self.observe_forward(net, nb);
+                if self.cache.enabled() && matches!(op, Op::Get { .. }) {
+                    path.push(self.id);
+                }
                 self.send(
                     net,
                     nb,
@@ -533,11 +611,12 @@ impl NodeState {
                         attempt,
                         hops: hops + 1,
                         op,
+                        path,
                     },
                 );
             }
             None => {
-                let result = self.serve(net, op);
+                let result = self.serve(net, op, &path);
                 self.stats.served += 1;
                 self.log(net.now, || format!("serve req={req} for {origin}"));
                 if origin == self.id {
@@ -546,6 +625,77 @@ impl NodeState {
                     self.send(net, origin, Payload::Response { req, hops, result });
                 }
             }
+        }
+    }
+
+    /// After serving a GET, plants the value at every node the request
+    /// passed through (paper §4.2's response-path population: the path
+    /// crosses one proxy per level, so filling the path fills the proxy of
+    /// every level crossed). A cacher is filled only if it can be
+    /// registered for invalidation — never fill without registering, or an
+    /// overwrite could leave a stale copy the fan-out cannot reach. The
+    /// level annotation is the cacher's hop distance from this owner:
+    /// path-convergence makes near-owner copies (small level) the ones
+    /// that intercept traffic from everywhere, which is exactly what the
+    /// cache's evict-largest-level-first policy keeps longest.
+    fn send_cache_fills(&mut self, net: &Net<'_>, key: u64, value: u64, path: &[NodeId]) {
+        if !self.cache.enabled() || path.is_empty() {
+            return;
+        }
+        let stamp = self.write_stamps.get(&key).copied().unwrap_or(0);
+        let cid = ContentId::of(&value.to_le_bytes()).raw();
+        let total = path.len() as u32;
+        let mut seen = BTreeSet::new();
+        for (i, &cacher) in path.iter().enumerate() {
+            if cacher == self.id || !seen.insert(cacher) {
+                continue;
+            }
+            {
+                let registered = self.cache_registry.entry(key).or_default();
+                if !registered.contains(&cacher) {
+                    if registered.len() >= CACHE_REGISTRY_CAP {
+                        continue;
+                    }
+                    registered.insert(cacher);
+                }
+            }
+            let level = total - i as u32;
+            self.send(
+                net,
+                cacher,
+                Payload::CacheFill {
+                    key,
+                    value,
+                    stamp,
+                    owner: self.id,
+                    cid,
+                    level,
+                },
+            );
+        }
+    }
+
+    /// Invalidates every registered cacher of `key`, flooring out every
+    /// fill this owner ever stamped — sent when responsibility for the key
+    /// moves (join handover, graceful leave), so entries from the old
+    /// owner cannot outlive its authority. A *crashed* owner sends
+    /// nothing; that window is the protocol checker's
+    /// invalidate-racing-crash scenario.
+    fn invalidate_cachers(&mut self, net: &Net<'_>, key: u64) {
+        let Some(cachers) = self.cache_registry.remove(&key) else {
+            return;
+        };
+        let floor = self.write_stamps.remove(&key).unwrap_or(0) + 1;
+        for cacher in cachers {
+            self.send(
+                net,
+                cacher,
+                Payload::CacheInvalidate {
+                    key,
+                    owner: self.id,
+                    floor,
+                },
+            );
         }
     }
 
@@ -578,14 +728,38 @@ impl NodeState {
         self.policy.replicas_on_ring(&ring, point)
     }
 
-    /// Serves `op` as the responsible node.
-    fn serve(&mut self, net: &Net<'_>, op: Op) -> RpcResult {
+    /// Serves `op` as the responsible node. `path` is the request's route
+    /// (origin first), the fan-out set for cache fills on GETs.
+    fn serve(&mut self, net: &Net<'_>, op: Op, path: &[NodeId]) -> RpcResult {
         match op {
             Op::Lookup { .. } => RpcResult::Found {
                 responsible: self.id,
             },
             Op::Put { key, value } => {
+                let prev = self.shard.get(key);
                 self.shard.insert(key, value);
+                if self.cache.enabled() && prev != Some(value) {
+                    // Bump the key's version; on an overwrite, tell every
+                    // registered cacher *before* the Stored ack is sent, so
+                    // on a FIFO link the invalidation is never behind the
+                    // ack (read-your-writes).
+                    let stamp = self.write_stamps.entry(key).or_insert(0);
+                    *stamp += 1;
+                    let floor = *stamp;
+                    if prev.is_some() {
+                        for cacher in self.cache_registry.remove(&key).unwrap_or_default() {
+                            self.send(
+                                net,
+                                cacher,
+                                Payload::CacheInvalidate {
+                                    key,
+                                    owner: self.id,
+                                    floor,
+                                },
+                            );
+                        }
+                    }
+                }
                 let targets = self.replica_targets(NodeId::new(key));
                 let mut replicas = 0u32;
                 for s in targets {
@@ -604,10 +778,16 @@ impl NodeState {
                     replicas,
                 }
             }
-            Op::Get { key } => RpcResult::Value {
-                value: self.shard.get(key),
-                served_by: self.id,
-            },
+            Op::Get { key } => {
+                let value = self.shard.get(key);
+                if let Some(v) = value {
+                    self.send_cache_fills(net, key, v, path);
+                }
+                RpcResult::Value {
+                    value,
+                    served_by: self.id,
+                }
+            }
             Op::Join { joiner } => RpcResult::Granted(self.grant_join(net, joiner)),
             Op::Status { key } => RpcResult::Status {
                 primary: self.id,
@@ -658,6 +838,10 @@ impl NodeState {
             if !self.pinned.contains(k) {
                 self.shard.remove(*k);
             }
+            // Responsibility moves with the key: cached copies stamped by
+            // this owner must not outlive its authority (the newcomer's
+            // fills carry its own identity and fresh stamps).
+            self.invalidate_cachers(net, *k);
         }
         #[allow(unused_mut)]
         let mut grant = JoinGrant {
@@ -716,8 +900,8 @@ impl NodeState {
         self.log(net.now, || format!("joined after {}", grant.predecessor));
         // Replay requests that were routed here before the grant arrived,
         // in arrival order, now that the view can actually route them.
-        for (origin, req, attempt, hops, op) in std::mem::take(&mut self.deferred) {
-            self.route_or_serve(net, origin, req, attempt, hops, op);
+        for request in std::mem::take(&mut self.deferred) {
+            self.route_or_serve(net, request);
         }
     }
 
@@ -777,6 +961,12 @@ impl NodeState {
     /// responsibility), notify the neighborhood, and go dark.
     fn do_leave(&mut self, net: &Net<'_>) {
         self.dead = true;
+        // Graceful departure keeps the cache coherent: every registered
+        // cacher is invalidated before the shard moves to the heir.
+        let registered: Vec<u64> = self.cache_registry.keys().copied().collect();
+        for key in registered {
+            self.invalidate_cachers(net, key);
+        }
         let succ = self.succ_list.first().copied();
         if let Some(heir) = self.pred.or(succ) {
             let shard: Vec<(u64, u64)> = self.shard.entries();

@@ -29,6 +29,7 @@
 //! `tests/determinism.rs` checks the consequence: the same seed produces a
 //! byte-identical event log on 1, 4 and 8 worker threads.
 
+use crate::cache::{CacheConfig, CacheSummary};
 use crate::clock::{Clock, Tick};
 use crate::framed::{self, LinkBytes, WireSummary};
 use crate::msg::{Command, Completion, Outcome, Payload};
@@ -56,6 +57,9 @@ pub struct RuntimeConfig {
     pub backend: ShardBackend,
     /// Successor-list length (the root-ring leaf set).
     pub succ_list_len: usize,
+    /// En-route read cache per node (the default, capacity 0, disables
+    /// caching: no path accumulation, no fill or invalidation traffic).
+    pub cache: CacheConfig,
     /// Record a per-node event log (for determinism checks; off for
     /// throughput runs).
     pub record_events: bool,
@@ -68,6 +72,7 @@ impl Default for RuntimeConfig {
             policy: Policy::Fixed(3),
             backend: ShardBackend::Memory,
             succ_list_len: 8,
+            cache: CacheConfig::default(),
             record_events: false,
         }
     }
@@ -443,6 +448,37 @@ impl Runtime {
         sum
     }
 
+    /// Aggregates cluster-wide cache accounting from every node's
+    /// [`crate::cache::CacheTally`] sink. Kept out of [`Summary`] (like
+    /// [`Runtime::wire_summary`]) so cached and uncached runs of the same
+    /// workload produce byte-identical core summaries.
+    pub fn cache_summary(&self) -> CacheSummary {
+        let mut sum = CacheSummary::default();
+        for s in &self.states {
+            let state = lock_unpoisoned(s);
+            let t = state.cache.tally();
+            sum.entries += state.cache.len() as u64;
+            sum.tally.hits += t.hits;
+            sum.tally.misses += t.misses;
+            sum.tally.fills += t.fills;
+            sum.tally.stale_fills += t.stale_fills;
+            sum.tally.corrupt_fills += t.corrupt_fills;
+            sum.tally.invalidations += t.invalidations;
+            sum.tally.evictions += t.evictions;
+        }
+        sum
+    }
+
+    /// Per-node forwarding load (requests forwarded as an intermediate
+    /// hop), in slot order — the hot-spot measurement the flash-crowd
+    /// bench reports max/mean over.
+    pub fn forwarding_loads(&self) -> Vec<u64> {
+        self.states
+            .iter()
+            .map(|s| lock_unpoisoned(s).stats.forwarded)
+            .collect()
+    }
+
     /// Aggregated wire-layer accounting when the transport stack frames
     /// (see [`crate::framed`]), or `None` for an unframed stack. Kept out
     /// of [`Summary`] so framed and unframed runs of the same workload
@@ -632,6 +668,8 @@ impl Runtime {
                     allocated: state.rpc.allocated(),
                     deferred: state.deferred.clone(),
                     completions: state.completions.clone(),
+                    cache: state.cache.snapshot(),
+                    cache_tombstones: state.cache.tombstones(),
                 }
             })
             .collect()

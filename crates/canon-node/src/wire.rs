@@ -262,6 +262,7 @@ impl WireEncode for Payload {
                 attempt,
                 hops,
                 op,
+                path,
             } => {
                 e.tag(1);
                 e.encode(origin);
@@ -269,6 +270,7 @@ impl WireEncode for Payload {
                 e.encode(attempt);
                 e.encode(hops);
                 e.encode(op);
+                e.encode(path);
             }
             Payload::Response { req, hops, result } => {
                 e.tag(2);
@@ -300,6 +302,30 @@ impl WireEncode for Payload {
                 e.encode(successor);
                 e.encode(predecessor);
             }
+            Payload::CacheFill {
+                key,
+                value,
+                stamp,
+                owner,
+                cid,
+                level,
+            } => {
+                e.tag(7);
+                e.u64_fixed(*key);
+                e.u64_fixed(*value);
+                // Stamps are small monotone counters; cids are
+                // identifier-space points.
+                e.varint(*stamp);
+                e.encode(owner);
+                e.u64_fixed(*cid);
+                e.encode(level);
+            }
+            Payload::CacheInvalidate { key, owner, floor } => {
+                e.tag(8);
+                e.u64_fixed(*key);
+                e.encode(owner);
+                e.varint(*floor);
+            }
         }
     }
 }
@@ -314,6 +340,7 @@ impl WireDecode for Payload {
                 attempt: d.decode()?,
                 hops: d.decode()?,
                 op: d.decode()?,
+                path: d.decode()?,
             },
             2 => Payload::Response {
                 req: d.varint()?,
@@ -335,6 +362,19 @@ impl WireDecode for Payload {
                 departing: d.decode()?,
                 successor: d.decode()?,
                 predecessor: d.decode()?,
+            },
+            7 => Payload::CacheFill {
+                key: d.u64_fixed()?,
+                value: d.u64_fixed()?,
+                stamp: d.varint()?,
+                owner: d.decode()?,
+                cid: d.u64_fixed()?,
+                level: d.decode()?,
+            },
+            8 => Payload::CacheInvalidate {
+                key: d.u64_fixed()?,
+                owner: d.decode()?,
+                floor: d.varint()?,
             },
             tag => return Err(WireError::BadTag { ty: "Payload", tag }),
         })
@@ -388,6 +428,8 @@ pub mod samples {
     pub const MAX_SUCCS: usize = 16;
     /// Sampled shard-entry cap for grants and handoffs.
     pub const MAX_ENTRIES: usize = 64;
+    /// Sampled request-path cap (real paths are bounded by the hop limit).
+    pub const MAX_PATH: usize = 32;
 
     /// A tiny deterministic draw stream over [`splitmix64`] — the samplers
     /// run inside canon-node, whose lint regime bans OS entropy outright.
@@ -578,6 +620,7 @@ pub mod samples {
                         key: u64::MAX,
                         value: u64::MAX,
                     },
+                    path: vec![NodeId::new(u64::MAX); MAX_PATH],
                 },
                 Payload::Request {
                     origin: d.node(),
@@ -585,6 +628,7 @@ pub mod samples {
                     attempt: (d.next() % 4) as u32,
                     hops: (d.next() % 64) as u32,
                     op: Op::Lookup { key: d.next() },
+                    path: d.nodes(MAX_PATH),
                 },
             ),
             (
@@ -642,6 +686,38 @@ pub mod samples {
                     departing: d.node(),
                     successor: d.node(),
                     predecessor: d.node(),
+                },
+            ),
+            (
+                "Payload::CacheFill",
+                Payload::CacheFill {
+                    key: u64::MAX,
+                    value: u64::MAX,
+                    stamp: u64::MAX,
+                    owner: NodeId::new(u64::MAX),
+                    cid: u64::MAX,
+                    level: u32::MAX,
+                },
+                Payload::CacheFill {
+                    key: d.next(),
+                    value: d.next(),
+                    stamp: d.next() % (1 << 16),
+                    owner: d.node(),
+                    cid: d.next(),
+                    level: (d.next() % 64) as u32,
+                },
+            ),
+            (
+                "Payload::CacheInvalidate",
+                Payload::CacheInvalidate {
+                    key: u64::MAX,
+                    owner: NodeId::new(u64::MAX),
+                    floor: u64::MAX,
+                },
+                Payload::CacheInvalidate {
+                    key: d.next(),
+                    owner: d.node(),
+                    floor: d.next() % (1 << 16),
                 },
             ),
         ]
@@ -710,6 +786,7 @@ mod tests {
             attempt: 1,
             hops: 3,
             op: Op::Lookup { key: 5 },
+            path: vec![NodeId::new(9)],
         };
         assert_eq!(
             to_bytes(&p),
@@ -721,8 +798,52 @@ mod tests {
                 3,    // hops
                 0,    // Op::Lookup
                 5, 0, 0, 0, 0, 0, 0, 0, // key
+                1, // path length
+                9, 0, 0, 0, 0, 0, 0, 0, // path[0]
             ]
         );
+    }
+
+    #[test]
+    fn cache_message_layouts_are_pinned() {
+        let fill = Payload::CacheFill {
+            key: 5,
+            value: 6,
+            stamp: 300,
+            owner: NodeId::new(2),
+            cid: 7,
+            level: 4,
+        };
+        assert_eq!(
+            to_bytes(&fill),
+            [
+                7, // Payload::CacheFill
+                5, 0, 0, 0, 0, 0, 0, 0, // key
+                6, 0, 0, 0, 0, 0, 0, 0, // value
+                0xac, 0x02, // stamp = 300
+                2, 0, 0, 0, 0, 0, 0, 0, // owner
+                7, 0, 0, 0, 0, 0, 0, 0, // cid
+                4, // level
+            ]
+        );
+        let inv = Payload::CacheInvalidate {
+            key: 5,
+            owner: NodeId::new(2),
+            floor: 300,
+        };
+        assert_eq!(
+            to_bytes(&inv),
+            [
+                8, // Payload::CacheInvalidate
+                5, 0, 0, 0, 0, 0, 0, 0, // key
+                2, 0, 0, 0, 0, 0, 0, 0, // owner
+                0xac, 0x02, // floor = 300
+            ]
+        );
+        for p in [fill, inv] {
+            let bytes = to_bytes(&p);
+            assert_eq!(from_bytes::<Payload>(&bytes).expect("decode"), p);
+        }
     }
 
     #[test]
@@ -747,7 +868,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_fail_cleanly() {
-        for ty in [7u8, 200] {
+        for ty in [9u8, 200] {
             assert!(from_bytes::<Op>(&[ty]).is_err());
             assert!(from_bytes::<Payload>(&[ty]).is_err());
             assert!(from_bytes::<RpcResult>(&[ty]).is_err());
@@ -771,8 +892,8 @@ mod tests {
         let a = samples::max_encoded_sizes(Seed(9), 8);
         let b = samples::max_encoded_sizes(Seed(9), 8);
         assert_eq!(a, b);
-        // 7 ops + 6 results + 7 payloads.
-        assert_eq!(a.len(), 20);
+        // 7 ops + 6 results + 9 payloads.
+        assert_eq!(a.len(), 22);
         for (label, size) in &a {
             assert!(*size > 0, "{label} has zero size");
         }

@@ -125,7 +125,7 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                 Command::Issue(op) => op.clone(),
                 _ => Op::Get { key: a },
             };
-            match sel % 7 {
+            match sel % 9 {
                 0 => Payload::Client(cmd),
                 1 => Payload::Request {
                     origin: NodeId::new(a),
@@ -133,6 +133,9 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                     attempt,
                     hops,
                     op,
+                    path: vec![NodeId::new(b ^ 1), NodeId::new(a.rotate_left(7))]
+                        [..(hops as usize % 3).min(2)]
+                        .to_vec(),
                 },
                 2 => Payload::Response {
                     req: b,
@@ -147,10 +150,23 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                     departing: NodeId::new(a),
                     shard: grant.shard,
                 },
-                _ => Payload::LeaveNotice {
+                6 => Payload::LeaveNotice {
                     departing: NodeId::new(a),
                     successor: NodeId::new(b),
                     predecessor: grant.predecessor,
+                },
+                7 => Payload::CacheFill {
+                    key: a,
+                    value: b,
+                    stamp: a ^ b,
+                    owner: NodeId::new(b),
+                    cid: a.wrapping_mul(31),
+                    level: hops,
+                },
+                _ => Payload::CacheInvalidate {
+                    key: a,
+                    owner: NodeId::new(b),
+                    floor: b.wrapping_add(1),
                 },
             }
         })

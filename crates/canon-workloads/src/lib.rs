@@ -8,6 +8,9 @@
 //!
 //! * [`ZipfKeys`] — key popularity following a Zipf distribution (web-style
 //!   request skew);
+//! * [`FlashCrowd`] — a Zipf stream where one mid-tail key spikes to a
+//!   fixed share of all draws inside a positional request window, the
+//!   hot-spot workload behind the flash-crowd caching experiments;
 //! * [`LocalityQueries`] — query streams where a tunable fraction of
 //!   queries target keys "owned" by the querier's own domain at a chosen
 //!   level, the access pattern hierarchical caching exploits;
@@ -98,6 +101,104 @@ impl ZipfKeys {
         let u: f64 = rng.gen();
         let idx = self.cdf.partition_point(|&c| c < u);
         self.keys[idx.min(self.keys.len() - 1)]
+    }
+
+    /// The probability mass of popularity rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn probability(&self, r: usize) -> f64 {
+        let below = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        self.cdf[r] - below
+    }
+}
+
+/// A flash-crowd request stream: a base Zipf(`s`) stream over a fixed key
+/// universe, except that inside the positional request window
+/// `[window_start, window_start + window_len)` a single mid-popularity
+/// "hot" key absorbs `spike_share` of every draw — the sudden
+/// many-hundred-fold demand amplification ("Slashdot effect") that §4.2's
+/// en-route caching is meant to absorb.
+///
+/// The spike is a function of the *request index*, not of wall time, so a
+/// trace is reproducible draw-for-draw from `(seed, index)` alone and two
+/// harnesses replaying the same indices agree on where the crowd hits.
+#[derive(Clone, Debug)]
+pub struct FlashCrowd {
+    base: ZipfKeys,
+    hot_rank: usize,
+    window_start: u64,
+    window_end: u64,
+    spike_share: f64,
+}
+
+impl FlashCrowd {
+    /// Builds the stream: `count` keys with base Zipf exponent `s`; the
+    /// key at popularity rank `hot_rank` spikes to `spike_share` of all
+    /// draws for request indices in
+    /// `[window_start, window_start + window_len)`.
+    ///
+    /// Pick a mid-tail `hot_rank` (the default experiments use
+    /// `count / 2`) so the spike is a genuine amplification — see
+    /// [`FlashCrowd::amplification`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_rank` is out of range or `spike_share` is not a
+    /// probability (plus [`ZipfKeys::new`]'s own requirements).
+    pub fn new(
+        count: usize,
+        s: f64,
+        hot_rank: usize,
+        window_start: u64,
+        window_len: u64,
+        spike_share: f64,
+        seed: Seed,
+    ) -> Self {
+        let base = ZipfKeys::new(count, s, seed);
+        assert!(hot_rank < base.len(), "hot rank out of range");
+        assert!(
+            (0.0..=1.0).contains(&spike_share),
+            "spike share must be a probability"
+        );
+        FlashCrowd {
+            base,
+            hot_rank,
+            window_start,
+            window_end: window_start.saturating_add(window_len),
+            spike_share,
+        }
+    }
+
+    /// The base (off-window) popularity distribution.
+    pub fn base(&self) -> &ZipfKeys {
+        &self.base
+    }
+
+    /// The key that goes hot during the window.
+    pub fn hot_key(&self) -> Key {
+        self.base.key(self.hot_rank)
+    }
+
+    /// Whether request index `i` falls inside the flash-crowd window.
+    pub fn in_spike(&self, i: u64) -> bool {
+        (self.window_start..self.window_end).contains(&i)
+    }
+
+    /// How many times more popular the hot key is inside the window than
+    /// its baseline: `spike_share / base probability of hot_rank`.
+    pub fn amplification(&self) -> f64 {
+        self.spike_share / self.base.probability(self.hot_rank)
+    }
+
+    /// Draws the key for request index `i`: the hot key with probability
+    /// `spike_share` inside the window, the base Zipf draw otherwise.
+    pub fn draw_at<R: Rng>(&self, i: u64, rng: &mut R) -> Key {
+        if self.in_spike(i) && rng.gen_bool(self.spike_share) {
+            return self.hot_key();
+        }
+        self.base.draw(rng)
     }
 }
 
@@ -339,6 +440,54 @@ mod tests {
     #[should_panic(expected = "at least one key")]
     fn empty_universe_rejected() {
         ZipfKeys::new(0, 1.0, Seed(0));
+    }
+
+    #[test]
+    fn flash_crowd_spikes_only_inside_the_window() {
+        let wl = FlashCrowd::new(256, 1.0, 128, 1_000, 500, 0.9, Seed(20));
+        let mut rng = Seed(21).rng();
+        let hot = wl.hot_key();
+        let hot_before = (0..1_000)
+            .filter(|&i| wl.draw_at(i, &mut rng) == hot)
+            .count();
+        let hot_during = (1_000..1_500)
+            .filter(|&i| wl.draw_at(i, &mut rng) == hot)
+            .count();
+        let hot_after = (1_500..2_500)
+            .filter(|&i| wl.draw_at(i, &mut rng) == hot)
+            .count();
+        // Baseline share of rank 128 under Zipf(1.0) is ~0.13%; during
+        // the window it is 90%.
+        assert!(hot_before < 20, "pre-window hot count {hot_before}");
+        assert!(hot_during > 400, "in-window hot count {hot_during}");
+        assert!(hot_after < 20, "post-window hot count {hot_after}");
+        assert!(
+            wl.amplification() > 100.0,
+            "amplification {} too tame for a flash crowd",
+            wl.amplification()
+        );
+        assert!(wl.in_spike(1_000) && wl.in_spike(1_499));
+        assert!(!wl.in_spike(999) && !wl.in_spike(1_500));
+    }
+
+    #[test]
+    fn flash_crowd_traces_are_reproducible() {
+        let draw_all = || {
+            let wl = FlashCrowd::new(64, 0.9, 32, 10, 20, 0.95, Seed(22));
+            let mut rng = Seed(23).rng();
+            (0..200)
+                .map(|i| wl.draw_at(i, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw_all(), draw_all());
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let keys = ZipfKeys::new(50, 1.2, Seed(24));
+        let total: f64 = (0..50).map(|r| keys.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(keys.probability(0) > keys.probability(49));
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Property test for `ZipfKeys::draw`: over any universe size, exponent
+//! and seed, the *empirical* frequency of popularity ranks is monotone
+//! non-increasing (up to sampling noise) — rank 0 is drawn at least as
+//! often as rank 1, and so on down the tail. This is the distributional
+//! contract the CDF inversion (`partition_point` over a non-decreasing
+//! CDF) must uphold; an off-by-one in the inversion shifts mass between
+//! adjacent ranks and breaks it.
+
+use canon_id::rng::Seed;
+use canon_workloads::ZipfKeys;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const SAMPLES: usize = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn empirical_rank_frequencies_are_monotone_non_increasing(
+        count in 2usize..40,
+        s_milli in 0u32..2_000,
+        seed in any::<u64>(),
+    ) {
+        let s = f64::from(s_milli) / 1_000.0;
+        let keys = ZipfKeys::new(count, s, Seed(seed));
+        let rank_of: HashMap<_, _> =
+            (0..count).map(|r| (keys.key(r), r)).collect();
+        let mut rng = Seed(seed ^ 0x9e37_79b9_7f4a_7c15).rng();
+        let mut counts = vec![0i64; count];
+        for _ in 0..SAMPLES {
+            let k = keys.draw(&mut rng);
+            let r = *rank_of.get(&k).expect("draw returned an unknown key");
+            counts[r] += 1;
+        }
+        // Sampling slack: per-rank counts fluctuate by ~sqrt(mean); a
+        // genuine inversion (a less popular rank beating a more popular
+        // one) overwhelms four standard deviations of the difference.
+        let mean = SAMPLES as f64 / count as f64;
+        let slack = (4.0 * (2.0 * mean).sqrt()).ceil() as i64;
+        for i in 0..count {
+            for j in (i + 1)..count {
+                prop_assert!(
+                    counts[i] + slack >= counts[j],
+                    "rank {i} drawn {} times but rank {j} drawn {} \
+                     (count={count}, s={s}, slack={slack})",
+                    counts[i],
+                    counts[j]
+                );
+            }
+        }
+    }
+}
